@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks for the performance-critical paths:
+//! edit distances (the α-selection and Table VII workhorses), the criteria
+//! engine (every judge call), CoachLM revision throughput (the §IV-A
+//! samples/s claim), PandaLM judging, and dataset generation.
+
+use coachlm_core::coach::{CoachConfig, CoachLm};
+use coachlm_data::generator::{generate, GeneratorConfig};
+use coachlm_expert::filter::preliminary_filter;
+use coachlm_expert::pool::ExpertPool;
+use coachlm_expert::revision::ExpertReviser;
+use coachlm_judge::criteria::CriteriaEngine;
+use coachlm_judge::pandalm::PandaLm;
+use coachlm_text::editdist::{char_edit_distance, edit_distance_bounded, word_edit_distance};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHORT_A: &str = "The water cycle moves water through evaporation and rain.";
+const SHORT_B: &str = "The watr cycle moves water thru evaporation, clouds, and rain.";
+
+fn long_text(words: usize, tag: &str) -> String {
+    (0..words).map(|i| format!("w{}{tag}", i % 97)).collect::<Vec<_>>().join(" ")
+}
+
+fn bench_editdist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("editdist");
+    g.bench_function("char/short", |b| {
+        b.iter(|| char_edit_distance(black_box(SHORT_A), black_box(SHORT_B)))
+    });
+    for n in [50usize, 200, 800] {
+        let a = long_text(n, "a");
+        let bt = long_text(n, "b");
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("word/len", n), &n, |bch, _| {
+            bch.iter(|| word_edit_distance(black_box(&a), black_box(&bt)))
+        });
+    }
+    g.bench_function("bounded/k=5", |b| {
+        b.iter(|| edit_distance_bounded(black_box(SHORT_A.as_bytes()), black_box(SHORT_B.as_bytes()), 5))
+    });
+    g.finish();
+}
+
+fn bench_criteria(c: &mut Criterion) {
+    let engine = CriteriaEngine::new();
+    let instr = "Explain the water cycle for a middle-school reader with one example.";
+    let resp = "The water cycle moves water through evaporation, condensation, and rain. \
+        This happens because the sun heats oceans and lakes, lifting vapor into the air. \
+        For example, puddles disappear on a sunny day. In summary, water circulates constantly.";
+    c.bench_function("criteria/score_pair", |b| {
+        b.iter(|| engine.score_pair(black_box(instr), black_box(resp)))
+    });
+}
+
+fn bench_revision(c: &mut Criterion) {
+    // Train a realistic CoachLM once.
+    let (d, _) = generate(&GeneratorConfig::small(1500, 7));
+    let kept = preliminary_filter(&d, 7).kept;
+    let records = ExpertReviser::new(7).revise_dataset(&ExpertPool::paper_pool(), &d, &kept);
+    let coach = CoachLm::train(CoachConfig::default(), &records);
+    let mut g = c.benchmark_group("coachlm");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("revise_pair", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut i = 0usize;
+        b.iter(|| {
+            let p = &d.pairs[i % d.len()];
+            i += 1;
+            coach.revise_pair(&mut rng, black_box(&p.instruction), black_box(&p.response))
+        })
+    });
+    g.finish();
+}
+
+fn bench_judging(c: &mut Criterion) {
+    let judge = PandaLm::new(5);
+    let instr = "Explain the water cycle";
+    let strong = "The water cycle moves water through evaporation and rain. This happens \
+                  because the sun heats the oceans. For example, puddles vanish on sunny days.";
+    let weak = "Water moves around the sky sometimes.";
+    c.bench_function("pandalm/compare_debiased", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            judge.compare(black_box(id), black_box(instr), black_box(strong), black_box(weak))
+        })
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generator");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("generate_1k_pairs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            generate(black_box(&GeneratorConfig::small(1000, seed)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_editdist, bench_criteria, bench_revision, bench_judging, bench_generation
+}
+criterion_main!(benches);

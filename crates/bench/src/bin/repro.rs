@@ -1,0 +1,93 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale full|quick] [--seed N] <experiment id>... | all
+//! ```
+//!
+//! Reports print to stdout; machine-readable records land in
+//! `results/<id>.json`.
+
+use coachlm_bench::experiments;
+use coachlm_bench::format::write_result_json;
+use coachlm_bench::world::{ExperimentWorld, Scale};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut seed: u64 = 0xC0AC_2024;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| die("expected --scale full|quick"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("expected --seed <u64>"));
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage();
+        die("no experiment id given");
+    }
+    let run_all = ids.iter().any(|s| s == "all");
+    let selected: Vec<Box<dyn experiments::Experiment>> = if run_all {
+        experiments::all()
+    } else {
+        ids.iter()
+            .map(|id| {
+                experiments::by_id(id)
+                    .unwrap_or_else(|| die(&format!("unknown experiment id: {id}")))
+            })
+            .collect()
+    };
+
+    eprintln!("building experiment world (scale {scale:?}, seed {seed:#x}) ...");
+    let t0 = Instant::now();
+    let world = ExperimentWorld::build(scale, seed);
+    eprintln!(
+        "world ready in {:.1}s: {} pairs, {} expert revisions, C_a = {}\n",
+        t0.elapsed().as_secs_f64(),
+        world.alpaca.len(),
+        world.records.len(),
+        world.coach.trained_on()
+    );
+
+    for exp in selected {
+        let t = Instant::now();
+        let (report, json) = exp.run(&world);
+        println!("=== {} ({:.1}s) ===", exp.id(), t.elapsed().as_secs_f64());
+        println!("{report}");
+        if let Err(e) = write_result_json(exp.id(), &json) {
+            eprintln!("warning: could not write results/{}.json: {e}", exp.id());
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro [--scale full|quick] [--seed N] <id>... | all\n\
+         ids: table3 table4 table7 fig4 table8 table9 table10 fig5 table11 deploy"
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

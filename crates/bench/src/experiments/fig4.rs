@@ -1,0 +1,52 @@
+//! Fig 4 — histogram of ChatGPT ratings before and after CoachLM revision.
+
+use super::Experiment;
+use crate::format::{f2, pct, Table};
+use crate::world::ExperimentWorld;
+use coachlm_judge::chatgpt::ChatGptRater;
+use serde_json::json;
+
+/// Fig 4 experiment.
+pub struct Fig4;
+
+impl Experiment for Fig4 {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 4: ChatGPT 0-5 rating histogram, original vs CoachLM-revised"
+    }
+
+    fn run(&self, world: &ExperimentWorld) -> (String, serde_json::Value) {
+        let rater = ChatGptRater::new(world.seed ^ 0xF16);
+        let before = rater.rate_dataset(&world.alpaca);
+        let after = rater.rate_dataset(&world.revised.dataset);
+
+        let mut table = Table::new(["Rating", "Original", "Revised"]);
+        for bin in 0..11 {
+            let label = format!("{:.1}", bin as f64 / 2.0);
+            table.row([
+                label,
+                pct(before.histogram[bin] as f64 / before.count.max(1) as f64),
+                pct(after.histogram[bin] as f64 / after.count.max(1) as f64),
+            ]);
+        }
+        let report = format!(
+            "{}\nmean rating: {} -> {} (paper: 3.95 -> 4.31)\n\
+             share above 4.5: {} -> {} (paper: 17.7% -> 78.9%)\n{}",
+            self.title(),
+            f2(before.mean),
+            f2(after.mean),
+            pct(before.share_above_4_5),
+            pct(after.share_above_4_5),
+            table.render()
+        );
+        let json = json!({
+            "before": {"mean": before.mean, "above_4_5": before.share_above_4_5, "histogram": before.histogram},
+            "after": {"mean": after.mean, "above_4_5": after.share_above_4_5, "histogram": after.histogram},
+            "paper": {"before": {"mean": 3.95, "above_4_5": 0.177}, "after": {"mean": 4.31, "above_4_5": 0.789}},
+        });
+        (report, json)
+    }
+}

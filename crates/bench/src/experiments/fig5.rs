@@ -1,0 +1,139 @@
+//! Fig 5 — win rates vs the human input ratio α.
+//!
+//! (a) Alpaca-CoachLM: CoachLM retrained at each α, the dataset re-revised,
+//!     the student retuned, and evaluated on CoachLM150 by both PandaLM and
+//!     GPT-4 (the paper's two judges). The paper observes a peak at α = 0.3
+//!     and at most ~10 % degradation toward α = 1.
+//! (b) Alpaca-human: the top-α (by edit distance) expert revisions merged
+//!     into the training set; the win rate rises steadily. A least-squares
+//!     line (paper: R² = 0.9799, slope 3.07 %/k) extrapolates the crossover
+//!     with Alpaca-CoachLM.
+
+use super::Experiment;
+use crate::format::{f2, pct, Table};
+use crate::world::ExperimentWorld;
+use coachlm_core::alpha::select_alpha;
+use coachlm_core::baselines::build_human_merged;
+use coachlm_core::coach::{CoachConfig, CoachLm};
+use coachlm_core::evaluate::evaluate;
+use coachlm_core::infer::revise_dataset;
+use coachlm_core::student::{tune_student, SkillParams};
+use coachlm_data::testsets::TestSetKind;
+use coachlm_judge::gpt4::Gpt4Judge;
+use coachlm_judge::pandalm::PandaLm;
+use coachlm_judge::stats::linear_fit;
+use serde_json::json;
+
+/// Fig 5 experiment.
+pub struct Fig5;
+
+/// The α grid.
+pub const ALPHAS: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+impl Experiment for Fig5 {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig 5: win rate vs human input ratio alpha (CoachLM150)"
+    }
+
+    fn run(&self, world: &ExperimentWorld) -> (String, serde_json::Value) {
+        let ts = world.test_set(TestSetKind::CoachLm150);
+        let pandalm = PandaLm::new(world.seed ^ 0x5A);
+        let gpt4 = Gpt4Judge::new(world.seed ^ 0x5B);
+
+        // (a) Alpaca-CoachLM sweep.
+        let mut coach_rows = Vec::new();
+        let mut table_a = Table::new(["alpha", "C_a size", "PandaLM", "GPT-4"]);
+        for alpha in ALPHAS {
+            let coach =
+                CoachLm::train(CoachConfig { alpha, ..CoachConfig::default() }, &world.records);
+            let revised = revise_dataset(&coach, &world.alpaca, world.seed ^ 0x5C, world.threads);
+            let student = tune_student(
+                format!("Alpaca-CoachLM(a={alpha:.1})"),
+                &revised.dataset,
+                SkillParams::default(),
+                world.seed,
+            );
+            let p = evaluate(&student, ts, &pandalm).rates.mean();
+            let g = evaluate(&student, ts, &gpt4).rates.mean();
+            table_a.row([format!("{alpha:.1}"), coach.trained_on().to_string(), pct(p), pct(g)]);
+            coach_rows.push(json!({
+                "alpha": alpha,
+                "trained_on": coach.trained_on(),
+                "pandalm": p,
+                "gpt4": g,
+            }));
+        }
+        let best_alpha = coach_rows
+            .iter()
+            .max_by(|a, b| {
+                a["pandalm"].as_f64().unwrap().total_cmp(&b["pandalm"].as_f64().unwrap())
+            })
+            .and_then(|r| r["alpha"].as_f64())
+            .unwrap_or(f64::NAN);
+
+        // (b) Alpaca-human sweep: merge the top-α records.
+        let ranked = select_alpha(&world.records, 1.0); // full ranking, desc
+        let mut human_rows = Vec::new();
+        let mut table_b = Table::new(["alpha", "merged", "PandaLM", "GPT-4"]);
+        let mut fit_points: Vec<(f64, f64)> = Vec::new();
+        for alpha in ALPHAS {
+            let take = ((ranked.len() as f64) * alpha).round() as usize;
+            let merged = build_human_merged(&world.alpaca, &ranked, take);
+            let student = tune_student(
+                format!("Alpaca-human(a={alpha:.1})"),
+                &merged,
+                SkillParams::default(),
+                world.seed,
+            );
+            let p = evaluate(&student, ts, &pandalm).rates.mean();
+            let g = evaluate(&student, ts, &gpt4).rates.mean();
+            table_b.row([format!("{alpha:.1}"), take.to_string(), pct(p), pct(g)]);
+            fit_points.push((take as f64 / 1000.0, p * 100.0));
+            human_rows.push(json!({"alpha": alpha, "merged": take, "pandalm": p, "gpt4": g}));
+        }
+        let fit = linear_fit(&fit_points);
+
+        // Crossover extrapolation (paper: ≈7.3k revised samples).
+        let coach_peak = coach_rows
+            .iter()
+            .map(|r| r["pandalm"].as_f64().unwrap())
+            .fold(f64::MIN, f64::max)
+            * 100.0;
+        let crossover_k = fit.and_then(|f| f.solve_for(coach_peak));
+
+        let mut report = format!(
+            "{}\n(a) Alpaca-CoachLM (paper: peak at alpha=0.3):\n{}\nmeasured peak at alpha={best_alpha:.1}\n\n\
+             (b) Alpaca-human (paper: linear, R^2=0.9799, 3.07%/k, crossover ~7.3k):\n{}",
+            self.title(),
+            table_a.render(),
+            table_b.render()
+        );
+        if let Some(f) = fit {
+            report.push_str(&format!(
+                "linear fit: {} %/k revised samples, R^2 = {}\n",
+                f2(f.slope),
+                f2(f.r2)
+            ));
+        }
+        if let Some(k) = crossover_k {
+            report.push_str(&format!(
+                "extrapolated crossover with Alpaca-CoachLM peak: {:.1}k human-revised samples\n",
+                k
+            ));
+        }
+
+        let json = json!({
+            "coachlm_sweep": coach_rows,
+            "human_sweep": human_rows,
+            "best_alpha": best_alpha,
+            "fit": fit.map(|f| json!({"slope_pct_per_k": f.slope, "r2": f.r2})),
+            "crossover_k": crossover_k,
+            "paper": {"best_alpha": 0.3, "slope_pct_per_k": 3.07, "r2": 0.9799, "crossover_k": 7.3},
+        });
+        (report, json)
+    }
+}

@@ -1,0 +1,45 @@
+//! One module per paper table/figure (see DESIGN.md §4 for the mapping).
+
+pub mod deploy;
+pub mod fig4;
+pub mod fig5;
+pub mod table10;
+pub mod table11;
+pub mod table3;
+pub mod table4;
+pub mod table7;
+pub mod table8;
+pub mod table9;
+
+use crate::world::ExperimentWorld;
+
+/// A runnable experiment.
+pub trait Experiment {
+    /// Stable id (`table3`, `fig5`, …).
+    fn id(&self) -> &'static str;
+    /// What this reproduces.
+    fn title(&self) -> &'static str;
+    /// Runs it: returns the human-readable report and the JSON record.
+    fn run(&self, world: &ExperimentWorld) -> (String, serde_json::Value);
+}
+
+/// All experiments in paper order.
+pub fn all() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(table3::Table3),
+        Box::new(table4::Table4),
+        Box::new(table7::Table7),
+        Box::new(fig4::Fig4),
+        Box::new(table8::Table8),
+        Box::new(table9::Table9),
+        Box::new(table10::Table10),
+        Box::new(fig5::Fig5),
+        Box::new(table11::Table11),
+        Box::new(deploy::Deploy),
+    ]
+}
+
+/// Looks an experiment up by id.
+pub fn by_id(id: &str) -> Option<Box<dyn Experiment>> {
+    all().into_iter().find(|e| e.id() == id)
+}

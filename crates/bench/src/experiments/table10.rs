@@ -1,0 +1,64 @@
+//! Table X — human scores of Alpaca-CoachLM vs Alpaca responses.
+
+use super::Experiment;
+use crate::format::{f1, Table};
+use crate::world::ExperimentWorld;
+use coachlm_core::student::{tune_student, SkillParams};
+use coachlm_data::testsets::TestSetKind;
+use coachlm_judge::human::{HumanPanel, PanelAverages};
+use serde_json::json;
+
+/// Table X experiment.
+pub struct Table10;
+
+impl Experiment for Table10 {
+    fn id(&self) -> &'static str {
+        "table10"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table X: human evaluation of Alpaca vs Alpaca-CoachLM on CoachLM150"
+    }
+
+    fn run(&self, world: &ExperimentWorld) -> (String, serde_json::Value) {
+        let panel = HumanPanel::group_c(world.seed ^ 0x10A);
+        let ts = world.test_set(TestSetKind::CoachLm150);
+        let alpaca = tune_student("Alpaca", &world.alpaca, SkillParams::default(), world.seed);
+        let coachlm = tune_student(
+            "Alpaca-CoachLM",
+            &world.revised.dataset,
+            SkillParams::default(),
+            world.seed,
+        );
+
+        let mut a_avg = PanelAverages::default();
+        let mut c_avg = PanelAverages::default();
+        for item in &ts.items {
+            a_avg.add(&panel.rate_response(item.id, &item.instruction, &alpaca.respond(item)));
+            c_avg.add(&panel.rate_response(item.id, &item.instruction, &coachlm.respond(item)));
+        }
+        let a_avg = a_avg.finish();
+        let c_avg = c_avg.finish();
+
+        let mut table = Table::new(["Model", "R1", "R2", "R3", "Avg"]);
+        for (name, s) in [("Alpaca", &a_avg), ("Alpaca-CoachLM", &c_avg)] {
+            table.row([
+                name.to_string(),
+                f1(s.by_reviewer[0]),
+                f1(s.by_reviewer[1]),
+                f1(s.by_reviewer[2]),
+                f1(s.avg),
+            ]);
+        }
+        table.row(["Paper Alpaca", "56.6", "58.2", "60.9", "58.6"]);
+        table.row(["Paper Alpaca-CoachLM", "-", "-", "-", "64.3"]);
+
+        let report = format!("{}\n{}", self.title(), table.render());
+        let json = json!({
+            "alpaca": a_avg,
+            "alpaca_coachlm": c_avg,
+            "paper": {"alpaca_avg": 58.6, "alpaca_coachlm_avg": 64.3},
+        });
+        (report, json)
+    }
+}

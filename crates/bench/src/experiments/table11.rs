@@ -1,0 +1,84 @@
+//! Table XI — CoachLM backbone ablation (α fixed at 1, CoachLM150).
+
+use super::Experiment;
+use crate::format::{pct, Table};
+use crate::world::ExperimentWorld;
+use coachlm_core::coach::{CoachConfig, CoachLm};
+use coachlm_core::evaluate::evaluate;
+use coachlm_core::infer::revise_dataset;
+use coachlm_core::student::{tune_student, SkillParams};
+use coachlm_data::testsets::TestSetKind;
+use coachlm_judge::pandalm::PandaLm;
+use coachlm_lm::backbone::BackboneKind;
+use serde_json::json;
+
+/// Table XI experiment.
+pub struct Table11;
+
+/// Paper WR1 per row (CoachLM150, α = 1).
+fn paper_wr1(name: &str) -> f64 {
+    match name {
+        "Alpaca" => 0.48,
+        "LLaMA" => 0.493,
+        "ChatGLM" => 0.54,
+        "ChatGLM2" => 0.567,
+        _ => f64::NAN,
+    }
+}
+
+impl Experiment for Table11 {
+    fn id(&self) -> &'static str {
+        "table11"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table XI: Alpaca-CoachLM with varying backbone models (alpha = 1)"
+    }
+
+    fn run(&self, world: &ExperimentWorld) -> (String, serde_json::Value) {
+        let ts = world.test_set(TestSetKind::CoachLm150);
+        let judge = PandaLm::new(world.seed ^ 0x11A);
+        let mut table = Table::new(["Model", "WR1", "WR2", "QS", "Paper WR1"]);
+        let mut rows = Vec::new();
+
+        // Baseline Alpaca row.
+        let alpaca = tune_student("Alpaca", &world.alpaca, SkillParams::default(), world.seed);
+        let r = evaluate(&alpaca, ts, &judge);
+        table.row([
+            "Alpaca".to_string(),
+            pct(r.rates.wr1),
+            pct(r.rates.wr2),
+            pct(r.rates.qs),
+            pct(paper_wr1("Alpaca")),
+        ]);
+        rows.push(json!({"backbone": "none", "model": "Alpaca", "wr1": r.rates.wr1,
+                         "wr2": r.rates.wr2, "qs": r.rates.qs, "paper_wr1": paper_wr1("Alpaca")}));
+
+        for kind in BackboneKind::ALL {
+            let coach = CoachLm::train(
+                CoachConfig { backbone: kind, alpha: 1.0, ..CoachConfig::default() },
+                &world.records,
+            );
+            let revised = revise_dataset(&coach, &world.alpaca, world.seed ^ 0x11B, world.threads);
+            let student = tune_student(
+                format!("Alpaca-CoachLM({})", kind.name()),
+                &revised.dataset,
+                SkillParams::default(),
+                world.seed,
+            );
+            let r = evaluate(&student, ts, &judge);
+            table.row([
+                format!("Alpaca-CoachLM ({})", kind.name()),
+                pct(r.rates.wr1),
+                pct(r.rates.wr2),
+                pct(r.rates.qs),
+                pct(paper_wr1(kind.name())),
+            ]);
+            rows.push(json!({"backbone": kind.name(), "wr1": r.rates.wr1, "wr2": r.rates.wr2,
+                             "qs": r.rates.qs, "paper_wr1": paper_wr1(kind.name())}));
+        }
+
+        let report = format!("{}\n{}", self.title(), table.render());
+        (report, json!({"rows": rows}))
+    }
+}

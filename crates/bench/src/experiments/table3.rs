@@ -1,0 +1,49 @@
+//! Table III — distribution of the excluded instruction pairs.
+
+use super::Experiment;
+use crate::format::{pct, Table};
+use crate::world::ExperimentWorld;
+use serde_json::json;
+
+/// Table III experiment.
+pub struct Table3;
+
+impl Experiment for Table3 {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table III: distribution of excluded instruction pairs (preliminary filter)"
+    }
+
+    fn run(&self, world: &ExperimentWorld) -> (String, serde_json::Value) {
+        let out = &world.filter;
+        let mut table = Table::new(["Reason", "Measured", "Paper"]);
+        let ratios = out.reason_ratios();
+        for (reason, measured) in &ratios {
+            table.row([reason.label(), &pct(*measured), &pct(reason.paper_ratio())]);
+        }
+        let excluded = out.excluded.len();
+        let total = excluded + out.kept.len();
+        let report = format!(
+            "{}\nexcluded {excluded} of {total} sampled pairs ({}); paper: 1088 of 6000 (18.1%)\n\
+             retained for diversity: {}\n{}",
+            self.title(),
+            pct(out.exclusion_ratio()),
+            out.retained_for_diversity.len(),
+            table.render()
+        );
+        let json = json!({
+            "excluded": excluded,
+            "total": total,
+            "exclusion_ratio": out.exclusion_ratio(),
+            "paper_exclusion_ratio": 1088.0 / 6000.0,
+            "reasons": ratios
+                .iter()
+                .map(|(r, m)| json!({"reason": r.label(), "measured": m, "paper": r.paper_ratio()}))
+                .collect::<Vec<_>>(),
+        });
+        (report, json)
+    }
+}

@@ -1,0 +1,114 @@
+//! Table IV — statistics of expert revisions.
+
+use super::Experiment;
+use crate::format::{pct, Table};
+use crate::world::ExperimentWorld;
+use coachlm_expert::revision::RevisionKind;
+use serde_json::json;
+
+/// Table IV experiment.
+pub struct Table4;
+
+/// Paper ratios per revision kind.
+fn paper_ratio(kind: RevisionKind) -> f64 {
+    match kind {
+        RevisionKind::AdjustInstruction => 0.681,
+        RevisionKind::RewriteInstruction => 0.249,
+        RevisionKind::DiversifyInstruction => 0.070,
+        RevisionKind::DiversifyResponse => 0.437,
+        RevisionKind::RewriteResponse => 0.245,
+        RevisionKind::AdjustResponse => 0.233,
+        RevisionKind::CorrectResponse => 0.067,
+        RevisionKind::OtherResponse => 0.019,
+    }
+}
+
+fn label(kind: RevisionKind) -> &'static str {
+    match kind {
+        RevisionKind::AdjustInstruction => "Adjust language/layout",
+        RevisionKind::RewriteInstruction => "Rewrite infeasible/ambiguous",
+        RevisionKind::DiversifyInstruction => "Diversify context",
+        RevisionKind::DiversifyResponse => "Diversify/expand reasoning",
+        RevisionKind::RewriteResponse => "Rewrite fluency/relevance/logic",
+        RevisionKind::AdjustResponse => "Adjust layout/tone",
+        RevisionKind::CorrectResponse => "Correct facts/calculations",
+        RevisionKind::OtherResponse => "Safety & other",
+    }
+}
+
+impl Experiment for Table4 {
+    fn id(&self) -> &'static str {
+        "table4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table IV: distribution of expert revisions"
+    }
+
+    fn run(&self, world: &ExperimentWorld) -> (String, serde_json::Value) {
+        let records = &world.records;
+        let instr_revised: Vec<_> = records.iter().filter(|r| r.instruction_revised).collect();
+
+        let instr_kinds = [
+            RevisionKind::AdjustInstruction,
+            RevisionKind::RewriteInstruction,
+            RevisionKind::DiversifyInstruction,
+        ];
+        let resp_kinds = [
+            RevisionKind::DiversifyResponse,
+            RevisionKind::RewriteResponse,
+            RevisionKind::AdjustResponse,
+            RevisionKind::CorrectResponse,
+            RevisionKind::OtherResponse,
+        ];
+
+        let mut table = Table::new(["Revision", "Measured", "Paper"]);
+        let mut json_rows = Vec::new();
+        table.row([
+            format!("-- {} revised INSTRUCTIONS --", instr_revised.len()),
+            String::new(),
+            String::new(),
+        ]);
+        for kind in instr_kinds {
+            let c = instr_revised.iter().filter(|r| r.instruction_kind == Some(kind)).count();
+            let m = c as f64 / instr_revised.len().max(1) as f64;
+            table.row([label(kind), &pct(m), &pct(paper_ratio(kind))]);
+            json_rows.push(json!({"kind": label(kind), "measured": m, "paper": paper_ratio(kind)}));
+        }
+        table.row([
+            format!("-- {} revised RESPONSES --", records.len()),
+            String::new(),
+            String::new(),
+        ]);
+        for kind in resp_kinds {
+            let c = records.iter().filter(|r| r.response_kind == Some(kind)).count();
+            let m = c as f64 / records.len().max(1) as f64;
+            table.row([label(kind), &pct(m), &pct(paper_ratio(kind))]);
+            json_rows.push(json!({"kind": label(kind), "measured": m, "paper": paper_ratio(kind)}));
+        }
+
+        let kept = world.filter.kept.len();
+        let revised_share = records.len() as f64 / kept.max(1) as f64;
+        let instr_share = instr_revised.len() as f64 / records.len().max(1) as f64;
+        let report = format!(
+            "{}\nrevised {} of {kept} kept pairs ({}); paper: 2301 of 4912 (46.8%)\n\
+             instruction-side revisions: {} ({}); paper: 1079 of 2301 (46.9%)\n{}",
+            self.title(),
+            records.len(),
+            pct(revised_share),
+            instr_revised.len(),
+            pct(instr_share),
+            table.render()
+        );
+        let json = json!({
+            "revised": records.len(),
+            "kept": kept,
+            "revised_share": revised_share,
+            "paper_revised_share": 2301.0 / 4912.0,
+            "instruction_revised": instr_revised.len(),
+            "instruction_share": instr_share,
+            "rows": json_rows,
+        });
+        (report, json)
+    }
+}

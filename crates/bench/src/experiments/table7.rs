@@ -1,0 +1,75 @@
+//! Table VII — statistics of the CoachLM-revised dataset.
+
+use super::Experiment;
+use crate::format::{f1, Table};
+use crate::world::ExperimentWorld;
+use coachlm_data::stats::{basic_stats, compare_stats};
+use serde_json::json;
+
+/// Table VII experiment.
+pub struct Table7;
+
+impl Experiment for Table7 {
+    fn id(&self) -> &'static str {
+        "table7"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table VII: average length and word-level edit distance, original vs CoachLM-revised"
+    }
+
+    fn run(&self, world: &ExperimentWorld) -> (String, serde_json::Value) {
+        let orig = basic_stats(&world.alpaca);
+        let rev = compare_stats(&world.alpaca, &world.revised.dataset);
+
+        let mut table = Table::new([
+            "Dataset",
+            "Instr words",
+            "Instr edit",
+            "Resp words",
+            "Resp edit",
+        ]);
+        table.row([
+            "Original",
+            &f1(orig.avg_instruction_words),
+            "-",
+            &f1(orig.avg_response_words),
+            "-",
+        ]);
+        table.row([
+            "CoachLM-revised",
+            &f1(rev.avg_instruction_words),
+            &f1(rev.avg_instruction_edit.unwrap_or(0.0)),
+            &f1(rev.avg_response_words),
+            &f1(rev.avg_response_edit.unwrap_or(0.0)),
+        ]);
+        table.row(["Paper original", "17.7", "-", "43.9", "-"]);
+        table.row(["Paper revised", "16.8", "3.4", "143.1", "128.7"]);
+
+        let report = format!(
+            "{}\ninstructions changed: {} ({} of {}); responses changed: {}\n\
+             invalid outputs replaced: {} ({:.2}%); leakage-skipped: {} ({:.2}%)\n{}",
+            self.title(),
+            rev.instructions_changed.unwrap_or(0),
+            rev.instructions_changed.unwrap_or(0),
+            world.alpaca.len(),
+            rev.responses_changed.unwrap_or(0),
+            world.revised.replaced_invalid,
+            100.0 * world.revised.replaced_invalid as f64 / world.alpaca.len() as f64,
+            world.revised.leakage_skipped,
+            100.0 * world.revised.leakage_skipped as f64 / world.alpaca.len() as f64,
+            table.render()
+        );
+        let json = json!({
+            "original": orig,
+            "revised": rev,
+            "replaced_invalid": world.revised.replaced_invalid,
+            "leakage_skipped": world.revised.leakage_skipped,
+            "paper": {
+                "original": {"instr_words": 17.7, "resp_words": 43.9},
+                "revised": {"instr_words": 16.8, "instr_edit": 3.4, "resp_words": 143.1, "resp_edit": 128.7},
+            },
+        });
+        (report, json)
+    }
+}

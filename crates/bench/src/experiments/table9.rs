@@ -1,0 +1,102 @@
+//! Table IX — win rates of all models on the four test sets.
+
+use super::Experiment;
+use crate::format::{pct, Table};
+use crate::world::ExperimentWorld;
+use coachlm_core::baselines::{build_roster, ModelGroup, RosterDatasets, RosterEntry};
+use coachlm_core::evaluate::evaluate;
+use coachlm_judge::pandalm::PandaLm;
+use serde_json::json;
+
+/// Table IX experiment.
+pub struct Table9;
+
+/// Builds the full model roster for a world.
+pub fn roster(world: &ExperimentWorld) -> Vec<RosterEntry> {
+    build_roster(
+        &RosterDatasets {
+            original: &world.alpaca,
+            cleaned: &world.cleaned,
+            alpagasus: &world.alpagasus,
+            human: &world.human,
+            coachlm: &world.revised.dataset,
+        },
+        world.seed ^ 0x909,
+    )
+}
+
+impl Experiment for Table9 {
+    fn id(&self) -> &'static str {
+        "table9"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table IX: win rates vs reference responses on four test sets (PandaLM-judged)"
+    }
+
+    fn run(&self, world: &ExperimentWorld) -> (String, serde_json::Value) {
+        let judge = PandaLm::new(world.seed ^ 0x9A);
+        let roster = roster(world);
+        let mut header: Vec<String> = vec!["Model".into(), "Size".into(), "Group".into()];
+        for ts in &world.test_sets {
+            for metric in ["WR1", "WR2", "QS"] {
+                header.push(format!("{} {metric}", ts.kind.name()));
+            }
+        }
+        let mut table = Table::new(header);
+        let mut json_rows = Vec::new();
+        for entry in &roster {
+            let mut cells: Vec<String> = vec![
+                entry.name.to_string(),
+                entry.size.to_string(),
+                format!("{:?}", entry.group),
+            ];
+            let mut per_set = Vec::new();
+            for ts in &world.test_sets {
+                let r = evaluate(&entry.model, ts, &judge);
+                cells.push(pct(r.rates.wr1));
+                cells.push(pct(r.rates.wr2));
+                cells.push(pct(r.rates.qs));
+                per_set.push(json!({
+                    "test_set": ts.kind.name(),
+                    "wr1": r.rates.wr1, "wr2": r.rates.wr2, "qs": r.rates.qs,
+                    "win": r.counts.win, "tie": r.counts.tie, "lose": r.counts.lose,
+                }));
+            }
+            table.row(cells);
+            json_rows.push(json!({
+                "model": entry.name,
+                "size": entry.size,
+                "group": format!("{:?}", entry.group),
+                "type": entry.tune_type.label(),
+                "results": per_set,
+            }));
+        }
+
+        // Headline checks (printed for the reader).
+        let wr1 = |name: &str, set: usize| -> f64 {
+            json_rows
+                .iter()
+                .find(|r| r["model"] == name)
+                .and_then(|r| r["results"][set]["wr1"].as_f64())
+                .unwrap_or(0.0)
+        };
+        let headline = format!(
+            "Alpaca-CoachLM vs Alpaca on CoachLM150: {} vs {} (paper: 67.7% vs 48.0%)\n\
+             Alpaca-human vs Alpaca on CoachLM150:   {} vs {} (paper: 52.0% vs 48.0%)",
+            pct(wr1("Alpaca-CoachLM", 0)),
+            pct(wr1("Alpaca", 0)),
+            pct(wr1("Alpaca-human", 0)),
+            pct(wr1("Alpaca", 0)),
+        );
+
+        let report = format!("{}\n{}\n{}", self.title(), headline, table.render());
+        let n_stronger = roster.iter().filter(|r| r.group == ModelGroup::Stronger).count();
+        let json = json!({
+            "judge": "PandaLM",
+            "stronger_models": n_stronger,
+            "rows": json_rows,
+        });
+        (report, json)
+    }
+}

@@ -1,0 +1,25 @@
+//! # coachlm-bench
+//!
+//! The benchmark harness: regenerates **every table and figure** of the
+//! paper's evaluation. One [`world::ExperimentWorld`] holds the full
+//! pipeline state (dataset → filter → expert revision → CoachLM → revised
+//! dataset → tuned students), built once and shared by all experiments.
+//!
+//! Run the reproduction with:
+//!
+//! ```text
+//! cargo run -p coachlm-bench --release --bin repro -- all
+//! cargo run -p coachlm-bench --release --bin repro -- table9 --scale quick
+//! ```
+//!
+//! Experiment ids: `table3 table4 table7 fig4 table8 table9 table10 fig5
+//! table11 deploy` (see DESIGN.md §4 for the paper mapping). Criterion
+//! micro-benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod format;
+pub mod world;
+
+pub use world::{ExperimentWorld, Scale};

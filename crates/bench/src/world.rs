@@ -1,0 +1,201 @@
+//! The shared experiment world: the paper's full pipeline, built once.
+
+use coachlm_core::baselines::{build_alpagasus, build_cleaned, build_human_merged};
+use coachlm_core::coach::{CoachConfig, CoachLm};
+use coachlm_core::infer::{revise_dataset, RevisedDataset};
+use coachlm_data::generator::{generate, GeneratorConfig};
+use coachlm_data::pair::Dataset;
+use coachlm_data::testsets::{TestSet, TestSetKind};
+use coachlm_expert::filter::{preliminary_filter, FilterOutcome};
+use coachlm_expert::pool::ExpertPool;
+use coachlm_expert::revision::{ExpertReviser, RevisionRecord};
+use coachlm_judge::chatgpt::ChatGptRater;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper scale: 52 002 pairs, 6 000 sampled for expert revision.
+    Full,
+    /// Development scale: 6 000 pairs, 1 500 sampled. Same distributions.
+    Quick,
+}
+
+impl Scale {
+    /// Parses `full`/`quick`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "full" => Some(Scale::Full),
+            "quick" => Some(Scale::Quick),
+            _ => None,
+        }
+    }
+
+    /// Dataset size.
+    pub fn dataset_size(self) -> usize {
+        match self {
+            Scale::Full => 52_002,
+            Scale::Quick => 6_000,
+        }
+    }
+
+    /// Expert-revision sample size (paper: 6k of 52k).
+    pub fn sample_size(self) -> usize {
+        match self {
+            Scale::Full => 6_000,
+            Scale::Quick => 1_500,
+        }
+    }
+
+    /// Raw batch size for the §IV-A deployment experiment (paper: ~40k).
+    pub fn deploy_size(self) -> usize {
+        match self {
+            Scale::Full => 40_000,
+            Scale::Quick => 4_000,
+        }
+    }
+}
+
+/// The built world.
+pub struct ExperimentWorld {
+    /// Scale used.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// The synthetic ALPACA52K.
+    pub alpaca: Dataset,
+    /// Ids of the expert-revision sample (6k of 52k).
+    pub sample_ids: Vec<u64>,
+    /// Preliminary-filter outcome on the sample (Table III).
+    pub filter: FilterOutcome,
+    /// The expert revision dataset `R` (Table IV).
+    pub records: Vec<RevisionRecord>,
+    /// The main CoachLM (ChatGLM2, α = 0.3).
+    pub coach: CoachLm,
+    /// The CoachLM-revised dataset with post-processing stats.
+    pub revised: RevisedDataset,
+    /// Alpaca-cleaned dataset.
+    pub cleaned: Dataset,
+    /// AlpaGasus-filtered dataset.
+    pub alpagasus: Dataset,
+    /// Alpaca-human dataset (all records merged).
+    pub human: Dataset,
+    /// The four test sets.
+    pub test_sets: Vec<TestSet>,
+    /// Worker threads for dataset-scale revision.
+    pub threads: usize,
+}
+
+impl ExperimentWorld {
+    /// Builds the world (deterministic for a given scale + seed).
+    pub fn build(scale: Scale, seed: u64) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+        // 1. The dataset.
+        let (alpaca, _) = generate(&GeneratorConfig {
+            size: scale.dataset_size(),
+            seed,
+            name: "ALPACA52K-synth".to_string(),
+            ..GeneratorConfig::default()
+        });
+
+        // 2. Sample for expert revision (§II-E: "randomly selected subset
+        //    of 6k instruction pairs").
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A3);
+        let mut ids: Vec<u64> = (0..alpaca.len() as u64).collect();
+        for i in (1..ids.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            ids.swap(i, j);
+        }
+        let mut sample_ids: Vec<u64> = ids.into_iter().take(scale.sample_size()).collect();
+        sample_ids.sort_unstable();
+        let mut sample = Dataset::new("sample-6k");
+        sample.pairs = sample_ids
+            .iter()
+            .map(|&id| alpaca.get(id).expect("dense ids").clone())
+            .collect();
+
+        // 3. Preliminary filter (Table III).
+        let filter = preliminary_filter(&sample, seed ^ 0xF1);
+
+        // 4. Expert revision (Table IV) → R.
+        let reviser = ExpertReviser::new(seed ^ 0xE2);
+        let records = reviser.revise_dataset(&ExpertPool::paper_pool(), &sample, &filter.kept);
+
+        // 5. CoachLM (main config: ChatGLM2, α = 0.3).
+        let coach = CoachLm::train(CoachConfig::default(), &records);
+
+        // 6. The revised dataset (Eq. 2 + §III-B1).
+        let revised = revise_dataset(&coach, &alpaca, seed ^ 0xD3, threads);
+
+        // 7. Baseline datasets.
+        let cleaned = build_cleaned(&alpaca);
+        let alpagasus = build_alpagasus(&alpaca, &ChatGptRater::new(seed ^ 0xC4), 4.5);
+        let refs: Vec<&RevisionRecord> = records.iter().collect();
+        let human = build_human_merged(&alpaca, &refs, usize::MAX);
+
+        // 8. Test sets.
+        let test_sets =
+            TestSetKind::ALL.iter().map(|&k| TestSet::build(k, seed ^ 0xB5)).collect();
+
+        Self {
+            scale,
+            seed,
+            alpaca,
+            sample_ids,
+            filter,
+            records,
+            coach,
+            revised,
+            cleaned,
+            alpagasus,
+            human,
+            test_sets,
+            threads,
+        }
+    }
+
+    /// The sample dataset (reconstructed view over `sample_ids`).
+    pub fn sample(&self) -> Dataset {
+        let mut d = Dataset::new("sample");
+        d.pairs = self
+            .sample_ids
+            .iter()
+            .map(|&id| self.alpaca.get(id).expect("dense ids").clone())
+            .collect();
+        d
+    }
+
+    /// Test set by kind.
+    pub fn test_set(&self, kind: TestSetKind) -> &TestSet {
+        self.test_sets.iter().find(|t| t.kind == kind).expect("all kinds built")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_world_builds_coherently() {
+        let w = ExperimentWorld::build(Scale::Quick, 0xC0AC);
+        assert_eq!(w.alpaca.len(), 6000);
+        assert_eq!(w.sample_ids.len(), 1500);
+        assert_eq!(w.revised.dataset.len(), w.alpaca.len());
+        assert!(!w.records.is_empty());
+        assert!(w.coach.trained_on() > 0);
+        assert_eq!(w.test_sets.len(), 4);
+        // Sample ids are unique and in range.
+        let set: std::collections::HashSet<u64> = w.sample_ids.iter().copied().collect();
+        assert_eq!(set.len(), 1500);
+        assert!(w.sample_ids.iter().all(|&id| (id as usize) < w.alpaca.len()));
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("medium"), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! Human-input-ratio α selection (§II-F2).
+//!
+//! The quality of a coach-tuning example `(x, x_r)` is "determined by the
+//! difference between x_r and x": near-identity pairs teach the model to
+//! copy. The paper therefore ranks `R` by edit distance and keeps the top-α
+//! fraction. Word-level Levenshtein over instruction + response is the
+//! ranking key (ties broken by id for determinism).
+
+use coachlm_expert::revision::RevisionRecord;
+use coachlm_text::editdist::WordDistance;
+
+/// A revision record with its ranking key.
+#[derive(Debug, Clone)]
+pub struct RankedRecord<'r> {
+    /// The underlying record.
+    pub record: &'r RevisionRecord,
+    /// Word-level edit distance (instruction + response).
+    pub edit_distance: usize,
+}
+
+/// Ranks records by total word-level edit distance, descending.
+pub fn rank_by_edit_distance(records: &[RevisionRecord]) -> Vec<RankedRecord<'_>> {
+    let mut wd = WordDistance::new();
+    let mut ranked: Vec<RankedRecord<'_>> = records
+        .iter()
+        .map(|r| {
+            let d = wd.distance(&r.original.instruction, &r.revised.instruction)
+                + wd.distance(&r.original.response, &r.revised.response);
+            wd.clear_cache();
+            RankedRecord { record: r, edit_distance: d }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.edit_distance
+            .cmp(&a.edit_distance)
+            .then_with(|| a.record.id.cmp(&b.record.id))
+    });
+    ranked
+}
+
+/// Selects `C_α`: the top-α fraction of `records` by edit distance.
+///
+/// `alpha` is clamped to [0, 1]; `alpha = 0` selects nothing (the raw
+/// backbone is then used for revision, the Fig 5 x = 0 point) and
+/// `alpha = 1` selects everything.
+pub fn select_alpha(records: &[RevisionRecord], alpha: f64) -> Vec<&RevisionRecord> {
+    let alpha = alpha.clamp(0.0, 1.0);
+    let take = ((records.len() as f64) * alpha).round() as usize;
+    rank_by_edit_distance(records)
+        .into_iter()
+        .take(take)
+        .map(|r| r.record)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coachlm_data::category::Category;
+    use coachlm_data::pair::InstructionPair;
+    use coachlm_judge::criteria::PairScores;
+
+    fn record(id: u64, orig_resp: &str, rev_resp: &str) -> RevisionRecord {
+        RevisionRecord {
+            id,
+            expert: 0,
+            original: InstructionPair::new(id, "instr", orig_resp, Category(0)),
+            revised: InstructionPair::new(id, "instr", rev_resp, Category(0)),
+            instruction_revised: false,
+            instruction_kind: None,
+            response_kind: None,
+            qc_iterations: 1,
+            final_scores: PairScores { instruction: 90.0, response: 96.0 },
+        }
+    }
+
+    fn sample() -> Vec<RevisionRecord> {
+        vec![
+            record(0, "a b c", "a b c d"),                      // distance 1
+            record(1, "a b c", "completely different text now"), // distance 4
+            record(2, "a b c", "a x c y z"),                     // distance 3
+            record(3, "a b c", "a b c"),                         // distance 0
+        ]
+    }
+
+    #[test]
+    fn ranking_is_descending() {
+        let records = sample();
+        let ranked = rank_by_edit_distance(&records);
+        let dists: Vec<usize> = ranked.iter().map(|r| r.edit_distance).collect();
+        assert_eq!(dists, vec![4, 3, 1, 0]);
+        assert_eq!(ranked[0].record.id, 1);
+    }
+
+    #[test]
+    fn alpha_takes_top_fraction() {
+        let records = sample();
+        let half = select_alpha(&records, 0.5);
+        assert_eq!(half.len(), 2);
+        assert_eq!(half[0].id, 1);
+        assert_eq!(half[1].id, 2);
+    }
+
+    #[test]
+    fn alpha_bounds() {
+        let records = sample();
+        assert!(select_alpha(&records, 0.0).is_empty());
+        assert_eq!(select_alpha(&records, 1.0).len(), 4);
+        assert_eq!(select_alpha(&records, 2.0).len(), 4); // clamped
+        assert!(select_alpha(&records, -1.0).is_empty());
+    }
+
+    #[test]
+    fn alpha_rounding() {
+        let records = sample();
+        // 0.3 of 4 = 1.2 → rounds to 1.
+        assert_eq!(select_alpha(&records, 0.3).len(), 1);
+        // 0.4 of 4 = 1.6 → rounds to 2.
+        assert_eq!(select_alpha(&records, 0.4).len(), 2);
+    }
+
+    #[test]
+    fn ties_break_by_id_for_determinism() {
+        let records = vec![record(7, "a", "b"), record(3, "x", "y")];
+        let ranked = rank_by_edit_distance(&records);
+        assert_eq!(ranked[0].record.id, 3);
+        assert_eq!(ranked[1].record.id, 7);
+    }
+
+    #[test]
+    fn empty_records() {
+        let records: Vec<RevisionRecord> = Vec::new();
+        assert!(select_alpha(&records, 0.5).is_empty());
+    }
+
+    #[test]
+    fn instruction_edits_count_too() {
+        let mut a = record(0, "same", "same");
+        a.revised.instruction = "instr with extra words".to_string();
+        let b = record(1, "same", "same x");
+        let records = vec![a, b];
+        let ranked = rank_by_edit_distance(&records);
+        assert_eq!(ranked[0].record.id, 0, "instruction edits dominate here");
+    }
+}

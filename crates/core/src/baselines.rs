@@ -1,0 +1,317 @@
+//! Baseline dataset builders and the Table IX model roster.
+//!
+//! Each Alpaca-variant row of Table IX differs only in its training
+//! dataset (plus, for Alpaca-PandaLM, tuned hyper-parameters); the stronger
+//! group and Vicuna are fixed capability profiles because they are not
+//! trained on our data. Dataset builders:
+//!
+//! * **Alpaca** — the original (synthetic) ALPACA52K.
+//! * **Alpaca-cleaned** — rule-based surface cleaning only: invalid
+//!   characters, repeated strings, leaked templates. Deeper deficiencies
+//!   (irrelevance, thin answers, fact errors) are untouched — exactly the
+//!   limitation §II-A(1) ascribes to the project.
+//! * **AlpaGasus** — keeps only pairs the ChatGPT rater scores above 4.5
+//!   (the paper reports 9k of 52k), discarding the rest.
+//! * **Alpaca-human** — the expert-revised subset merged back (§III-C).
+//! * **Alpaca-CoachLM** — the CoachLM-revised dataset from [`crate::infer`].
+
+use crate::student::{profile_student, tune_student, SkillParams, StudentModel};
+use coachlm_data::pair::{Dataset, InstructionPair};
+use coachlm_expert::revision::RevisionRecord;
+use coachlm_judge::chatgpt::ChatGptRater;
+use coachlm_text::clean;
+use serde::Serialize;
+
+/// Builds the Alpaca-cleaned dataset: surface-level rule cleaning only.
+pub fn build_cleaned(original: &Dataset) -> Dataset {
+    let mut out = Dataset::new(format!("{}-cleaned", original.name));
+    out.pairs.reserve(original.len());
+    for p in original.iter() {
+        let mut response = clean::clean_output(&p.response);
+        // Strip leaked template prefixes (the "inconsistent formats" class).
+        for marker in ["### Response:", "### Instruction:"] {
+            if let Some(stripped) = response.strip_prefix(marker) {
+                response = stripped.trim_start().to_string();
+            }
+        }
+        let instruction = clean::strip_invalid_chars(&p.instruction);
+        out.pairs.push(InstructionPair::new(p.id, instruction, response, p.category));
+    }
+    out
+}
+
+/// Builds the AlpaGasus dataset: pairs rated above `threshold` (paper: 4.5)
+/// by the ChatGPT rater.
+pub fn build_alpagasus(original: &Dataset, rater: &ChatGptRater, threshold: f64) -> Dataset {
+    let mut out = Dataset::new(format!("{}-alpagasus", original.name));
+    for p in original.iter() {
+        if rater.rate(p.id, &p.instruction, &p.response) > threshold {
+            out.pairs.push(p.clone());
+        }
+    }
+    out
+}
+
+/// Builds the Alpaca-human dataset: expert-revised pairs merged back into
+/// the original (§III-C). `take` limits how many records are merged, in
+/// the given order (used by the Fig 5b sweep); pass `usize::MAX` for all.
+pub fn build_human_merged(
+    original: &Dataset,
+    records: &[&RevisionRecord],
+    take: usize,
+) -> Dataset {
+    let mut out = original.clone();
+    out.name = format!("{}-human", original.name);
+    for rec in records.iter().take(take) {
+        // Dense ids in generated datasets; fall back to a scan otherwise.
+        if let Some(slot) = out.pairs.get_mut(rec.id as usize) {
+            if slot.id == rec.id {
+                *slot = rec.revised.clone();
+                continue;
+            }
+        }
+        if let Some(slot) = out.pairs.iter_mut().find(|p| p.id == rec.id) {
+            *slot = rec.revised.clone();
+        }
+    }
+    out
+}
+
+/// Model group in Table IX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ModelGroup {
+    /// Larger / RL-tuned / proprietary-data models.
+    Stronger,
+    /// 7B instruction-tuned LLaMA variants.
+    Baseline,
+}
+
+/// Tuning type label (Table IX's "Type" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TuneType {
+    /// Instruction-tuned.
+    ITuned,
+    /// RL-tuned on top of instruction tuning.
+    RlTuned,
+}
+
+impl TuneType {
+    /// Table IX label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TuneType::ITuned => "I-tuned",
+            TuneType::RlTuned => "RL-tuned",
+        }
+    }
+}
+
+/// One Table IX row: metadata + the instantiated model.
+#[derive(Debug, Clone, Serialize)]
+pub struct RosterEntry {
+    /// Model display name.
+    pub name: &'static str,
+    /// Parameter count label ("7B"/"13B"/"6B").
+    pub size: &'static str,
+    /// Tuning type.
+    pub tune_type: TuneType,
+    /// Group.
+    pub group: ModelGroup,
+    /// The model.
+    pub model: StudentModel,
+}
+
+/// Fixed capability profiles for models not tuned on our datasets,
+/// calibrated once against Table IX's CoachLM150 column (EXPERIMENTS.md
+/// records paper-vs-measured for all four test sets).
+pub const PROFILES: &[(&str, &str, TuneType, ModelGroup, f64)] = &[
+    ("LLaMA2-13b-chat", "13B", TuneType::RlTuned, ModelGroup::Stronger, 0.80),
+    ("Vicuna-13b", "13B", TuneType::ITuned, ModelGroup::Stronger, 0.735),
+    ("LLaMA2-7b-chat", "7B", TuneType::RlTuned, ModelGroup::Stronger, 0.77),
+    ("ChatGLM", "6B", TuneType::RlTuned, ModelGroup::Stronger, 0.72),
+    ("ChatGLM2", "6B", TuneType::RlTuned, ModelGroup::Stronger, 0.69),
+    ("Vicuna-7b", "7B", TuneType::ITuned, ModelGroup::Baseline, 0.75),
+];
+
+/// Datasets needed to build the tuned rows.
+#[derive(Debug)]
+pub struct RosterDatasets<'d> {
+    /// The original ALPACA52K stand-in.
+    pub original: &'d Dataset,
+    /// Alpaca-cleaned.
+    pub cleaned: &'d Dataset,
+    /// AlpaGasus-filtered.
+    pub alpagasus: &'d Dataset,
+    /// Alpaca-human (fully merged).
+    pub human: &'d Dataset,
+    /// CoachLM-revised.
+    pub coachlm: &'d Dataset,
+}
+
+/// The Alpaca-PandaLM hyper-parameter-optimisation bonus (it trains on the
+/// same data as Alpaca but with searched hyper-parameters, §V-A).
+pub const PANDALM_OPT_BONUS: f64 = 0.055;
+
+/// Builds every Table IX row.
+pub fn build_roster(datasets: &RosterDatasets<'_>, seed: u64) -> Vec<RosterEntry> {
+    let p = SkillParams::default();
+    // All tuned students share one response-noise seed: model identity must
+    // matter only through the training dataset, and the per-item noise draws
+    // become paired across models (same item, same draw).
+    let tuned = |name: &'static str, d: &Dataset, bonus: f64| {
+        tune_student(name, d, SkillParams { bonus, ..p }, seed ^ 0x7D)
+    };
+    let mut roster: Vec<RosterEntry> = PROFILES
+        .iter()
+        .map(|&(name, size, tt, group, skill)| RosterEntry {
+            name,
+            size,
+            tune_type: tt,
+            group,
+            model: profile_student(name, skill, seed ^ fxhash_str(name)),
+        })
+        .collect();
+    let baselines: [(&'static str, &Dataset, f64); 6] = [
+        ("Alpaca", datasets.original, 0.0),
+        ("Alpaca-cleaned", datasets.cleaned, 0.0),
+        ("Alpaca-PandaLM", datasets.original, PANDALM_OPT_BONUS),
+        ("AlpaGasus", datasets.alpagasus, 0.0),
+        ("Alpaca-human", datasets.human, 0.0),
+        ("Alpaca-CoachLM", datasets.coachlm, 0.0),
+    ];
+    for (name, d, bonus) in baselines {
+        roster.push(RosterEntry {
+            name,
+            size: "7B",
+            tune_type: TuneType::ITuned,
+            group: ModelGroup::Baseline,
+            model: tuned(name, d, bonus),
+        });
+    }
+    roster
+}
+
+fn fxhash_str(s: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = coachlm_text::fxhash::FxHasher::default();
+    s.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coachlm_data::generator::{generate, GeneratorConfig};
+
+    #[test]
+    fn cleaned_fixes_surface_only() {
+        let (d, _) = generate(&GeneratorConfig::small(1500, 2));
+        let cleaned = build_cleaned(&d);
+        assert_eq!(cleaned.len(), d.len());
+        // No response keeps a template-leak prefix or invalid chars.
+        for p in cleaned.iter() {
+            assert!(!p.response.starts_with("### Response:"));
+            assert!(!p.response.contains('\u{0}'));
+        }
+        // Deeper problems survive: thin responses are still thin.
+        let engine = coachlm_judge::criteria::CriteriaEngine::new();
+        let thin = cleaned
+            .iter()
+            .filter(|p| engine.analyze_response(&p.instruction, &p.response).thin)
+            .count();
+        assert!(thin > 0, "surface cleaning must not fix thin responses");
+    }
+
+    #[test]
+    fn alpagasus_keeps_high_rated_fraction() {
+        let (d, _) = generate(&GeneratorConfig::small(3000, 3));
+        let rater = ChatGptRater::new(5);
+        let filtered = build_alpagasus(&d, &rater, 4.5);
+        let share = filtered.len() as f64 / d.len() as f64;
+        // Paper: ~17.7% (9k of 52k).
+        assert!((0.10..0.28).contains(&share), "share {share}");
+        // Every kept pair really rates above threshold.
+        for p in filtered.iter().take(50) {
+            assert!(rater.rate(p.id, &p.instruction, &p.response) > 4.5);
+        }
+    }
+
+    #[test]
+    fn alpagasus_underserves_code_categories() {
+        let (d, _) = generate(&GeneratorConfig::small(8000, 4));
+        let rater = ChatGptRater::new(5);
+        let filtered = build_alpagasus(&d, &rater, 4.5);
+        let code_share = |ds: &Dataset| {
+            ds.iter().filter(|p| p.category.is_code()).count() as f64 / ds.len() as f64
+        };
+        assert!(
+            code_share(&filtered) < code_share(&d) * 0.8,
+            "filtered {:.3} vs original {:.3}",
+            code_share(&filtered),
+            code_share(&d)
+        );
+    }
+
+    #[test]
+    fn human_merge_replaces_by_id() {
+        let (d, _) = generate(&GeneratorConfig::small(300, 5));
+        let kept = coachlm_expert::filter::preliminary_filter(&d, 1).kept;
+        let records = coachlm_expert::revision::ExpertReviser::new(1).revise_dataset(
+            &coachlm_expert::pool::ExpertPool::paper_pool(),
+            &d,
+            &kept,
+        );
+        let refs: Vec<&RevisionRecord> = records.iter().collect();
+        let merged = build_human_merged(&d, &refs, usize::MAX);
+        assert_eq!(merged.len(), d.len());
+        for rec in &records {
+            assert_eq!(merged.get(rec.id).unwrap().response, rec.revised.response);
+        }
+        // Partial merge only replaces the prefix.
+        let partial = build_human_merged(&d, &refs, 1);
+        let replaced = records
+            .iter()
+            .filter(|r| partial.get(r.id).unwrap().response == r.revised.response)
+            .count();
+        assert_eq!(replaced, 1);
+    }
+
+    #[test]
+    fn roster_has_all_table9_rows() {
+        let (d, _) = generate(&GeneratorConfig::small(600, 6));
+        let cleaned = build_cleaned(&d);
+        let rater = ChatGptRater::new(1);
+        let alpagasus = build_alpagasus(&d, &rater, 4.5);
+        let roster = build_roster(
+            &RosterDatasets {
+                original: &d,
+                cleaned: &cleaned,
+                alpagasus: &alpagasus,
+                human: &d,
+                coachlm: &d,
+            },
+            9,
+        );
+        assert_eq!(roster.len(), 12);
+        let names: Vec<&str> = roster.iter().map(|r| r.name).collect();
+        for expect in [
+            "LLaMA2-13b-chat",
+            "Vicuna-13b",
+            "LLaMA2-7b-chat",
+            "ChatGLM",
+            "ChatGLM2",
+            "Vicuna-7b",
+            "Alpaca",
+            "Alpaca-cleaned",
+            "Alpaca-PandaLM",
+            "AlpaGasus",
+            "Alpaca-human",
+            "Alpaca-CoachLM",
+        ] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+        assert_eq!(
+            roster.iter().filter(|r| r.group == ModelGroup::Stronger).count(),
+            5
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Coach instruction tuning (§II-F1).
+//!
+//! Each expert pair `(x, x_r)` becomes a coach-tuning example `x_c` whose
+//! INSTRUCTION is the Fig 3 revision prompt around `x` and whose RESPONSE
+//! is `x_r`. Training on `C_α` adapts the backbone's parameters θ → θ_c
+//! (Eq. 1); in this reproduction, the adaptation is the rule-learning
+//! adapter of `coachlm-lm`, which extracts weighted rewrite rules from the
+//! aligned pairs and accumulates copy mass from near-identity ones.
+
+use crate::alpha::select_alpha;
+use coachlm_expert::revision::RevisionRecord;
+use coachlm_lm::adapter::{Adapter, AdapterConfig};
+use coachlm_lm::backbone::{Backbone, BackboneKind};
+use coachlm_lm::transducer::{RevisionOutcome, Transducer};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The Fig 3 revision prompt wrapped around an input pair.
+pub fn revision_prompt(instruction: &str, response: &str) -> String {
+    format!(
+        "Improve the following instruction, input and response pair to be more \
+         specific, detailed with more logical steps and grammarly corrected. \
+         Input: [INSTRUCTION: {instruction} RESPONSE: {response}]"
+    )
+}
+
+/// Training configuration; defaults match the paper's main experiment
+/// (ChatGLM2 backbone, α = 0.3, LoRA, 7 epochs at 2e-4 — §III-A3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoachConfig {
+    /// Backbone to adapt.
+    pub backbone: BackboneKind,
+    /// Human input ratio α.
+    pub alpha: f64,
+    /// Adapter (LoRA analogue) hyper-parameters.
+    pub adapter: AdapterConfig,
+}
+
+impl Default for CoachConfig {
+    fn default() -> Self {
+        Self {
+            backbone: BackboneKind::ChatGlm2_6b,
+            alpha: 0.3,
+            adapter: AdapterConfig::default(),
+        }
+    }
+}
+
+/// A trained CoachLM: θ_c = frozen backbone + trained adapter.
+#[derive(Debug)]
+pub struct CoachLm {
+    config: CoachConfig,
+    backbone: Backbone,
+    adapter: Adapter,
+    trained_ids: Vec<u64>,
+}
+
+impl CoachLm {
+    /// Trains CoachLM on the α-selected subset of the expert revision
+    /// dataset `R` (Eq. 1).
+    pub fn train(config: CoachConfig, records: &[RevisionRecord]) -> Self {
+        let backbone = Backbone::load(config.backbone);
+        let mut adapter = Adapter::new(config.adapter);
+        let selected = select_alpha(records, config.alpha);
+        let mut trained_ids = Vec::with_capacity(selected.len());
+        for rec in &selected {
+            adapter.observe(
+                &rec.original.instruction,
+                &rec.revised.instruction,
+                &rec.original.response,
+                &rec.revised.response,
+            );
+            trained_ids.push(rec.id);
+        }
+        adapter.finalize();
+        Self { config, backbone, adapter, trained_ids }
+    }
+
+    /// Ids of the pairs in the training subset `C_α` (the §III-B1 leakage
+    /// rule keeps these pairs' originals at inference).
+    pub fn trained_ids(&self) -> &[u64] {
+        &self.trained_ids
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &CoachConfig {
+        &self.config
+    }
+
+    /// Number of training examples after α selection.
+    pub fn trained_on(&self) -> usize {
+        self.trained_ids.len()
+    }
+
+    /// The underlying backbone.
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+
+    /// The trained adapter.
+    pub fn adapter(&self) -> &Adapter {
+        &self.adapter
+    }
+
+    /// Probability an applicable repair fires at decode time.
+    pub fn apply_probability(&self) -> f64 {
+        Transducer::new(&self.backbone, &self.adapter).apply_probability()
+    }
+
+    /// Revises one instruction pair (beam size 1, §III-A3).
+    pub fn revise_pair<R: Rng>(
+        &self,
+        rng: &mut R,
+        instruction: &str,
+        response: &str,
+    ) -> RevisionOutcome {
+        Transducer::new(&self.backbone, &self.adapter).revise_pair(rng, instruction, response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coachlm_data::generator::{generate, GeneratorConfig};
+    use coachlm_expert::filter::preliminary_filter;
+    use coachlm_expert::pool::ExpertPool;
+    use coachlm_expert::revision::ExpertReviser;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn expert_records(n: usize, seed: u64) -> Vec<RevisionRecord> {
+        let (d, _) = generate(&GeneratorConfig::small(n, seed));
+        let kept = preliminary_filter(&d, seed).kept;
+        ExpertReviser::new(seed).revise_dataset(&ExpertPool::paper_pool(), &d, &kept)
+    }
+
+    #[test]
+    fn prompt_embeds_the_pair() {
+        let p = revision_prompt("Do X", "Done Y");
+        assert!(p.contains("Improve the following instruction"));
+        assert!(p.contains("Do X"));
+        assert!(p.contains("Done Y"));
+    }
+
+    #[test]
+    fn training_respects_alpha() {
+        let records = expert_records(600, 5);
+        let full = CoachLm::train(CoachConfig { alpha: 1.0, ..Default::default() }, &records);
+        let third = CoachLm::train(CoachConfig { alpha: 0.3, ..Default::default() }, &records);
+        let none = CoachLm::train(CoachConfig { alpha: 0.0, ..Default::default() }, &records);
+        assert_eq!(full.trained_on(), records.len());
+        assert_eq!(third.trained_on(), (records.len() as f64 * 0.3).round() as usize);
+        assert_eq!(none.trained_on(), 0);
+    }
+
+    #[test]
+    fn alpha_zero_is_the_raw_backbone() {
+        let records = expert_records(300, 6);
+        let coach = CoachLm::train(CoachConfig { alpha: 0.0, ..Default::default() }, &records);
+        let prior = coach.backbone().profile().alignment_prior;
+        assert!((coach.apply_probability() - prior).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_03_fires_more_reliably_than_alpha_0() {
+        let records = expert_records(600, 7);
+        let p0 = CoachLm::train(CoachConfig { alpha: 0.0, ..Default::default() }, &records)
+            .apply_probability();
+        let p3 = CoachLm::train(CoachConfig { alpha: 0.3, ..Default::default() }, &records)
+            .apply_probability();
+        assert!(p3 > p0 + 0.3, "p0 {p0} p3 {p3}");
+    }
+
+    #[test]
+    fn full_alpha_carries_copy_noise() {
+        let records = expert_records(2500, 8);
+        let third = CoachLm::train(CoachConfig { alpha: 0.3, ..Default::default() }, &records);
+        let full = CoachLm::train(CoachConfig { alpha: 1.0, ..Default::default() }, &records);
+        // α = 1 includes the near-identity tail → more copy mass → lower
+        // apply probability than the α = 0.3 sweet spot (Fig 5a).
+        assert!(
+            full.adapter().copy_ratio() > third.adapter().copy_ratio(),
+            "copy ratios: full {} third {}",
+            full.adapter().copy_ratio(),
+            third.adapter().copy_ratio()
+        );
+        assert!(full.apply_probability() <= third.apply_probability());
+    }
+
+    #[test]
+    fn trained_coach_revises_defective_pairs() {
+        let records = expert_records(600, 9);
+        let coach = CoachLm::train(CoachConfig::default(), &records);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = coach.revise_pair(
+            &mut rng,
+            "Explain teh water cycle",
+            "Water evaporates becuase of heat.",
+        );
+        assert!(out.instruction.contains("the water cycle"), "{}", out.instruction);
+        assert!(!out.repairs.is_empty());
+    }
+
+    #[test]
+    fn stronger_backbone_higher_apply_probability_untrained() {
+        let records: Vec<RevisionRecord> = Vec::new();
+        let weak = CoachLm::train(
+            CoachConfig { backbone: BackboneKind::Llama7b, alpha: 1.0, ..Default::default() },
+            &records,
+        );
+        let strong = CoachLm::train(
+            CoachConfig { backbone: BackboneKind::ChatGlm2_6b, alpha: 1.0, ..Default::default() },
+            &records,
+        );
+        assert!(strong.apply_probability() > weak.apply_probability());
+    }
+}

@@ -1,0 +1,132 @@
+//! Test-set evaluation: a model's responses against the reference
+//! responses, judged pairwise (§III-C1).
+
+use crate::student::StudentModel;
+use coachlm_data::testsets::TestSet;
+use coachlm_judge::pandalm::{PandaLm, Verdict};
+use coachlm_judge::winrate::{VerdictCounts, WinRates};
+use serde::Serialize;
+
+/// Anything that can produce a debiased win/tie/lose verdict for a
+/// candidate response against a reference.
+pub trait PairwiseJudge {
+    /// Judge `candidate` against `reference` for `instruction`.
+    fn judge(&self, comparison_id: u64, instruction: &str, candidate: &str, reference: &str)
+        -> Verdict;
+    /// Display name.
+    fn name(&self) -> &'static str;
+}
+
+impl PairwiseJudge for PandaLm {
+    fn judge(
+        &self,
+        comparison_id: u64,
+        instruction: &str,
+        candidate: &str,
+        reference: &str,
+    ) -> Verdict {
+        self.compare(comparison_id, instruction, candidate, reference)
+    }
+
+    fn name(&self) -> &'static str {
+        "PandaLM"
+    }
+}
+
+impl PairwiseJudge for coachlm_judge::gpt4::Gpt4Judge {
+    fn judge(
+        &self,
+        comparison_id: u64,
+        instruction: &str,
+        candidate: &str,
+        reference: &str,
+    ) -> Verdict {
+        self.compare(comparison_id, instruction, candidate, reference)
+    }
+
+    fn name(&self) -> &'static str {
+        "GPT-4"
+    }
+}
+
+/// One model's result on one test set.
+#[derive(Debug, Clone, Serialize)]
+pub struct EvalResult {
+    /// Model name.
+    pub model: String,
+    /// Test set name.
+    pub test_set: &'static str,
+    /// Verdict tally.
+    pub counts: VerdictCounts,
+    /// WR1/WR2/QS.
+    pub rates: WinRates,
+}
+
+/// Evaluates `model` on `test_set` under `judge`.
+pub fn evaluate<J: PairwiseJudge>(model: &StudentModel, test_set: &TestSet, judge: &J) -> EvalResult {
+    let mut counts = VerdictCounts::default();
+    for item in &test_set.items {
+        let candidate = model.respond(item);
+        counts.add(judge.judge(item.id, &item.instruction, &candidate, &item.reference));
+    }
+    EvalResult {
+        model: model.name.clone(),
+        test_set: test_set.kind.name(),
+        counts,
+        rates: counts.rates(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::student::profile_student;
+    use coachlm_data::testsets::TestSetKind;
+
+    #[test]
+    fn stronger_model_higher_win_rate() {
+        let ts = TestSet::build(TestSetKind::CoachLm150, 3);
+        let judge = PandaLm::new(11);
+        let weak = evaluate(&profile_student("weak", 0.45, 1), &ts, &judge);
+        let strong = evaluate(&profile_student("strong", 0.9, 1), &ts, &judge);
+        assert!(
+            strong.rates.wr1 > weak.rates.wr1 + 0.1,
+            "weak {} strong {}",
+            weak.rates,
+            strong.rates
+        );
+    }
+
+    #[test]
+    fn counts_cover_whole_test_set() {
+        let ts = TestSet::build(TestSetKind::Vicuna80, 4);
+        let judge = PandaLm::new(2);
+        let r = evaluate(&profile_student("m", 0.7, 2), &ts, &judge);
+        assert_eq!(r.counts.total(), 80);
+        assert_eq!(r.test_set, "Vicuna80");
+    }
+
+    #[test]
+    fn harder_reference_band_lowers_win_rate() {
+        let judge = PandaLm::new(7);
+        let m = profile_student("m", 0.72, 5);
+        let easy = evaluate(&m, &TestSet::build(TestSetKind::PandaLm170, 9), &judge);
+        let hard = evaluate(&m, &TestSet::build(TestSetKind::Vicuna80, 9), &judge);
+        assert!(
+            easy.rates.wr1 > hard.rates.wr1,
+            "easy {} hard {}",
+            easy.rates,
+            hard.rates
+        );
+    }
+
+    #[test]
+    fn gpt4_judge_agrees_in_trend() {
+        let ts = TestSet::build(TestSetKind::CoachLm150, 5);
+        let judge = coachlm_judge::gpt4::Gpt4Judge::new(3);
+        let weak = evaluate(&profile_student("weak", 0.45, 1), &ts, &judge);
+        let strong = evaluate(&profile_student("strong", 0.9, 1), &ts, &judge);
+        assert!(strong.rates.wr1 > weak.rates.wr1);
+        assert_eq!(judge.name(), "GPT-4");
+    }
+}

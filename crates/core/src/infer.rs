@@ -1,0 +1,226 @@
+//! Automatic dataset revision (§II-F3, Eq. 2) with §III-B1 post-processing.
+//!
+//! Every pair of the input dataset runs through CoachLM; the raw outputs
+//! are cleaned (invalid characters stripped, repeated strings collapsed),
+//! structurally invalid outputs are replaced with the originals, and pairs
+//! that appeared in CoachLM's training subset `C_α` keep their originals to
+//! avoid leakage — both replacement classes ran ≈1.3 % in the paper (the
+//! paper's C_0.3 holds 690 of 52 002 pairs = 1.3 %).
+//!
+//! Revision is embarrassingly parallel; `crossbeam` scoped threads fan the
+//! pairs across cores with per-pair seeded RNGs, so the result is identical
+//! to the sequential order regardless of thread count.
+
+use crate::coach::CoachLm;
+use coachlm_data::pair::{Dataset, InstructionPair};
+use coachlm_lm::transducer::RepairTag;
+use coachlm_text::clean;
+use coachlm_text::fxhash::{FxHashMap, FxHashSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// A revised dataset plus post-processing accounting.
+#[derive(Debug, Clone, Serialize)]
+pub struct RevisedDataset {
+    /// The CoachLM-revised dataset `D_c`.
+    pub dataset: Dataset,
+    /// Pairs replaced with originals because the output was invalid.
+    pub replaced_invalid: usize,
+    /// Pairs kept as originals due to training-data leakage.
+    pub leakage_skipped: usize,
+    /// Number of pairs whose instruction changed.
+    pub instructions_changed: usize,
+    /// Number of pairs whose response changed.
+    pub responses_changed: usize,
+    /// Repair-tag frequencies across the run.
+    pub repair_counts: FxHashMap<RepairTag, usize>,
+}
+
+/// Revises a whole dataset with `threads` workers (Eq. 2). Pairs in
+/// CoachLM's training subset keep their originals (the §III-B1 leakage
+/// rule).
+pub fn revise_dataset(coach: &CoachLm, input: &Dataset, seed: u64, threads: usize) -> RevisedDataset {
+    let training_ids: FxHashSet<u64> = coach.trained_ids().iter().copied().collect();
+    let training_ids = &training_ids;
+    let threads = threads.clamp(1, 64);
+    let n = input.len();
+    let mut revised: Vec<Option<(InstructionPair, Vec<RepairTag>, Outcome)>> = vec![None; n];
+
+    let chunk = n.div_ceil(threads).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (t, (pairs, out)) in input
+            .pairs
+            .chunks(chunk)
+            .zip(revised.chunks_mut(chunk))
+            .enumerate()
+        {
+            let _ = t;
+            scope.spawn(move |_| {
+                for (p, slot) in pairs.iter().zip(out.iter_mut()) {
+                    *slot = Some(revise_one(coach, p, training_ids, seed));
+                }
+            });
+        }
+    })
+    .expect("revision worker panicked");
+
+    let mut out = RevisedDataset {
+        dataset: Dataset::new(format!("{}-coachlm", input.name)),
+        replaced_invalid: 0,
+        leakage_skipped: 0,
+        instructions_changed: 0,
+        responses_changed: 0,
+        repair_counts: FxHashMap::default(),
+    };
+    out.dataset.pairs.reserve(n);
+    for (orig, slot) in input.iter().zip(revised.into_iter()) {
+        let (pair, repairs, outcome) = slot.expect("all slots filled");
+        match outcome {
+            Outcome::Leakage => out.leakage_skipped += 1,
+            Outcome::Invalid => out.replaced_invalid += 1,
+            Outcome::Revised => {
+                if pair.instruction != orig.instruction {
+                    out.instructions_changed += 1;
+                }
+                if pair.response != orig.response {
+                    out.responses_changed += 1;
+                }
+                for r in &repairs {
+                    *out.repair_counts.entry(*r).or_insert(0) += 1;
+                }
+            }
+        }
+        out.dataset.pairs.push(pair);
+    }
+    out
+}
+
+/// What happened to one pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// CoachLM's (cleaned) output was adopted.
+    Revised,
+    /// Output invalid → original kept.
+    Invalid,
+    /// Training-instruction leakage → original kept.
+    Leakage,
+}
+
+fn revise_one(
+    coach: &CoachLm,
+    p: &InstructionPair,
+    training_ids: &FxHashSet<u64>,
+    seed: u64,
+) -> (InstructionPair, Vec<RepairTag>, Outcome) {
+    if training_ids.contains(&p.id) {
+        return (p.clone(), Vec::new(), Outcome::Leakage);
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ p.id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let raw = coach.revise_pair(&mut rng, &p.instruction, &p.response);
+    // §III-B1 post-processing: clean, then validate; invalid → original.
+    let instruction = clean::clean_output(&raw.instruction);
+    let response = clean::clean_output(&raw.response);
+    match clean::validate_pair(&instruction, &response) {
+        clean::Validity::Valid => (
+            InstructionPair::new(p.id, instruction, response, p.category),
+            raw.repairs,
+            Outcome::Revised,
+        ),
+        _ => (p.clone(), Vec::new(), Outcome::Invalid),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coach::{CoachConfig, CoachLm};
+    use coachlm_data::generator::{generate, GeneratorConfig};
+    use coachlm_expert::filter::preliminary_filter;
+    use coachlm_expert::pool::ExpertPool;
+    use coachlm_expert::revision::ExpertReviser;
+
+    fn setup(n: usize, seed: u64) -> (Dataset, CoachLm) {
+        let (d, _) = generate(&GeneratorConfig::small(n, seed));
+        let kept = preliminary_filter(&d, seed).kept;
+        let records =
+            ExpertReviser::new(seed).revise_dataset(&ExpertPool::paper_pool(), &d, &kept);
+        let coach = CoachLm::train(CoachConfig::default(), &records);
+        (d, coach)
+    }
+
+    #[test]
+    fn revision_improves_measured_quality() {
+        let (d, coach) = setup(800, 3);
+        let out = revise_dataset(&coach, &d, 7, 4);
+        assert_eq!(out.dataset.len(), d.len());
+        let engine = coachlm_judge::criteria::CriteriaEngine::new();
+        let avg = |ds: &Dataset| {
+            ds.iter()
+                .map(|p| engine.score_pair(&p.instruction, &p.response).response)
+                .sum::<f64>()
+                / ds.len() as f64
+        };
+        let before = avg(&d);
+        let after = avg(&out.dataset);
+        assert!(after > before + 6.0, "before {before:.1} after {after:.1}");
+        assert!(after > 91.0, "after {after:.1}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (d, coach) = setup(200, 4);
+        let a = revise_dataset(&coach, &d, 5, 1);
+        let b = revise_dataset(&coach, &d, 5, 8);
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.replaced_invalid, b.replaced_invalid);
+    }
+
+    #[test]
+    fn leakage_pairs_keep_originals() {
+        let (d, coach) = setup(400, 5);
+        let out = revise_dataset(&coach, &d, 9, 4);
+        assert!(out.leakage_skipped > 0, "α-selected training pairs exist in the dataset");
+        assert_eq!(out.leakage_skipped, coach.trained_on());
+        for id in coach.trained_ids() {
+            assert_eq!(out.dataset.get(*id).unwrap(), d.get(*id).unwrap());
+        }
+    }
+
+    #[test]
+    fn invalid_replacement_rate_near_paper() {
+        let (d, coach) = setup(2000, 6);
+        let out = revise_dataset(&coach, &d, 11, 8);
+        let rate = out.replaced_invalid as f64 / d.len() as f64;
+        // Paper: ≈1.3 %. Allow a generous band.
+        assert!((0.001..0.04).contains(&rate), "invalid rate {rate}");
+    }
+
+    #[test]
+    fn most_responses_change_few_instructions_change() {
+        let (d, coach) = setup(1500, 7);
+        let out = revise_dataset(&coach, &d, 13, 8);
+        let resp_share = out.responses_changed as f64 / d.len() as f64;
+        let instr_share = out.instructions_changed as f64 / d.len() as f64;
+        // Table VII: responses change in most pairs; instructions in ~15%
+        // (8k of 52k).
+        assert!(resp_share > 0.5, "resp share {resp_share}");
+        assert!(instr_share < resp_share, "instr {instr_share} resp {resp_share}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (d, coach) = setup(150, 8);
+        let a = revise_dataset(&coach, &d, 21, 4);
+        let b = revise_dataset(&coach, &d, 21, 4);
+        assert_eq!(a.dataset, b.dataset);
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        let (_, coach) = setup(50, 9);
+        let empty = Dataset::new("empty");
+        let out = revise_dataset(&coach, &empty, 1, 4);
+        assert!(out.dataset.is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! The task taxonomy.
+//!
+//! §II-E2 groups instruction pairs into three classes by revision
+//! difficulty: *language tasks* (certain, objective answers), *Q&A*
+//! (open-ended, subjective), and *creative composition*. §II-G identifies
+//! 42 distinct instruction categories for the CoachLM150 test set. We define
+//! all 42, each mapped to a class, with flags the experiments need (e.g.
+//! code-related categories, which AlpaGasus under-serves per §II-A(3)).
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three revision-difficulty classes (§II-E2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TaskClass {
+    /// Language tasks with mostly certain, objective answers (extraction,
+    /// grammar correction, summarising). Revised by the 9.4-year unit.
+    LanguageTask,
+    /// Question answering: open dialogue, suggestions, in-domain Q&A.
+    /// Revised by the 11.2-year unit.
+    QA,
+    /// Creative composition: stories, copywriting. Revised by the
+    /// 13.1-year unit.
+    Creative,
+}
+
+impl TaskClass {
+    /// All classes in difficulty order.
+    pub const ALL: [TaskClass; 3] = [TaskClass::LanguageTask, TaskClass::QA, TaskClass::Creative];
+
+    /// Average years of experience of the expert unit assigned to this
+    /// class (§II-E2).
+    pub fn expert_years(self) -> f64 {
+        match self {
+            TaskClass::LanguageTask => 9.4,
+            TaskClass::QA => 11.2,
+            TaskClass::Creative => 13.1,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskClass::LanguageTask => "language task",
+            TaskClass::QA => "Q&A",
+            TaskClass::Creative => "creative composition",
+        }
+    }
+}
+
+/// A static category definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CategoryDef {
+    /// Stable category id (index into [`CATEGORIES`]).
+    pub id: u16,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Revision-difficulty class.
+    pub class: TaskClass,
+    /// Whether this category is code-related (AlpaGasus filters these
+    /// heavily, §II-A(3)).
+    pub code_related: bool,
+    /// Relative frequency weight in the generated ALPACA52K stand-in.
+    pub weight: u32,
+}
+
+macro_rules! categories {
+    ($(($name:literal, $class:ident, $code:literal, $w:literal)),+ $(,)?) => {{
+        let mut id: u16 = 0;
+        [$({
+            let def = CategoryDef {
+                id,
+                name: $name,
+                class: TaskClass::$class,
+                code_related: $code,
+                weight: $w,
+            };
+            #[allow(unused_assignments)]
+            { id += 1; }
+            def
+        }),+]
+    }};
+}
+
+/// The 42 instruction categories (§II-G), each with its class and weight.
+pub const CATEGORIES: [CategoryDef; 42] = categories![
+    // -- Language tasks (objective) --
+    ("information extraction", LanguageTask, false, 30),
+    ("grammar correction", LanguageTask, false, 28),
+    ("summarization", LanguageTask, false, 32),
+    ("paraphrasing", LanguageTask, false, 26),
+    ("translation", LanguageTask, false, 20),
+    ("text classification", LanguageTask, false, 22),
+    ("sentiment analysis", LanguageTask, false, 18),
+    ("keyword extraction", LanguageTask, false, 16),
+    ("title generation", LanguageTask, false, 18),
+    ("data formatting", LanguageTask, true, 14),
+    ("code explanation", LanguageTask, true, 16),
+    ("code generation", LanguageTask, true, 20),
+    ("code debugging", LanguageTask, true, 12),
+    ("arithmetic calculation", LanguageTask, false, 22),
+    ("unit conversion", LanguageTask, false, 12),
+    ("ordering and ranking", LanguageTask, false, 12),
+    ("fact verification", LanguageTask, false, 14),
+    ("table interpretation", LanguageTask, false, 10),
+    // -- Q&A (subjective) --
+    ("in-domain question answering", QA, false, 34),
+    ("open question answering", QA, false, 30),
+    ("scientific inference", QA, false, 22),
+    ("dialogue completion", QA, false, 22),
+    ("suggestion recommendation", QA, false, 26),
+    ("how-to guidance", QA, false, 24),
+    ("comparison analysis", QA, false, 18),
+    ("opinion explanation", QA, false, 16),
+    ("health and lifestyle advice", QA, false, 16),
+    ("travel planning", QA, false, 14),
+    ("career advice", QA, false, 14),
+    ("study planning", QA, false, 12),
+    ("product description", QA, false, 12),
+    ("event planning", QA, false, 10),
+    ("troubleshooting help", QA, true, 12),
+    ("concept definition", QA, false, 20),
+    // -- Creative composition --
+    ("story creation", Creative, false, 22),
+    ("copywriting", Creative, false, 18),
+    ("poem composition", Creative, false, 14),
+    ("brainstorming", Creative, false, 22),
+    ("role play", Creative, false, 14),
+    ("letter and email writing", Creative, false, 16),
+    ("slogan creation", Creative, false, 10),
+    ("joke and riddle writing", Creative, false, 8),
+];
+
+/// A category reference: a validated index into [`CATEGORIES`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Category(pub u16);
+
+impl Category {
+    /// The static definition.
+    pub fn def(self) -> &'static CategoryDef {
+        &CATEGORIES[self.0 as usize]
+    }
+
+    /// Category name.
+    pub fn name(self) -> &'static str {
+        self.def().name
+    }
+
+    /// Revision class.
+    pub fn class(self) -> TaskClass {
+        self.def().class
+    }
+
+    /// Whether code-related.
+    pub fn is_code(self) -> bool {
+        self.def().code_related
+    }
+
+    /// Looks a category up by name.
+    pub fn by_name(name: &str) -> Option<Category> {
+        CATEGORIES.iter().find(|c| c.name == name).map(|c| Category(c.id))
+    }
+
+    /// All categories.
+    pub fn all() -> impl Iterator<Item = Category> {
+        (0..CATEGORIES.len() as u16).map(Category)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_42_categories() {
+        assert_eq!(CATEGORIES.len(), 42);
+    }
+
+    #[test]
+    fn ids_are_dense_and_consistent() {
+        for (i, c) in CATEGORIES.iter().enumerate() {
+            assert_eq!(c.id as usize, i);
+            assert_eq!(Category(c.id).name(), c.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in &CATEGORIES {
+            assert!(seen.insert(c.name), "duplicate category {}", c.name);
+        }
+    }
+
+    #[test]
+    fn all_classes_represented() {
+        for class in TaskClass::ALL {
+            assert!(CATEGORIES.iter().any(|c| c.class == class));
+        }
+    }
+
+    #[test]
+    fn code_categories_exist() {
+        let n = CATEGORIES.iter().filter(|c| c.code_related).count();
+        assert!(n >= 3, "need several code categories for the AlpaGasus effect");
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        assert_eq!(Category::by_name("summarization").unwrap().name(), "summarization");
+        assert!(Category::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn expert_years_match_paper() {
+        assert_eq!(TaskClass::LanguageTask.expert_years(), 9.4);
+        assert_eq!(TaskClass::QA.expert_years(), 11.2);
+        assert_eq!(TaskClass::Creative.expert_years(), 13.1);
+    }
+
+    #[test]
+    fn weights_positive() {
+        for c in &CATEGORIES {
+            assert!(c.weight > 0);
+        }
+    }
+}

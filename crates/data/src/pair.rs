@@ -1,0 +1,235 @@
+//! The `(INSTRUCTION, RESPONSE)` data model (Fig 1) and dataset container.
+
+use crate::category::Category;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// One instruction pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstructionPair {
+    /// Stable id within its dataset.
+    pub id: u64,
+    /// The human instruction (any Alpaca-style `input` is folded in).
+    pub instruction: String,
+    /// The desired response.
+    pub response: String,
+    /// Task category.
+    pub category: Category,
+}
+
+impl InstructionPair {
+    /// Creates a pair.
+    pub fn new(id: u64, instruction: impl Into<String>, response: impl Into<String>, category: Category) -> Self {
+        Self { id, instruction: instruction.into(), response: response.into(), category }
+    }
+
+    /// Word count of the instruction (Table VII's length metric).
+    pub fn instruction_words(&self) -> usize {
+        coachlm_text::token::word_count(&self.instruction)
+    }
+
+    /// Word count of the response.
+    pub fn response_words(&self) -> usize {
+        coachlm_text::token::word_count(&self.response)
+    }
+}
+
+/// The JSON row format of the original Alpaca dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AlpacaRow {
+    instruction: String,
+    #[serde(default)]
+    input: String,
+    output: String,
+}
+
+/// A dataset of instruction pairs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset name (for reports).
+    pub name: String,
+    /// The pairs, id-ordered.
+    pub pairs: Vec<InstructionPair>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), pairs: Vec::new() }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates the pairs.
+    pub fn iter(&self) -> std::slice::Iter<'_, InstructionPair> {
+        self.pairs.iter()
+    }
+
+    /// Looks up a pair by id (ids are dense in generated datasets, but this
+    /// does not assume so).
+    pub fn get(&self, id: u64) -> Option<&InstructionPair> {
+        // Fast path: dense ids.
+        if let Some(p) = self.pairs.get(id as usize) {
+            if p.id == id {
+                return Some(p);
+            }
+        }
+        self.pairs.iter().find(|p| p.id == id)
+    }
+
+    /// Serialises to the native JSON format.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserialises from the native JSON format.
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the dataset in the *Alpaca* JSON format
+    /// (`[{"instruction","input","output"}]`), the format the paper's
+    /// pipeline consumes. Category information is not representable there
+    /// and is dropped.
+    pub fn write_alpaca_json<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let rows: Vec<AlpacaRow> = self
+            .pairs
+            .iter()
+            .map(|p| AlpacaRow {
+                instruction: p.instruction.clone(),
+                input: String::new(),
+                output: p.response.clone(),
+            })
+            .collect();
+        let json = serde_json::to_string_pretty(&rows)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        w.write_all(json.as_bytes())
+    }
+
+    /// Reads a dataset from the Alpaca JSON format; `input` fields are
+    /// folded into the instruction (separated by a newline), matching how
+    /// the paper displays pairs in Fig 2. Categories default to category 0.
+    pub fn read_alpaca_json<R: BufRead>(name: &str, mut r: R) -> std::io::Result<Self> {
+        let mut buf = String::new();
+        r.read_to_string(&mut buf)?;
+        let rows: Vec<AlpacaRow> = serde_json::from_str(&buf)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let pairs = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let instruction = if row.input.trim().is_empty() {
+                    row.instruction
+                } else {
+                    format!("{}\n{}", row.instruction, row.input)
+                };
+                InstructionPair::new(i as u64, instruction, row.output, Category(0))
+            })
+            .collect();
+        Ok(Self { name: name.to_string(), pairs })
+    }
+
+    /// Saves the native format to a file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = self
+            .to_json()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads the native format from a file.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl<'d> IntoIterator for &'d Dataset {
+    type Item = &'d InstructionPair;
+    type IntoIter = std::slice::Iter<'d, InstructionPair>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.pairs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new("sample");
+        d.pairs.push(InstructionPair::new(0, "Explain tides", "The moon pulls water.", Category(3)));
+        d.pairs.push(InstructionPair::new(1, "Add 2 and 2", "4", Category(13)));
+        d
+    }
+
+    #[test]
+    fn word_counts() {
+        let p = InstructionPair::new(0, "Explain the tides briefly", "The moon pulls the water.", Category(0));
+        assert_eq!(p.instruction_words(), 4);
+        assert_eq!(p.response_words(), 5);
+    }
+
+    #[test]
+    fn native_json_round_trip() {
+        let d = sample();
+        let json = d.to_json().unwrap();
+        let back = Dataset::from_json(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn alpaca_format_round_trip_drops_category() {
+        let d = sample();
+        let mut buf = Vec::new();
+        d.write_alpaca_json(&mut buf).unwrap();
+        let back = Dataset::read_alpaca_json("sample", &buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.pairs[0].instruction, "Explain tides");
+        assert_eq!(back.pairs[0].response, "The moon pulls water.");
+        assert_eq!(back.pairs[0].category, Category(0)); // dropped
+    }
+
+    #[test]
+    fn alpaca_input_field_folds_into_instruction() {
+        let json = r#"[{"instruction":"Summarize this","input":"A long text.","output":"Short."}]"#;
+        let d = Dataset::read_alpaca_json("x", json.as_bytes()).unwrap();
+        assert_eq!(d.pairs[0].instruction, "Summarize this\nA long text.");
+    }
+
+    #[test]
+    fn get_by_id_dense_and_sparse() {
+        let mut d = sample();
+        assert_eq!(d.get(1).unwrap().response, "4");
+        d.pairs[1].id = 77;
+        assert_eq!(d.get(77).unwrap().response, "4");
+        assert!(d.get(1).is_none());
+    }
+
+    #[test]
+    fn malformed_alpaca_json_is_an_error() {
+        assert!(Dataset::read_alpaca_json("x", "not json".as_bytes()).is_err());
+        assert!(Dataset::read_alpaca_json("x", r#"{"a":1}"#.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let d = sample();
+        let dir = std::env::temp_dir().join("coachlm_pair_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        d.save(&path).unwrap();
+        assert_eq!(Dataset::load(&path).unwrap(), d);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

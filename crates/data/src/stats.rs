@@ -1,0 +1,142 @@
+//! Dataset statistics (the Table VII columns).
+
+use crate::pair::Dataset;
+use coachlm_text::editdist::WordDistance;
+use serde::Serialize;
+
+/// Length/edit-distance statistics of a dataset, optionally relative to an
+/// original dataset (Table VII reports both).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DatasetStats {
+    /// Number of pairs.
+    pub pairs: usize,
+    /// Average instruction word count.
+    pub avg_instruction_words: f64,
+    /// Average response word count.
+    pub avg_response_words: f64,
+    /// Average word-level edit distance of instructions vs the original
+    /// dataset (None when not compared).
+    pub avg_instruction_edit: Option<f64>,
+    /// Average word-level edit distance of responses vs the original.
+    pub avg_response_edit: Option<f64>,
+    /// Number of pairs whose instruction changed vs the original.
+    pub instructions_changed: Option<usize>,
+    /// Number of pairs whose response changed vs the original.
+    pub responses_changed: Option<usize>,
+}
+
+/// Computes length statistics of a single dataset.
+pub fn basic_stats(d: &Dataset) -> DatasetStats {
+    let n = d.len().max(1) as f64;
+    DatasetStats {
+        pairs: d.len(),
+        avg_instruction_words: d.iter().map(|p| p.instruction_words() as f64).sum::<f64>() / n,
+        avg_response_words: d.iter().map(|p| p.response_words() as f64).sum::<f64>() / n,
+        avg_instruction_edit: None,
+        avg_response_edit: None,
+        instructions_changed: None,
+        responses_changed: None,
+    }
+}
+
+/// Computes Table VII-style statistics of `revised` against `original`.
+///
+/// # Panics
+/// Panics if the datasets have different lengths (they must be the same
+/// pairs before/after revision).
+pub fn compare_stats(original: &Dataset, revised: &Dataset) -> DatasetStats {
+    assert_eq!(
+        original.len(),
+        revised.len(),
+        "compare_stats requires aligned datasets"
+    );
+    let mut wd = WordDistance::new();
+    let mut instr_edit = 0.0f64;
+    let mut resp_edit = 0.0f64;
+    let mut instr_changed = 0usize;
+    let mut resp_changed = 0usize;
+    for (o, r) in original.iter().zip(revised.iter()) {
+        let di = wd.distance(&o.instruction, &r.instruction);
+        let dr = wd.distance(&o.response, &r.response);
+        instr_edit += di as f64;
+        resp_edit += dr as f64;
+        if di > 0 {
+            instr_changed += 1;
+        }
+        if dr > 0 {
+            resp_changed += 1;
+        }
+        // Dataset-scale comparisons would otherwise grow the memo cache
+        // unboundedly; texts rarely repeat across pairs.
+        wd.clear_cache();
+    }
+    let n = original.len().max(1) as f64;
+    let base = basic_stats(revised);
+    DatasetStats {
+        avg_instruction_edit: Some(instr_edit / n),
+        avg_response_edit: Some(resp_edit / n),
+        instructions_changed: Some(instr_changed),
+        responses_changed: Some(resp_changed),
+        ..base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::Category;
+    use crate::pair::InstructionPair;
+
+    fn ds(rows: &[(&str, &str)]) -> Dataset {
+        let mut d = Dataset::new("t");
+        for (i, (instr, resp)) in rows.iter().enumerate() {
+            d.pairs.push(InstructionPair::new(i as u64, *instr, *resp, Category(0)));
+        }
+        d
+    }
+
+    #[test]
+    fn basic_stats_average_words() {
+        let d = ds(&[("one two three", "a b"), ("one", "a b c d")]);
+        let s = basic_stats(&d);
+        assert_eq!(s.pairs, 2);
+        assert!((s.avg_instruction_words - 2.0).abs() < 1e-9);
+        assert!((s.avg_response_words - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_stats_counts_changes_and_distance() {
+        let orig = ds(&[("do x", "answer one"), ("do y", "answer two")]);
+        let revised = ds(&[("do x", "answer one plus detail"), ("do y now", "answer two")]);
+        let s = compare_stats(&orig, &revised);
+        assert_eq!(s.instructions_changed, Some(1));
+        assert_eq!(s.responses_changed, Some(1));
+        assert!(s.avg_response_edit.unwrap() > 0.0);
+        assert!(s.avg_instruction_edit.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn identical_datasets_zero_edits() {
+        let d = ds(&[("a", "b")]);
+        let s = compare_stats(&d, &d.clone());
+        assert_eq!(s.avg_instruction_edit, Some(0.0));
+        assert_eq!(s.avg_response_edit, Some(0.0));
+        assert_eq!(s.instructions_changed, Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn mismatched_lengths_panic() {
+        let a = ds(&[("a", "b")]);
+        let b = ds(&[("a", "b"), ("c", "d")]);
+        let _ = compare_stats(&a, &b);
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let d = Dataset::new("empty");
+        let s = basic_stats(&d);
+        assert_eq!(s.pairs, 0);
+        assert_eq!(s.avg_instruction_words, 0.0);
+    }
+}

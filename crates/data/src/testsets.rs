@@ -1,0 +1,292 @@
+//! The four instruction-following test sets (Table VI).
+//!
+//! | Name             | Size | Categories | Reference        |
+//! |------------------|------|------------|------------------|
+//! | CoachLM150       | 150  | 42         | Human (group B)  |
+//! | PandaLM170       | 170  | 11         | ChatGPT          |
+//! | Vicuna80         | 80   | 9          | Bard             |
+//! | Self-Instruct252 | 252  | 15         | Human            |
+//!
+//! The reference *source* determines reference strength, which is what
+//! makes per-test-set win rates in Table IX differ: PandaLM170's ChatGPT
+//! references are beatable (7B models score 62–84 % WR1 there), Vicuna80's
+//! Bard references are strong (38–54 %), with the human-referenced sets in
+//! between. We encode each source as a quality band and *compose the
+//! reference text accordingly* — judges then measure reference quality from
+//! the text, not from the band.
+
+use crate::category::Category;
+use crate::compose::{compose_response, ComposeSpec};
+use crate::generator::{instruction_text, topic_for};
+use crate::topics::Topic;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which test set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TestSetKind {
+    /// The paper's own 150-instruction, 42-category set (§II-G).
+    CoachLm150,
+    /// PandaLM's 170-instruction set; ChatGPT references.
+    PandaLm170,
+    /// Vicuna's 80-instruction set; Bard references.
+    Vicuna80,
+    /// Self-Instruct's 252-instruction user-oriented set; human references.
+    SelfInstruct252,
+}
+
+impl TestSetKind {
+    /// All four, in Table IX column order.
+    pub const ALL: [TestSetKind; 4] = [
+        TestSetKind::CoachLm150,
+        TestSetKind::PandaLm170,
+        TestSetKind::Vicuna80,
+        TestSetKind::SelfInstruct252,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            TestSetKind::CoachLm150 => "CoachLM150",
+            TestSetKind::PandaLm170 => "PandaLM170",
+            TestSetKind::Vicuna80 => "Vicuna80",
+            TestSetKind::SelfInstruct252 => "Self-instruct252",
+        }
+    }
+
+    /// Number of instructions (Table VI).
+    pub fn size(self) -> usize {
+        match self {
+            TestSetKind::CoachLm150 => 150,
+            TestSetKind::PandaLm170 => 170,
+            TestSetKind::Vicuna80 => 80,
+            TestSetKind::SelfInstruct252 => 252,
+        }
+    }
+
+    /// Number of categories (Table VI).
+    pub fn category_count(self) -> usize {
+        match self {
+            TestSetKind::CoachLm150 => 42,
+            TestSetKind::PandaLm170 => 11,
+            TestSetKind::Vicuna80 => 9,
+            TestSetKind::SelfInstruct252 => 15,
+        }
+    }
+
+    /// The reference source's quality band (the target composition quality
+    /// of reference responses). Ordered so Table IX's per-set difficulty
+    /// emerges: PandaLM170 < Self-Instruct252 < CoachLM150 < Vicuna80.
+    pub fn reference_quality(self) -> (f64, f64) {
+        match self {
+            TestSetKind::PandaLm170 => (0.45, 0.70),
+            TestSetKind::SelfInstruct252 => (0.50, 0.72),
+            TestSetKind::CoachLm150 => (0.60, 0.82),
+            TestSetKind::Vicuna80 => (0.68, 0.90),
+        }
+    }
+
+    /// Reference source label (Table VI).
+    pub fn reference_source(self) -> &'static str {
+        match self {
+            TestSetKind::CoachLm150 | TestSetKind::SelfInstruct252 => "Human",
+            TestSetKind::PandaLm170 => "ChatGPT",
+            TestSetKind::Vicuna80 => "Bard",
+        }
+    }
+}
+
+/// One test item: an instruction with a reference response.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TestItem {
+    /// Item id within the set.
+    pub id: u64,
+    /// The instruction.
+    pub instruction: String,
+    /// The reference response.
+    pub reference: String,
+    /// Task category.
+    pub category: Category,
+    /// The topic the item is about (kept so candidate generators can stay
+    /// on-topic; real test sets ship the same information implicitly).
+    pub topic: Topic,
+}
+
+/// A full test set.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TestSet {
+    /// Which set this is.
+    pub kind: TestSetKind,
+    /// The items.
+    pub items: Vec<TestItem>,
+}
+
+impl TestSet {
+    /// Builds the test set deterministically from a seed.
+    pub fn build(kind: TestSetKind, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ (kind as u64) << 32);
+        let cats = categories_for(kind);
+        let (qlo, qhi) = kind.reference_quality();
+        let mut items = Vec::with_capacity(kind.size());
+        for id in 0..kind.size() as u64 {
+            let cat = cats[(id as usize) % cats.len()];
+            let def = cat.def();
+            let topic = topic_for(&mut rng, def);
+            let instruction = instruction_text(&mut rng, def, topic);
+            let q = rng.gen_range(qlo..qhi);
+            let spec = ComposeSpec::sampled(q, &mut rng);
+            let reference = compose_response(&mut rng, topic, spec);
+            items.push(TestItem { id, instruction, reference, category: cat, topic });
+        }
+        Self { kind, items }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Distinct categories present.
+    pub fn distinct_categories(&self) -> usize {
+        let set: std::collections::BTreeSet<Category> =
+            self.items.iter().map(|i| i.category).collect();
+        set.len()
+    }
+}
+
+/// The category subset each test set draws from.
+fn categories_for(kind: TestSetKind) -> Vec<Category> {
+    match kind {
+        // All 42 categories, evenly (§II-G).
+        TestSetKind::CoachLm150 => Category::all().collect(),
+        // 11 categories, Self-Instruct-flavoured (PandaLM sampled from it).
+        TestSetKind::PandaLm170 => pick_named(&[
+            "information extraction",
+            "summarization",
+            "open question answering",
+            "in-domain question answering",
+            "suggestion recommendation",
+            "how-to guidance",
+            "grammar correction",
+            "brainstorming",
+            "dialogue completion",
+            "letter and email writing",
+            "concept definition",
+        ]),
+        // Writing, role-play, math, knowledge, … (Vicuna's 9 groups).
+        TestSetKind::Vicuna80 => pick_named(&[
+            "story creation",
+            "copywriting",
+            "role play",
+            "arithmetic calculation",
+            "open question answering",
+            "scientific inference",
+            "comparison analysis",
+            "brainstorming",
+            "letter and email writing",
+        ]),
+        // 15 user-oriented categories (Gmail/Twitter/Github scenarios in
+        // the original; here the closest matches).
+        TestSetKind::SelfInstruct252 => pick_named(&[
+            "letter and email writing",
+            "summarization",
+            "information extraction",
+            "title generation",
+            "text classification",
+            "sentiment analysis",
+            "code generation",
+            "code explanation",
+            "how-to guidance",
+            "suggestion recommendation",
+            "brainstorming",
+            "dialogue completion",
+            "data formatting",
+            "open question answering",
+            "paraphrasing",
+        ]),
+    }
+}
+
+fn pick_named(names: &[&str]) -> Vec<Category> {
+    names
+        .iter()
+        .map(|n| Category::by_name(n).unwrap_or_else(|| panic!("unknown category {n}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_table6() {
+        for kind in TestSetKind::ALL {
+            let ts = TestSet::build(kind, 1);
+            assert_eq!(ts.len(), kind.size(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn category_counts_match_table6() {
+        for kind in TestSetKind::ALL {
+            let ts = TestSet::build(kind, 1);
+            assert_eq!(ts.distinct_categories(), kind.category_count(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn reference_strength_ordering() {
+        // Measure composed reference richness via word counts: Vicuna80's
+        // Bard references must be the longest/richest, PandaLM170's ChatGPT
+        // references the thinnest.
+        let avg_words = |kind: TestSetKind| {
+            let ts = TestSet::build(kind, 3);
+            ts.items
+                .iter()
+                .map(|i| coachlm_text::token::word_count(&i.reference) as f64)
+                .sum::<f64>()
+                / ts.len() as f64
+        };
+        let panda = avg_words(TestSetKind::PandaLm170);
+        let selfi = avg_words(TestSetKind::SelfInstruct252);
+        let coach = avg_words(TestSetKind::CoachLm150);
+        let vicuna = avg_words(TestSetKind::Vicuna80);
+        assert!(panda < coach, "panda {panda} coach {coach}");
+        assert!(selfi < vicuna, "selfi {selfi} vicuna {vicuna}");
+        assert!(coach < vicuna, "coach {coach} vicuna {vicuna}");
+    }
+
+    #[test]
+    fn items_are_on_topic() {
+        let ts = TestSet::build(TestSetKind::CoachLm150, 9);
+        for item in ts.items.iter().take(30) {
+            let key = item.topic.phrase.split_whitespace().last().unwrap();
+            assert!(
+                coachlm_text::normalize::fold_case(&item.reference).contains(key),
+                "reference off-topic for {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_kinds() {
+        let a = TestSet::build(TestSetKind::Vicuna80, 4);
+        let b = TestSet::build(TestSetKind::Vicuna80, 4);
+        assert_eq!(a, b);
+        let c = TestSet::build(TestSetKind::Vicuna80, 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn names_and_sources_match_paper() {
+        assert_eq!(TestSetKind::CoachLm150.name(), "CoachLM150");
+        assert_eq!(TestSetKind::PandaLm170.reference_source(), "ChatGPT");
+        assert_eq!(TestSetKind::Vicuna80.reference_source(), "Bard");
+    }
+}

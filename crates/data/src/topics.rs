@@ -1,0 +1,232 @@
+//! The topic bank.
+//!
+//! Every generated instruction pair is *about* something, so that relevance
+//! (lexical overlap), factuality (the shared fact table), and richness are
+//! detectable properties of the text rather than hidden labels. A topic is
+//! a noun phrase plus a domain; response bodies are composed from
+//! domain-appropriate sentence templates instantiated with the topic.
+
+use rand::Rng;
+use serde::Serialize;
+
+/// The knowledge domain of a topic (selects sentence templates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Domain {
+    /// Natural science and technology.
+    Science,
+    /// History, society, geography.
+    Society,
+    /// Daily life, health, lifestyle.
+    Daily,
+    /// Programming and software.
+    Code,
+    /// Mathematics and quantitative reasoning.
+    Math,
+    /// Arts and creative writing.
+    Creative,
+}
+
+/// A topic: a noun phrase and its domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Topic {
+    /// The noun phrase, lowercase, article-free (e.g. "the water cycle").
+    pub phrase: &'static str,
+    /// Domain for template selection.
+    pub domain: Domain,
+}
+
+/// The topic bank.
+pub const TOPICS: &[Topic] = &[
+    Topic { phrase: "the water cycle", domain: Domain::Science },
+    Topic { phrase: "photosynthesis", domain: Domain::Science },
+    Topic { phrase: "gravity", domain: Domain::Science },
+    Topic { phrase: "renewable energy", domain: Domain::Science },
+    Topic { phrase: "the solar system", domain: Domain::Science },
+    Topic { phrase: "volcanoes", domain: Domain::Science },
+    Topic { phrase: "ocean currents", domain: Domain::Science },
+    Topic { phrase: "vaccines", domain: Domain::Science },
+    Topic { phrase: "magnetism", domain: Domain::Science },
+    Topic { phrase: "ecosystems", domain: Domain::Science },
+    Topic { phrase: "the human heart", domain: Domain::Science },
+    Topic { phrase: "climate patterns", domain: Domain::Science },
+    Topic { phrase: "the printing press", domain: Domain::Society },
+    Topic { phrase: "the silk road", domain: Domain::Society },
+    Topic { phrase: "ancient rome", domain: Domain::Society },
+    Topic { phrase: "the industrial revolution", domain: Domain::Society },
+    Topic { phrase: "democracy", domain: Domain::Society },
+    Topic { phrase: "urban planning", domain: Domain::Society },
+    Topic { phrase: "the great wall of china", domain: Domain::Society },
+    Topic { phrase: "supply and demand", domain: Domain::Society },
+    Topic { phrase: "public libraries", domain: Domain::Society },
+    Topic { phrase: "world trade", domain: Domain::Society },
+    Topic { phrase: "healthy breakfast habits", domain: Domain::Daily },
+    Topic { phrase: "indoor plants", domain: Domain::Daily },
+    Topic { phrase: "time management", domain: Domain::Daily },
+    Topic { phrase: "bicycle maintenance", domain: Domain::Daily },
+    Topic { phrase: "meal planning", domain: Domain::Daily },
+    Topic { phrase: "home recycling", domain: Domain::Daily },
+    Topic { phrase: "morning exercise", domain: Domain::Daily },
+    Topic { phrase: "budget travel", domain: Domain::Daily },
+    Topic { phrase: "job interviews", domain: Domain::Daily },
+    Topic { phrase: "studying for exams", domain: Domain::Daily },
+    Topic { phrase: "houseplant watering", domain: Domain::Daily },
+    Topic { phrase: "neighborhood gardens", domain: Domain::Daily },
+    Topic { phrase: "sorting algorithms", domain: Domain::Code },
+    Topic { phrase: "hash tables", domain: Domain::Code },
+    Topic { phrase: "recursion", domain: Domain::Code },
+    Topic { phrase: "unit testing", domain: Domain::Code },
+    Topic { phrase: "version control", domain: Domain::Code },
+    Topic { phrase: "binary search", domain: Domain::Code },
+    Topic { phrase: "loops and iteration", domain: Domain::Code },
+    Topic { phrase: "error handling", domain: Domain::Code },
+    Topic { phrase: "fractions", domain: Domain::Math },
+    Topic { phrase: "percentages", domain: Domain::Math },
+    Topic { phrase: "compound interest", domain: Domain::Math },
+    Topic { phrase: "prime numbers", domain: Domain::Math },
+    Topic { phrase: "basic geometry", domain: Domain::Math },
+    Topic { phrase: "probability", domain: Domain::Math },
+    Topic { phrase: "a lighthouse keeper", domain: Domain::Creative },
+    Topic { phrase: "a friendly dragon", domain: Domain::Creative },
+    Topic { phrase: "a rainy market day", domain: Domain::Creative },
+    Topic { phrase: "an old sailing ship", domain: Domain::Creative },
+    Topic { phrase: "a mountain village", domain: Domain::Creative },
+    Topic { phrase: "a midnight library", domain: Domain::Creative },
+    Topic { phrase: "a robot learning to paint", domain: Domain::Creative },
+    Topic { phrase: "a garden in autumn", domain: Domain::Creative },
+];
+
+/// Body-sentence templates per domain; `{}` is the topic slot. Each
+/// template mentions the topic so generated responses are lexically
+/// on-topic.
+pub fn body_templates(domain: Domain) -> &'static [&'static str] {
+    match domain {
+        Domain::Science => &[
+            "{} is a natural process studied across many scientific fields.",
+            "Researchers describe {} in terms of energy, matter, and change over time.",
+            "Understanding {} helps explain patterns we observe in nature.",
+            "Experiments on {} rely on careful measurement and repeatable methods.",
+            "{} interacts with many other systems in the environment.",
+        ],
+        Domain::Society => &[
+            "{} shaped how communities organized themselves over time.",
+            "Historians trace the influence of {} through documents and artifacts.",
+            "{} affected trade, culture, and everyday life in lasting ways.",
+            "Scholars still debate the most important consequences of {}.",
+            "The story of {} connects local events to global change.",
+        ],
+        Domain::Daily => &[
+            "{} becomes much easier with a simple routine.",
+            "Small consistent steps make {} sustainable over the long run.",
+            "Most people improve at {} by starting with one manageable change.",
+            "Practical tools and reminders support {} in a busy schedule.",
+            "{} saves time and reduces stress when planned ahead.",
+        ],
+        Domain::Code => &[
+            "{} is a fundamental technique in software development.",
+            "Programmers use {} to keep code correct and maintainable.",
+            "A small worked example makes {} much easier to understand.",
+            "{} trades simplicity for performance in predictable ways.",
+            "Common pitfalls around {} are easy to avoid once named.",
+        ],
+        Domain::Math => &[
+            "{} follows clear rules that apply in every case.",
+            "Working with {} starts by writing down what is known.",
+            "A quick example shows how {} behaves with small numbers.",
+            "{} appears in everyday situations like shopping and cooking.",
+            "Checking the result is an important habit when using {}.",
+        ],
+        Domain::Creative => &[
+            "{} invites the reader into a vivid scene.",
+            "Details of sound and light bring {} to life on the page.",
+            "The mood around {} shifts as the story unfolds.",
+            "A small surprise involving {} keeps the reader curious.",
+            "{} carries the theme of the piece from start to finish.",
+        ],
+    }
+}
+
+/// Reasoning add-on templates (give responses detectable depth).
+pub const REASONING_TEMPLATES: &[&str] = &[
+    "This matters because {} influences the final outcome step by step.",
+    "First consider the basics, then build up: {} rewards a gradual approach.",
+    "For example, a beginner can explore {} with a five-minute exercise.",
+    "In summary, the key ideas above cover {} from several angles.",
+    "As a result, paying attention to {} leads to better decisions.",
+];
+
+/// Warm closer templates.
+pub const WARM_TEMPLATES: &[&str] = &[
+    "I hope this overview of {} helps; feel free to ask for more detail.",
+    "Great question about {} - happy to expand on any part.",
+    "Thank you for asking about {}; let me know if an example would help.",
+];
+
+/// Picks a seeded random topic.
+pub fn pick_topic<R: Rng>(rng: &mut R) -> Topic {
+    TOPICS[rng.gen_range(0..TOPICS.len())]
+}
+
+/// Picks a seeded random topic from a domain.
+pub fn pick_topic_in<R: Rng>(rng: &mut R, domain: Domain) -> Topic {
+    let pool: Vec<&Topic> = TOPICS.iter().filter(|t| t.domain == domain).collect();
+    *pool[rng.gen_range(0..pool.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bank_is_reasonably_sized() {
+        assert!(TOPICS.len() >= 50);
+    }
+
+    #[test]
+    fn phrases_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for t in TOPICS {
+            assert!(seen.insert(t.phrase), "duplicate topic {}", t.phrase);
+        }
+    }
+
+    #[test]
+    fn every_domain_has_topics_and_templates() {
+        for d in [
+            Domain::Science,
+            Domain::Society,
+            Domain::Daily,
+            Domain::Code,
+            Domain::Math,
+            Domain::Creative,
+        ] {
+            assert!(TOPICS.iter().any(|t| t.domain == d), "{d:?} has no topics");
+            assert!(!body_templates(d).is_empty());
+        }
+    }
+
+    #[test]
+    fn templates_mention_topic_slot() {
+        for d in [Domain::Science, Domain::Code, Domain::Creative] {
+            for t in body_templates(d) {
+                assert!(t.contains("{}"), "template missing slot: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn pick_topic_is_seed_deterministic() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(pick_topic(&mut a).phrase, pick_topic(&mut b).phrase);
+    }
+
+    #[test]
+    fn pick_topic_in_respects_domain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(pick_topic_in(&mut rng, Domain::Code).domain, Domain::Code);
+        }
+    }
+}

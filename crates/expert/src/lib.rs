@@ -1,0 +1,25 @@
+//! # coachlm-expert
+//!
+//! The simulated expert revision workflow of §II-C/E: the 26-expert pool
+//! (groups A/B/C), the preliminary filter (Table III), the expertise-based
+//! routing into three revision units, the rubric-driven revision engine
+//! with owner quality control ("revise until the pair scores ≥ 95"), and
+//! the person-day cost model (129 person-days for the 6k sample).
+//!
+//! The experts here are rubric executors: they apply the same Table II
+//! criteria the judge crate implements, with *full* repair knowledge
+//! (coverage 1.0 of the shared lexicon) — which is exactly the property the
+//! paper relies on ("each revised instruction pair meets the criteria",
+//! §II-F2). Their output, the expert revision dataset `R = {(x, x_r)}`, is
+//! what coach instruction tuning consumes.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod filter;
+pub mod pool;
+pub mod revision;
+
+pub use filter::{preliminary_filter, FilterOutcome, FilterReason};
+pub use pool::{Expert, ExpertPool, Group, RevisionUnit};
+pub use revision::{ExpertReviser, RevisionKind, RevisionRecord};

@@ -1,0 +1,219 @@
+//! The expert pool and expertise-based routing (§II-C, §II-E2, Table I).
+//!
+//! 26 experts in three non-overlapping groups: A (17, revise pairs),
+//! B (6, create the test set), C (3, evaluate). Group A is split into three
+//! units by years of experience; each unit owns one revision class and has
+//! an owner responsible for quality control.
+
+use coachlm_data::category::TaskClass;
+use serde::Serialize;
+
+/// Expert group (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Group {
+    /// Revise instruction pairs (17 experts, avg 11.29 years).
+    A,
+    /// Create the CoachLM150 test set (6 experts, avg 5.64 years).
+    B,
+    /// Evaluate CoachLM (3 experts, avg 12.57 years).
+    C,
+}
+
+/// One language expert.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Expert {
+    /// Stable id.
+    pub id: u32,
+    /// Years of experience.
+    pub years: f64,
+    /// Group membership.
+    pub group: Group,
+}
+
+/// A group-A revision unit: the experts owning one task class.
+#[derive(Debug, Clone, Serialize)]
+pub struct RevisionUnit {
+    /// The class this unit revises.
+    pub class: TaskClass,
+    /// Member expert ids (first member is the unit owner).
+    pub members: Vec<u32>,
+    /// Average years of experience.
+    pub avg_years: f64,
+}
+
+/// The full 26-expert pool.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExpertPool {
+    /// All experts.
+    pub experts: Vec<Expert>,
+    /// The three group-A units, in [LanguageTask, QA, Creative] order.
+    pub units: [RevisionUnit; 3],
+}
+
+/// Years-of-experience profiles chosen to reproduce Table I's group
+/// averages (11.29 / 5.64 / 12.57) and §II-E2's unit averages
+/// (9.4 / 11.2 / 13.1).
+const GROUP_A_YEARS: [f64; 17] = [
+    // Language-task unit (6 experts, avg 9.4).
+    7.2, 8.3, 9.1, 9.8, 10.4, 11.6,
+    // Q&A unit (6 experts, avg 11.2).
+    9.5, 10.2, 11.0, 11.7, 12.3, 12.5,
+    // Creative unit (5 experts, avg 13.1).
+    11.8, 12.6, 13.2, 13.7, 14.2,
+];
+const GROUP_B_YEARS: [f64; 6] = [3.9, 4.6, 5.2, 5.9, 6.7, 7.5];
+const GROUP_C_YEARS: [f64; 3] = [11.5, 12.4, 13.8];
+
+impl ExpertPool {
+    /// Builds the paper's pool.
+    pub fn paper_pool() -> Self {
+        let mut experts = Vec::with_capacity(26);
+        let mut id = 0u32;
+        for &y in &GROUP_A_YEARS {
+            experts.push(Expert { id, years: y, group: Group::A });
+            id += 1;
+        }
+        for &y in &GROUP_B_YEARS {
+            experts.push(Expert { id, years: y, group: Group::B });
+            id += 1;
+        }
+        for &y in &GROUP_C_YEARS {
+            experts.push(Expert { id, years: y, group: Group::C });
+            id += 1;
+        }
+
+        // Units: the three contiguous ranges of group A above, each led by
+        // its most experienced member (listed first as owner).
+        let unit = |class: TaskClass, range: std::ops::Range<u32>| {
+            let mut members: Vec<u32> = range.collect();
+            members.sort_by(|a, b| {
+                experts[*b as usize]
+                    .years
+                    .total_cmp(&experts[*a as usize].years)
+            });
+            let avg = members.iter().map(|&m| experts[m as usize].years).sum::<f64>()
+                / members.len() as f64;
+            RevisionUnit { class, members, avg_years: avg }
+        };
+        let units = [
+            unit(TaskClass::LanguageTask, 0..6),
+            unit(TaskClass::QA, 6..12),
+            unit(TaskClass::Creative, 12..17),
+        ];
+        Self { experts, units }
+    }
+
+    /// Experts in a group.
+    pub fn group(&self, g: Group) -> impl Iterator<Item = &Expert> {
+        self.experts.iter().filter(move |e| e.group == g)
+    }
+
+    /// Average years in a group.
+    pub fn group_avg_years(&self, g: Group) -> f64 {
+        let (sum, n) = self
+            .group(g)
+            .fold((0.0, 0usize), |(s, n), e| (s + e.years, n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// The unit responsible for a task class.
+    pub fn unit_for(&self, class: TaskClass) -> &RevisionUnit {
+        self.units
+            .iter()
+            .find(|u| u.class == class)
+            .expect("all classes have units")
+    }
+
+    /// Routes a pair (by its class) to an expert: the unit member chosen
+    /// round-robin on the pair id (the owner also revises).
+    pub fn route(&self, class: TaskClass, pair_id: u64) -> u32 {
+        let unit = self.unit_for(class);
+        unit.members[(pair_id as usize) % unit.members.len()]
+    }
+
+    /// The unit owner for a class (quality control).
+    pub fn owner_for(&self, class: TaskClass) -> u32 {
+        self.unit_for(class).members[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_sizes_match_table1() {
+        let p = ExpertPool::paper_pool();
+        assert_eq!(p.experts.len(), 26);
+        assert_eq!(p.group(Group::A).count(), 17);
+        assert_eq!(p.group(Group::B).count(), 6);
+        assert_eq!(p.group(Group::C).count(), 3);
+    }
+
+    #[test]
+    fn group_averages_match_table1() {
+        let p = ExpertPool::paper_pool();
+        assert!((p.group_avg_years(Group::A) - 11.29).abs() < 0.3);
+        assert!((p.group_avg_years(Group::B) - 5.64).abs() < 0.3);
+        assert!((p.group_avg_years(Group::C) - 12.57).abs() < 0.3);
+    }
+
+    #[test]
+    fn unit_averages_match_section_2e2() {
+        let p = ExpertPool::paper_pool();
+        assert!((p.unit_for(TaskClass::LanguageTask).avg_years - 9.4).abs() < 0.3);
+        assert!((p.unit_for(TaskClass::QA).avg_years - 11.2).abs() < 0.3);
+        assert!((p.unit_for(TaskClass::Creative).avg_years - 13.1).abs() < 0.3);
+    }
+
+    #[test]
+    fn units_partition_group_a() {
+        let p = ExpertPool::paper_pool();
+        let mut seen = std::collections::HashSet::new();
+        for u in &p.units {
+            for &m in &u.members {
+                assert_eq!(p.experts[m as usize].group, Group::A);
+                assert!(seen.insert(m), "expert {m} in two units");
+            }
+        }
+        assert_eq!(seen.len(), 17);
+    }
+
+    #[test]
+    fn owner_is_most_experienced_member() {
+        let p = ExpertPool::paper_pool();
+        for class in TaskClass::ALL {
+            let unit = p.unit_for(class);
+            let owner = p.owner_for(class);
+            let max_years = unit
+                .members
+                .iter()
+                .map(|&m| p.experts[m as usize].years)
+                .fold(f64::MIN, f64::max);
+            assert_eq!(p.experts[owner as usize].years, max_years);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_unit() {
+        let p = ExpertPool::paper_pool();
+        for id in 0..50u64 {
+            let e = p.route(TaskClass::QA, id);
+            assert!(p.unit_for(TaskClass::QA).members.contains(&e));
+            assert_eq!(e, p.route(TaskClass::QA, id));
+        }
+    }
+
+    #[test]
+    fn stronger_class_gets_more_experienced_unit() {
+        let p = ExpertPool::paper_pool();
+        assert!(
+            p.unit_for(TaskClass::Creative).avg_years > p.unit_for(TaskClass::QA).avg_years
+        );
+        assert!(p.unit_for(TaskClass::QA).avg_years > p.unit_for(TaskClass::LanguageTask).avg_years);
+    }
+}

@@ -1,0 +1,619 @@
+//! The expert revision engine (§II-E2).
+//!
+//! Experts follow the principle of "making all necessary revisions": every
+//! dimension the Table II criteria flag gets repaired, and the unit owner's
+//! quality control re-runs the rubric until the pair scores ≥ 95 on the
+//! response and carries no basic instruction flaws. Unlike CoachLM's
+//! transducer, the expert reviser is *deterministic and complete*: full
+//! lexicon coverage, no application probability — that asymmetry (expert =
+//! ground truth, model = learned approximation) is the premise of coach
+//! instruction tuning.
+
+use crate::pool::ExpertPool;
+use coachlm_data::pair::{Dataset, InstructionPair};
+use coachlm_judge::criteria::{CriteriaEngine, PairScores};
+use coachlm_lm::knowledge::KnowledgeBase;
+use coachlm_text::lexicon;
+use coachlm_text::normalize;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Table IV revision categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum RevisionKind {
+    /// Instruction: adjust language/layout (Readability, 68.1 %).
+    AdjustInstruction,
+    /// Instruction: rewrite infeasible/ambiguous parts (Feasibility, 24.9 %).
+    RewriteInstruction,
+    /// Instruction: diversify context (Contextualization, 7.0 %).
+    DiversifyInstruction,
+    /// Response: diversify angles / expand reasoning (43.7 %).
+    DiversifyResponse,
+    /// Response: rewrite for fluency/relevance/logic (24.5 %).
+    RewriteResponse,
+    /// Response: adjust layout/tone (23.3 %).
+    AdjustResponse,
+    /// Response: correct facts/calculations (6.7 %).
+    CorrectResponse,
+    /// Response: safety mitigation and other complex cases (1.9 %).
+    OtherResponse,
+}
+
+/// One expert revision: `(x, x_r)` plus provenance.
+#[derive(Debug, Clone, Serialize)]
+pub struct RevisionRecord {
+    /// Pair id.
+    pub id: u64,
+    /// The routed expert (group A).
+    pub expert: u32,
+    /// Original pair `x`.
+    pub original: InstructionPair,
+    /// Revised pair `x_r`.
+    pub revised: InstructionPair,
+    /// Whether the instruction side changed.
+    pub instruction_revised: bool,
+    /// Primary Table IV category of the instruction revision.
+    pub instruction_kind: Option<RevisionKind>,
+    /// Primary Table IV category of the response revision.
+    pub response_kind: Option<RevisionKind>,
+    /// Owner QC iterations needed.
+    pub qc_iterations: u32,
+    /// Final rubric scores.
+    pub final_scores: PairScores,
+}
+
+/// The rubric-driven reviser.
+#[derive(Debug)]
+pub struct ExpertReviser {
+    engine: CriteriaEngine,
+    kb: KnowledgeBase,
+    seed: u64,
+}
+
+/// QC acceptance: response score threshold (§II-E2 "a score of 95 or
+/// higher").
+const QC_RESPONSE_TARGET: f64 = 95.0;
+/// Probability the expert enriches an otherwise adjust-only instruction
+/// with extra context (yields Table IV's 7 % Diversify share).
+const CONTEXT_ENRICH_P: f64 = 0.035;
+
+impl ExpertReviser {
+    /// Creates a reviser (full knowledge coverage).
+    pub fn new(seed: u64) -> Self {
+        Self { engine: CriteriaEngine::new(), kb: KnowledgeBase::with_coverage(1.0), seed }
+    }
+
+    /// Whether the rubric demands a revision of this pair at all.
+    pub fn needs_revision(&self, pair: &InstructionPair) -> bool {
+        let ia = self.engine.analyze_instruction(&pair.instruction);
+        let ra = self.engine.analyze_response(&pair.instruction, &pair.response);
+        ia.basic_flaws() > 0
+            || ra.basic_flaws() > 0
+            || ra.unsafe_content
+            || ra.machine_tone
+            || !ra.readable()
+    }
+
+    /// Revises one pair if the rubric demands it; `None` otherwise.
+    pub fn revise(&self, pool: &ExpertPool, pair: &InstructionPair) -> Option<RevisionRecord> {
+        if !self.needs_revision(pair) {
+            return None;
+        }
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ pair.id.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let expert = pool.route(pair.category.class(), pair.id);
+
+        let mut instruction = pair.instruction.clone();
+        let mut response = pair.response.clone();
+        let mut instruction_kind: Option<RevisionKind> = None;
+        let mut response_kind: Option<RevisionKind> = None;
+        let mut qc_iterations = 0u32;
+
+        // Owner QC loop: repair, re-score, repeat until acceptance.
+        loop {
+            qc_iterations += 1;
+            self.repair_instruction(
+                &mut rng,
+                &mut instruction,
+                &mut instruction_kind,
+                qc_iterations == 1,
+            );
+            self.repair_response(
+                &mut rng,
+                &instruction,
+                &mut response,
+                &mut response_kind,
+            );
+            let scores = self.engine.score_pair(&instruction, &response);
+            let instr_ok =
+                self.engine.analyze_instruction(&instruction).basic_flaws() == 0;
+            if (scores.response >= QC_RESPONSE_TARGET && instr_ok) || qc_iterations >= 4 {
+                let instruction_revised = instruction != pair.instruction;
+                return Some(RevisionRecord {
+                    id: pair.id,
+                    expert,
+                    original: pair.clone(),
+                    revised: InstructionPair::new(
+                        pair.id,
+                        instruction.clone(),
+                        response.clone(),
+                        pair.category,
+                    ),
+                    instruction_revised,
+                    instruction_kind: instruction_revised.then_some(
+                        instruction_kind.unwrap_or(RevisionKind::AdjustInstruction),
+                    ),
+                    response_kind: Some(
+                        response_kind.unwrap_or(RevisionKind::DiversifyResponse),
+                    ),
+                    qc_iterations,
+                    final_scores: scores,
+                });
+            }
+        }
+    }
+
+    /// Revises every kept pair of a dataset, returning the expert revision
+    /// dataset `R` (only pairs that needed revision appear).
+    pub fn revise_dataset(
+        &self,
+        pool: &ExpertPool,
+        dataset: &Dataset,
+        kept_ids: &[u64],
+    ) -> Vec<RevisionRecord> {
+        kept_ids
+            .iter()
+            .filter_map(|&id| dataset.get(id).and_then(|p| self.revise(pool, p)))
+            .collect()
+    }
+
+    // ---- instruction repairs ----------------------------------------------
+
+    fn repair_instruction<R: Rng>(
+        &self,
+        rng: &mut R,
+        instruction: &mut String,
+        kind: &mut Option<RevisionKind>,
+        first_pass: bool,
+    ) {
+        let topic = lexicon::content_words(instruction, 3);
+        let mut rewrote = false;
+
+        // Strip infeasible requirements.
+        while let Some(m) = lexicon::find_marker(instruction, lexicon::INFEASIBLE_PHRASES) {
+            *instruction = remove_phrase(instruction, m);
+            rewrote = true;
+        }
+        // Retained Table III cases (§II-E2 "1.9% were cases that should
+        // have fell into the categories of Table III"): rewrite into a
+        // feasible, self-contained request on the same topic.
+        let table3_markers = lexicon::INVALID_INPUT_MARKERS
+            .iter()
+            .chain(lexicon::MULTIMODAL_MARKERS)
+            .chain(lexicon::EXPERTISE_MARKERS)
+            .chain(lexicon::WORKLOAD_MARKERS)
+            .chain(lexicon::UNSAFE_MARKERS)
+            .copied()
+            .collect::<Vec<_>>();
+        if lexicon::contains_marker(instruction, &table3_markers)
+            || lexicon::contains_marker(instruction, lexicon::VAGUE_PHRASES)
+        {
+            let templates = self.kb.clarifications();
+            let topic_word = topic.first().map(String::as_str).unwrap_or("the given subject");
+            let t = templates[rng.gen_range(0..templates.len())];
+            *instruction = KnowledgeBase::fill(t, topic_word);
+            rewrote = true;
+        }
+
+        // Lexical fixes.
+        let fixed = self.fix_lexical(instruction);
+        let adjusted_lexical = fixed != *instruction;
+        *instruction = fixed;
+
+        // Layout.
+        let tidy = normalize::normalize_layout(instruction);
+        let adjusted_layout = tidy != *instruction;
+        *instruction = tidy;
+
+        // Occasional context enrichment (Table IV's 7 % Diversify share);
+        // only rolled on the first QC pass so iteration count doesn't
+        // compound the probability.
+        let mut diversified = false;
+        if first_pass
+            && !rewrote
+            && !lexicon::contains_marker(instruction, lexicon::CONTEXT_MARKERS)
+            && rng.gen_bool(CONTEXT_ENRICH_P)
+        {
+            let contexts = self.kb.contexts();
+            let c = contexts[rng.gen_range(0..contexts.len())];
+            *instruction = format!("{} {c}", instruction.trim_end());
+            diversified = true;
+        }
+
+        if kind.is_none() {
+            *kind = if rewrote {
+                Some(RevisionKind::RewriteInstruction)
+            } else if diversified {
+                Some(RevisionKind::DiversifyInstruction)
+            } else if adjusted_lexical || adjusted_layout {
+                Some(RevisionKind::AdjustInstruction)
+            } else {
+                None
+            };
+        }
+    }
+
+    // ---- response repairs -------------------------------------------------
+
+    fn repair_response<R: Rng>(
+        &self,
+        rng: &mut R,
+        instruction: &str,
+        response: &mut String,
+        kind: &mut Option<RevisionKind>,
+    ) {
+        let topic = lexicon::content_words(instruction, 3);
+        let topic_word = topic.first().cloned().unwrap_or_else(|| "the topic".to_string());
+        let analysis = self.engine.analyze_response(instruction, response);
+
+        let mut other = false;
+        let mut rewrote = false;
+        let mut corrected = false;
+        let mut adjusted = false;
+
+        // Safety first.
+        if analysis.unsafe_content {
+            let lead = self.kb.safe_completions()[0];
+            *response = format!("{lead} {}", self.expansion_block(rng, &topic_word, 3));
+            other = true;
+        }
+
+        // Format junk: clean and, if the template leaked, recompose.
+        if analysis.degenerate && !other {
+            let cleaned = coachlm_text::clean::clean_output(response);
+            *response = cleaned;
+            if matches!(
+                coachlm_text::clean::validate_pair(instruction, response),
+                coachlm_text::clean::Validity::TemplateLeak
+            ) {
+                *response = self.expansion_block(rng, &topic_word, 3);
+            }
+            other = true;
+        }
+
+        // Relevance.
+        if analysis.irrelevant && !other {
+            *response = self.expansion_block(rng, &topic_word, 3);
+            rewrote = true;
+        }
+
+        // Facts.
+        while let Some((wrong, right)) = self.kb.fact_correction(response) {
+            *response = response.replace(&wrong, &right);
+            corrected = true;
+        }
+
+        // Lexical fluency.
+        let mut lexical_fixed = false;
+        let fixed = self.fix_lexical(response);
+        if fixed != *response {
+            lexical_fixed = true;
+            *response = fixed;
+        }
+
+        // Truncation: finish the dangling thought.
+        if analysis.truncated {
+            let trimmed = response
+                .trim_end()
+                .trim_end_matches("...")
+                .trim_end_matches([',', ';', ' '])
+                .to_string();
+            *response = format!(
+                "{} {}",
+                normalize::ensure_terminal_punctuation(&trimmed),
+                self.expansion_block(rng, &topic_word, 1)
+            );
+        }
+
+        // Tone.
+        if analysis.machine_tone {
+            if let Some(m) = lexicon::find_marker(response, lexicon::MACHINE_TONE_MARKERS) {
+                *response = remove_phrase(response, m);
+                adjusted = true;
+            }
+        }
+
+        // Expansion until the advanced band is reachable: reasoning,
+        // example, substance (the dominant Table IV class).
+        let mut expanded = false;
+        let mut guard = 0;
+        loop {
+            let a = self.engine.analyze_response(instruction, response);
+            if (a.richness() >= 0.9 && a.words >= 50) || guard >= 4 {
+                break;
+            }
+            guard += 1;
+            let add = self.expansion_block(rng, &topic_word, 2);
+            *response =
+                format!("{} {add}", normalize::ensure_terminal_punctuation(response));
+            expanded = true;
+        }
+
+        // Warmth (optional: neutral tone already clears the QC bar). Only
+        // considered when the response was substantively reworked — polish
+        // passes on already-good responses stay minimal, which is what
+        // populates the low-edit-distance tail of `R` (§II-F2).
+        if (expanded || rewrote || other)
+            && rng.gen_bool(0.5)
+            && !lexicon::contains_marker(response, lexicon::WARM_MARKERS)
+        {
+            let w = self.kb.warmth()[rng.gen_range(0..self.kb.warmth().len())];
+            *response = format!("{} {w}", normalize::ensure_terminal_punctuation(response));
+            adjusted = true;
+        }
+
+        // Layout.
+        let tidy = normalize::normalize_layout(response);
+        if tidy != *response {
+            *response = tidy;
+            adjusted = true;
+        }
+
+        if kind.is_none() {
+            // Table IV primary-type priority, classified from the *initial*
+            // analysis: what was wrong with the pair determines the primary
+            // revision category, not the (near-universal) expansion that
+            // also happened.
+            *kind = if other {
+                Some(RevisionKind::OtherResponse)
+            } else if rewrote || lexical_fixed {
+                Some(RevisionKind::RewriteResponse)
+            } else if corrected {
+                Some(RevisionKind::CorrectResponse)
+            } else if analysis.machine_tone || analysis.layout_flaws > 0 {
+                Some(RevisionKind::AdjustResponse)
+            } else if expanded {
+                Some(RevisionKind::DiversifyResponse)
+            } else if adjusted {
+                Some(RevisionKind::AdjustResponse)
+            } else {
+                None
+            };
+        }
+    }
+
+    /// Fixes every misspelling and grammar-pair error. Returns the input
+    /// unchanged (same whitespace) when nothing needs fixing.
+    fn fix_lexical(&self, text: &str) -> String {
+        let words = coachlm_text::token::words(text);
+        let mut fixed_any = false;
+        let mut out: Vec<String> = Vec::with_capacity(words.len());
+        for w in &words {
+            match self.kb.typo_correction(&normalize::fold_case(w)) {
+                Some(fix) => {
+                    fixed_any = true;
+                    out.push(fix.to_string());
+                }
+                None => out.push((*w).to_string()),
+            }
+        }
+        let mut joined = if fixed_any { join_words(&out) } else { text.to_string() };
+        while let Some((wrong, right)) = self.kb.grammar_correction(&joined) {
+            let folded = normalize::fold_case(&joined);
+            match folded.find(wrong) {
+                Some(pos) => joined.replace_range(pos..pos + wrong.len(), right),
+                None => break,
+            }
+        }
+        joined
+    }
+
+    /// Composes `n` expansion sentences about `topic` (reasoning + example
+    /// markers included so richness is detectable).
+    fn expansion_block<R: Rng>(&self, rng: &mut R, topic: &str, n: usize) -> String {
+        let templates = self.kb.expansions();
+        let start = rng.gen_range(0..templates.len());
+        let picked: Vec<String> = (0..n.max(1))
+            .map(|i| KnowledgeBase::fill(templates[(start + i) % templates.len()], topic))
+            .collect();
+        picked.join(" ")
+    }
+}
+
+/// Removes one case-insensitive occurrence of `phrase`.
+fn remove_phrase(text: &str, phrase: &str) -> String {
+    let folded = normalize::fold_case(text);
+    let needle = normalize::fold_case(phrase);
+    match folded.find(&needle) {
+        Some(pos) => {
+            let mut out = String::with_capacity(text.len());
+            out.push_str(&text[..pos]);
+            out.push_str(&text[pos + needle.len()..]);
+            normalize::collapse_whitespace(&out)
+        }
+        None => text.to_string(),
+    }
+}
+
+/// Joins word tokens with punctuation-aware spacing.
+fn join_words(words: &[String]) -> String {
+    let mut out = String::new();
+    for w in words {
+        let is_punct = w.chars().count() == 1 && w.chars().all(|c| !c.is_alphanumeric());
+        let opens = matches!(w.as_str(), "(" | "[" | "{");
+        if !out.is_empty() && (!is_punct || opens) && !out.ends_with(['(', '[', '{']) {
+            out.push(' ');
+        }
+        out.push_str(w);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coachlm_data::category::Category;
+    use coachlm_data::generator::{generate, GeneratorConfig, Tier};
+
+    fn reviser() -> (ExpertReviser, ExpertPool) {
+        (ExpertReviser::new(42), ExpertPool::paper_pool())
+    }
+
+    fn pair(instr: &str, resp: &str) -> InstructionPair {
+        InstructionPair::new(1, instr, resp, Category(0))
+    }
+
+    #[test]
+    fn clean_rich_pairs_need_no_revision() {
+        let (r, _) = reviser();
+        let p = pair(
+            "Explain the water cycle with one example, step by step.",
+            "The water cycle moves water through evaporation and rain. This happens \
+             because the sun heats the oceans and lifts vapor into the sky. For example, \
+             puddles vanish on sunny days. In summary, water circulates constantly between \
+             the surface and the sky above us all.",
+        );
+        assert!(!r.needs_revision(&p));
+        assert!(r.revise(&ExpertPool::paper_pool(), &p).is_none());
+    }
+
+    #[test]
+    fn revised_pairs_reach_qc_target() {
+        let (r, pool) = reviser();
+        let p = pair("explain teh water cycle", "Water moves becuase of heat,");
+        let rec = r.revise(&pool, &p).expect("needs revision");
+        assert!(rec.final_scores.response >= 95.0, "{:?}", rec.final_scores);
+        assert!(rec.final_scores.instruction >= 80.0);
+        assert!(rec.qc_iterations <= 4);
+    }
+
+    #[test]
+    fn typos_fixed_everywhere() {
+        let (r, pool) = reviser();
+        let p = pair(
+            "Summarize teh article becuase thier team needs it",
+            "The article says alot about teh goverment and its plans untill next year.",
+        );
+        let rec = r.revise(&pool, &p).unwrap();
+        for (wrong, _) in lexicon::TYPO_PAIRS {
+            assert!(
+                !rec.revised.instruction.contains(wrong) && !rec.revised.response.contains(wrong),
+                "typo {wrong} survived: {} / {}",
+                rec.revised.instruction,
+                rec.revised.response
+            );
+        }
+    }
+
+    #[test]
+    fn unsafe_response_mitigated_as_other() {
+        let (r, pool) = reviser();
+        let p = pair(
+            "Give investment advice about compound interest",
+            "Buy now, guaranteed to double your investment by Friday.",
+        );
+        let rec = r.revise(&pool, &p).unwrap();
+        assert_eq!(rec.response_kind, Some(RevisionKind::OtherResponse));
+        assert!(!lexicon::contains_marker(&rec.revised.response, lexicon::UNSAFE_MARKERS));
+        assert!(rec.final_scores.response >= 95.0);
+    }
+
+    #[test]
+    fn bare_responses_expand_to_diversify() {
+        let (r, pool) = reviser();
+        let p = pair("Explain the water cycle to a student", "Water evaporates and then rains.");
+        let rec = r.revise(&pool, &p).unwrap();
+        assert_eq!(rec.response_kind, Some(RevisionKind::DiversifyResponse));
+        assert!(rec.revised.response_words() >= 50);
+    }
+
+    #[test]
+    fn fact_errors_corrected() {
+        let (r, pool) = reviser();
+        let p = pair(
+            "Describe France briefly for travelers",
+            "France is lovely in spring. Remember that the capital of France is Berlin.",
+        );
+        let rec = r.revise(&pool, &p).unwrap();
+        assert!(rec.revised.response.contains("Paris"), "{}", rec.revised.response);
+        assert!(!rec.revised.response.contains("Berlin"));
+        assert_eq!(rec.response_kind, Some(RevisionKind::CorrectResponse));
+    }
+
+    #[test]
+    fn vague_instructions_rewritten() {
+        let (r, pool) = reviser();
+        let p = pair(
+            "Explain the tides in the ocean - do something about it",
+            "Tides rise and fall.",
+        );
+        let rec = r.revise(&pool, &p).unwrap();
+        assert_eq!(rec.instruction_kind, Some(RevisionKind::RewriteInstruction));
+        assert!(!lexicon::contains_marker(&rec.revised.instruction, lexicon::VAGUE_PHRASES));
+        assert!(
+            coachlm_text::normalize::fold_case(&rec.revised.instruction).contains("tides"),
+            "{}",
+            rec.revised.instruction
+        );
+    }
+
+    #[test]
+    fn revision_dataset_share_matches_deficiency_rate() {
+        let (r, pool) = reviser();
+        let (d, prov) = generate(&GeneratorConfig::small(2500, 3));
+        let kept: Vec<u64> = prov
+            .iter()
+            .filter(|p| p.tier != Tier::Filterable)
+            .map(|p| p.id)
+            .collect();
+        let records = r.revise_dataset(&pool, &d, &kept);
+        let share = records.len() as f64 / kept.len() as f64;
+        // Paper: 2301/4912 = 46.8 % of kept pairs get revised.
+        assert!((share - 0.468).abs() < 0.05, "share {share}");
+    }
+
+    #[test]
+    fn edit_distance_spread_supports_alpha_selection() {
+        let (r, pool) = reviser();
+        let (d, prov) = generate(&GeneratorConfig::small(1200, 13));
+        let kept: Vec<u64> = prov
+            .iter()
+            .filter(|p| p.tier != Tier::Filterable)
+            .map(|p| p.id)
+            .collect();
+        let records = r.revise_dataset(&pool, &d, &kept);
+        let mut dists: Vec<usize> = records
+            .iter()
+            .map(|rec| {
+                coachlm_text::editdist::word_edit_distance(
+                    &rec.original.response,
+                    &rec.revised.response,
+                )
+            })
+            .collect();
+        dists.sort_unstable();
+        let lo = dists[dists.len() / 10];
+        let hi = dists[dists.len() * 9 / 10];
+        assert!(hi > lo * 2, "edit distances must spread: p10 {lo}, p90 {hi}");
+    }
+
+    #[test]
+    fn deterministic_per_pair() {
+        let (r, pool) = reviser();
+        let p = pair("explain teh tides", "Tides rise,");
+        let a = r.revise(&pool, &p).unwrap();
+        let b = r.revise(&pool, &p).unwrap();
+        assert_eq!(a.revised, b.revised);
+    }
+
+    #[test]
+    fn expert_routing_respects_class() {
+        let (r, pool) = reviser();
+        let mut p = pair("write a short story about a dragon please,", "Once upon a time,");
+        p.category = Category::by_name("story creation").unwrap();
+        let rec = r.revise(&pool, &p).unwrap();
+        let unit = pool.unit_for(coachlm_data::category::TaskClass::Creative);
+        assert!(unit.members.contains(&rec.expert));
+    }
+}

@@ -1,0 +1,478 @@
+//! The Table II criteria engine.
+//!
+//! INSTRUCTION and RESPONSE are evaluated independently, each on 0–100,
+//! with dimensions grouped into three levels:
+//!
+//! * **Red line** (response Safety): any violation caps the score at 40.
+//! * **Basic** (instruction Feasibility/Readability; response
+//!   Correctness/Relevance/Comprehensiveness): any flaw caps at 80.
+//! * **Advanced** (instruction Contextualization; response
+//!   Readability/Richness/Humanization): worth the top 20 points.
+//!
+//! Every signal is *detected from the text*: misspelling forms, vague and
+//! infeasible phrases, missing-input placeholders, lexical overlap with the
+//! instruction, reasoning/example/warmth markers, fact-table
+//! contradictions, truncation shapes, and degenerate-decoding artefacts.
+
+use coachlm_text::clean;
+use coachlm_text::lexicon;
+use coachlm_text::normalize;
+use coachlm_text::token;
+use serde::Serialize;
+
+/// Detected properties of an INSTRUCTION.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct InstructionAnalysis {
+    /// Misspellings/grammar errors found (Readability).
+    pub readability_flaws: u32,
+    /// Layout problems: spacing, casing, terminal punctuation (Readability).
+    pub layout_flaws: u32,
+    /// Vague/ambiguous phrasing (Feasibility).
+    pub vague: bool,
+    /// Logically infeasible requirement (Feasibility).
+    pub infeasible: bool,
+    /// Missing/placeholder key input (Feasibility).
+    pub invalid_input: bool,
+    /// Unsupported multimodal request (Feasibility).
+    pub multimodal: bool,
+    /// Rich context present (Contextualization).
+    pub has_context: bool,
+}
+
+impl InstructionAnalysis {
+    /// Number of basic-level flaws.
+    pub fn basic_flaws(&self) -> u32 {
+        self.readability_flaws
+            + self.layout_flaws
+            + u32::from(self.vague)
+            + u32::from(self.infeasible)
+            + u32::from(self.invalid_input)
+            + u32::from(self.multimodal)
+    }
+}
+
+/// Detected properties of a RESPONSE (relative to its instruction).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ResponseAnalysis {
+    /// Unsafe content present (Safety — red line).
+    pub unsafe_content: bool,
+    /// Fact-table contradiction (Correctness).
+    pub fact_errors: u32,
+    /// Off-topic relative to the instruction (Relevance).
+    pub irrelevant: bool,
+    /// Truncated mid-thought (Comprehensiveness).
+    pub truncated: bool,
+    /// Thin: short and unexplained (Comprehensiveness).
+    pub thin: bool,
+    /// Misspellings/grammar errors (advanced Readability).
+    pub readability_flaws: u32,
+    /// Layout problems (advanced Readability).
+    pub layout_flaws: u32,
+    /// Degenerate artefacts: template leak, stutter (advanced Readability).
+    pub degenerate: bool,
+    /// Machine-boilerplate tone (anti-Humanization).
+    pub machine_tone: bool,
+    /// Warmth markers present (Humanization).
+    pub warm: bool,
+    /// Reasoning/explanation present (Richness).
+    pub reasoned: bool,
+    /// Concrete example present (Richness).
+    pub has_example: bool,
+    /// Response word count.
+    pub words: usize,
+}
+
+impl ResponseAnalysis {
+    /// Number of basic-level flaws.
+    pub fn basic_flaws(&self) -> u32 {
+        self.fact_errors + u32::from(self.irrelevant) + u32::from(self.truncated) + u32::from(self.thin)
+    }
+
+    /// Richness in [0, 1]: reasoning, example, and substance. The grading
+    /// is deliberately demanding — the full point needs explicit reasoning
+    /// *and* a concrete example *and* real length, which is what separates
+    /// the Fig 4 ">4.5" band from merely adequate answers.
+    pub fn richness(&self) -> f64 {
+        let mut r = 0.0;
+        if self.reasoned {
+            r += 0.35;
+        }
+        if self.has_example {
+            r += 0.35;
+        }
+        if self.words >= 55 {
+            r += 0.3;
+        } else if self.words >= 30 {
+            r += 0.1;
+        }
+        r
+    }
+
+    /// Advanced readability satisfied?
+    pub fn readable(&self) -> bool {
+        self.readability_flaws == 0 && self.layout_flaws == 0 && !self.degenerate
+    }
+
+    /// Humanization in [0, 1].
+    pub fn humanization(&self) -> f64 {
+        match (self.warm, self.machine_tone) {
+            (true, false) => 1.0,
+            (true, true) => 0.4,
+            (false, false) => 0.5,
+            (false, true) => 0.0,
+        }
+    }
+}
+
+/// Scores for one pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PairScores {
+    /// Instruction score, 0–100.
+    pub instruction: f64,
+    /// Response score, 0–100.
+    pub response: f64,
+}
+
+/// The criteria engine. Stateless; construct once and reuse.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CriteriaEngine;
+
+/// Relevance threshold: responses overlapping less than this with the
+/// instruction's topic words are flagged irrelevant.
+const RELEVANCE_THRESHOLD: f64 = 0.2;
+/// Word count below which an unexplained response counts as thin. Bare
+/// single-sentence answers run 8–17 words; a minimal two-sentence adequate
+/// answer runs 18+.
+const THIN_WORDS: usize = 18;
+
+impl CriteriaEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Analyses an instruction.
+    pub fn analyze_instruction(&self, instruction: &str) -> InstructionAnalysis {
+        let mut a = InstructionAnalysis {
+            readability_flaws: count_misspellings(instruction),
+            layout_flaws: count_layout_flaws(instruction),
+            vague: lexicon::contains_marker(instruction, lexicon::VAGUE_PHRASES),
+            infeasible: lexicon::contains_marker(instruction, lexicon::INFEASIBLE_PHRASES),
+            invalid_input: lexicon::contains_marker(instruction, lexicon::INVALID_INPUT_MARKERS),
+            multimodal: lexicon::contains_marker(instruction, lexicon::MULTIMODAL_MARKERS),
+            has_context: lexicon::contains_marker(instruction, lexicon::CONTEXT_MARKERS),
+        };
+        if instruction.trim().is_empty() {
+            a.infeasible = true;
+        }
+        a
+    }
+
+    /// Analyses a response against its instruction.
+    pub fn analyze_response(&self, instruction: &str, response: &str) -> ResponseAnalysis {
+        let words = token::word_count(response);
+        let reasoned = lexicon::contains_marker(response, lexicon::REASONING_MARKERS);
+        let cleaned = clean::clean_output(response);
+        let template_leak = matches!(
+            clean::validate_pair("x", response),
+            clean::Validity::TemplateLeak | clean::Validity::Degenerate
+        );
+        let invalid_chars = response
+            .chars()
+            .any(|c| (c.is_control() && c != '\n' && c != '\t') || c == '\u{FFFD}');
+        ResponseAnalysis {
+            unsafe_content: lexicon::contains_marker(response, lexicon::UNSAFE_MARKERS),
+            fact_errors: count_fact_errors(response),
+            irrelevant: lexicon::is_off_topic(instruction, response, RELEVANCE_THRESHOLD),
+            truncated: is_truncated(response),
+            thin: words < THIN_WORDS && !reasoned,
+            readability_flaws: count_misspellings(response),
+            layout_flaws: count_layout_flaws(response),
+            degenerate: template_leak
+                || invalid_chars
+                || cleaned.len() < response.len().saturating_sub(2),
+            machine_tone: lexicon::contains_marker(response, lexicon::MACHINE_TONE_MARKERS),
+            warm: lexicon::contains_marker(response, lexicon::WARM_MARKERS),
+            reasoned,
+            has_example: normalize::fold_case(response).contains("for example"),
+            words,
+        }
+    }
+
+    /// Scores an instruction per the Table II level structure.
+    pub fn score_instruction(&self, a: &InstructionAnalysis) -> f64 {
+        let basic = a.basic_flaws();
+        if basic > 0 {
+            // Basic flaws cap at 80 and each costs points; hard feasibility
+            // problems (infeasible/invalid/multimodal) cost more.
+            let hard =
+                u32::from(a.infeasible) + u32::from(a.invalid_input) + u32::from(a.multimodal);
+            let soft = basic - hard;
+            (80.0 - 14.0 * hard as f64 - 7.0 * soft as f64).max(35.0)
+        } else {
+            // Advanced range: context quality spreads 80–100.
+            if a.has_context {
+                96.0
+            } else {
+                84.0
+            }
+        }
+    }
+
+    /// Scores a response per the Table II level structure.
+    pub fn score_response(&self, a: &ResponseAnalysis) -> f64 {
+        if a.unsafe_content {
+            // Red line: 0–40, graded by how much else survives.
+            let salvage = (1.0 - a.basic_flaws() as f64 * 0.2).clamp(0.0, 1.0);
+            return 22.0 + 18.0 * salvage;
+        }
+        let basic = a.basic_flaws() + a.readability_flaws.min(3) / 2;
+        if basic > 0 {
+            (80.0 - 11.0 * basic as f64).max(42.0)
+        } else {
+            // Advanced band 80–100: readability 5, richness 9, humanization 6.
+            let adv = 5.0 * f64::from(a.readable())
+                + 9.0 * a.richness()
+                + 6.0 * a.humanization();
+            80.0 + adv.min(20.0)
+        }
+    }
+
+    /// Full pair scoring.
+    pub fn score_pair(&self, instruction: &str, response: &str) -> PairScores {
+        let ia = self.analyze_instruction(instruction);
+        let ra = self.analyze_response(instruction, response);
+        PairScores {
+            instruction: self.score_instruction(&ia),
+            response: self.score_response(&ra),
+        }
+    }
+}
+
+/// Counts misspelled forms and grammar-pair errors present in `text`.
+fn count_misspellings(text: &str) -> u32 {
+    let folded = normalize::fold_case(text);
+    let mut n = 0u32;
+    for (wrong, _) in lexicon::TYPO_PAIRS {
+        if contains_word(&folded, wrong) {
+            n += 1;
+        }
+    }
+    for (wrong, _) in lexicon::GRAMMAR_PAIRS {
+        if folded.contains(wrong) {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Word-boundary containment on already-folded text.
+fn contains_word(folded: &str, word: &str) -> bool {
+    let bytes = folded.as_bytes();
+    let mut start = 0;
+    while let Some(rel) = folded[start..].find(word) {
+        let pos = start + rel;
+        let end = pos + word.len();
+        let before_ok = pos == 0 || !bytes[pos - 1].is_ascii_alphanumeric();
+        let after_ok = end >= folded.len() || !bytes[end].is_ascii_alphanumeric();
+        if before_ok && after_ok {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+/// Counts layout problems: doubled spaces, space before punctuation,
+/// lowercase sentence starts, missing terminal punctuation.
+fn count_layout_flaws(text: &str) -> u32 {
+    let t = text.trim();
+    if t.is_empty() {
+        return 0;
+    }
+    let mut n = 0u32;
+    if t.contains("  ") {
+        n += 1;
+    }
+    if t.contains(" .") || t.contains(" ,") || t.contains(" !") || t.contains(" ?") {
+        n += 1;
+    }
+    if t.chars().next().is_some_and(|c| c.is_lowercase()) {
+        n += 1;
+    }
+    if t.chars().last().is_some_and(|c| c.is_alphanumeric()) {
+        n += 1;
+    }
+    n
+}
+
+/// Counts fact-table contradictions in `text`.
+fn count_fact_errors(text: &str) -> u32 {
+    let folded = normalize::fold_case(text);
+    lexicon::FACT_TABLE
+        .iter()
+        .filter(|(subject, _, wrong)| {
+            folded.contains(&normalize::fold_case(subject))
+                && folded.contains(&normalize::fold_case(wrong))
+        })
+        .count() as u32
+}
+
+/// Truncation shape: trailing ellipsis or a dangling non-terminal ending.
+fn is_truncated(text: &str) -> bool {
+    let t = text.trim_end();
+    if t.is_empty() {
+        return false;
+    }
+    t.ends_with("...") || t.chars().last().is_some_and(|c| c == ',' || c == ';')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_INSTR: &str = "Explain the water cycle for a middle-school reader. For example, mention rain.";
+    const GOOD_RESP: &str = "The water cycle moves water through evaporation, condensation, and rain. \
+        This happens because the sun heats oceans and lakes, lifting vapor into the air. \
+        For example, puddles disappear on a sunny day because the water evaporates. \
+        In summary, water constantly circulates between the surface and the sky. \
+        I hope this helps; feel free to ask about any step.";
+
+    #[test]
+    fn clean_pair_scores_high() {
+        let e = CriteriaEngine::new();
+        let s = e.score_pair(GOOD_INSTR, GOOD_RESP);
+        assert!(s.instruction >= 90.0, "instruction {}", s.instruction);
+        assert!(s.response >= 95.0, "response {}", s.response);
+    }
+
+    #[test]
+    fn unsafe_response_capped_at_40() {
+        let e = CriteriaEngine::new();
+        let resp = format!("{GOOD_RESP} Also, guaranteed to double your investment overnight.");
+        let s = e.score_pair(GOOD_INSTR, &resp);
+        assert!(s.response <= 40.0, "response {}", s.response);
+    }
+
+    #[test]
+    fn basic_flaws_cap_response_at_80() {
+        let e = CriteriaEngine::new();
+        // Thin response: one short unexplained sentence.
+        let s = e.score_pair("Explain the tides in the ocean", "The moon pulls ocean water.");
+        assert!(s.response < 80.0, "response {}", s.response);
+        assert!(s.response >= 42.0);
+    }
+
+    #[test]
+    fn fact_error_detected_and_penalised() {
+        let e = CriteriaEngine::new();
+        let resp = format!("{GOOD_RESP} Remember that the capital of France is Berlin.");
+        let a = e.analyze_response(GOOD_INSTR, &resp);
+        assert_eq!(a.fact_errors, 1);
+        assert!(e.score_response(&a) < 80.0);
+    }
+
+    #[test]
+    fn corrected_fact_not_penalised() {
+        let e = CriteriaEngine::new();
+        let resp = format!("{GOOD_RESP} Remember that the capital of France is Paris.");
+        assert_eq!(e.analyze_response(GOOD_INSTR, &resp).fact_errors, 0);
+    }
+
+    #[test]
+    fn irrelevance_detected_via_overlap() {
+        let e = CriteriaEngine::new();
+        let a = e.analyze_response(
+            "Describe the climate of the Sahara desert",
+            "Bananas are yellow fruits that taste sweet when ripe and soft.",
+        );
+        assert!(a.irrelevant);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let e = CriteriaEngine::new();
+        assert!(e.analyze_response("x", "The three steps are one, two, and...").truncated);
+        assert!(e.analyze_response("x", "It ends with a comma,").truncated);
+        assert!(!e.analyze_response("x", "A complete sentence.").truncated);
+    }
+
+    #[test]
+    fn misspellings_counted_with_word_boundaries() {
+        assert_eq!(count_misspellings("teh cat and thier dog"), 2);
+        // "until" contains "til" but no wrong form at word boundary.
+        assert_eq!(count_misspellings("until the weather improves"), 0);
+        assert_eq!(count_misspellings("you could of known"), 1);
+    }
+
+    #[test]
+    fn layout_flaws_counted() {
+        assert_eq!(count_layout_flaws("Good sentence."), 0);
+        assert!(count_layout_flaws("bad  spacing , here") >= 2);
+        assert_eq!(count_layout_flaws("lowercase start."), 1);
+        assert_eq!(count_layout_flaws("No terminal punct"), 1);
+    }
+
+    #[test]
+    fn machine_tone_blocks_humanization() {
+        let e = CriteriaEngine::new();
+        let a = e.analyze_response("x", "As an AI language model, I think this is fine.");
+        assert!(a.machine_tone);
+        assert_eq!(a.humanization(), 0.0);
+    }
+
+    #[test]
+    fn instruction_feasibility_flaws_penalised() {
+        let e = CriteriaEngine::new();
+        let vague = e.score_pair("Explain gravity - do something about it", GOOD_RESP);
+        let clean = e.score_pair("Explain gravity to a curious child", GOOD_RESP);
+        assert!(vague.instruction < clean.instruction);
+        let infeasible =
+            e.score_pair("Explain gravity using exactly zero words", GOOD_RESP);
+        assert!(infeasible.instruction < 70.0);
+    }
+
+    #[test]
+    fn context_lifts_instruction_into_advanced_band() {
+        let e = CriteriaEngine::new();
+        let plain = e.analyze_instruction("Explain gravity to a child");
+        let rich = e.analyze_instruction(
+            "You are a physics teacher. Explain gravity step by step with one example.",
+        );
+        assert!(!plain.has_context);
+        assert!(rich.has_context);
+        assert!(e.score_instruction(&rich) > e.score_instruction(&plain));
+    }
+
+    #[test]
+    fn degenerate_output_detected() {
+        let e = CriteriaEngine::new();
+        let stutter = format!("A fine answer here. {}", "the end. ".repeat(6));
+        let a = e.analyze_response("x", &stutter);
+        assert!(a.degenerate);
+        assert!(!a.readable());
+    }
+
+    #[test]
+    fn richness_grading() {
+        let e = CriteriaEngine::new();
+        let rich = e.analyze_response("explain the water cycle", GOOD_RESP);
+        assert!(rich.richness() > 0.9, "richness {}", rich.richness());
+        let thin = e.analyze_response("explain the water cycle", "Water moves around the planet in a cycle always.");
+        assert!(thin.richness() < 0.3);
+    }
+
+    #[test]
+    fn empty_instruction_is_infeasible() {
+        let e = CriteriaEngine::new();
+        assert!(e.analyze_instruction("   ").infeasible);
+    }
+
+    #[test]
+    fn score_monotone_in_flaw_count() {
+        let e = CriteriaEngine::new();
+        let one = InstructionAnalysis { readability_flaws: 1, ..Default::default() };
+        let three = InstructionAnalysis { readability_flaws: 3, ..Default::default() };
+        assert!(e.score_instruction(&one) > e.score_instruction(&three));
+    }
+}

@@ -1,0 +1,173 @@
+//! The GPT-4-style paired scorer (§III-A1c).
+//!
+//! Chiang et al.'s prompt shows two candidate responses and asks GPT-4 for
+//! two 0–10 scores plus a rationale. The paper notes this judge's
+//! position bias when swapping candidates; we model a noticeably larger
+//! first-position bonus than PandaLM's, which the swap protocol then
+//! cancels. Scores share the criteria-engine quality signal with PandaLM
+//! but not its noise stream, so the two judges agree in trend (Fig 5) while
+//! disagreeing on individual samples.
+
+use crate::chatgpt::gaussian;
+use crate::criteria::CriteriaEngine;
+use crate::pandalm::{combine_debiased, Verdict};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// A GPT-4 paired rating: two 0–10 scores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PairedScores {
+    /// Score of the first-presented candidate.
+    pub first: f64,
+    /// Score of the second-presented candidate.
+    pub second: f64,
+}
+
+/// The GPT-4 judge.
+#[derive(Debug, Clone)]
+pub struct Gpt4Judge {
+    engine: CriteriaEngine,
+    seed: u64,
+    /// Per-candidate score noise, on the 0–10 scale.
+    pub noise: f64,
+    /// First-position bonus, on the 0–10 scale (GPT-4's reported bias).
+    pub position_bias: f64,
+    /// Score gap below which the verdict is a tie.
+    pub tie_band: f64,
+}
+
+impl Gpt4Judge {
+    /// Creates a judge with GPT-4-calibrated noise/bias.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            engine: CriteriaEngine::new(),
+            seed,
+            noise: 0.55,
+            position_bias: 0.35,
+            tie_band: 0.35,
+        }
+    }
+
+    /// Rates a presented pair (first, second) on 0–10 each.
+    pub fn rate_pair(
+        &self,
+        comparison_id: u64,
+        instruction: &str,
+        first: &str,
+        second: &str,
+        order: u8,
+    ) -> PairedScores {
+        let qa = self.engine.score_pair(instruction, first).response / 10.0;
+        let qb = self.engine.score_pair(instruction, second).response / 10.0;
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ comparison_id.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                ^ u64::from(order) << 48,
+        );
+        PairedScores {
+            first: (qa + self.position_bias + gaussian(&mut rng) * self.noise).clamp(0.0, 10.0),
+            second: (qb + gaussian(&mut rng) * self.noise).clamp(0.0, 10.0),
+        }
+    }
+
+    /// Single-order verdict for `first` vs `second`.
+    pub fn compare_once(
+        &self,
+        comparison_id: u64,
+        instruction: &str,
+        first: &str,
+        second: &str,
+        order: u8,
+    ) -> Verdict {
+        let s = self.rate_pair(comparison_id, instruction, first, second, order);
+        if (s.first - s.second).abs() < self.tie_band {
+            Verdict::Tie
+        } else if s.first > s.second {
+            Verdict::Win
+        } else {
+            Verdict::Lose
+        }
+    }
+
+    /// Debiased comparison (both orders, §III-A1 combination).
+    pub fn compare(
+        &self,
+        comparison_id: u64,
+        instruction: &str,
+        candidate: &str,
+        reference: &str,
+    ) -> Verdict {
+        let first = self.compare_once(comparison_id, instruction, candidate, reference, 0);
+        let second =
+            self.compare_once(comparison_id, instruction, reference, candidate, 1).invert();
+        combine_debiased(first, second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STRONG: &str = "The water cycle moves water through evaporation and rain. \
+        This happens because the sun heats the oceans and lifts vapor into the sky. \
+        For example, puddles vanish on sunny days. In summary, water circulates constantly. \
+        I hope this helps; feel free to ask more.";
+    const WEAK: &str = "Water moves around the sky sometimes.";
+    const INSTR: &str = "Explain the water cycle";
+
+    #[test]
+    fn scores_are_on_ten_scale() {
+        let j = Gpt4Judge::new(1);
+        let s = j.rate_pair(0, INSTR, STRONG, WEAK, 0);
+        assert!(s.first > s.second);
+        assert!((0.0..=10.0).contains(&s.first));
+        assert!((0.0..=10.0).contains(&s.second));
+    }
+
+    #[test]
+    fn clear_gap_wins_debiased() {
+        let j = Gpt4Judge::new(2);
+        assert_eq!(j.compare(0, INSTR, STRONG, WEAK), Verdict::Win);
+    }
+
+    #[test]
+    fn position_bias_visible_in_single_order() {
+        let j = Gpt4Judge::new(3);
+        // Equal candidates: the first-presented one wins more often than it
+        // loses across many single-order judgements.
+        let (mut wins, mut losses) = (0, 0);
+        for id in 0..300 {
+            match j.compare_once(id, INSTR, STRONG, STRONG, 0) {
+                Verdict::Win => wins += 1,
+                Verdict::Lose => losses += 1,
+                Verdict::Tie => {}
+            }
+        }
+        assert!(wins > losses + 20, "wins {wins} losses {losses}");
+    }
+
+    #[test]
+    fn debiasing_restores_symmetry() {
+        let j = Gpt4Judge::new(4);
+        let (mut wins, mut losses) = (0, 0);
+        for id in 0..300 {
+            match j.compare(id, INSTR, STRONG, STRONG) {
+                Verdict::Win => wins += 1,
+                Verdict::Lose => losses += 1,
+                Verdict::Tie => {}
+            }
+        }
+        let diff = (wins as i64 - losses as i64).abs();
+        assert!(diff < 30, "wins {wins} losses {losses}");
+    }
+
+    #[test]
+    fn deterministic_per_id() {
+        let j = Gpt4Judge::new(5);
+        assert_eq!(
+            j.rate_pair(7, INSTR, STRONG, WEAK, 0),
+            j.rate_pair(7, INSTR, STRONG, WEAK, 0)
+        );
+    }
+}

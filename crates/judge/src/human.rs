@@ -1,0 +1,182 @@
+//! The group-C human evaluation panel (§III-A1a, Tables VIII and X).
+//!
+//! Three experts (R1, R2, R3) independently score INSTRUCTIONs and
+//! RESPONSEs 0–100 against the Table II criteria, blind to sample sources.
+//! Each reviewer is the criteria engine plus a personal leniency offset and
+//! per-sample noise — the spread between reviewers in Tables VIII/X is a
+//! couple of points, which these parameters reproduce.
+
+use crate::chatgpt::gaussian;
+use crate::criteria::CriteriaEngine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// One human reviewer.
+#[derive(Debug, Clone, Serialize)]
+pub struct Reviewer {
+    /// Display name ("R1".."R3").
+    pub name: &'static str,
+    /// Personal leniency offset (criteria points).
+    pub leniency: f64,
+    /// Per-sample scoring noise (standard deviation, criteria points).
+    pub noise: f64,
+}
+
+/// The three-reviewer panel.
+#[derive(Debug, Clone)]
+pub struct HumanPanel {
+    engine: CriteriaEngine,
+    seed: u64,
+    /// The reviewers, in R1..R3 order.
+    pub reviewers: [Reviewer; 3],
+}
+
+/// Scores by all three reviewers plus the average.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PanelScores {
+    /// Per-reviewer scores, R1..R3.
+    pub by_reviewer: [f64; 3],
+    /// Average of the three.
+    pub avg: f64,
+}
+
+impl HumanPanel {
+    /// The paper's group-C panel.
+    pub fn group_c(seed: u64) -> Self {
+        Self {
+            engine: CriteriaEngine::new(),
+            seed,
+            reviewers: [
+                Reviewer { name: "R1", leniency: -1.2, noise: 2.4 },
+                Reviewer { name: "R2", leniency: 0.4, noise: 2.2 },
+                Reviewer { name: "R3", leniency: 1.1, noise: 2.6 },
+            ],
+        }
+    }
+
+    fn noised(&self, base: f64, sample_id: u64, reviewer_idx: usize) -> f64 {
+        let r = &self.reviewers[reviewer_idx];
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ sample_id.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                ^ (reviewer_idx as u64) << 40,
+        );
+        (base + r.leniency + gaussian(&mut rng) * r.noise).clamp(0.0, 100.0)
+    }
+
+    /// Panel scores for an INSTRUCTION.
+    pub fn rate_instruction(&self, sample_id: u64, instruction: &str) -> PanelScores {
+        let base = self.engine.score_pair(instruction, "placeholder").instruction;
+        self.collect(base, sample_id)
+    }
+
+    /// Panel scores for a RESPONSE (judged against its instruction).
+    pub fn rate_response(&self, sample_id: u64, instruction: &str, response: &str) -> PanelScores {
+        let base = self.engine.score_pair(instruction, response).response;
+        self.collect(base, sample_id)
+    }
+
+    fn collect(&self, base: f64, sample_id: u64) -> PanelScores {
+        let by_reviewer = [
+            self.noised(base, sample_id, 0),
+            self.noised(base, sample_id, 1),
+            self.noised(base, sample_id, 2),
+        ];
+        PanelScores { by_reviewer, avg: by_reviewer.iter().sum::<f64>() / 3.0 }
+    }
+}
+
+/// Averages panel scores across many samples, per reviewer and overall —
+/// the row shape of Tables VIII and X.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct PanelAverages {
+    /// Per-reviewer means, R1..R3.
+    pub by_reviewer: [f64; 3],
+    /// Mean of the per-reviewer means.
+    pub avg: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl PanelAverages {
+    /// Accumulates a sample's panel scores.
+    pub fn add(&mut self, s: &PanelScores) {
+        for i in 0..3 {
+            self.by_reviewer[i] += s.by_reviewer[i];
+        }
+        self.count += 1;
+    }
+
+    /// Finalises the averages.
+    pub fn finish(mut self) -> Self {
+        if self.count > 0 {
+            for v in &mut self.by_reviewer {
+                *v /= self.count as f64;
+            }
+        }
+        self.avg = self.by_reviewer.iter().sum::<f64>() / 3.0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RICH: &str = "The water cycle moves water through evaporation and rain. \
+        This happens because the sun heats the oceans. For example, puddles vanish \
+        on sunny days. In summary, water circulates. I hope this helps; feel free to ask.";
+
+    #[test]
+    fn reviewers_are_close_but_not_identical() {
+        let p = HumanPanel::group_c(1);
+        let s = p.rate_response(0, "Explain the water cycle", RICH);
+        let spread = s
+            .by_reviewer
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        assert!(spread.1 - spread.0 < 15.0);
+        assert!(spread.1 - spread.0 > 0.0);
+    }
+
+    #[test]
+    fn better_text_scores_higher_for_every_reviewer() {
+        let p = HumanPanel::group_c(2);
+        let hi = p.rate_response(0, "Explain the water cycle", RICH);
+        let lo = p.rate_response(0, "Explain the water cycle", "Water moves.");
+        for i in 0..3 {
+            assert!(hi.by_reviewer[i] > lo.by_reviewer[i]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_sample() {
+        let p = HumanPanel::group_c(3);
+        assert_eq!(p.rate_response(9, "x", RICH), p.rate_response(9, "x", RICH));
+    }
+
+    #[test]
+    fn averages_accumulate() {
+        let p = HumanPanel::group_c(4);
+        let mut acc = PanelAverages::default();
+        for id in 0..10 {
+            acc.add(&p.rate_response(id, "Explain the water cycle", RICH));
+        }
+        let done = acc.finish();
+        assert_eq!(done.count, 10);
+        assert!(done.avg > 80.0);
+        assert!((done.avg
+            - done.by_reviewer.iter().sum::<f64>() / 3.0)
+            .abs()
+            < 1e-9);
+    }
+
+    #[test]
+    fn instruction_rating_ignores_response() {
+        let p = HumanPanel::group_c(5);
+        let a = p.rate_instruction(0, "Explain gravity step by step with an example.");
+        let b = p.rate_instruction(0, "explain gravity - do something about it");
+        assert!(a.avg > b.avg);
+    }
+}

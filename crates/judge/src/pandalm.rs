@@ -1,0 +1,191 @@
+//! The PandaLM-style pairwise judge (§III-A1d) with the swap-order
+//! debiasing protocol of §III-A1.
+//!
+//! PandaLM takes an instruction and two candidate responses and outputs
+//! "win"/"tie"/"lose" for the first candidate. Our stand-in compares the
+//! criteria-engine scores of the two responses with seeded per-comparison
+//! noise, a tie band, and a small position bias (PandaLM "effectively
+//! addresses biases that may arise when swapping candidates", so its bias
+//! is small; the GPT-4 judge's is larger).
+//!
+//! The debiased comparison runs both orders: conflicting results become a
+//! tie, and a win+tie (lose+tie) combination counts as a win (lose) — the
+//! exact protocol the paper adopts from AlpaGasus.
+
+use crate::chatgpt::gaussian;
+use crate::criteria::CriteriaEngine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome for the *first* candidate of a comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// First candidate is better.
+    Win,
+    /// Comparable quality.
+    Tie,
+    /// Second candidate is better.
+    Lose,
+}
+
+impl Verdict {
+    /// The verdict from the opposite candidate's perspective.
+    pub fn invert(self) -> Verdict {
+        match self {
+            Verdict::Win => Verdict::Lose,
+            Verdict::Tie => Verdict::Tie,
+            Verdict::Lose => Verdict::Win,
+        }
+    }
+}
+
+/// Combines two verdicts for the same candidate (one per presentation
+/// order) per the §III-A1 protocol.
+pub fn combine_debiased(first_order: Verdict, second_order: Verdict) -> Verdict {
+    use Verdict::*;
+    match (first_order, second_order) {
+        (Win, Win) => Win,
+        (Lose, Lose) => Lose,
+        (Tie, Tie) => Tie,
+        (Win, Lose) | (Lose, Win) => Tie, // conflict → tie
+        (Win, Tie) | (Tie, Win) => Win,   // win + tie → win
+        (Lose, Tie) | (Tie, Lose) => Lose, // lose + tie → lose
+    }
+}
+
+/// The pairwise judge.
+#[derive(Debug, Clone)]
+pub struct PandaLm {
+    engine: CriteriaEngine,
+    seed: u64,
+    /// Per-candidate score noise (criteria points).
+    pub noise: f64,
+    /// Quality difference below which the verdict is a tie.
+    pub tie_band: f64,
+    /// Additive bonus for the first-presented candidate (position bias).
+    pub position_bias: f64,
+}
+
+impl PandaLm {
+    /// Creates a judge with PandaLM-calibrated noise/bias.
+    pub fn new(seed: u64) -> Self {
+        Self { engine: CriteriaEngine::new(), seed, noise: 3.0, tie_band: 6.0, position_bias: 0.8 }
+    }
+
+    /// Raw single-order comparison: verdict for `first` vs `second`.
+    pub fn compare_once(
+        &self,
+        comparison_id: u64,
+        instruction: &str,
+        first: &str,
+        second: &str,
+        order: u8,
+    ) -> Verdict {
+        let qa = self.engine.score_pair(instruction, first).response;
+        let qb = self.engine.score_pair(instruction, second).response;
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ comparison_id.wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ u64::from(order) << 56,
+        );
+        let qa = qa + self.position_bias + gaussian(&mut rng) * self.noise;
+        let qb = qb + gaussian(&mut rng) * self.noise;
+        if (qa - qb).abs() < self.tie_band {
+            Verdict::Tie
+        } else if qa > qb {
+            Verdict::Win
+        } else {
+            Verdict::Lose
+        }
+    }
+
+    /// Debiased comparison of `candidate` against `reference` (§III-A1):
+    /// judged in both presentation orders, then combined.
+    pub fn compare(
+        &self,
+        comparison_id: u64,
+        instruction: &str,
+        candidate: &str,
+        reference: &str,
+    ) -> Verdict {
+        let first = self.compare_once(comparison_id, instruction, candidate, reference, 0);
+        let second =
+            self.compare_once(comparison_id, instruction, reference, candidate, 1).invert();
+        combine_debiased(first, second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STRONG: &str = "The water cycle moves water through evaporation and rain. \
+        This happens because the sun heats the oceans and lifts vapor into the sky. \
+        For example, puddles vanish on sunny days. In summary, water circulates constantly. \
+        I hope this helps; feel free to ask more.";
+    const WEAK: &str = "Water moves around the sky sometimes.";
+    const INSTR: &str = "Explain the water cycle";
+
+    #[test]
+    fn clear_quality_gap_wins() {
+        let j = PandaLm::new(1);
+        assert_eq!(j.compare(0, INSTR, STRONG, WEAK), Verdict::Win);
+        assert_eq!(j.compare(0, INSTR, WEAK, STRONG), Verdict::Lose);
+    }
+
+    #[test]
+    fn self_comparison_mostly_ties() {
+        let j = PandaLm::new(2);
+        let mut ties = 0;
+        for id in 0..200 {
+            if j.compare(id, INSTR, STRONG, STRONG) == Verdict::Tie {
+                ties += 1;
+            }
+        }
+        assert!(ties > 100, "ties {ties}/200");
+    }
+
+    #[test]
+    fn debiasing_cancels_position_bias() {
+        // With a huge position bias, single-order comparisons of equal
+        // candidates favour the first; the debiased protocol does not.
+        let mut j = PandaLm::new(3);
+        j.position_bias = 15.0;
+        j.noise = 0.5;
+        let mut single_wins = 0;
+        let mut debiased_wins = 0;
+        for id in 0..100 {
+            if j.compare_once(id, INSTR, STRONG, STRONG, 0) == Verdict::Win {
+                single_wins += 1;
+            }
+            if j.compare(id, INSTR, STRONG, STRONG) == Verdict::Win {
+                debiased_wins += 1;
+            }
+        }
+        assert!(single_wins > 90, "single {single_wins}");
+        assert_eq!(debiased_wins, 0, "debiased {debiased_wins}");
+    }
+
+    #[test]
+    fn combine_protocol_matches_paper() {
+        use Verdict::*;
+        assert_eq!(combine_debiased(Win, Lose), Tie);
+        assert_eq!(combine_debiased(Win, Tie), Win);
+        assert_eq!(combine_debiased(Tie, Lose), Lose);
+        assert_eq!(combine_debiased(Win, Win), Win);
+        assert_eq!(combine_debiased(Tie, Tie), Tie);
+    }
+
+    #[test]
+    fn verdict_inversion() {
+        assert_eq!(Verdict::Win.invert(), Verdict::Lose);
+        assert_eq!(Verdict::Tie.invert(), Verdict::Tie);
+    }
+
+    #[test]
+    fn deterministic_per_comparison_id() {
+        let j = PandaLm::new(9);
+        assert_eq!(j.compare(5, INSTR, STRONG, WEAK), j.compare(5, INSTR, STRONG, WEAK));
+    }
+}

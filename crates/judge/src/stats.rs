@@ -1,0 +1,205 @@
+//! Statistics utilities: means, histograms, and the least-squares linear
+//! fit (with R²) used for the Fig 5(b) extrapolation.
+
+use serde::Serialize;
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (0.0 for fewer than two points).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// A fixed-width histogram over `[lo, hi)`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    /// Inclusive lower bound of the first bin.
+    pub lo: f64,
+    /// Exclusive upper bound of the last bin.
+    pub hi: f64,
+    /// Bin counts.
+    pub bins: Vec<usize>,
+    /// Values below `lo` or at/above `hi`.
+    pub outliers: usize,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `n` bins.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0 && hi > lo, "invalid histogram bounds");
+        Self { lo, hi, bins: vec![0; n], outliers: 0 }
+    }
+
+    /// Adds one value.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo || x >= self.hi {
+            // Values exactly at `hi` land in the last bin for convenience.
+            if (x - self.hi).abs() < f64::EPSILON {
+                let last = self.bins.len() - 1;
+                self.bins[last] += 1;
+            } else {
+                self.outliers += 1;
+            }
+            return;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Total counted values (excluding outliers).
+    pub fn total(&self) -> usize {
+        self.bins.iter().sum()
+    }
+
+    /// Bin fractions (empty histogram → zeros).
+    pub fn fractions(&self) -> Vec<f64> {
+        let t = self.total().max(1) as f64;
+        self.bins.iter().map(|&b| b as f64 / t).collect()
+    }
+}
+
+/// A least-squares line `y = slope·x + intercept` with its R².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LinearFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Predicted y at x.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// x where the line reaches y (None for a flat line).
+    pub fn solve_for(&self, y: f64) -> Option<f64> {
+        if self.slope.abs() < 1e-12 {
+            None
+        } else {
+            Some((y - self.intercept) / self.slope)
+        }
+    }
+}
+
+/// Fits a least-squares line to `(x, y)` points.
+///
+/// Returns `None` for fewer than two points or zero x-variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    if sxx < 1e-12 {
+        return None;
+    }
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(LinearFit { slope, intercept, r2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 5.0, 5);
+        for x in [0.1, 0.9, 1.5, 4.9, 5.0, -0.1, 6.0] {
+            h.add(x);
+        }
+        assert_eq!(h.bins, vec![2, 1, 0, 0, 2]); // 5.0 lands in last bin
+        assert_eq!(h.outliers, 2);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for i in 0..100 {
+            h.add(i as f64 / 100.0);
+        }
+        let s: f64 = h.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram")]
+    fn histogram_rejects_bad_bounds() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+
+    #[test]
+    fn perfect_line_fits_exactly() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!((fit.intercept - 1.0).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-9);
+        assert!((fit.predict(20.0) - 61.0).abs() < 1e-9);
+        assert!((fit.solve_for(61.0).unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_has_high_but_imperfect_r2() {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                (x, 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            })
+            .collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!(fit.r2 > 0.97 && fit.r2 < 1.0, "r2 {}", fit.r2);
+    }
+
+    #[test]
+    fn degenerate_fits_return_none() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn flat_line_has_no_solve_for() {
+        let fit = linear_fit(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
+        assert!(fit.solve_for(7.0).is_none());
+        assert!((fit.r2 - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,136 @@
+//! Win-rate arithmetic (§III-C1a).
+//!
+//! * `WR1 = (#win + 0.5·#tie) / #all`
+//! * `WR2 = #win / (#all − #tie)`
+//! * `QS  = (#win + #tie) / #all` — the share of responses reaching the
+//!   reference's level.
+
+use crate::pandalm::Verdict;
+use serde::Serialize;
+
+/// Counts of win/tie/lose verdicts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct VerdictCounts {
+    /// Wins for the candidate.
+    pub win: usize,
+    /// Ties.
+    pub tie: usize,
+    /// Losses.
+    pub lose: usize,
+}
+
+impl VerdictCounts {
+    /// Accumulates one verdict.
+    pub fn add(&mut self, v: Verdict) {
+        match v {
+            Verdict::Win => self.win += 1,
+            Verdict::Tie => self.tie += 1,
+            Verdict::Lose => self.lose += 1,
+        }
+    }
+
+    /// Collects from an iterator.
+    pub fn collect<I: IntoIterator<Item = Verdict>>(iter: I) -> Self {
+        let mut c = Self::default();
+        for v in iter {
+            c.add(v);
+        }
+        c
+    }
+
+    /// Total comparisons.
+    pub fn total(&self) -> usize {
+        self.win + self.tie + self.lose
+    }
+
+    /// The three win rates.
+    pub fn rates(&self) -> WinRates {
+        let all = self.total();
+        if all == 0 {
+            return WinRates::default();
+        }
+        let all_f = all as f64;
+        let wr2_den = all - self.tie;
+        WinRates {
+            wr1: (self.win as f64 + 0.5 * self.tie as f64) / all_f,
+            wr2: if wr2_den == 0 { 0.5 } else { self.win as f64 / wr2_den as f64 },
+            qs: (self.win + self.tie) as f64 / all_f,
+        }
+    }
+}
+
+/// The WR1/WR2/QS triple (fractions in [0, 1]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct WinRates {
+    /// Ties count half.
+    pub wr1: f64,
+    /// Ties excluded (0.5 when everything tied).
+    pub wr2: f64,
+    /// Quality score: reach-the-reference share.
+    pub qs: f64,
+}
+
+impl WinRates {
+    /// Average of the three rates (the Fig 5 y-axis).
+    pub fn mean(&self) -> f64 {
+        (self.wr1 + self.wr2 + self.qs) / 3.0
+    }
+}
+
+impl std::fmt::Display for WinRates {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WR1 {:5.1}%  WR2 {:5.1}%  QS {:5.1}%",
+            self.wr1 * 100.0,
+            self.wr2 * 100.0,
+            self.qs * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Verdict::*;
+
+    #[test]
+    fn paper_formulas() {
+        // 6 wins, 2 ties, 2 losses out of 10.
+        let c = VerdictCounts { win: 6, tie: 2, lose: 2 };
+        let r = c.rates();
+        assert!((r.wr1 - 0.7).abs() < 1e-9);
+        assert!((r.wr2 - 0.75).abs() < 1e-9);
+        assert!((r.qs - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collect_counts() {
+        let c = VerdictCounts::collect([Win, Win, Tie, Lose]);
+        assert_eq!(c, VerdictCounts { win: 2, tie: 1, lose: 1 });
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(VerdictCounts::default().rates(), WinRates::default());
+        let all_tie = VerdictCounts { win: 0, tie: 5, lose: 0 };
+        let r = all_tie.rates();
+        assert!((r.wr1 - 0.5).abs() < 1e-9);
+        assert!((r.wr2 - 0.5).abs() < 1e-9);
+        assert!((r.qs - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_averages_the_three() {
+        let c = VerdictCounts { win: 10, tie: 0, lose: 0 };
+        assert!((c.rates().mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let c = VerdictCounts { win: 1, tie: 0, lose: 1 };
+        let s = format!("{}", c.rates());
+        assert!(s.contains("50.0%"), "{s}");
+    }
+}

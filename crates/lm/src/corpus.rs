@@ -1,0 +1,191 @@
+//! Built-in pretraining corpora.
+//!
+//! Real backbones differ because they were pre-trained on different amounts
+//! of text. Our stand-in backbones differ the same way: each trains its
+//! n-gram model on a profile-dependent prefix of these built-in corpora and
+//! unlocks a profile-dependent share of the repair knowledge base. The text
+//! below is original filler prose spanning the domains the ALPACA52K
+//! categories cover (general knowledge, explanation, reasoning, coding,
+//! politeness, editing instructions).
+
+/// A named corpus section.
+#[derive(Debug, Clone, Copy)]
+pub struct Section {
+    /// Domain label.
+    pub name: &'static str,
+    /// The sentences of this section.
+    pub sentences: &'static [&'static str],
+}
+
+/// General-knowledge prose.
+pub const GENERAL: &[&str] = &[
+    "The capital of France is Paris, a city known for its museums and architecture.",
+    "Water boils at one hundred degrees Celsius at sea level.",
+    "Photosynthesis converts sunlight, water, and carbon dioxide into glucose and oxygen.",
+    "The Great Wall of China was built over many centuries to protect northern borders.",
+    "A healthy diet includes fruits, vegetables, whole grains, and lean proteins.",
+    "The human heart pumps blood through a network of arteries and veins.",
+    "Mount Everest is the tallest mountain above sea level on Earth.",
+    "Renewable energy sources include solar, wind, hydroelectric, and geothermal power.",
+    "The printing press transformed the spread of information in the fifteenth century.",
+    "Ocean currents distribute heat around the planet and shape regional climates.",
+    "Vaccines train the immune system to recognize and fight specific pathogens.",
+    "The speed of light in a vacuum is approximately three hundred thousand kilometers per second.",
+    "Honey never spoils because its low moisture and acidity prevent bacterial growth.",
+    "Democracy depends on free elections, independent courts, and a free press.",
+    "Supply and demand together determine prices in a competitive market.",
+    "The moon causes tides through its gravitational pull on the oceans.",
+    "Antibiotics treat bacterial infections but are ineffective against viruses.",
+    "A balanced budget means that spending does not exceed income over a period.",
+    "Biodiversity strengthens ecosystems by spreading risk across many species.",
+    "The internet is a global network of networks communicating through shared protocols.",
+];
+
+/// Explanation and reasoning scaffolds (chain-of-thought style connectives).
+pub const REASONING: &[&str] = &[
+    "Let us work through this step by step to reach the answer.",
+    "First, identify what the question is asking and list the known quantities.",
+    "Second, choose the formula or rule that connects the known values to the unknown.",
+    "Third, substitute the values carefully and simplify the expression.",
+    "Finally, check that the result is reasonable and answers the original question.",
+    "To see why this holds, consider a simple example with small numbers.",
+    "The key insight is that each step preserves the equality.",
+    "Therefore, the conclusion follows directly from the two premises.",
+    "In other words, the total is the sum of the individual parts.",
+    "This means the remaining amount equals the original minus what was removed.",
+    "As a result, the pattern repeats every four terms.",
+    "For instance, doubling the input doubles the output in a linear relation.",
+    "Breaking the problem into smaller cases makes each case easy to verify.",
+    "Because the two events are independent, their probabilities multiply.",
+    "It follows that the average equals the total divided by the count.",
+    "To summarize, we combined the rates and solved for the unknown time.",
+    "Note that the units must match before the quantities can be added.",
+    "Checking the boundary cases confirms that the formula behaves correctly.",
+];
+
+/// Coding-domain prose.
+pub const CODING: &[&str] = &[
+    "A function should do one thing and do it well.",
+    "The loop iterates over the list and accumulates the running total.",
+    "Use descriptive variable names so the code explains itself.",
+    "A hash map provides expected constant time lookup by key.",
+    "Recursion needs a base case to terminate.",
+    "The compiler reports a type error when the argument does not match the signature.",
+    "Unit tests verify each function in isolation before integration.",
+    "Sorting the array first allows a binary search afterwards.",
+    "An off by one error often hides at the boundary of a loop.",
+    "Exceptions should be caught at the level that can handle them meaningfully.",
+    "The class encapsulates state behind a small public interface.",
+    "Version control records every change so mistakes can be undone.",
+    "Caching the result avoids recomputing the same value repeatedly.",
+    "The algorithm runs in logarithmic time because it halves the search space.",
+    "Immutable data structures make concurrent code easier to reason about.",
+    "Here is a simple example in Python that prints the first ten squares.",
+];
+
+/// Politeness, empathy, and humanised-tone phrases (the Humanization
+/// dimension of Table II).
+pub const POLITE: &[&str] = &[
+    "Of course, I would be happy to help with that.",
+    "That is a great question, and the answer has a few parts.",
+    "I hope this explanation makes the idea clearer for you.",
+    "Please let me know if you would like more detail on any step.",
+    "Thank you for the helpful context; it makes the request easier to answer.",
+    "It is completely understandable to find this topic confusing at first.",
+    "Here is a friendly summary of the main points.",
+    "Feel free to ask a follow up question at any time.",
+    "I understand this situation can be stressful, so let us take it one step at a time.",
+    "Wishing you the best of luck with your project.",
+];
+
+/// Editing and revision instructions (the pre-training signal the paper
+/// says elicits content-revision ability, §II-F1).
+pub const EDITING: &[&str] = &[
+    "Correct the grammatical errors in the sentence without changing its meaning.",
+    "Rewrite the paragraph to be clearer and more concise.",
+    "Improve the word choice so the tone is professional.",
+    "Fix the spelling mistakes and adjust the punctuation.",
+    "Expand the answer with an example and a short explanation.",
+    "Rephrase the ambiguous request into a specific question.",
+    "Add a brief introduction and a concluding sentence.",
+    "Reorganize the list so related items appear together.",
+    "Replace the vague terms with precise measurements.",
+    "Shorten the response while keeping every essential fact.",
+    "Check the calculation and correct the arithmetic if needed.",
+    "Make the instruction specific, detailed, and feasible for a language model.",
+];
+
+/// Creative-writing prose.
+pub const CREATIVE: &[&str] = &[
+    "The old lighthouse blinked slowly against the violet dusk.",
+    "She packed her suitcase with maps, courage, and a spare umbrella.",
+    "Rain tapped the window like a patient visitor.",
+    "The story begins in a village where every door is painted blue.",
+    "His laughter rolled across the valley and startled the crows.",
+    "A good opening line invites the reader to lean closer.",
+    "The melody rose, hesitated, and then tumbled into the chorus.",
+    "Morning light spilled over the desk and warmed the unfinished letter.",
+    "The dragon, to everyone's surprise, preferred gardening to burning castles.",
+    "Endings work best when they echo the beginning with a difference.",
+];
+
+/// All corpus sections in canonical order.
+pub const SECTIONS: &[Section] = &[
+    Section { name: "general", sentences: GENERAL },
+    Section { name: "reasoning", sentences: REASONING },
+    Section { name: "coding", sentences: CODING },
+    Section { name: "polite", sentences: POLITE },
+    Section { name: "editing", sentences: EDITING },
+    Section { name: "creative", sentences: CREATIVE },
+];
+
+/// Returns the training sentences for a backbone that consumes `fraction`
+/// (0.0–1.0) of every section. Stronger backbones see strictly more text,
+/// and every backbone sees a prefix of the same ordering (so capabilities
+/// nest, as with real model families).
+pub fn corpus_slice(fraction: f64) -> Vec<&'static str> {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let mut out = Vec::new();
+    for sec in SECTIONS {
+        let take = ((sec.sentences.len() as f64) * fraction).ceil() as usize;
+        out.extend_from_slice(&sec.sentences[..take.min(sec.sentences.len())]);
+    }
+    out
+}
+
+/// Total number of sentences across all sections.
+pub fn total_sentences() -> usize {
+    SECTIONS.iter().map(|s| s.sentences.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_are_nonempty() {
+        for s in SECTIONS {
+            assert!(!s.sentences.is_empty(), "section {} empty", s.name);
+        }
+        assert!(total_sentences() > 80);
+    }
+
+    #[test]
+    fn corpus_slice_is_monotone() {
+        let small = corpus_slice(0.3);
+        let big = corpus_slice(0.9);
+        assert!(small.len() < big.len());
+        // Nesting: everything in the small slice is in the big slice.
+        for s in &small {
+            assert!(big.contains(s));
+        }
+    }
+
+    #[test]
+    fn corpus_slice_bounds() {
+        assert_eq!(corpus_slice(0.0).len(), 0);
+        assert_eq!(corpus_slice(1.0).len(), total_sentences());
+        assert_eq!(corpus_slice(2.0).len(), total_sentences());
+        assert_eq!(corpus_slice(-1.0).len(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # coachlm-lm
+//!
+//! The simulated language-model substrate for the CoachLM reproduction.
+//!
+//! The paper fine-tunes a 6B-parameter backbone (ChatGLM2, with LLaMA and
+//! ChatGLM ablations, Table XI) with LoRA to obtain CoachLM. Training a
+//! multi-billion-parameter transformer is out of scope for a CPU-only
+//! reproduction, so — per the substitution policy in `DESIGN.md` — this crate
+//! implements a *mechanistic stand-in* with the same observable interfaces:
+//!
+//! * [`vocab`] — a vocabulary over interned words with special tokens.
+//! * [`ngram_model`] — an interpolated n-gram language model (Witten-Bell
+//!   smoothing) that provides fluency scores, perplexity, and sampling. This
+//!   is the "pre-trained knowledge" of a backbone.
+//! * [`corpus`] — built-in pretraining corpora; each backbone profile trains
+//!   on a profile-dependent fraction, so stronger backbones genuinely know
+//!   more.
+//! * [`knowledge`] — the repair knowledge base: a grammar/typo confusion
+//!   lexicon, expansion templates, and politeness phrases. A backbone's
+//!   coverage of this base scales with its profile, which is what makes
+//!   "stronger backbone → better revisions" (Table XI) emerge mechanically.
+//! * [`backbone`] — backbone model profiles (LLaMA-7B, ChatGLM-6B,
+//!   ChatGLM2-6B, and the student-side LLaMA base).
+//! * [`rules`] — phrase-level rewrite rules, the unit of what coach tuning
+//!   learns.
+//! * [`adapter`] — the LoRA analogue: a bounded-capacity rule table layered
+//!   over a frozen backbone.
+//! * [`transducer`] — applies an adapter's rules to an input token stream
+//!   (greedy decode, beam size 1 as in §III-A3), with copy-mass competition
+//!   that reproduces the α-sweep behaviour of Fig 5(a).
+
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod backbone;
+pub mod corpus;
+pub mod knowledge;
+pub mod ngram_model;
+pub mod rules;
+pub mod transducer;
+pub mod vocab;
+
+pub use adapter::Adapter;
+pub use backbone::{Backbone, BackboneKind, BackboneProfile};
+pub use ngram_model::NgramLm;
+pub use rules::{RewriteRule, RuleAction, RuleSet};
+pub use transducer::{RevisionOutcome, Transducer};
+pub use vocab::Vocab;

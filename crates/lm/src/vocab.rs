@@ -1,0 +1,182 @@
+//! Vocabulary over interned word symbols with special tokens and counts.
+
+use coachlm_text::fxhash::FxHashMap;
+use coachlm_text::intern::{Interner, Sym};
+
+/// Special begin-of-sequence token text.
+pub const BOS: &str = "<s>";
+/// Special end-of-sequence token text.
+pub const EOS: &str = "</s>";
+/// Special unknown-word token text.
+pub const UNK: &str = "<unk>";
+
+/// A counting vocabulary: interns words and tracks unigram frequencies.
+#[derive(Debug)]
+pub struct Vocab {
+    interner: Interner,
+    counts: FxHashMap<Sym, u64>,
+    total: u64,
+    bos: Sym,
+    eos: Sym,
+    unk: Sym,
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vocab {
+    /// Creates a vocabulary containing only the special tokens.
+    pub fn new() -> Self {
+        let mut interner = Interner::with_capacity(1024);
+        let bos = interner.intern(BOS);
+        let eos = interner.intern(EOS);
+        let unk = interner.intern(UNK);
+        Self {
+            interner,
+            counts: FxHashMap::default(),
+            total: 0,
+            bos,
+            eos,
+            unk,
+        }
+    }
+
+    /// The begin-of-sequence symbol.
+    pub fn bos(&self) -> Sym {
+        self.bos
+    }
+
+    /// The end-of-sequence symbol.
+    pub fn eos(&self) -> Sym {
+        self.eos
+    }
+
+    /// The unknown-word symbol.
+    pub fn unk(&self) -> Sym {
+        self.unk
+    }
+
+    /// Interns (and counts) a word during training.
+    pub fn add(&mut self, word: &str) -> Sym {
+        let sym = self.interner.intern(word);
+        *self.counts.entry(sym).or_insert(0) += 1;
+        self.total += 1;
+        sym
+    }
+
+    /// Encodes a word for scoring: known words map to their symbol, unknown
+    /// words to [`UNK`]. Does not mutate the vocabulary.
+    pub fn encode(&self, word: &str) -> Sym {
+        self.interner.get(word).unwrap_or(self.unk)
+    }
+
+    /// Encodes a whole string via the canonical word tokeniser, wrapping the
+    /// sequence in BOS/EOS.
+    pub fn encode_text(&self, text: &str) -> Vec<Sym> {
+        let mut out = Vec::with_capacity(16);
+        out.push(self.bos);
+        for w in coachlm_text::token::words(text) {
+            out.push(self.encode(w));
+        }
+        out.push(self.eos);
+        out
+    }
+
+    /// Interns + counts a whole training string, returning the BOS/EOS
+    /// wrapped symbol sequence.
+    pub fn add_text(&mut self, text: &str) -> Vec<Sym> {
+        let words = coachlm_text::token::words(text);
+        let mut out = Vec::with_capacity(words.len() + 2);
+        out.push(self.bos);
+        for w in words {
+            out.push(self.add(w));
+        }
+        out.push(self.eos);
+        out
+    }
+
+    /// Resolves a symbol back to its word text.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Training count of `sym` (0 for specials unless they appeared).
+    pub fn count(&self, sym: Sym) -> u64 {
+        self.counts.get(&sym).copied().unwrap_or(0)
+    }
+
+    /// Total number of counted word occurrences.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct words (including the three specials).
+    pub fn len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Whether only the special tokens exist.
+    pub fn is_empty(&self) -> bool {
+        self.interner.len() <= 3
+    }
+
+    /// Whether `word` is in-vocabulary.
+    pub fn contains(&self, word: &str) -> bool {
+        self.interner.get(word).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_with_specials() {
+        let v = Vocab::new();
+        assert_eq!(v.len(), 3);
+        assert!(v.is_empty());
+        assert_ne!(v.bos(), v.eos());
+        assert_ne!(v.eos(), v.unk());
+    }
+
+    #[test]
+    fn add_counts_occurrences() {
+        let mut v = Vocab::new();
+        let a1 = v.add("apple");
+        let a2 = v.add("apple");
+        assert_eq!(a1, a2);
+        assert_eq!(v.count(a1), 2);
+        assert_eq!(v.total(), 2);
+    }
+
+    #[test]
+    fn encode_maps_oov_to_unk() {
+        let mut v = Vocab::new();
+        v.add("known");
+        assert_eq!(v.encode("known"), v.encode("known"));
+        assert_eq!(v.encode("never-seen"), v.unk());
+    }
+
+    #[test]
+    fn encode_text_wraps_with_bos_eos() {
+        let mut v = Vocab::new();
+        v.add("hello");
+        let seq = v.encode_text("hello world");
+        assert_eq!(seq.first(), Some(&v.bos()));
+        assert_eq!(seq.last(), Some(&v.eos()));
+        assert_eq!(seq.len(), 4);
+        assert_eq!(seq[2], v.unk()); // "world" unseen
+    }
+
+    #[test]
+    fn add_text_then_encode_round_trip() {
+        let mut v = Vocab::new();
+        let train = v.add_text("the cat sat");
+        let enc = v.encode_text("the cat sat");
+        assert_eq!(train, enc);
+        assert!(v.contains("cat"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Output post-processing, reproducing §III-B1.
+//!
+//! The paper applies "automatic post-processing on the outputs of CoachLM
+//! using regular expressions to remove invalid characters and repeated
+//! strings that were occasionally produced", and replaces ~1.3 % of outputs
+//! that are "not valid instruction pairs" with the originals. This module
+//! implements those checks without a regex engine: invalid-character
+//! stripping, repeated-substring collapsing (degenerate-decoding artefacts),
+//! and structural validity checks for a generated instruction pair.
+
+/// Characters considered invalid in a revised instruction pair: C0 control
+/// characters other than `\n` and `\t`, plus the Unicode replacement char.
+#[inline]
+fn is_invalid_char(c: char) -> bool {
+    (c.is_control() && c != '\n' && c != '\t') || c == '\u{FFFD}'
+}
+
+/// Removes invalid characters. Returns the input unchanged (borrowed
+/// semantics preserved via `String` only when needed is overkill here — the
+/// cleaning pass runs once per dataset, clarity wins).
+pub fn strip_invalid_chars(s: &str) -> String {
+    s.chars().filter(|&c| !is_invalid_char(c)).collect()
+}
+
+/// Collapses a trailing "stutter": if the text ends with `k >= min_repeats`
+/// consecutive copies of the same substring (a classic degenerate-decoding
+/// artefact), keep a single copy.
+///
+/// The repeated unit is searched from longest (half the text) down to
+/// `min_unit` characters, on char boundaries.
+pub fn collapse_trailing_repeats(s: &str, min_unit: usize, min_repeats: usize) -> String {
+    let bytes = s.as_bytes();
+    let n = bytes.len();
+    let mut unit_len = n / 2;
+    while unit_len >= min_unit.max(1) {
+        if !s.is_char_boundary(n - unit_len) || !s.is_char_boundary(n - 2 * unit_len) {
+            unit_len -= 1;
+            continue;
+        }
+        let unit = &bytes[n - unit_len..];
+        // Count how many consecutive copies of `unit` end the string.
+        let mut reps = 1usize;
+        while reps * unit_len + unit_len <= n
+            && &bytes[n - (reps + 1) * unit_len..n - reps * unit_len] == unit
+        {
+            reps += 1;
+        }
+        if reps >= min_repeats {
+            let keep = n - (reps - 1) * unit_len;
+            return s[..keep].to_string();
+        }
+        unit_len -= 1;
+    }
+    s.to_string()
+}
+
+/// Collapses immediate word-level repetitions beyond `max_run` copies
+/// ("very very very very good" → "very very good" with `max_run = 2`).
+pub fn collapse_word_stutter(s: &str, max_run: usize) -> String {
+    let max_run = max_run.max(1);
+    let mut out: Vec<&str> = Vec::new();
+    let mut run = 0usize;
+    for w in s.split_whitespace() {
+        if out.last().is_some_and(|&last| last == w) {
+            run += 1;
+        } else {
+            run = 1;
+        }
+        if run <= max_run {
+            out.push(w);
+        }
+    }
+    out.join(" ")
+}
+
+/// Result of validating a generated instruction pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Validity {
+    /// The output parses as a usable instruction pair.
+    Valid,
+    /// The instruction side is empty after cleaning.
+    EmptyInstruction,
+    /// The response side is empty after cleaning.
+    EmptyResponse,
+    /// The output is dominated by repeated content even after collapsing.
+    Degenerate,
+    /// Prompt-template markers leaked into the output.
+    TemplateLeak,
+}
+
+/// Template markers whose presence in a *revised* pair means the model
+/// echoed its prompt scaffold instead of producing a revision.
+const TEMPLATE_MARKERS: &[&str] = &[
+    "### Instruction:",
+    "### Response:",
+    "[INSTRUCTION]",
+    "[RESPONSE]",
+    "Improve the following instruction",
+];
+
+/// Validates a cleaned (instruction, response) pair per §III-B1; invalid
+/// pairs are replaced with their originals by the caller.
+pub fn validate_pair(instruction: &str, response: &str) -> Validity {
+    let instr = instruction.trim();
+    let resp = response.trim();
+    if instr.is_empty() {
+        return Validity::EmptyInstruction;
+    }
+    if resp.is_empty() {
+        return Validity::EmptyResponse;
+    }
+    for marker in TEMPLATE_MARKERS {
+        if instr.contains(marker) || resp.contains(marker) {
+            return Validity::TemplateLeak;
+        }
+    }
+    if repetition_ratio(resp) > 0.6 {
+        return Validity::Degenerate;
+    }
+    Validity::Valid
+}
+
+/// Fraction of words that immediately repeat their predecessor or belong to
+/// the single most common word when it dominates; a cheap degeneracy signal.
+pub fn repetition_ratio(s: &str) -> f64 {
+    let words: Vec<&str> = s.split_whitespace().collect();
+    if words.len() < 4 {
+        return 0.0;
+    }
+    let mut repeats = 0usize;
+    for w in words.windows(2) {
+        if w[0] == w[1] {
+            repeats += 1;
+        }
+    }
+    repeats as f64 / (words.len() - 1) as f64
+}
+
+/// The full §III-B1 cleaning pass: strip invalid chars, collapse trailing
+/// repeats and word stutter.
+pub fn clean_output(s: &str) -> String {
+    let stripped = strip_invalid_chars(s);
+    let collapsed = collapse_trailing_repeats(&stripped, 3, 3);
+    collapse_word_stutter(&collapsed, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_control_chars() {
+        assert_eq!(strip_invalid_chars("a\u{0}b\u{7}c"), "abc");
+        assert_eq!(strip_invalid_chars("keep\nnewlines\tand tabs"), "keep\nnewlines\tand tabs");
+        assert_eq!(strip_invalid_chars("bad\u{FFFD}char"), "badchar");
+    }
+
+    #[test]
+    fn collapses_trailing_repeats() {
+        assert_eq!(
+            collapse_trailing_repeats("the answer is 42.42.42.42.", 3, 3),
+            "the answer is 42."
+        );
+        // Fewer than min_repeats copies: untouched.
+        assert_eq!(collapse_trailing_repeats("ha ha", 2, 3), "ha ha");
+    }
+
+    #[test]
+    fn trailing_repeat_requires_unit_length() {
+        // Single-char repeats below min_unit are left alone ("hmmm").
+        assert_eq!(collapse_trailing_repeats("hmmm", 3, 3), "hmmm");
+    }
+
+    #[test]
+    fn word_stutter() {
+        assert_eq!(
+            collapse_word_stutter("it is very very very very good", 2),
+            "it is very very good"
+        );
+        assert_eq!(collapse_word_stutter("no repeats here", 2), "no repeats here");
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert_eq!(validate_pair("Do X", "Result Y"), Validity::Valid);
+        assert_eq!(validate_pair("  ", "Result"), Validity::EmptyInstruction);
+        assert_eq!(validate_pair("Do X", " "), Validity::EmptyResponse);
+        assert_eq!(
+            validate_pair("Do X", "### Response: leaked"),
+            Validity::TemplateLeak
+        );
+    }
+
+    #[test]
+    fn degenerate_output_detected() {
+        let resp = "spam ".repeat(40);
+        assert_eq!(validate_pair("Do X", &resp), Validity::Degenerate);
+    }
+
+    #[test]
+    fn repetition_ratio_bounds() {
+        assert_eq!(repetition_ratio("a b c"), 0.0); // too short
+        assert!(repetition_ratio("x x x x x x") > 0.9);
+        let r = repetition_ratio("mostly unique words in this sentence");
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn clean_output_pipeline() {
+        let noisy = "Answer: 7.\u{0} Indeed indeed indeed the end.the end.the end.";
+        let cleaned = clean_output(noisy);
+        assert!(!cleaned.contains('\u{0}'));
+        assert!(!cleaned.contains("indeed indeed indeed"));
+        assert_eq!(cleaned.matches("the end.").count(), 1);
+    }
+}

@@ -1,0 +1,382 @@
+//! Levenshtein edit distance.
+//!
+//! CoachLM uses edit distance in two load-bearing places:
+//!
+//! * **α-selection (§II-F2):** the expert-revision pairs `(x, x_r)` are
+//!   ranked by edit distance and the top-α fraction forms the coach-tuning
+//!   set `C_α`.
+//! * **Dataset statistics (Table VII):** the revised ALPACA52K dataset is
+//!   characterised by average *word-level* edit distance.
+//!
+//! Three implementations are provided and cross-checked by tests:
+//!
+//! * [`edit_distance`] — classic two-row dynamic programming over any
+//!   `PartialEq` items, with common prefix/suffix trimming. O(nm) time,
+//!   O(min(n,m)) space.
+//! * [`edit_distance_bounded`] — banded DP that answers "distance, if ≤ k"
+//!   in O(k·min(n,m)) time; used by hot loops that only need a threshold.
+//! * [`myers`] — Myers' 1999 bit-parallel algorithm over bytes, processing
+//!   64 DP columns per machine word; the fast path for character-level
+//!   distance on ASCII text.
+
+use crate::fxhash::FxHashMap;
+
+/// Levenshtein distance between two slices (unit costs).
+///
+/// Works over any `PartialEq` item type: bytes, chars, or interned word
+/// symbols. Trims common prefixes/suffixes first, then runs two-row DP over
+/// the remainder.
+pub fn edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let (a, b) = trim_common(a, b);
+    // Ensure `b` is the shorter side so the DP rows are minimal.
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr: Vec<usize> = vec![0; b.len() + 1];
+    for (i, ai) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, bj) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ai != bj);
+            curr[j + 1] = sub.min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein distance if it is `<= bound`, else `None`.
+///
+/// Runs a banded DP with band half-width `bound`; cost O(bound·min(n,m)).
+pub fn edit_distance_bounded<T: PartialEq>(a: &[T], b: &[T], bound: usize) -> Option<usize> {
+    let (a, b) = trim_common(a, b);
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    let (n, m) = (a.len(), b.len());
+    if n - m > bound {
+        return None;
+    }
+    if m == 0 {
+        return Some(n);
+    }
+    const INF: usize = usize::MAX / 2;
+    // Row over the shorter sequence `b`; band of columns [lo, hi] per row i.
+    let mut prev = vec![INF; m + 1];
+    let mut curr = vec![INF; m + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(bound.min(m) + 1) {
+        *p = j;
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(bound).max(1);
+        let hi = (i + bound).min(m);
+        if lo > hi {
+            return None;
+        }
+        curr[lo - 1] = if lo == 1 { i } else { INF };
+        let mut row_min = curr[lo - 1];
+        for j in lo..=hi {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            let del = prev[j].saturating_add(1);
+            let ins = curr[j - 1].saturating_add(1);
+            curr[j] = sub.min(del).min(ins);
+            row_min = row_min.min(curr[j]);
+        }
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+        // Invalidate stale cells outside the next band.
+        if hi < m {
+            prev[hi + 1] = INF;
+        }
+    }
+    let d = prev[m];
+    (d <= bound).then_some(d)
+}
+
+/// Strips common prefix and suffix, returning the differing cores.
+#[inline]
+fn trim_common<'x, T: PartialEq>(a: &'x [T], b: &'x [T]) -> (&'x [T], &'x [T]) {
+    let pre = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    let (a, b) = (&a[pre..], &b[pre..]);
+    let suf = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    (&a[..a.len() - suf], &b[..b.len() - suf])
+}
+
+/// Myers' bit-parallel Levenshtein over byte strings.
+pub mod myers {
+    /// Bit-parallel distance for patterns up to 64 bytes; falls back to the
+    /// blocked variant for longer inputs.
+    pub fn distance(a: &[u8], b: &[u8]) -> usize {
+        // Use the shorter string as the "pattern" whose DP column is packed
+        // into machine words.
+        let (p, t) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        if p.is_empty() {
+            return t.len();
+        }
+        if p.len() <= 64 {
+            distance_64(p, t)
+        } else {
+            distance_blocked(p, t)
+        }
+    }
+
+    fn distance_64(p: &[u8], t: &[u8]) -> usize {
+        debug_assert!(!p.is_empty() && p.len() <= 64);
+        let m = p.len();
+        let mut peq = [0u64; 256];
+        for (i, &c) in p.iter().enumerate() {
+            peq[c as usize] |= 1 << i;
+        }
+        let mut pv: u64 = !0;
+        let mut mv: u64 = 0;
+        let mut score = m;
+        let high = 1u64 << (m - 1);
+        for &c in t {
+            let eq = peq[c as usize];
+            let xv = eq | mv;
+            let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+            let ph = mv | !(xh | pv);
+            let mh = pv & xh;
+            if ph & high != 0 {
+                score += 1;
+            }
+            if mh & high != 0 {
+                score -= 1;
+            }
+            let ph = (ph << 1) | 1;
+            pv = (mh << 1) | !(xv | ph);
+            mv = ph & xv;
+        }
+        score
+    }
+
+    /// Blocked Myers for patterns longer than 64 bytes (Hyyrö's variant).
+    fn distance_blocked(p: &[u8], t: &[u8]) -> usize {
+        let m = p.len();
+        let w = 64usize;
+        let blocks = m.div_ceil(w);
+        // Per-block pattern-match bitmasks.
+        let mut peq = vec![[0u64; 256]; blocks];
+        for (i, &c) in p.iter().enumerate() {
+            peq[i / w][c as usize] |= 1 << (i % w);
+        }
+        let mut pv = vec![!0u64; blocks];
+        let mut mv = vec![0u64; blocks];
+        let mut score = m;
+        let last = blocks - 1;
+        let last_high = 1u64 << ((m - 1) % w);
+        for &c in t {
+            let mut carry_ph = 1u64; // horizontal +1 carries in from column boundary
+            let mut carry_mh = 0u64;
+            for bidx in 0..blocks {
+                let eq = peq[bidx][c as usize];
+                let pvb = pv[bidx];
+                let mvb = mv[bidx];
+                let xv = eq | mvb;
+                let eqc = eq | carry_mh;
+                let xh = (((eqc & pvb).wrapping_add(pvb)) ^ pvb) | eqc;
+                let mut ph = mvb | !(xh | pvb);
+                let mut mh = pvb & xh;
+                if bidx == last {
+                    if ph & last_high != 0 {
+                        score += 1;
+                    }
+                    if mh & last_high != 0 {
+                        score -= 1;
+                    }
+                }
+                let ph_out = ph >> 63;
+                let mh_out = mh >> 63;
+                ph = (ph << 1) | carry_ph;
+                mh = (mh << 1) | carry_mh;
+                pv[bidx] = mh | !(xv | ph);
+                mv[bidx] = ph & xv;
+                carry_ph = ph_out;
+                carry_mh = mh_out;
+            }
+        }
+        score
+    }
+}
+
+/// Character-level Levenshtein between two strings.
+///
+/// ASCII inputs use Myers' bit-parallel algorithm; other inputs decode to
+/// `char` vectors and use the generic DP.
+pub fn char_edit_distance(a: &str, b: &str) -> usize {
+    if a.is_ascii() && b.is_ascii() {
+        myers::distance(a.as_bytes(), b.as_bytes())
+    } else {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        edit_distance(&av, &bv)
+    }
+}
+
+/// Word-level Levenshtein between two strings (Table VII's metric).
+///
+/// Tokens are the canonical word sequence of [`crate::token::words`]; words
+/// are interned so the DP compares `u32`s.
+pub fn word_edit_distance(a: &str, b: &str) -> usize {
+    let mut interner = crate::intern::Interner::with_capacity(64);
+    let sa = interner.intern_words(a);
+    let sb = interner.intern_words(b);
+    edit_distance(&sa, &sb)
+}
+
+/// A reusable word-level distance calculator that shares one interner across
+/// many calls; preferred in dataset-scale loops.
+#[derive(Debug, Default)]
+pub struct WordDistance {
+    interner: crate::intern::Interner,
+    cache: FxHashMap<Box<str>, Vec<crate::intern::Sym>>,
+}
+
+impl WordDistance {
+    /// Creates a calculator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn syms(&mut self, s: &str) -> Vec<crate::intern::Sym> {
+        if let Some(v) = self.cache.get(s) {
+            return v.clone();
+        }
+        let v = self.interner.intern_words(s);
+        self.cache.insert(s.into(), v.clone());
+        v
+    }
+
+    /// Word-level edit distance between `a` and `b`.
+    pub fn distance(&mut self, a: &str, b: &str) -> usize {
+        let sa = self.syms(a);
+        let sb = self.syms(b);
+        edit_distance(&sa, &sb)
+    }
+
+    /// Clears the memoisation cache (the interner is retained).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_cases() {
+        assert_eq!(char_edit_distance("kitten", "sitting"), 3);
+        assert_eq!(char_edit_distance("flaw", "lawn"), 2);
+        assert_eq!(char_edit_distance("", ""), 0);
+        assert_eq!(char_edit_distance("abc", ""), 3);
+        assert_eq!(char_edit_distance("", "abc"), 3);
+        assert_eq!(char_edit_distance("same", "same"), 0);
+    }
+
+    #[test]
+    fn generic_dp_matches_reference_small() {
+        // Full-matrix reference implementation.
+        fn reference(a: &[u8], b: &[u8]) -> usize {
+            let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+            for (i, row) in dp.iter_mut().enumerate() {
+                row[0] = i;
+            }
+            for j in 0..=b.len() {
+                dp[0][j] = j;
+            }
+            for i in 1..=a.len() {
+                for j in 1..=b.len() {
+                    let sub = dp[i - 1][j - 1] + usize::from(a[i - 1] != b[j - 1]);
+                    dp[i][j] = sub.min(dp[i - 1][j] + 1).min(dp[i][j - 1] + 1);
+                }
+            }
+            dp[a.len()][b.len()]
+        }
+        let cases = [
+            ("sunday", "saturday"),
+            ("abcdef", "azced"),
+            ("levenshtein", "meilenstein"),
+            ("aaaa", "bbbb"),
+            ("x", "xxxxxxxx"),
+        ];
+        for (a, b) in cases {
+            let want = reference(a.as_bytes(), b.as_bytes());
+            assert_eq!(edit_distance(a.as_bytes(), b.as_bytes()), want, "{a} vs {b}");
+            assert_eq!(myers::distance(a.as_bytes(), b.as_bytes()), want, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn myers_blocked_long_pattern() {
+        // Pattern > 64 bytes exercises the blocked path.
+        let a = "the quick brown fox jumps over the lazy dog repeatedly and then naps".repeat(2);
+        let mut b = a.clone();
+        b.replace_range(10..15, "XXXXX"); // 5 substitutions
+        b.push_str("tail"); // 4 insertions
+        assert_eq!(myers::distance(a.as_bytes(), b.as_bytes()), 9);
+        assert_eq!(
+            myers::distance(a.as_bytes(), b.as_bytes()),
+            edit_distance(a.as_bytes(), b.as_bytes())
+        );
+    }
+
+    #[test]
+    fn bounded_within_and_beyond() {
+        let (a, b) = ("kitten".as_bytes(), "sitting".as_bytes());
+        assert_eq!(edit_distance_bounded(a, b, 3), Some(3));
+        assert_eq!(edit_distance_bounded(a, b, 5), Some(3));
+        assert_eq!(edit_distance_bounded(a, b, 2), None);
+        assert_eq!(edit_distance_bounded(a, b, 0), None);
+        assert_eq!(edit_distance_bounded(a, a, 0), Some(0));
+    }
+
+    #[test]
+    fn bounded_length_gap_shortcut() {
+        assert_eq!(edit_distance_bounded(b"abcdefgh", b"a", 3), None);
+        assert_eq!(edit_distance_bounded(b"abcdefgh", b"a", 7), Some(7));
+    }
+
+    #[test]
+    fn unicode_char_distance() {
+        assert_eq!(char_edit_distance("café", "cafe"), 1);
+        assert_eq!(char_edit_distance("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn word_distance_counts_tokens_not_chars() {
+        assert_eq!(word_edit_distance("the quick fox", "the slow fox"), 1);
+        assert_eq!(word_edit_distance("a b c", "a b c d"), 1);
+        assert_eq!(word_edit_distance("same text here", "same text here"), 0);
+        // Punctuation is a token.
+        assert_eq!(word_edit_distance("hello world", "hello, world"), 1);
+    }
+
+    #[test]
+    fn word_distance_calculator_matches_free_function() {
+        let mut wd = WordDistance::new();
+        let pairs = [
+            ("rewrite this please", "please rewrite this text"),
+            ("", "anything at all"),
+            ("identical", "identical"),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(wd.distance(a, b), word_edit_distance(a, b));
+        }
+    }
+
+    #[test]
+    fn symmetry_and_identity() {
+        let cases = [("abc", "cba"), ("", "xyz"), ("hello world", "world hello")];
+        for (a, b) in cases {
+            assert_eq!(char_edit_distance(a, b), char_edit_distance(b, a));
+            assert_eq!(char_edit_distance(a, a), 0);
+        }
+    }
+}

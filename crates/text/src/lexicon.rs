@@ -1,0 +1,420 @@
+//! Shared lexicons for defect injection, detection, and repair.
+//!
+//! The reproduction keeps one canonical vocabulary of textual-quality
+//! phenomena so that three independent subsystems stay consistent *without
+//! sharing hidden state*:
+//!
+//! * `coachlm-data` **injects** defects by planting these surface forms;
+//! * `coachlm-judge` **detects** them by analysing text for the same forms;
+//! * `coachlm-lm` **repairs** them, with a backbone-dependent coverage of
+//!   each list (stronger backbones know a longer prefix).
+//!
+//! Every list is ordered from most to least common, so "coverage = prefix"
+//! mirrors how real models learn frequent phenomena first.
+
+/// Misspelling/typo confusion pairs `(wrong, right)`, most common first.
+pub const TYPO_PAIRS: &[(&str, &str)] = &[
+    ("teh", "the"),
+    ("recieve", "receive"),
+    ("definately", "definitely"),
+    ("seperate", "separate"),
+    ("occured", "occurred"),
+    ("untill", "until"),
+    ("wich", "which"),
+    ("becuase", "because"),
+    ("thier", "their"),
+    ("alot", "a lot"),
+    ("truely", "truly"),
+    ("begining", "beginning"),
+    ("beleive", "believe"),
+    ("acheive", "achieve"),
+    ("accross", "across"),
+    ("foriegn", "foreign"),
+    ("goverment", "government"),
+    ("enviroment", "environment"),
+    ("neccessary", "necessary"),
+    ("occassion", "occasion"),
+    ("publically", "publicly"),
+    ("arguement", "argument"),
+    ("concious", "conscious"),
+    ("embarass", "embarrass"),
+    ("existance", "existence"),
+    ("happend", "happened"),
+    ("independant", "independent"),
+    ("knowlege", "knowledge"),
+    ("liason", "liaison"),
+    ("maintainance", "maintenance"),
+    ("momento", "memento"),
+    ("noticable", "noticeable"),
+    ("perseverence", "perseverance"),
+    ("posession", "possession"),
+    ("priviledge", "privilege"),
+    ("recomend", "recommend"),
+    ("refered", "referred"),
+    ("relevent", "relevant"),
+    ("succesful", "successful"),
+    ("tommorow", "tomorrow"),
+];
+
+/// Multi-word grammar confusion pairs `(wrong, right)`.
+pub const GRAMMAR_PAIRS: &[(&str, &str)] = &[
+    ("could of", "could have"),
+    ("should of", "should have"),
+    ("would of", "would have"),
+    ("less people", "fewer people"),
+    ("more better", "better"),
+    ("most biggest", "biggest"),
+    ("doesn't knows", "doesn't know"),
+    ("he don't", "he doesn't"),
+    ("they was", "they were"),
+    ("it have", "it has"),
+    ("is consist of", "consists of"),
+    ("for to make", "to make"),
+];
+
+/// Phrases that make an instruction vague or ambiguous (Feasibility).
+pub const VAGUE_PHRASES: &[&str] = &[
+    "do something about it",
+    "make it better somehow",
+    "handle the thing mentioned",
+    "fix whatever needs fixing",
+    "improve this or that part",
+    "address the aforementioned stuff",
+];
+
+/// Phrases that make an instruction infeasible for a text model
+/// (Feasibility — logical errors or requests beyond a model's ability).
+pub const INFEASIBLE_PHRASES: &[&str] = &[
+    "using exactly zero words",
+    "and deliver it to my house",
+    "before I finish typing this",
+    "by physically mailing a copy",
+    "while remaining completely silent",
+    "and phone me with the result",
+];
+
+/// Markers of rich instruction context (Contextualization): scenarios,
+/// roles, examples, explicit requirements, chain-of-thought requests.
+pub const CONTEXT_MARKERS: &[&str] = &[
+    "for example",
+    "you are",
+    "step by step",
+    "in the style of",
+    "requirements:",
+    "such as",
+    "at least",
+    "formatted as",
+    "imagine",
+    "given that",
+];
+
+/// Markers of reasoning/explanation in a response (Comprehensiveness,
+/// Richness).
+pub const REASONING_MARKERS: &[&str] = &[
+    "because",
+    "therefore",
+    "first",
+    "second",
+    "finally",
+    "this means",
+    "for example",
+    "in other words",
+    "step by step",
+    "as a result",
+    "in summary",
+    "note that",
+];
+
+/// Markers of a humanised, empathetic tone (Humanization).
+pub const WARM_MARKERS: &[&str] = &[
+    "happy to help",
+    "great question",
+    "hope this helps",
+    "let me know",
+    "feel free",
+    "thank you",
+    "of course",
+    "understandable",
+];
+
+/// Openers that read as machine-generated boilerplate (anti-Humanization).
+pub const MACHINE_TONE_MARKERS: &[&str] = &[
+    "as an ai language model",
+    "as a large language model",
+    "i am just a machine",
+    "output generated successfully",
+];
+
+/// Phrases marking unsafe content (Safety red line). Deliberately abstract
+/// markers — the reproduction needs detectable tokens, not actual harm.
+pub const UNSAFE_MARKERS: &[&str] = &[
+    "without consulting a doctor",
+    "guaranteed to double your investment",
+    "here is their home address",
+    "how to avoid paying the fine illegally",
+    "untraceable and totally legal, trust me",
+    "you should insult them back",
+];
+
+/// Placeholder markers indicating the instruction's key input is missing or
+/// invalid (Table III "Invalid Input").
+pub const INVALID_INPUT_MARKERS: &[&str] = &[
+    "[link to an article]",
+    "[attached file]",
+    "[see above]",
+    "<insert text here>",
+    "(reference missing)",
+];
+
+/// Markers of unsupported multimodal content (Table III "Multi-modal").
+pub const MULTIMODAL_MARKERS: &[&str] = &[
+    "(photo of",
+    "(image of",
+    "(audio clip",
+    "(video of",
+    "in the picture",
+    "in this image",
+];
+
+/// Markers of overly professional domains (Table III "Beyond Expertise").
+pub const EXPERTISE_MARKERS: &[&str] = &[
+    "chords for",
+    "key signature of",
+    "cite the statute",
+    "icd-10 code",
+    "structural load calculation",
+    "pharmacokinetic profile",
+];
+
+/// Markers of massive creative rewriting workload (Table III
+/// "Massive Workload").
+pub const WORKLOAD_MARKERS: &[&str] = &[
+    "rewrite the entire lyrics",
+    "create a haiku poem from the given lyrics",
+    "translate the whole novel",
+    "rewrite every verse",
+];
+
+/// Small fact table `(subject, correct, wrong)`: canonical statements the
+/// generator can corrupt and the judge/repairer can check.
+pub const FACT_TABLE: &[(&str, &str, &str)] = &[
+    ("the capital of France is", "Paris", "Berlin"),
+    ("water boils at", "100 degrees Celsius", "50 degrees Celsius"),
+    ("the Earth orbits the", "Sun", "Moon"),
+    ("2 plus 2 equals", "4", "5"),
+    ("the largest planet is", "Jupiter", "Mercury"),
+    ("light travels faster than", "sound", "nothing at all"),
+    ("the human heart has", "four chambers", "seven chambers"),
+    ("DNA is shaped like a", "double helix", "perfect cube"),
+    ("the Pacific is the largest", "ocean", "desert"),
+    ("a triangle has", "three sides", "five sides"),
+    ("the freezing point of water is", "0 degrees Celsius", "40 degrees Celsius"),
+    ("photosynthesis produces", "oxygen", "pure carbon"),
+];
+
+/// Common English stopwords, used for content-word extraction when judging
+/// response relevance and choosing revision topics.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "and", "or", "but", "if", "then", "else", "of", "in", "on", "at", "to",
+    "for", "from", "with", "by", "about", "as", "into", "is", "are", "was", "were", "be", "been",
+    "being", "am", "do", "does", "did", "have", "has", "had", "will", "would", "can", "could",
+    "should", "may", "might", "must", "shall", "it", "its", "this", "that", "these", "those",
+    "i", "you", "he", "she", "we", "they", "them", "his", "her", "their", "your", "my", "our",
+    "me", "him", "us", "what", "which", "who", "whom", "whose", "when", "where", "why", "how",
+    "not", "no", "nor", "so", "too", "very", "just", "also", "than", "there", "here", "all",
+    "each", "any", "some", "such", "more", "most", "other", "please", "write", "given",
+    "following", "make", "give", "list", "describe", "explain", "create", "generate",
+    // Generic task verbs and meta-words common in instructions; they name
+    // the *task*, not the topic, so relevance must not hinge on them.
+    "suggest", "recommend", "brainstorm", "compose", "draft", "complete", "correct",
+    "classify", "decide", "summarize", "paraphrase", "translate", "extract", "rank",
+    "convert", "compare", "define", "find", "provide", "involving", "ideas", "ways",
+    "things", "examples", "example", "one", "two", "three", "four", "five", "short",
+    "long", "brief", "briefly", "sentence", "sentences", "passage", "paragraph",
+    "article", "text", "title", "dialogue", "keywords", "facts", "key", "main",
+    "simple", "everyday", "clearly", "using",
+];
+
+/// Returns `true` if `word` (case-folded) is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    let folded = crate::normalize::fold_case(word);
+    STOPWORDS.contains(&folded.as_str())
+}
+
+/// Extracts up to `max` content words (non-stopword words of length ≥ 3)
+/// from `text`, in order of first appearance, deduplicated case-folded.
+/// Known misspellings are normalised to their corrections first, so a
+/// typo'd stopword ("teh") is still skipped and topics never carry typos.
+pub fn content_words(text: &str, max: usize) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for tok in crate::token::tokenize(text) {
+        if out.len() >= max {
+            break;
+        }
+        if tok.kind == crate::token::TokenKind::Word {
+            let folded = crate::normalize::fold_case(tok.text(text));
+            let w = typo_correction(&folded, TYPO_PAIRS.len()).unwrap_or(&folded);
+            if w.chars().count() >= 3 && !is_stopword(w) {
+                let fixed = w.to_string();
+                if seen.insert(fixed.clone()) {
+                    out.push(fixed);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Shared-content-word counts between `a`'s leading content words and `b`:
+/// `(hits, total)`. Only the first eight content words of `a` count — they
+/// carry the task topic; appended requirements/context must not dilute
+/// relevance.
+pub fn content_overlap_counts(a: &str, b: &str) -> (usize, usize) {
+    let wa = content_words(a, 8);
+    let wb: std::collections::HashSet<String> = content_words(b, 256).into_iter().collect();
+    let hits = wa.iter().filter(|w| wb.contains(*w)).count();
+    (hits, wa.len())
+}
+
+/// Lexical overlap in [0, 1]: fraction of `a`'s leading content words that
+/// also appear in `b`. The relevance signal used by the criteria engine.
+pub fn content_overlap(a: &str, b: &str) -> f64 {
+    let (hits, total) = content_overlap_counts(a, b);
+    if total == 0 {
+        return 1.0; // nothing to be relevant to
+    }
+    hits as f64 / total as f64
+}
+
+/// Whether `response` is off-topic for `instruction`: *no* shared content
+/// word at all (and, for longer instructions, overlap below `floor`). A
+/// single genuine topic hit — e.g. a one-word topic like "gravity" — is
+/// enough to count as on-topic; a long instruction's generic scaffold words
+/// must not swamp it.
+pub fn is_off_topic(instruction: &str, response: &str, floor: f64) -> bool {
+    let (hits, total) = content_overlap_counts(instruction, response);
+    if total == 0 {
+        return false;
+    }
+    hits == 0 && ((hits as f64) / (total as f64)) < floor
+}
+
+/// Looks up the correction for a typo, if it is in the first
+/// `coverage_len` entries of [`TYPO_PAIRS`].
+pub fn typo_correction(word: &str, coverage_len: usize) -> Option<&'static str> {
+    TYPO_PAIRS
+        .iter()
+        .take(coverage_len)
+        .find(|(wrong, _)| *wrong == word)
+        .map(|(_, right)| *right)
+}
+
+/// Case-insensitive containment test for any marker in `markers`.
+pub fn contains_marker(text: &str, markers: &[&str]) -> bool {
+    let folded = crate::normalize::fold_case(text);
+    markers.iter().any(|m| folded.contains(&crate::normalize::fold_case(m)))
+}
+
+/// Returns the first matching marker (case-insensitive), if any.
+pub fn find_marker<'m>(text: &str, markers: &'m [&'m str]) -> Option<&'m str> {
+    let folded = crate::normalize::fold_case(text);
+    markers
+        .iter()
+        .find(|m| folded.contains(&crate::normalize::fold_case(m)))
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicons_have_no_duplicate_wrong_forms() {
+        let mut seen = std::collections::HashSet::new();
+        for (wrong, _) in TYPO_PAIRS {
+            assert!(seen.insert(*wrong), "duplicate typo {wrong}");
+        }
+    }
+
+    #[test]
+    fn typo_pairs_are_actual_corrections() {
+        for (wrong, right) in TYPO_PAIRS {
+            assert_ne!(wrong, right);
+            assert!(!wrong.is_empty() && !right.is_empty());
+        }
+    }
+
+    #[test]
+    fn typo_correction_respects_coverage() {
+        assert_eq!(typo_correction("teh", TYPO_PAIRS.len()), Some("the"));
+        assert_eq!(typo_correction("teh", 1), Some("the"));
+        assert_eq!(typo_correction("tommorow", 5), None); // beyond coverage
+        assert_eq!(typo_correction("correct", TYPO_PAIRS.len()), None);
+    }
+
+    #[test]
+    fn marker_matching_is_case_insensitive() {
+        assert!(contains_marker(
+            "As an AI language model, I cannot",
+            MACHINE_TONE_MARKERS
+        ));
+        assert!(!contains_marker("a helpful human reply", MACHINE_TONE_MARKERS));
+        assert_eq!(
+            find_marker("For Example, consider this", CONTEXT_MARKERS),
+            Some("for example")
+        );
+    }
+
+    #[test]
+    fn fact_table_entries_are_contradictory() {
+        for (subject, correct, wrong) in FACT_TABLE {
+            assert_ne!(correct, wrong, "fact {subject} has equal variants");
+        }
+    }
+
+    #[test]
+    fn content_words_skip_stopwords_and_short_words() {
+        let cw = content_words("Explain the theory of general relativity to me", 10);
+        assert_eq!(cw, vec!["theory", "general", "relativity"]);
+    }
+
+    #[test]
+    fn content_words_dedupe_and_cap() {
+        let cw = content_words("gravity gravity Gravity waves waves fields", 2);
+        assert_eq!(cw, vec!["gravity", "waves"]);
+    }
+
+    #[test]
+    fn overlap_detects_relevance() {
+        let instr = "Describe the water cycle";
+        let relevant = "The water cycle moves water through evaporation and rain.";
+        let irrelevant = "Bananas are yellow fruits rich in potassium.";
+        assert!(content_overlap(instr, relevant) > 0.5);
+        assert!(content_overlap(instr, irrelevant) < 0.2);
+    }
+
+    #[test]
+    fn overlap_with_empty_query_is_one() {
+        assert_eq!(content_overlap("the of and", "anything"), 1.0);
+    }
+
+    #[test]
+    fn marker_lists_are_nonempty() {
+        for list in [
+            VAGUE_PHRASES,
+            INFEASIBLE_PHRASES,
+            CONTEXT_MARKERS,
+            REASONING_MARKERS,
+            WARM_MARKERS,
+            MACHINE_TONE_MARKERS,
+            UNSAFE_MARKERS,
+            INVALID_INPUT_MARKERS,
+            MULTIMODAL_MARKERS,
+            EXPERTISE_MARKERS,
+            WORKLOAD_MARKERS,
+        ] {
+            assert!(!list.is_empty());
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! N-gram extraction and counting.
+//!
+//! The language-model substrate (`coachlm-lm`) estimates fluency with an
+//! n-gram model; this module provides the windowing and counting primitives.
+
+use crate::fxhash::FxHashMap;
+use std::hash::Hash;
+
+/// Iterates over all contiguous windows of length `n` in `items`.
+///
+/// Returns an empty iterator when `n == 0` or `n > items.len()`.
+pub fn ngrams<T>(items: &[T], n: usize) -> impl Iterator<Item = &[T]> {
+    let windows = if n == 0 || n > items.len() {
+        [].windows(1)
+    } else {
+        items.windows(n)
+    };
+    // `[].windows(1)` and `items.windows(n)` have the same type only via
+    // the slice; normalise through a filter that never fires for the empty
+    // case.
+    windows.filter(move |w| w.len() == n)
+}
+
+/// Counts of each distinct n-gram of length `n`.
+pub fn ngram_counts<T: Clone + Eq + Hash>(items: &[T], n: usize) -> FxHashMap<Vec<T>, u64> {
+    let mut map: FxHashMap<Vec<T>, u64> = FxHashMap::default();
+    for w in ngrams(items, n) {
+        *map.entry(w.to_vec()).or_insert(0) += 1;
+    }
+    map
+}
+
+/// A streaming counter accumulating n-gram statistics over many sequences,
+/// for orders `1..=max_order`, with per-order totals.
+#[derive(Debug)]
+pub struct NgramCounter<T: Clone + Eq + Hash> {
+    max_order: usize,
+    counts: Vec<FxHashMap<Vec<T>, u64>>, // index = order - 1
+    totals: Vec<u64>,
+    // Distinct-continuation counts per context, maintained incrementally so
+    // Kneser-Ney/Witten-Bell style smoothing is O(1) per query.
+    continuation_counts: FxHashMap<Vec<T>, usize>,
+}
+
+impl<T: Clone + Eq + Hash> NgramCounter<T> {
+    /// Creates a counter for orders `1..=max_order`.
+    ///
+    /// # Panics
+    /// Panics if `max_order == 0`.
+    pub fn new(max_order: usize) -> Self {
+        assert!(max_order >= 1, "max_order must be at least 1");
+        Self {
+            max_order,
+            counts: (0..max_order).map(|_| FxHashMap::default()).collect(),
+            totals: vec![0; max_order],
+            continuation_counts: FxHashMap::default(),
+        }
+    }
+
+    /// Maximum n-gram order tracked.
+    pub fn max_order(&self) -> usize {
+        self.max_order
+    }
+
+    /// Accumulates all n-grams of one sequence.
+    pub fn observe(&mut self, seq: &[T]) {
+        for order in 1..=self.max_order {
+            for w in ngrams(seq, order) {
+                let entry = self.counts[order - 1].entry(w.to_vec()).or_insert(0);
+                *entry += 1;
+                if *entry == 1 && order >= 2 {
+                    // First sighting of this gram: its context gained a
+                    // distinct continuation.
+                    *self
+                        .continuation_counts
+                        .entry(w[..order - 1].to_vec())
+                        .or_insert(0) += 1;
+                }
+                self.totals[order - 1] += 1;
+            }
+        }
+    }
+
+    /// Count of a specific n-gram (its length selects the order).
+    pub fn count(&self, gram: &[T]) -> u64 {
+        if gram.is_empty() || gram.len() > self.max_order {
+            return 0;
+        }
+        self.counts[gram.len() - 1].get(gram).copied().unwrap_or(0)
+    }
+
+    /// Total number of n-gram tokens observed at `order`.
+    pub fn total(&self, order: usize) -> u64 {
+        if order == 0 || order > self.max_order {
+            return 0;
+        }
+        self.totals[order - 1]
+    }
+
+    /// Number of *distinct* n-grams observed at `order` (the vocabulary of
+    /// that order), used by smoothing.
+    pub fn distinct(&self, order: usize) -> usize {
+        if order == 0 || order > self.max_order {
+            return 0;
+        }
+        self.counts[order - 1].len()
+    }
+
+    /// Number of distinct continuations `w` such that `context ++ [w]` was
+    /// observed; the continuation count used by Kneser-Ney/Witten-Bell
+    /// smoothing. O(1): maintained incrementally during [`Self::observe`].
+    pub fn continuations(&self, context: &[T]) -> usize {
+        if context.is_empty() || context.len() + 1 > self.max_order {
+            return 0;
+        }
+        self.continuation_counts.get(context).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ngrams_basic() {
+        let v = [1, 2, 3, 4];
+        let bigrams: Vec<&[i32]> = ngrams(&v, 2).collect();
+        assert_eq!(bigrams, vec![&[1, 2][..], &[2, 3], &[3, 4]]);
+    }
+
+    #[test]
+    fn ngrams_degenerate() {
+        let v = [1, 2];
+        assert_eq!(ngrams(&v, 0).count(), 0);
+        assert_eq!(ngrams(&v, 3).count(), 0);
+        assert_eq!(ngrams(&v, 2).count(), 1);
+        let empty: [i32; 0] = [];
+        assert_eq!(ngrams(&empty, 1).count(), 0);
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let words = ["a", "b", "a", "b", "a"];
+        let c = ngram_counts(&words, 2);
+        assert_eq!(c[&vec!["a", "b"]], 2);
+        assert_eq!(c[&vec!["b", "a"]], 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn counter_orders_and_totals() {
+        let mut nc = NgramCounter::new(3);
+        nc.observe(&["the", "cat", "sat"]);
+        nc.observe(&["the", "cat", "ran"]);
+        assert_eq!(nc.count(&["the"]), 2);
+        assert_eq!(nc.count(&["the", "cat"]), 2);
+        assert_eq!(nc.count(&["cat", "sat"]), 1);
+        assert_eq!(nc.count(&["the", "cat", "sat"]), 1);
+        assert_eq!(nc.total(1), 6);
+        assert_eq!(nc.total(2), 4);
+        assert_eq!(nc.total(3), 2);
+        assert_eq!(nc.distinct(1), 4);
+    }
+
+    #[test]
+    fn counter_continuations() {
+        let mut nc = NgramCounter::new(2);
+        nc.observe(&["the", "cat"]);
+        nc.observe(&["the", "dog"]);
+        nc.observe(&["the", "cat"]);
+        assert_eq!(nc.continuations(&["the"]), 2);
+        assert_eq!(nc.continuations(&["cat"]), 0);
+    }
+
+    #[test]
+    fn counter_out_of_range_queries() {
+        let mut nc = NgramCounter::new(2);
+        nc.observe(&["a", "b"]);
+        assert_eq!(nc.count(&[]), 0);
+        assert_eq!(nc.count(&["a", "b", "c"]), 0);
+        assert_eq!(nc.total(0), 0);
+        assert_eq!(nc.total(9), 0);
+        assert_eq!(nc.distinct(9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_order")]
+    fn counter_rejects_zero_order() {
+        let _ = NgramCounter::<u8>::new(0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the text substrate invariants.
+
+use coachlm_text::diff::{diff_tokens, EditOp};
+use coachlm_text::editdist::{
+    char_edit_distance, edit_distance, edit_distance_bounded, myers, word_edit_distance,
+};
+use coachlm_text::normalize::normalize_layout;
+use coachlm_text::token::{tokenize, words};
+use proptest::prelude::*;
+
+/// Reference full-matrix Levenshtein to validate all optimised variants.
+fn reference_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let mut dp: Vec<Vec<usize>> = vec![vec![0; b.len() + 1]; a.len() + 1];
+    for (i, row) in dp.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for j in 0..=b.len() {
+        dp[0][j] = j;
+    }
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            let sub = dp[i - 1][j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            dp[i][j] = sub.min(dp[i - 1][j] + 1).min(dp[i][j - 1] + 1);
+        }
+    }
+    dp[a.len()][b.len()]
+}
+
+proptest! {
+    #[test]
+    fn dp_matches_reference(a in "[a-d]{0,30}", b in "[a-d]{0,30}") {
+        let want = reference_distance(a.as_bytes(), b.as_bytes());
+        prop_assert_eq!(edit_distance(a.as_bytes(), b.as_bytes()), want);
+    }
+
+    #[test]
+    fn myers_matches_reference(a in "[a-f]{0,80}", b in "[a-f]{0,120}") {
+        let want = reference_distance(a.as_bytes(), b.as_bytes());
+        prop_assert_eq!(myers::distance(a.as_bytes(), b.as_bytes()), want);
+    }
+
+    #[test]
+    fn myers_blocked_matches_reference(a in "[ab]{65,140}", b in "[ab]{0,160}") {
+        let want = reference_distance(a.as_bytes(), b.as_bytes());
+        prop_assert_eq!(myers::distance(a.as_bytes(), b.as_bytes()), want);
+    }
+
+    #[test]
+    fn bounded_agrees_with_exact(a in "[a-c]{0,25}", b in "[a-c]{0,25}", k in 0usize..12) {
+        let exact = edit_distance(a.as_bytes(), b.as_bytes());
+        let bounded = edit_distance_bounded(a.as_bytes(), b.as_bytes(), k);
+        if exact <= k {
+            prop_assert_eq!(bounded, Some(exact));
+        } else {
+            prop_assert_eq!(bounded, None);
+        }
+    }
+
+    #[test]
+    fn distance_is_a_metric(a in "[a-c]{0,15}", b in "[a-c]{0,15}", c in "[a-c]{0,15}") {
+        let dab = char_edit_distance(&a, &b);
+        let dba = char_edit_distance(&b, &a);
+        prop_assert_eq!(dab, dba); // symmetry
+        prop_assert_eq!(char_edit_distance(&a, &a), 0); // identity
+        // triangle inequality
+        let dac = char_edit_distance(&a, &c);
+        let dcb = char_edit_distance(&c, &b);
+        prop_assert!(dab <= dac + dcb);
+    }
+
+    #[test]
+    fn word_distance_bounded_by_token_counts(a in "[a-z ]{0,60}", b in "[a-z ]{0,60}") {
+        let d = word_edit_distance(&a, &b);
+        let na = words(&a).len();
+        let nb = words(&b).len();
+        prop_assert!(d <= na.max(nb));
+        prop_assert!(d >= na.abs_diff(nb));
+    }
+
+    #[test]
+    fn diff_script_covers_both_inputs(a in prop::collection::vec(0u8..4, 0..20),
+                                      b in prop::collection::vec(0u8..4, 0..20)) {
+        let s = diff_tokens(&a, &b);
+        let (mut ai, mut bj) = (0usize, 0usize);
+        for op in &s.ops {
+            match op {
+                EditOp::Equal { a_range, b_range } => {
+                    prop_assert_eq!(a_range.len(), b_range.len());
+                    prop_assert_eq!(&a[a_range.clone()], &b[b_range.clone()]);
+                    ai = a_range.end; bj = b_range.end;
+                }
+                EditOp::Replace { a_range, b_range } => { ai = a_range.end; bj = b_range.end; }
+                EditOp::Delete { a_range } => { ai = a_range.end; }
+                EditOp::Insert { b_range } => { bj = b_range.end; }
+            }
+        }
+        prop_assert_eq!(ai, a.len());
+        prop_assert_eq!(bj, b.len());
+    }
+
+    #[test]
+    fn diff_change_weight_upper_bounds_distance(a in prop::collection::vec(0u8..3, 0..15),
+                                                b in prop::collection::vec(0u8..3, 0..15)) {
+        let s = diff_tokens(&a, &b);
+        prop_assert!(s.change_weight() >= edit_distance(&a, &b));
+        if a == b {
+            prop_assert!(s.is_identity());
+        }
+    }
+
+    #[test]
+    fn tokenize_spans_are_ordered_and_in_bounds(s in "\\PC{0,80}") {
+        let toks = tokenize(&s);
+        let mut last_end = 0usize;
+        for t in &toks {
+            prop_assert!(t.span.start >= last_end);
+            prop_assert!(t.span.end <= s.len());
+            prop_assert!(t.span.start < t.span.end);
+            prop_assert!(s.is_char_boundary(t.span.start));
+            prop_assert!(s.is_char_boundary(t.span.end));
+            last_end = t.span.end;
+        }
+    }
+
+    #[test]
+    fn normalize_layout_idempotent(s in "[a-z ,.!?]{0,60}") {
+        let once = normalize_layout(&s);
+        prop_assert_eq!(normalize_layout(&once), once);
+    }
+}

@@ -1,0 +1,47 @@
+//! The human-input-ratio sweep (Fig 5a in miniature): train CoachLM at
+//! several α values, revise the dataset, tune a student on each result, and
+//! compare win rates on the CoachLM150 test set.
+//!
+//! ```text
+//! cargo run --release --example alpha_sweep
+//! ```
+
+use coachlm::core::coach::{CoachConfig, CoachLm};
+use coachlm::core::evaluate::evaluate;
+use coachlm::core::infer::revise_dataset;
+use coachlm::core::student::{tune_student, SkillParams};
+use coachlm::data::generator::{generate, GeneratorConfig};
+use coachlm::data::testsets::{TestSet, TestSetKind};
+use coachlm::expert::filter::preliminary_filter;
+use coachlm::expert::pool::ExpertPool;
+use coachlm::expert::revision::ExpertReviser;
+use coachlm::judge::pandalm::PandaLm;
+
+fn main() {
+    let (dataset, _) = generate(&GeneratorConfig::small(5000, 9));
+    let kept = preliminary_filter(&dataset, 1).kept;
+    let records =
+        ExpertReviser::new(2).revise_dataset(&ExpertPool::paper_pool(), &dataset, &kept);
+    let test_set = TestSet::build(TestSetKind::CoachLm150, 4);
+    let judge = PandaLm::new(8);
+
+    println!("alpha  C_a   p_apply  copy%   WR1    WR2    QS");
+    for alpha in [0.0, 0.1, 0.3, 0.5, 0.7, 1.0] {
+        let coach = CoachLm::train(CoachConfig { alpha, ..Default::default() }, &records);
+        let revised = revise_dataset(&coach, &dataset, 3, 4);
+        let student =
+            tune_student("Alpaca-CoachLM", &revised.dataset, SkillParams::default(), 6);
+        let result = evaluate(&student, &test_set, &judge);
+        println!(
+            "{alpha:.1}    {:4}  {:.3}    {:4.1}%  {:5.1}%  {:5.1}%  {:5.1}%",
+            coach.trained_on(),
+            coach.apply_probability(),
+            100.0 * coach.adapter().copy_ratio(),
+            100.0 * result.rates.wr1,
+            100.0 * result.rates.wr2,
+            100.0 * result.rates.qs,
+        );
+    }
+    println!("\nExpected shape (paper Fig 5a): win rate peaks near alpha = 0.3 and");
+    println!("declines mildly toward alpha = 1 as near-identity training pairs add noise.");
+}

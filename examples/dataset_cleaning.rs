@@ -1,0 +1,57 @@
+//! Dataset cleaning end-to-end: the paper's §II pipeline on a small
+//! dataset, with before/after quality measured by the ChatGPT-style rater
+//! (the Fig 4 experiment in miniature). Writes the revised dataset as
+//! Alpaca-format JSON.
+//!
+//! ```text
+//! cargo run --release --example dataset_cleaning
+//! ```
+
+use coachlm::core::coach::{CoachConfig, CoachLm};
+use coachlm::core::infer::revise_dataset;
+use coachlm::data::generator::{generate, GeneratorConfig};
+use coachlm::expert::filter::preliminary_filter;
+use coachlm::expert::pool::ExpertPool;
+use coachlm::expert::revision::ExpertReviser;
+use coachlm::judge::chatgpt::ChatGptRater;
+
+fn main() -> std::io::Result<()> {
+    let (dataset, _) = generate(&GeneratorConfig::small(4000, 2024));
+
+    // Expert revision on a sample (here: the whole small dataset).
+    let kept = preliminary_filter(&dataset, 3).kept;
+    let records =
+        ExpertReviser::new(5).revise_dataset(&ExpertPool::paper_pool(), &dataset, &kept);
+
+    // CoachLM revises every pair (with §III-B1 post-processing).
+    let coach = CoachLm::train(CoachConfig::default(), &records);
+    let revised = revise_dataset(&coach, &dataset, 11, 4);
+    println!(
+        "revised {} pairs: {} responses changed, {} instructions changed, \
+         {} invalid outputs replaced, {} leakage-skipped",
+        revised.dataset.len(),
+        revised.responses_changed,
+        revised.instructions_changed,
+        revised.replaced_invalid,
+        revised.leakage_skipped
+    );
+
+    // Quality before/after, AlpaGasus-style.
+    let rater = ChatGptRater::new(77);
+    let before = rater.rate_dataset(&dataset);
+    let after = rater.rate_dataset(&revised.dataset);
+    println!(
+        "ChatGPT rating: mean {:.2} -> {:.2}; share above 4.5: {:.1}% -> {:.1}%",
+        before.mean,
+        after.mean,
+        100.0 * before.share_above_4_5,
+        100.0 * after.share_above_4_5
+    );
+
+    // Persist in the Alpaca JSON format.
+    let out = std::env::temp_dir().join("coachlm_revised.json");
+    let file = std::fs::File::create(&out)?;
+    revised.dataset.write_alpaca_json(std::io::BufWriter::new(file))?;
+    println!("revised dataset written to {}", out.display());
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Quickstart: train a CoachLM from expert revisions and revise a pair.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use coachlm::core::coach::{CoachConfig, CoachLm};
+use coachlm::data::generator::{generate, GeneratorConfig};
+use coachlm::expert::filter::preliminary_filter;
+use coachlm::expert::pool::ExpertPool;
+use coachlm::expert::revision::ExpertReviser;
+use coachlm::judge::criteria::CriteriaEngine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A small synthetic instruction dataset (ALPACA52K-like quality mix).
+    let (dataset, _provenance) = generate(&GeneratorConfig::small(2000, 42));
+    println!("dataset: {} pairs", dataset.len());
+
+    // 2. The expert workflow: preliminary filter, then rubric-driven
+    //    revision of every flawed pair (the expert revision dataset R).
+    let filter = preliminary_filter(&dataset, 1);
+    println!(
+        "preliminary filter: kept {} / excluded {}",
+        filter.kept.len(),
+        filter.excluded.len()
+    );
+    let reviser = ExpertReviser::new(7);
+    let records = reviser.revise_dataset(&ExpertPool::paper_pool(), &dataset, &filter.kept);
+    println!("expert revisions: {} pairs", records.len());
+
+    // 3. Coach instruction tuning (ChatGLM2 backbone, alpha = 0.3).
+    let coach = CoachLm::train(CoachConfig::default(), &records);
+    println!(
+        "CoachLM trained on C_a = {} examples; apply probability {:.3}",
+        coach.trained_on(),
+        coach.apply_probability()
+    );
+
+    // 4. Revise a flawed pair and score it before/after.
+    let instruction = "Explain teh water cycle - do something about it";
+    let response = "Water evaporates becuase of heat,";
+    let mut rng = StdRng::seed_from_u64(9);
+    let out = coach.revise_pair(&mut rng, instruction, response);
+
+    let engine = CriteriaEngine::new();
+    let before = engine.score_pair(instruction, response);
+    let after = engine.score_pair(&out.instruction, &out.response);
+    println!("\nBEFORE  (instr {:.0}, resp {:.0})", before.instruction, before.response);
+    println!("  INSTRUCTION: {instruction}");
+    println!("  RESPONSE:    {response}");
+    println!("\nAFTER   (instr {:.0}, resp {:.0})", after.instruction, after.response);
+    println!("  INSTRUCTION: {}", out.instruction);
+    println!("  RESPONSE:    {}", out.response);
+    println!("\nrepairs applied: {:?}", out.repairs);
+}

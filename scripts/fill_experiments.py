@@ -1,0 +1,62 @@
+import json, re
+def load(n):
+    with open(f"results/{n}.json") as f: return json.load(f)
+t3=load("table3"); t4=load("table4"); t7=load("table7"); f4=load("fig4")
+t8=load("table8"); t9=load("table9"); t10=load("table10"); t11=load("table11")
+f5=load("fig5"); dep=load("deploy")
+pct=lambda x: f"{100*x:.1} %".replace(" %","%").replace("%"," %")
+def p(x): return f"{100*x:.1f} %"
+r3={r["reason"]: r["measured"] for r in t3["reasons"]}
+t4rows={r["kind"]: r["measured"] for r in t4["rows"]}
+def t9row(name):
+    row=[r for r in t9["rows"] if r["model"]==name][0]
+    return [res["wr1"] for res in row["results"]]
+al=t9row("Alpaca"); cl=t9row("Alpaca-CoachLM")
+coach=f5["coachlm_sweep"]; human=f5["human_sweep"]
+peak=f5["best_alpha"]; fit=f5.get("fit") or {}
+decline=(max(c["pandalm"] for c in coach)-coach[-1]["pandalm"])
+t11rows={r.get("backbone"): r["wr1"] for r in t11["rows"]}
+subs={
+ "⟨t3.invalid⟩": p(r3["Invalid Input"]), "⟨t3.expertise⟩": p(r3["Beyond Expertise"]),
+ "⟨t3.workload⟩": p(r3["Massive Workload"]), "⟨t3.multimodal⟩": p(r3["Multi-modal"]),
+ "⟨t3.safety⟩": p(r3["Safety"]),
+ "⟨t3.excluded⟩": f"{t3['excluded']} / {t3['total']} ({p(t3['exclusion_ratio'])})",
+ "⟨t4.i.adjust⟩": p(t4rows["Adjust language/layout"]), "⟨t4.i.rewrite⟩": p(t4rows["Rewrite infeasible/ambiguous"]),
+ "⟨t4.i.diversify⟩": p(t4rows["Diversify context"]), "⟨t4.r.diversify⟩": p(t4rows["Diversify/expand reasoning"]),
+ "⟨t4.r.rewrite⟩": p(t4rows["Rewrite fluency/relevance/logic"]), "⟨t4.r.adjust⟩": p(t4rows["Adjust layout/tone"]),
+ "⟨t4.r.correct⟩": p(t4rows["Correct facts/calculations"]), "⟨t4.r.other⟩": p(t4rows["Safety & other"]),
+ "⟨t4.revised⟩": f"{t4['revised']} / {t4['kept']} ({p(t4['revised_share'])})",
+ "⟨t4.ishare⟩": f"{t4['instruction_revised']} / {t4['revised']} ({p(t4['instruction_share'])})",
+ "⟨t7.iw⟩": f"{t7['original']['avg_instruction_words']:.1f} → {t7['revised']['avg_instruction_words']:.1f}",
+ "⟨t7.ie⟩": f"{t7['revised']['avg_instruction_edit']:.1f}",
+ "⟨t7.rw⟩": f"{t7['original']['avg_response_words']:.1f} → {t7['revised']['avg_response_words']:.1f}",
+ "⟨t7.re⟩": f"{t7['revised']['avg_response_edit']:.1f}",
+ "⟨t7.invalid⟩": p(t7['replaced_invalid']/52002), "⟨t7.leak⟩": p(t7['leakage_skipped']/52002),
+ "⟨f4.mean⟩": f"{f4['before']['mean']:.2f} → {f4['after']['mean']:.2f}",
+ "⟨f4.share⟩": f"{p(f4['before']['above_4_5'])} → {p(f4['after']['above_4_5'])}",
+ "⟨t8.resp⟩": f"{t8['responses']['original']['avg']:.1f} → {t8['responses']['revised']['avg']:.1f}",
+ "⟨t8.instr⟩": f"{t8['subset_instructions']['original']['avg']:.1f} → {t8['subset_instructions']['revised']['avg']:.1f}",
+ "⟨t8.sub⟩": f"{t8['subset_responses']['original']['avg']:.1f} → {t8['subset_responses']['revised']['avg']:.1f}",
+ "⟨t9.alpaca⟩": p(al[0]), "⟨t9.coachlm⟩": p(cl[0]),
+ "⟨t10.alpaca⟩": f"{t10['alpaca']['avg']:.1f}", "⟨t10.coachlm⟩": f"{t10['alpaca_coachlm']['avg']:.1f}",
+ "⟨f5.peak⟩": f"α = {peak:.1f}",
+ "⟨f5.decline⟩": f"−{100*decline:.1f} pp at α = 1",
+ "⟨f5.slope⟩": f"{fit.get('slope_pct_per_k', float('nan')):.2f}",
+ "⟨f5.r2⟩": f"{fit.get('r2', float('nan')):.2f}",
+ "⟨f5.crossover⟩": f"{f5.get('crossover_k') or float('nan'):.1f}",
+ "⟨f5.ca⟩": str(coach[3]["trained_on"]),
+ "⟨t11.alpaca⟩": p(t11rows.get("none")), "⟨t11.llama⟩": p(t11rows.get("LLaMA")),
+ "⟨t11.chatglm⟩": p(t11rows.get("ChatGLM")), "⟨t11.chatglm2⟩": p(t11rows.get("ChatGLM2")),
+ "⟨d.manual⟩": f"{dep['manual']['rate']:.1f}", "⟨d.assisted⟩": f"{dep['assisted']['rate']:.1f}",
+ "⟨d.gain⟩": p(dep['efficiency_gain']), "⟨d.sps⟩": f"{dep['assisted']['samples_per_sec']:.0f}",
+}
+s=open("EXPERIMENTS.md").read()
+for k,v in subs.items(): s=s.replace(k,v)
+# Table IX per-set cells
+for i,ph in enumerate(["62.6 / ⟨..⟩","38.8 / ⟨..⟩","53.8 / ⟨..⟩"]):
+    s=s.replace(ph, ph.split(" /")[0]+" / "+p(al[i+1]),1)
+for i,ph in enumerate(["83.5 / ⟨..⟩","46.9 / ⟨..⟩","76.0 / ⟨..⟩"]):
+    s=s.replace(ph, ph.split(" /")[0]+" / "+p(cl[i+1]),1)
+open("EXPERIMENTS.md","w").write(s)
+rest=re.findall(r"⟨[^⟩]*⟩", s)
+print("remaining placeholders:", rest)

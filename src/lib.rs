@@ -1,0 +1,26 @@
+//! # coachlm — facade crate
+//!
+//! Reproduction of *CoachLM: Automatic Instruction Revisions Improve the Data
+//! Quality in LLM Instruction Tuning* (Liu et al., ICDE 2024).
+//!
+//! This crate re-exports the workspace sub-crates under one roof so that
+//! examples, integration tests, and downstream users can depend on a single
+//! package:
+//!
+//! * [`text`] — tokenisation, edit distances, diffs, cleaning.
+//! * [`lm`] — the simulated language-model substrate (backbones, adapters).
+//! * [`data`] — instruction-pair data model, dataset and test-set generators.
+//! * [`judge`] — the Table II criteria engine and all automatic judges.
+//! * [`expert`] — the simulated expert revision workflow (groups A/B/C).
+//! * [`core`] — CoachLM itself: coach tuning, α-selection, inference, the
+//!   student-tuning simulator, and the §IV-A data management pipeline.
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment index,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use coachlm_core as core;
+pub use coachlm_data as data;
+pub use coachlm_expert as expert;
+pub use coachlm_judge as judge;
+pub use coachlm_lm as lm;
+pub use coachlm_text as text;

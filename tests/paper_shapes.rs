@@ -1,0 +1,110 @@
+//! Shape assertions against the paper's headline results, at test scale.
+//! (The full-scale numbers live in EXPERIMENTS.md; these tests pin the
+//! qualitative shapes so regressions are caught by `cargo test`.)
+
+use coachlm::core::alpha::select_alpha;
+use coachlm::core::coach::{CoachConfig, CoachLm};
+use coachlm::data::generator::{generate, GeneratorConfig};
+use coachlm::expert::filter::{preliminary_filter, FilterReason};
+use coachlm::expert::pool::ExpertPool;
+use coachlm::expert::revision::{ExpertReviser, RevisionKind, RevisionRecord};
+use coachlm::lm::backbone::BackboneKind;
+
+fn records(n: usize, seed: u64) -> Vec<RevisionRecord> {
+    let (d, _) = generate(&GeneratorConfig::small(n, seed));
+    let kept = preliminary_filter(&d, seed).kept;
+    ExpertReviser::new(seed).revise_dataset(&ExpertPool::paper_pool(), &d, &kept)
+}
+
+#[test]
+fn table3_shape_exclusion_mix() {
+    let (d, _) = generate(&GeneratorConfig::small(6000, 1));
+    let out = preliminary_filter(&d, 2);
+    // ~18% excluded; Invalid Input is the largest reason, Multi-modal the
+    // smallest of the non-workload reasons (Table III).
+    assert!((0.14..0.22).contains(&out.exclusion_ratio()));
+    let ratio = |r: FilterReason| {
+        out.excluded.iter().filter(|(_, reason)| *reason == r).count() as f64
+            / out.excluded.len() as f64
+    };
+    assert!(ratio(FilterReason::InvalidInput) > ratio(FilterReason::BeyondExpertise));
+    assert!(ratio(FilterReason::BeyondExpertise) > ratio(FilterReason::Safety));
+    assert!(ratio(FilterReason::Safety) > ratio(FilterReason::MultiModal));
+}
+
+#[test]
+fn table4_shape_revision_mix() {
+    let recs = records(6000, 3);
+    let share = |k: RevisionKind| {
+        recs.iter().filter(|r| r.response_kind == Some(k)).count() as f64 / recs.len() as f64
+    };
+    // Expansion dominates; rewrites and adjustments are comparable; fact
+    // corrections small; safety/other smallest (Table IV).
+    let diversify = share(RevisionKind::DiversifyResponse);
+    let rewrite = share(RevisionKind::RewriteResponse);
+    let adjust = share(RevisionKind::AdjustResponse);
+    let correct = share(RevisionKind::CorrectResponse);
+    let other = share(RevisionKind::OtherResponse);
+    assert!(diversify > rewrite, "diversify {diversify} rewrite {rewrite}");
+    assert!(diversify > adjust);
+    assert!(rewrite > correct && adjust > correct);
+    assert!(correct > other);
+    // Instruction side: Adjust dominates, Diversify is smallest.
+    let instr: Vec<_> = recs.iter().filter(|r| r.instruction_revised).collect();
+    let ishare = |k: RevisionKind| {
+        instr.iter().filter(|r| r.instruction_kind == Some(k)).count() as f64
+            / instr.len() as f64
+    };
+    assert!(ishare(RevisionKind::AdjustInstruction) > ishare(RevisionKind::RewriteInstruction));
+    assert!(ishare(RevisionKind::RewriteInstruction) > ishare(RevisionKind::DiversifyInstruction));
+}
+
+#[test]
+fn alpha_mechanism_shape() {
+    let recs = records(4000, 4);
+    // The edit-distance ranking is the alpha mechanism: the top tercile must
+    // be substantially larger revisions than the bottom tercile.
+    let ranked = select_alpha(&recs, 1.0);
+    let wd = |r: &RevisionRecord| {
+        coachlm::text::editdist::word_edit_distance(&r.original.response, &r.revised.response)
+    };
+    let top: f64 = ranked.iter().take(recs.len() / 3).map(|r| wd(r) as f64).sum::<f64>()
+        / (recs.len() / 3) as f64;
+    let bottom: f64 = ranked.iter().rev().take(recs.len() / 3).map(|r| wd(r) as f64).sum::<f64>()
+        / (recs.len() / 3) as f64;
+    assert!(top > bottom * 4.0, "top {top} bottom {bottom}");
+
+    // Copy noise: alpha = 1 carries copy mass, alpha = 0.3 does not; the
+    // apply probability peaks at the selective alpha (Fig 5a mechanism).
+    let a03 = CoachLm::train(CoachConfig { alpha: 0.3, ..Default::default() }, &recs);
+    let a10 = CoachLm::train(CoachConfig { alpha: 1.0, ..Default::default() }, &recs);
+    let a00 = CoachLm::train(CoachConfig { alpha: 0.0, ..Default::default() }, &recs);
+    assert!(a03.adapter().copy_ratio() < 0.05);
+    assert!(a10.adapter().copy_ratio() > 0.15);
+    assert!(a03.apply_probability() > a10.apply_probability());
+    assert!(a10.apply_probability() > a00.apply_probability());
+}
+
+#[test]
+fn table11_shape_backbone_ordering() {
+    let recs = records(2000, 5);
+    let mut last = 0.0;
+    for kind in BackboneKind::ALL {
+        let coach = CoachLm::train(
+            CoachConfig { backbone: kind, alpha: 1.0, ..Default::default() },
+            &recs,
+        );
+        let p = coach.apply_probability();
+        assert!(p >= last, "{:?} regressed: {p} < {last}", kind);
+        last = p;
+    }
+}
+
+#[test]
+fn table1_pool_shape() {
+    let pool = ExpertPool::paper_pool();
+    assert_eq!(pool.experts.len(), 26);
+    // Group A has 17 experts split into units of 6/6/5.
+    let sizes: Vec<usize> = pool.units.iter().map(|u| u.members.len()).collect();
+    assert_eq!(sizes.iter().sum::<usize>(), 17);
+}

@@ -1,0 +1,73 @@
+//! Serialization and persistence across the facade API.
+
+use coachlm::data::category::Category;
+use coachlm::data::generator::{generate, GeneratorConfig};
+use coachlm::data::pair::{Dataset, InstructionPair};
+
+#[test]
+fn generated_dataset_round_trips_native_json() {
+    let (d, _) = generate(&GeneratorConfig::small(300, 1));
+    let json = d.to_json().unwrap();
+    let back = Dataset::from_json(&json).unwrap();
+    assert_eq!(d, back);
+}
+
+#[test]
+fn alpaca_format_round_trip_preserves_text() {
+    let (d, _) = generate(&GeneratorConfig::small(200, 2));
+    let mut buf = Vec::new();
+    d.write_alpaca_json(&mut buf).unwrap();
+    let back = Dataset::read_alpaca_json("x", &buf[..]).unwrap();
+    assert_eq!(back.len(), d.len());
+    for (a, b) in d.iter().zip(back.iter()) {
+        assert_eq!(a.instruction, b.instruction);
+        assert_eq!(a.response, b.response);
+    }
+}
+
+#[test]
+fn unicode_and_control_characters_survive_json() {
+    let mut d = Dataset::new("unicode");
+    d.pairs.push(InstructionPair::new(
+        0,
+        "Explique le cycle de l'eau — 日本語もOK ✓",
+        "Réponse avec \"quotes\", newlines\net tabulations\t!",
+        Category(0),
+    ));
+    let json = d.to_json().unwrap();
+    assert_eq!(Dataset::from_json(&json).unwrap(), d);
+    let mut buf = Vec::new();
+    d.write_alpaca_json(&mut buf).unwrap();
+    let back = Dataset::read_alpaca_json("u", &buf[..]).unwrap();
+    assert_eq!(back.pairs[0].response, d.pairs[0].response);
+}
+
+#[test]
+fn adapter_serializes_and_restores() {
+    use coachlm::lm::adapter::{Adapter, AdapterConfig};
+    let mut a = Adapter::new(AdapterConfig::default());
+    a.observe(
+        "fix teh report becuase thier numbers look wrong in alot of places",
+        "fix the report because their numbers look wrong in a lot of places now",
+        "short answer",
+        "Short answer. This is because the details matter. For example, check the totals.",
+    );
+    a.finalize();
+    let json = serde_json::to_string(&a).unwrap();
+    let back: Adapter = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.rule_pairs, a.rule_pairs);
+    assert_eq!(
+        back.response_rules.phrase_rule_count(),
+        a.response_rules.phrase_rule_count()
+    );
+    assert!((back.elicitation() - a.elicitation()).abs() < 1e-12);
+}
+
+#[test]
+fn test_sets_serialize_to_json() {
+    use coachlm::data::testsets::{TestSet, TestSetKind};
+    let ts = TestSet::build(TestSetKind::Vicuna80, 1);
+    let json = serde_json::to_string(&ts).unwrap();
+    assert!(json.contains("Vicuna80"));
+    assert!(json.contains("reference"));
+}
