@@ -1,0 +1,62 @@
+//! Executor scaling: the same stage chain over the same dataset at
+//! increasing worker counts. Output is identical at every thread count
+//! (the executor's determinism contract); only wall-clock should move.
+
+use coachlm_data::generator::generate;
+use coachlm_data::{Dataset, GeneratorConfig};
+use coachlm_runtime::{Executor, ExecutorConfig, Stage, StageCtx, StageItem};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::Rng;
+
+/// A stand-in for a CPU-heavy revision stage: tokenises through the cache
+/// and burns a seeded, data-dependent amount of scoring work.
+struct ScoreStage;
+
+impl Stage for ScoreStage {
+    fn name(&self) -> &str {
+        "score"
+    }
+
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+        let words = ctx.cache.word_count(&item.pair.response);
+        let rounds = 5_000 + ctx.rng.gen_range(0u64..5_000);
+        let mut acc = words as u64;
+        for i in 0..rounds {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        if acc.is_multiple_of(7) {
+            ctx.bump("lucky");
+        }
+    }
+}
+
+fn sample_dataset(pairs: usize) -> Dataset {
+    generate(&GeneratorConfig::small(pairs, 0x5CA1E)).0
+}
+
+fn bench_executor_scaling(c: &mut Criterion) {
+    let dataset = sample_dataset(2_000);
+    let mut group = c.benchmark_group("executor");
+    group.throughput(Throughput::Elements(dataset.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let stages: Vec<Box<dyn Stage>> = vec![Box::new(ScoreStage)];
+                    let executor = Executor::new(ExecutorConfig::new(9).threads(threads));
+                    black_box(executor.run_dataset(&stages, &dataset))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_executor_scaling
+}
+criterion_main!(benches);

@@ -19,7 +19,10 @@ const SHORT_A: &str = "The water cycle moves water through evaporation and rain.
 const SHORT_B: &str = "The watr cycle moves water thru evaporation, clouds, and rain.";
 
 fn long_text(words: usize, tag: &str) -> String {
-    (0..words).map(|i| format!("w{}{tag}", i % 97)).collect::<Vec<_>>().join(" ")
+    (0..words)
+        .map(|i| format!("w{}{tag}", i % 97))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 fn bench_editdist(c: &mut Criterion) {
@@ -36,7 +39,13 @@ fn bench_editdist(c: &mut Criterion) {
         });
     }
     g.bench_function("bounded/k=5", |b| {
-        b.iter(|| edit_distance_bounded(black_box(SHORT_A.as_bytes()), black_box(SHORT_B.as_bytes()), 5))
+        b.iter(|| {
+            edit_distance_bounded(
+                black_box(SHORT_A.as_bytes()),
+                black_box(SHORT_B.as_bytes()),
+                5,
+            )
+        })
     });
     g.finish();
 }
@@ -82,7 +91,12 @@ fn bench_judging(c: &mut Criterion) {
         let mut id = 0u64;
         b.iter(|| {
             id += 1;
-            judge.compare(black_box(id), black_box(instr), black_box(strong), black_box(weak))
+            judge.compare(
+                black_box(id),
+                black_box(instr),
+                black_box(strong),
+                black_box(weak),
+            )
         })
     });
 }

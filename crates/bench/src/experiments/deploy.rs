@@ -28,7 +28,7 @@ impl Experiment for Deploy {
             name: "production-batch".to_string(),
             ..GeneratorConfig::default()
         });
-        let cmp = compare_deployment(&world.coach, &raw, world.seed ^ 0xDE, world.threads);
+        let cmp = compare_deployment(&world.coach, &raw, &world.exec_config(0xDE));
 
         let mut table = Table::new([
             "Batch",
@@ -39,7 +39,12 @@ impl Experiment for Deploy {
         ]);
         for r in [&cmp.manual, &cmp.assisted] {
             table.row([
-                if r.with_coachlm { "with CoachLM" } else { "manual" }.to_string(),
+                if r.with_coachlm {
+                    "with CoachLM"
+                } else {
+                    "manual"
+                }
+                .to_string(),
                 r.human_revised.to_string(),
                 r.post_edited.to_string(),
                 f1(r.person_days),
@@ -62,7 +67,8 @@ impl Experiment for Deploy {
                         "human_revised": cmp.manual.human_revised},
             "assisted": {"person_days": cmp.assisted.person_days, "rate": cmp.assisted.pairs_per_person_day,
                           "human_revised": cmp.assisted.human_revised, "post_edited": cmp.assisted.post_edited,
-                          "samples_per_sec": cmp.assisted.coachlm_samples_per_sec},
+                          "samples_per_sec": cmp.assisted.coachlm_samples_per_sec,
+                          "stages": cmp.assisted.stage_summaries},
             "efficiency_gain": cmp.efficiency_gain(),
             "paper": {"gain_low": 0.15, "gain_high": 0.20, "samples_per_sec_a100": 1.19},
         });

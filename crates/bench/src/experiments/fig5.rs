@@ -48,9 +48,14 @@ impl Experiment for Fig5 {
         let mut coach_rows = Vec::new();
         let mut table_a = Table::new(["alpha", "C_a size", "PandaLM", "GPT-4"]);
         for alpha in ALPHAS {
-            let coach =
-                CoachLm::train(CoachConfig { alpha, ..CoachConfig::default() }, &world.records);
-            let revised = revise_dataset(&coach, &world.alpaca, world.seed ^ 0x5C, world.threads);
+            let coach = CoachLm::train(
+                CoachConfig {
+                    alpha,
+                    ..CoachConfig::default()
+                },
+                &world.records,
+            );
+            let revised = revise_dataset(&coach, &world.alpaca, &world.exec_config(0x5C));
             let student = tune_student(
                 format!("Alpaca-CoachLM(a={alpha:.1})"),
                 &revised.dataset,
@@ -59,7 +64,12 @@ impl Experiment for Fig5 {
             );
             let p = evaluate(&student, ts, &pandalm).rates.mean();
             let g = evaluate(&student, ts, &gpt4).rates.mean();
-            table_a.row([format!("{alpha:.1}"), coach.trained_on().to_string(), pct(p), pct(g)]);
+            table_a.row([
+                format!("{alpha:.1}"),
+                coach.trained_on().to_string(),
+                pct(p),
+                pct(g),
+            ]);
             coach_rows.push(json!({
                 "alpha": alpha,
                 "trained_on": coach.trained_on(),
@@ -70,7 +80,10 @@ impl Experiment for Fig5 {
         let best_alpha = coach_rows
             .iter()
             .max_by(|a, b| {
-                a["pandalm"].as_f64().unwrap().total_cmp(&b["pandalm"].as_f64().unwrap())
+                a["pandalm"]
+                    .as_f64()
+                    .unwrap()
+                    .total_cmp(&b["pandalm"].as_f64().unwrap())
             })
             .and_then(|r| r["alpha"].as_f64())
             .unwrap_or(f64::NAN);

@@ -51,15 +51,21 @@ impl Experiment for Table11 {
             pct(r.rates.qs),
             pct(paper_wr1("Alpaca")),
         ]);
-        rows.push(json!({"backbone": "none", "model": "Alpaca", "wr1": r.rates.wr1,
-                         "wr2": r.rates.wr2, "qs": r.rates.qs, "paper_wr1": paper_wr1("Alpaca")}));
+        rows.push(
+            json!({"backbone": "none", "model": "Alpaca", "wr1": r.rates.wr1,
+                         "wr2": r.rates.wr2, "qs": r.rates.qs, "paper_wr1": paper_wr1("Alpaca")}),
+        );
 
         for kind in BackboneKind::ALL {
             let coach = CoachLm::train(
-                CoachConfig { backbone: kind, alpha: 1.0, ..CoachConfig::default() },
+                CoachConfig {
+                    backbone: kind,
+                    alpha: 1.0,
+                    ..CoachConfig::default()
+                },
                 &world.records,
             );
-            let revised = revise_dataset(&coach, &world.alpaca, world.seed ^ 0x11B, world.threads);
+            let revised = revise_dataset(&coach, &world.alpaca, &world.exec_config(0x11B));
             let student = tune_student(
                 format!("Alpaca-CoachLM({})", kind.name()),
                 &revised.dataset,
@@ -74,8 +80,10 @@ impl Experiment for Table11 {
                 pct(r.rates.qs),
                 pct(paper_wr1(kind.name())),
             ]);
-            rows.push(json!({"backbone": kind.name(), "wr1": r.rates.wr1, "wr2": r.rates.wr2,
-                             "qs": r.rates.qs, "paper_wr1": paper_wr1(kind.name())}));
+            rows.push(
+                json!({"backbone": kind.name(), "wr1": r.rates.wr1, "wr2": r.rates.wr2,
+                             "qs": r.rates.qs, "paper_wr1": paper_wr1(kind.name())}),
+            );
         }
 
         let report = format!("{}\n{}", self.title(), table.render());

@@ -70,7 +70,10 @@ impl Experiment for Table4 {
             String::new(),
         ]);
         for kind in instr_kinds {
-            let c = instr_revised.iter().filter(|r| r.instruction_kind == Some(kind)).count();
+            let c = instr_revised
+                .iter()
+                .filter(|r| r.instruction_kind == Some(kind))
+                .count();
             let m = c as f64 / instr_revised.len().max(1) as f64;
             table.row([label(kind), &pct(m), &pct(paper_ratio(kind))]);
             json_rows.push(json!({"kind": label(kind), "measured": m, "paper": paper_ratio(kind)}));
@@ -81,7 +84,10 @@ impl Experiment for Table4 {
             String::new(),
         ]);
         for kind in resp_kinds {
-            let c = records.iter().filter(|r| r.response_kind == Some(kind)).count();
+            let c = records
+                .iter()
+                .filter(|r| r.response_kind == Some(kind))
+                .count();
             let m = c as f64 / records.len().max(1) as f64;
             table.row([label(kind), &pct(m), &pct(paper_ratio(kind))]);
             json_rows.push(json!({"kind": label(kind), "measured": m, "paper": paper_ratio(kind)}));

@@ -72,8 +72,14 @@ impl Experiment for Table8 {
         };
         push("150 sampled, RESPONSE: original", &orig_resp);
         push("150 sampled, RESPONSE: revised", &rev_resp);
-        push("instr-modified subset, INSTRUCTION: original", &sub_orig_instr);
-        push("instr-modified subset, INSTRUCTION: revised", &sub_rev_instr);
+        push(
+            "instr-modified subset, INSTRUCTION: original",
+            &sub_orig_instr,
+        );
+        push(
+            "instr-modified subset, INSTRUCTION: revised",
+            &sub_rev_instr,
+        );
         push("instr-modified subset, RESPONSE: original", &sub_orig_resp);
         push("instr-modified subset, RESPONSE: revised", &sub_rev_resp);
 

@@ -91,7 +91,10 @@ impl Experiment for Table9 {
         );
 
         let report = format!("{}\n{}\n{}", self.title(), headline, table.render());
-        let n_stronger = roster.iter().filter(|r| r.group == ModelGroup::Stronger).count();
+        let n_stronger = roster
+            .iter()
+            .filter(|r| r.group == ModelGroup::Stronger)
+            .count();
         let json = json!({
             "judge": "PandaLM",
             "stronger_models": n_stronger,

@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given header.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a row (padded/truncated to the header width).
@@ -78,7 +81,10 @@ pub fn f2(x: f64) -> String {
 pub fn write_result_json(id: &str, json: &serde_json::Value) -> std::io::Result<()> {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
-    std::fs::write(dir.join(format!("{id}.json")), serde_json::to_string_pretty(json)?)
+    std::fs::write(
+        dir.join(format!("{id}.json")),
+        serde_json::to_string_pretty(json)?,
+    )
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use coachlm_expert::filter::{preliminary_filter, FilterOutcome};
 use coachlm_expert::pool::ExpertPool;
 use coachlm_expert::revision::{ExpertReviser, RevisionRecord};
 use coachlm_judge::chatgpt::ChatGptRater;
+use coachlm_runtime::ExecutorConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -90,7 +91,9 @@ pub struct ExperimentWorld {
 impl ExperimentWorld {
     /// Builds the world (deterministic for a given scale + seed).
     pub fn build(scale: Scale, seed: u64) -> Self {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
 
         // 1. The dataset.
         let (alpaca, _) = generate(&GeneratorConfig {
@@ -127,7 +130,11 @@ impl ExperimentWorld {
         let coach = CoachLm::train(CoachConfig::default(), &records);
 
         // 6. The revised dataset (Eq. 2 + §III-B1).
-        let revised = revise_dataset(&coach, &alpaca, seed ^ 0xD3, threads);
+        let revised = revise_dataset(
+            &coach,
+            &alpaca,
+            &ExecutorConfig::new(seed ^ 0xD3).threads(threads),
+        );
 
         // 7. Baseline datasets.
         let cleaned = build_cleaned(&alpaca);
@@ -136,8 +143,10 @@ impl ExperimentWorld {
         let human = build_human_merged(&alpaca, &refs, usize::MAX);
 
         // 8. Test sets.
-        let test_sets =
-            TestSetKind::ALL.iter().map(|&k| TestSet::build(k, seed ^ 0xB5)).collect();
+        let test_sets = TestSetKind::ALL
+            .iter()
+            .map(|&k| TestSet::build(k, seed ^ 0xB5))
+            .collect();
 
         Self {
             scale,
@@ -156,6 +165,11 @@ impl ExperimentWorld {
         }
     }
 
+    /// Executor config for dataset-scale chains, salted per experiment.
+    pub fn exec_config(&self, salt: u64) -> ExecutorConfig {
+        ExecutorConfig::new(self.seed ^ salt).threads(self.threads)
+    }
+
     /// The sample dataset (reconstructed view over `sample_ids`).
     pub fn sample(&self) -> Dataset {
         let mut d = Dataset::new("sample");
@@ -169,7 +183,10 @@ impl ExperimentWorld {
 
     /// Test set by kind.
     pub fn test_set(&self, kind: TestSetKind) -> &TestSet {
-        self.test_sets.iter().find(|t| t.kind == kind).expect("all kinds built")
+        self.test_sets
+            .iter()
+            .find(|t| t.kind == kind)
+            .expect("all kinds built")
     }
 }
 
@@ -189,7 +206,10 @@ mod tests {
         // Sample ids are unique and in range.
         let set: std::collections::HashSet<u64> = w.sample_ids.iter().copied().collect();
         assert_eq!(set.len(), 1500);
-        assert!(w.sample_ids.iter().all(|&id| (id as usize) < w.alpaca.len()));
+        assert!(w
+            .sample_ids
+            .iter()
+            .all(|&id| (id as usize) < w.alpaca.len()));
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each benchmark closure in a short warm-up followed by `sample_size`
+//! timed samples and prints the median ns/iter. No HTML reports, no
+//! statistical outlier analysis — just enough harness for `cargo bench`
+//! to compile, run, and print comparable numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration work declared for a benchmark, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendered after a slash.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    sample_size: usize,
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` in a warm-up then `sample_size` timed samples; records the
+    /// median per-iteration duration for the harness to report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also calibrating iterations-per-sample so each sample
+        // lasts roughly a millisecond.
+        let calibrate = Instant::now();
+        let mut warmups = 0u64;
+        while calibrate.elapsed() < Duration::from_millis(20) {
+            black_box(f());
+            warmups += 1;
+        }
+        let per_sample = (warmups / 20).max(1);
+
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..per_sample {
+                    black_box(f());
+                }
+                start.elapsed() / per_sample as u32
+            })
+            .collect();
+        samples.sort();
+        self.measured = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn report(id: &str, median: Duration, throughput: Option<Throughput>) {
+    let ns = median.as_nanos().max(1);
+    print!("{id:<40} {ns:>12} ns/iter");
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            print!("  ({:.1} Kelem/s)", n as f64 / ns as f64 * 1e6);
+        }
+        Some(Throughput::Bytes(n)) => {
+            print!(
+                "  ({:.1} MiB/s)",
+                n as f64 / ns as f64 * 1e9 / (1 << 20) as f64
+            );
+        }
+        None => {}
+    }
+    println!();
+}
+
+/// A named set of related benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for rate reporting on later benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            measured: None,
+        };
+        let median = run_one(&mut b, |bencher| f(bencher));
+        report(&format!("{}/{}", self.name, id.id), median, self.throughput);
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            measured: None,
+        };
+        let median = run_one(&mut b, |bencher| f(bencher, input));
+        report(&format!("{}/{}", self.name, id.id), median, self.throughput);
+    }
+
+    /// Ends the group (printing is immediate; this is a no-op for parity).
+    pub fn finish(self) {}
+}
+
+/// Invokes the bench closure and recovers the median duration its inner
+/// `Bencher::iter` recorded (elapsed-time estimate if it never called iter).
+fn run_one<F: FnMut(&mut Bencher)>(b: &mut Bencher, mut f: F) -> Duration {
+    let start = Instant::now();
+    f(b);
+    b.measured
+        .take()
+        .unwrap_or_else(|| start.elapsed() / (b.sample_size as u32).max(1))
+}
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measured: None,
+        };
+        let median = run_one(&mut b, |bencher| f(bencher));
+        report(&id.id, median, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Declares a benchmark group: either `name = ...; config = ...; targets = ...`
+/// or a plain list of target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a ^ b.wrapping_mul(31))
+    }
+
+    #[test]
+    fn bencher_reports_positive_time() {
+        let mut b = Bencher {
+            sample_size: 5,
+            measured: None,
+        };
+        b.iter(|| sum_to(black_box(100)));
+        assert!(b.measured.unwrap().as_nanos() > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("standalone", |b| {
+            b.iter(|| sum_to(black_box(10)));
+        });
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("plain", |b| {
+            b.iter(|| sum_to(black_box(10)));
+        });
+        g.bench_with_input(BenchmarkId::new("param", 32), &32u64, |b, &n| {
+            b.iter(|| sum_to(black_box(n)));
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,517 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the value-based `Serialize`/`Deserialize` protocol of the
+//! vendored `serde` crate for the shapes this workspace actually uses:
+//! named-field structs, tuple structs, and enums with unit/tuple/struct
+//! variants. Supported field attributes: `#[serde(skip)]`,
+//! `#[serde(default)]`, `#[serde(with = "module")]`. Generic type
+//! parameters are not supported (none of the workspace's derived types
+//! have them); lifetimes and other exotica produce a compile error.
+//!
+//! No `syn`/`quote` (unavailable offline): the item is parsed directly
+//! from its token tree — only field/variant names and serde attributes are
+//! needed, so types are skipped over with a small angle-bracket-aware
+//! scanner — and the impls are rendered as strings.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+// ---- parsing --------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kw = expect_ident(&tokens, &mut i)?;
+    let name = expect_ident(&tokens, &mut i)?;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive stub: generic type `{name}` not supported"
+        ));
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_arity(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err("serde derive stub: malformed enum".to_string()),
+        },
+        other => return Err(format!("serde derive stub: cannot derive for `{other}`")),
+    };
+    Ok(Item { name, shape })
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<FieldAttrs> {
+    let mut attrs = Vec::new();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            attrs.push(parse_serde_attr(g.stream()));
+            *i += 1;
+        }
+    }
+    attrs
+}
+
+/// Parses the inside of one `#[...]`; non-serde attributes yield defaults.
+fn parse_serde_attr(stream: TokenStream) -> FieldAttrs {
+    let mut out = FieldAttrs::default();
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return out,
+    }
+    let Some(TokenTree::Group(inner)) = tokens.get(1) else {
+        return out;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut j = 0usize;
+    while j < inner.len() {
+        match &inner[j] {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "skip" | "skip_serializing" | "skip_deserializing" => out.skip = true,
+                "default" => out.default = true,
+                "with" => {
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (inner.get(j + 1), inner.get(j + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            out.with = Some(unquote(&lit.to_string()));
+                            j += 2;
+                        }
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        j += 1;
+    }
+    out
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!(
+            "serde derive stub: expected identifier, got {other:?}"
+        )),
+    }
+}
+
+/// Skips a type (or any token run) until a top-level `,`, tracking angle
+/// brackets so commas inside `Vec<..., ...>` don't terminate early.
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let attrs = merge_attrs(skip_attrs(&tokens, &mut i));
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i)?;
+        // Expect `:`, then skip the type.
+        i += 1;
+        skip_until_comma(&tokens, &mut i);
+        i += 1; // past the comma
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn merge_attrs(list: Vec<FieldAttrs>) -> FieldAttrs {
+    let mut out = FieldAttrs::default();
+    for a in list {
+        out.skip |= a.skip;
+        out.default |= a.default;
+        if a.with.is_some() {
+            out.with = a.with;
+        }
+    }
+    out
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1usize;
+    let mut i = 0usize;
+    loop {
+        skip_until_comma(&tokens, &mut i);
+        if i >= tokens.len() {
+            return arity;
+        }
+        i += 1; // past the comma
+        if i >= tokens.len() {
+            return arity; // trailing comma
+        }
+        arity += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a possible `= discriminant` and the trailing comma.
+        skip_until_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---- codegen: Serialize ---------------------------------------------------
+
+fn field_to_value(attrs: &FieldAttrs, expr: &str) -> String {
+    match &attrs.with {
+        Some(module) => format!("{module}::to_value({expr})"),
+        None => format!("::serde::Serialize::to_value({expr})"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.attrs.skip)
+                .map(|f| {
+                    let conv = field_to_value(&f.attrs, &format!("&self.{}", f.name));
+                    format!("({:?}.to_string(), {conv})", f.name)
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!(
+                "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(::std::vec::Vec::from([\
+                             ({vn:?}.to_string(), ::serde::Serialize::to_value(f0))])),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec::Vec::from([\
+                                 ({vn:?}.to_string(), ::serde::Value::Array(::std::vec::Vec::from([{}])))])),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.attrs.skip)
+                                .map(|f| {
+                                    let conv = field_to_value(&f.attrs, &f.name);
+                                    format!("({:?}.to_string(), {conv})", f.name)
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec::Vec::from([\
+                                 ({vn:?}.to_string(), ::serde::Value::Object(::std::vec::Vec::from([{}])))])),",
+                                binds.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ---- codegen: Deserialize -------------------------------------------------
+
+/// Lookup-and-convert for one named field out of the object `src`.
+fn named_field_expr(f: &Field, owner: &str, src: &str) -> String {
+    if f.attrs.skip {
+        return format!("{}: ::std::default::Default::default()", f.name);
+    }
+    let conv = match &f.attrs.with {
+        Some(module) => format!("{module}::from_value(x)?"),
+        None => "::serde::Deserialize::from_value(x)?".to_string(),
+    };
+    let missing = if f.attrs.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::missing_field({:?}, {owner:?}))",
+            f.name
+        )
+    };
+    format!(
+        "{}: match {src}.get({:?}) {{ ::std::option::Option::Some(x) => {conv}, \
+         ::std::option::Option::None => {missing} }}",
+        f.name, f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| named_field_expr(f, name, "v"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({k}).ok_or_else(|| \
+                         ::serde::Error::expected(\"tuple element\", {name:?}))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| \
+                 ::serde::Error::expected(\"array\", {name:?}))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut parts = Vec::new();
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => return ::std::result::Result::Ok({name}::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            if !unit_arms.is_empty() {
+                parts.push(format!(
+                    "if let ::serde::Value::Str(s) = v {{ match s.as_str() {{ {} _ => {{}} }} }}",
+                    unit_arms.join(" ")
+                ));
+            }
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => return ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(items.get({k}).ok_or_else(|| \
+                                         ::serde::Error::expected(\"tuple element\", {name:?}))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let items = inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::expected(\"array\", {name:?}))?;\n\
+                                 return ::std::result::Result::Ok({name}::{vn}({})); }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| named_field_expr(f, name, "inner"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => return ::std::result::Result::Ok(\
+                                 {name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            if !data_arms.is_empty() {
+                parts.push(format!(
+                    "if let ::serde::Value::Object(entries) = v {{ \
+                     if entries.len() == 1 {{ \
+                     let (key, inner) = &entries[0]; \
+                     match key.as_str() {{ {} _ => {{}} }} }} }}",
+                    data_arms.join(" ")
+                ));
+            }
+            parts.push(format!(
+                "::std::result::Result::Err(::serde::Error::expected(\"variant\", {name:?}))"
+            ));
+            parts.join("\n")
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

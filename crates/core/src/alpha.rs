@@ -27,7 +27,10 @@ pub fn rank_by_edit_distance(records: &[RevisionRecord]) -> Vec<RankedRecord<'_>
             let d = wd.distance(&r.original.instruction, &r.revised.instruction)
                 + wd.distance(&r.original.response, &r.revised.response);
             wd.clear_cache();
-            RankedRecord { record: r, edit_distance: d }
+            RankedRecord {
+                record: r,
+                edit_distance: d,
+            }
         })
         .collect();
     ranked.sort_by(|a, b| {
@@ -70,13 +73,16 @@ mod tests {
             instruction_kind: None,
             response_kind: None,
             qc_iterations: 1,
-            final_scores: PairScores { instruction: 90.0, response: 96.0 },
+            final_scores: PairScores {
+                instruction: 90.0,
+                response: 96.0,
+            },
         }
     }
 
     fn sample() -> Vec<RevisionRecord> {
         vec![
-            record(0, "a b c", "a b c d"),                      // distance 1
+            record(0, "a b c", "a b c d"),                       // distance 1
             record(1, "a b c", "completely different text now"), // distance 4
             record(2, "a b c", "a x c y z"),                     // distance 3
             record(3, "a b c", "a b c"),                         // distance 0

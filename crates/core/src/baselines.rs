@@ -16,65 +16,146 @@
 //! * **Alpaca-CoachLM** — the CoachLM-revised dataset from [`crate::infer`].
 
 use crate::student::{profile_student, tune_student, SkillParams, StudentModel};
-use coachlm_data::pair::{Dataset, InstructionPair};
+use coachlm_data::pair::Dataset;
 use coachlm_expert::revision::RevisionRecord;
 use coachlm_judge::chatgpt::ChatGptRater;
+use coachlm_runtime::{Executor, ExecutorConfig, Stage, StageCtx, StageItem};
 use coachlm_text::clean;
+use coachlm_text::fxhash::FxHashMap;
 use serde::Serialize;
 
-/// Builds the Alpaca-cleaned dataset: surface-level rule cleaning only.
-pub fn build_cleaned(original: &Dataset) -> Dataset {
-    let mut out = Dataset::new(format!("{}-cleaned", original.name));
-    out.pairs.reserve(original.len());
-    for p in original.iter() {
-        let mut response = clean::clean_output(&p.response);
+/// Surface-level rule cleaning as a stage: invalid characters stripped from
+/// instructions; responses cleaned and rid of leaked template prefixes.
+pub struct CleanStage;
+
+impl CleanStage {
+    /// The stage's report name.
+    pub const NAME: &'static str = "clean";
+}
+
+impl Stage for CleanStage {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+        let mut response = clean::clean_output(&item.pair.response);
         // Strip leaked template prefixes (the "inconsistent formats" class).
         for marker in ["### Response:", "### Instruction:"] {
             if let Some(stripped) = response.strip_prefix(marker) {
                 response = stripped.trim_start().to_string();
             }
         }
-        let instruction = clean::strip_invalid_chars(&p.instruction);
-        out.pairs.push(InstructionPair::new(p.id, instruction, response, p.category));
+        let instruction = clean::strip_invalid_chars(&item.pair.instruction);
+        if response != item.pair.response {
+            ctx.bump("response-cleaned");
+        }
+        if instruction != item.pair.instruction {
+            ctx.bump("instruction-cleaned");
+        }
+        item.pair.response = response;
+        item.pair.instruction = instruction;
     }
-    out
+}
+
+/// Builds the Alpaca-cleaned dataset: surface-level rule cleaning only.
+pub fn build_cleaned(original: &Dataset) -> Dataset {
+    // Cleaning draws no randomness, so the seed is arbitrary.
+    let stages: Vec<Box<dyn Stage>> = vec![Box::new(CleanStage)];
+    Executor::new(ExecutorConfig::new(0))
+        .run_dataset(&stages, original)
+        .dataset(format!("{}-cleaned", original.name))
+}
+
+/// AlpaGasus filtering as a stage: discard every pair the ChatGPT rater
+/// scores at or below the threshold.
+pub struct AlpaGasusStage<'a> {
+    rater: &'a ChatGptRater,
+    threshold: f64,
+}
+
+impl<'a> AlpaGasusStage<'a> {
+    /// The stage's report name.
+    pub const NAME: &'static str = "alpagasus-filter";
+
+    /// A stage keeping pairs rated strictly above `threshold`.
+    pub fn new(rater: &'a ChatGptRater, threshold: f64) -> Self {
+        AlpaGasusStage { rater, threshold }
+    }
+}
+
+impl Stage for AlpaGasusStage<'_> {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+        let score = self
+            .rater
+            .rate(item.pair.id, &item.pair.instruction, &item.pair.response);
+        if score > self.threshold {
+            ctx.bump("kept");
+        } else {
+            item.discard("alpagasus:low-rated");
+            ctx.bump("dropped");
+        }
+    }
 }
 
 /// Builds the AlpaGasus dataset: pairs rated above `threshold` (paper: 4.5)
 /// by the ChatGPT rater.
 pub fn build_alpagasus(original: &Dataset, rater: &ChatGptRater, threshold: f64) -> Dataset {
-    let mut out = Dataset::new(format!("{}-alpagasus", original.name));
-    for p in original.iter() {
-        if rater.rate(p.id, &p.instruction, &p.response) > threshold {
-            out.pairs.push(p.clone());
+    let stages: Vec<Box<dyn Stage + '_>> = vec![Box::new(AlpaGasusStage::new(rater, threshold))];
+    // The rater derives all randomness from pair ids, so the seed is unused.
+    Executor::new(ExecutorConfig::new(0))
+        .run_dataset(&stages, original)
+        .dataset(format!("{}-alpagasus", original.name))
+}
+
+/// The §III-C human-merge as a stage: pairs with an expert revision on file
+/// are replaced by the revised text.
+pub struct HumanMergeStage {
+    revised: FxHashMap<u64, coachlm_data::pair::InstructionPair>,
+}
+
+impl HumanMergeStage {
+    /// The stage's report name.
+    pub const NAME: &'static str = "human-merge";
+
+    /// A stage merging the first `take` records (later records win on
+    /// duplicate ids, matching sequential merge order).
+    pub fn new(records: &[&RevisionRecord], take: usize) -> Self {
+        HumanMergeStage {
+            revised: records
+                .iter()
+                .take(take)
+                .map(|rec| (rec.id, rec.revised.clone()))
+                .collect(),
         }
     }
-    out
+}
+
+impl Stage for HumanMergeStage {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+        if let Some(revised) = self.revised.get(&item.pair.id) {
+            item.pair = revised.clone();
+            ctx.bump("merged");
+        }
+    }
 }
 
 /// Builds the Alpaca-human dataset: expert-revised pairs merged back into
 /// the original (§III-C). `take` limits how many records are merged, in
 /// the given order (used by the Fig 5b sweep); pass `usize::MAX` for all.
-pub fn build_human_merged(
-    original: &Dataset,
-    records: &[&RevisionRecord],
-    take: usize,
-) -> Dataset {
-    let mut out = original.clone();
-    out.name = format!("{}-human", original.name);
-    for rec in records.iter().take(take) {
-        // Dense ids in generated datasets; fall back to a scan otherwise.
-        if let Some(slot) = out.pairs.get_mut(rec.id as usize) {
-            if slot.id == rec.id {
-                *slot = rec.revised.clone();
-                continue;
-            }
-        }
-        if let Some(slot) = out.pairs.iter_mut().find(|p| p.id == rec.id) {
-            *slot = rec.revised.clone();
-        }
-    }
-    out
+pub fn build_human_merged(original: &Dataset, records: &[&RevisionRecord], take: usize) -> Dataset {
+    let stages: Vec<Box<dyn Stage>> = vec![Box::new(HumanMergeStage::new(records, take))];
+    Executor::new(ExecutorConfig::new(0))
+        .run_dataset(&stages, original)
+        .dataset(format!("{}-human", original.name))
 }
 
 /// Model group in Table IX.
@@ -124,12 +205,48 @@ pub struct RosterEntry {
 /// calibrated once against Table IX's CoachLM150 column (EXPERIMENTS.md
 /// records paper-vs-measured for all four test sets).
 pub const PROFILES: &[(&str, &str, TuneType, ModelGroup, f64)] = &[
-    ("LLaMA2-13b-chat", "13B", TuneType::RlTuned, ModelGroup::Stronger, 0.80),
-    ("Vicuna-13b", "13B", TuneType::ITuned, ModelGroup::Stronger, 0.735),
-    ("LLaMA2-7b-chat", "7B", TuneType::RlTuned, ModelGroup::Stronger, 0.77),
-    ("ChatGLM", "6B", TuneType::RlTuned, ModelGroup::Stronger, 0.72),
-    ("ChatGLM2", "6B", TuneType::RlTuned, ModelGroup::Stronger, 0.69),
-    ("Vicuna-7b", "7B", TuneType::ITuned, ModelGroup::Baseline, 0.75),
+    (
+        "LLaMA2-13b-chat",
+        "13B",
+        TuneType::RlTuned,
+        ModelGroup::Stronger,
+        0.80,
+    ),
+    (
+        "Vicuna-13b",
+        "13B",
+        TuneType::ITuned,
+        ModelGroup::Stronger,
+        0.735,
+    ),
+    (
+        "LLaMA2-7b-chat",
+        "7B",
+        TuneType::RlTuned,
+        ModelGroup::Stronger,
+        0.77,
+    ),
+    (
+        "ChatGLM",
+        "6B",
+        TuneType::RlTuned,
+        ModelGroup::Stronger,
+        0.72,
+    ),
+    (
+        "ChatGLM2",
+        "6B",
+        TuneType::RlTuned,
+        ModelGroup::Stronger,
+        0.69,
+    ),
+    (
+        "Vicuna-7b",
+        "7B",
+        TuneType::ITuned,
+        ModelGroup::Baseline,
+        0.75,
+    ),
 ];
 
 /// Datasets needed to build the tuned rows.
@@ -310,7 +427,10 @@ mod tests {
             assert!(names.contains(&expect), "missing {expect}");
         }
         assert_eq!(
-            roster.iter().filter(|r| r.group == ModelGroup::Stronger).count(),
+            roster
+                .iter()
+                .filter(|r| r.group == ModelGroup::Stronger)
+                .count(),
             5
         );
     }

@@ -73,7 +73,12 @@ impl CoachLm {
             trained_ids.push(rec.id);
         }
         adapter.finalize();
-        Self { config, backbone, adapter, trained_ids }
+        Self {
+            config,
+            backbone,
+            adapter,
+            trained_ids,
+        }
     }
 
     /// Ids of the pairs in the training subset `C_α` (the §III-B1 leakage
@@ -145,18 +150,45 @@ mod tests {
     #[test]
     fn training_respects_alpha() {
         let records = expert_records(600, 5);
-        let full = CoachLm::train(CoachConfig { alpha: 1.0, ..Default::default() }, &records);
-        let third = CoachLm::train(CoachConfig { alpha: 0.3, ..Default::default() }, &records);
-        let none = CoachLm::train(CoachConfig { alpha: 0.0, ..Default::default() }, &records);
+        let full = CoachLm::train(
+            CoachConfig {
+                alpha: 1.0,
+                ..Default::default()
+            },
+            &records,
+        );
+        let third = CoachLm::train(
+            CoachConfig {
+                alpha: 0.3,
+                ..Default::default()
+            },
+            &records,
+        );
+        let none = CoachLm::train(
+            CoachConfig {
+                alpha: 0.0,
+                ..Default::default()
+            },
+            &records,
+        );
         assert_eq!(full.trained_on(), records.len());
-        assert_eq!(third.trained_on(), (records.len() as f64 * 0.3).round() as usize);
+        assert_eq!(
+            third.trained_on(),
+            (records.len() as f64 * 0.3).round() as usize
+        );
         assert_eq!(none.trained_on(), 0);
     }
 
     #[test]
     fn alpha_zero_is_the_raw_backbone() {
         let records = expert_records(300, 6);
-        let coach = CoachLm::train(CoachConfig { alpha: 0.0, ..Default::default() }, &records);
+        let coach = CoachLm::train(
+            CoachConfig {
+                alpha: 0.0,
+                ..Default::default()
+            },
+            &records,
+        );
         let prior = coach.backbone().profile().alignment_prior;
         assert!((coach.apply_probability() - prior).abs() < 1e-9);
     }
@@ -164,18 +196,42 @@ mod tests {
     #[test]
     fn alpha_03_fires_more_reliably_than_alpha_0() {
         let records = expert_records(600, 7);
-        let p0 = CoachLm::train(CoachConfig { alpha: 0.0, ..Default::default() }, &records)
-            .apply_probability();
-        let p3 = CoachLm::train(CoachConfig { alpha: 0.3, ..Default::default() }, &records)
-            .apply_probability();
+        let p0 = CoachLm::train(
+            CoachConfig {
+                alpha: 0.0,
+                ..Default::default()
+            },
+            &records,
+        )
+        .apply_probability();
+        let p3 = CoachLm::train(
+            CoachConfig {
+                alpha: 0.3,
+                ..Default::default()
+            },
+            &records,
+        )
+        .apply_probability();
         assert!(p3 > p0 + 0.3, "p0 {p0} p3 {p3}");
     }
 
     #[test]
     fn full_alpha_carries_copy_noise() {
         let records = expert_records(2500, 8);
-        let third = CoachLm::train(CoachConfig { alpha: 0.3, ..Default::default() }, &records);
-        let full = CoachLm::train(CoachConfig { alpha: 1.0, ..Default::default() }, &records);
+        let third = CoachLm::train(
+            CoachConfig {
+                alpha: 0.3,
+                ..Default::default()
+            },
+            &records,
+        );
+        let full = CoachLm::train(
+            CoachConfig {
+                alpha: 1.0,
+                ..Default::default()
+            },
+            &records,
+        );
         // α = 1 includes the near-identity tail → more copy mass → lower
         // apply probability than the α = 0.3 sweet spot (Fig 5a).
         assert!(
@@ -197,7 +253,11 @@ mod tests {
             "Explain teh water cycle",
             "Water evaporates becuase of heat.",
         );
-        assert!(out.instruction.contains("the water cycle"), "{}", out.instruction);
+        assert!(
+            out.instruction.contains("the water cycle"),
+            "{}",
+            out.instruction
+        );
         assert!(!out.repairs.is_empty());
     }
 
@@ -205,11 +265,19 @@ mod tests {
     fn stronger_backbone_higher_apply_probability_untrained() {
         let records: Vec<RevisionRecord> = Vec::new();
         let weak = CoachLm::train(
-            CoachConfig { backbone: BackboneKind::Llama7b, alpha: 1.0, ..Default::default() },
+            CoachConfig {
+                backbone: BackboneKind::Llama7b,
+                alpha: 1.0,
+                ..Default::default()
+            },
             &records,
         );
         let strong = CoachLm::train(
-            CoachConfig { backbone: BackboneKind::ChatGlm2_6b, alpha: 1.0, ..Default::default() },
+            CoachConfig {
+                backbone: BackboneKind::ChatGlm2_6b,
+                alpha: 1.0,
+                ..Default::default()
+            },
             &records,
         );
         assert!(strong.apply_probability() > weak.apply_probability());

@@ -11,8 +11,13 @@ use serde::Serialize;
 /// candidate response against a reference.
 pub trait PairwiseJudge {
     /// Judge `candidate` against `reference` for `instruction`.
-    fn judge(&self, comparison_id: u64, instruction: &str, candidate: &str, reference: &str)
-        -> Verdict;
+    fn judge(
+        &self,
+        comparison_id: u64,
+        instruction: &str,
+        candidate: &str,
+        reference: &str,
+    ) -> Verdict;
     /// Display name.
     fn name(&self) -> &'static str;
 }
@@ -63,7 +68,11 @@ pub struct EvalResult {
 }
 
 /// Evaluates `model` on `test_set` under `judge`.
-pub fn evaluate<J: PairwiseJudge>(model: &StudentModel, test_set: &TestSet, judge: &J) -> EvalResult {
+pub fn evaluate<J: PairwiseJudge>(
+    model: &StudentModel,
+    test_set: &TestSet,
+    judge: &J,
+) -> EvalResult {
     let mut counts = VerdictCounts::default();
     for item in &test_set.items {
         let candidate = model.respond(item);

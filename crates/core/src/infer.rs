@@ -7,17 +7,20 @@
 //! avoid leakage — both replacement classes ran ≈1.3 % in the paper (the
 //! paper's C_0.3 holds 690 of 52 002 pairs = 1.3 %).
 //!
-//! Revision is embarrassingly parallel; `crossbeam` scoped threads fan the
-//! pairs across cores with per-pair seeded RNGs, so the result is identical
-//! to the sequential order regardless of thread count.
+//! Revision is embarrassingly parallel. It is expressed as a
+//! [`CoachReviseStage`] on the shared `coachlm-runtime` executor, which
+//! seeds an RNG per (stage, pair) — so the result is identical to a
+//! sequential run regardless of thread count, and per-stage counters and
+//! timing come back in the executor's [`StageReport`].
+//!
+//! [`StageReport`]: coachlm_runtime::StageReport
 
 use crate::coach::CoachLm;
-use coachlm_data::pair::{Dataset, InstructionPair};
+use coachlm_data::pair::Dataset;
 use coachlm_lm::transducer::RepairTag;
+use coachlm_runtime::{ChainOutput, Executor, ExecutorConfig, Stage, StageCtx, StageItem};
 use coachlm_text::clean;
 use coachlm_text::fxhash::{FxHashMap, FxHashSet};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::Serialize;
 
 /// A revised dataset plus post-processing accounting.
@@ -37,98 +40,99 @@ pub struct RevisedDataset {
     pub repair_counts: FxHashMap<RepairTag, usize>,
 }
 
-/// Revises a whole dataset with `threads` workers (Eq. 2). Pairs in
-/// CoachLM's training subset keep their originals (the §III-B1 leakage
-/// rule).
-pub fn revise_dataset(coach: &CoachLm, input: &Dataset, seed: u64, threads: usize) -> RevisedDataset {
-    let training_ids: FxHashSet<u64> = coach.trained_ids().iter().copied().collect();
-    let training_ids = &training_ids;
-    let threads = threads.clamp(1, 64);
-    let n = input.len();
-    let mut revised: Vec<Option<(InstructionPair, Vec<RepairTag>, Outcome)>> = vec![None; n];
-
-    let chunk = n.div_ceil(threads).max(1);
-    crossbeam::thread::scope(|scope| {
-        for (t, (pairs, out)) in input
-            .pairs
-            .chunks(chunk)
-            .zip(revised.chunks_mut(chunk))
-            .enumerate()
-        {
-            let _ = t;
-            scope.spawn(move |_| {
-                for (p, slot) in pairs.iter().zip(out.iter_mut()) {
-                    *slot = Some(revise_one(coach, p, training_ids, seed));
-                }
-            });
-        }
-    })
-    .expect("revision worker panicked");
-
-    let mut out = RevisedDataset {
-        dataset: Dataset::new(format!("{}-coachlm", input.name)),
-        replaced_invalid: 0,
-        leakage_skipped: 0,
-        instructions_changed: 0,
-        responses_changed: 0,
-        repair_counts: FxHashMap::default(),
-    };
-    out.dataset.pairs.reserve(n);
-    for (orig, slot) in input.iter().zip(revised.into_iter()) {
-        let (pair, repairs, outcome) = slot.expect("all slots filled");
-        match outcome {
-            Outcome::Leakage => out.leakage_skipped += 1,
-            Outcome::Invalid => out.replaced_invalid += 1,
-            Outcome::Revised => {
-                if pair.instruction != orig.instruction {
-                    out.instructions_changed += 1;
-                }
-                if pair.response != orig.response {
-                    out.responses_changed += 1;
-                }
-                for r in &repairs {
-                    *out.repair_counts.entry(*r).or_insert(0) += 1;
-                }
+impl RevisedDataset {
+    /// Reads the revision accounting out of a chain run that included a
+    /// [`CoachReviseStage`]. The dataset keeps every retained pair, named
+    /// `{input}-coachlm` after the paper's `D_c`.
+    pub fn from_chain(out: &ChainOutput, input_name: &str) -> Self {
+        let report = out
+            .report(CoachReviseStage::NAME)
+            .expect("chain ran a coach-revise stage");
+        let mut repair_counts = FxHashMap::default();
+        for tag in RepairTag::ALL {
+            let n = report.counter(&format!("repair:{}", tag.label()));
+            if n > 0 {
+                repair_counts.insert(tag, n as usize);
             }
         }
-        out.dataset.pairs.push(pair);
+        RevisedDataset {
+            dataset: out.dataset(format!("{input_name}-coachlm")),
+            replaced_invalid: report.counter("invalid") as usize,
+            leakage_skipped: report.counter("leakage") as usize,
+            instructions_changed: report.counter("instruction-changed") as usize,
+            responses_changed: report.counter("response-changed") as usize,
+            repair_counts,
+        }
     }
-    out
 }
 
-/// What happened to one pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Outcome {
-    /// CoachLM's (cleaned) output was adopted.
-    Revised,
-    /// Output invalid → original kept.
-    Invalid,
-    /// Training-instruction leakage → original kept.
-    Leakage,
+/// The CoachLM revision step as an executor stage: revise, clean, validate;
+/// invalid outputs and training-leakage pairs keep their originals.
+pub struct CoachReviseStage<'a> {
+    coach: &'a CoachLm,
+    training_ids: FxHashSet<u64>,
 }
 
-fn revise_one(
-    coach: &CoachLm,
-    p: &InstructionPair,
-    training_ids: &FxHashSet<u64>,
-    seed: u64,
-) -> (InstructionPair, Vec<RepairTag>, Outcome) {
-    if training_ids.contains(&p.id) {
-        return (p.clone(), Vec::new(), Outcome::Leakage);
+impl<'a> CoachReviseStage<'a> {
+    /// The stage's report name.
+    pub const NAME: &'static str = "coach-revise";
+
+    /// A stage revising with `coach`, skipping its training pairs.
+    pub fn new(coach: &'a CoachLm) -> Self {
+        CoachReviseStage {
+            coach,
+            training_ids: coach.trained_ids().iter().copied().collect(),
+        }
     }
-    let mut rng = StdRng::seed_from_u64(seed ^ p.id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let raw = coach.revise_pair(&mut rng, &p.instruction, &p.response);
-    // §III-B1 post-processing: clean, then validate; invalid → original.
-    let instruction = clean::clean_output(&raw.instruction);
-    let response = clean::clean_output(&raw.response);
-    match clean::validate_pair(&instruction, &response) {
-        clean::Validity::Valid => (
-            InstructionPair::new(p.id, instruction, response, p.category),
-            raw.repairs,
-            Outcome::Revised,
-        ),
-        _ => (p.clone(), Vec::new(), Outcome::Invalid),
+}
+
+impl Stage for CoachReviseStage<'_> {
+    fn name(&self) -> &str {
+        Self::NAME
     }
+
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+        if self.training_ids.contains(&item.pair.id) {
+            item.tag("leakage");
+            ctx.bump("leakage");
+            return;
+        }
+        let raw = self
+            .coach
+            .revise_pair(&mut ctx.rng, &item.pair.instruction, &item.pair.response);
+        // §III-B1 post-processing: clean, then validate; invalid → keep the
+        // pair as it entered this stage.
+        let instruction = clean::clean_output(&raw.instruction);
+        let response = clean::clean_output(&raw.response);
+        match clean::validate_pair(&instruction, &response) {
+            clean::Validity::Valid => {
+                if instruction != item.pair.instruction {
+                    ctx.bump("instruction-changed");
+                }
+                if response != item.pair.response {
+                    ctx.bump("response-changed");
+                }
+                for tag in &raw.repairs {
+                    ctx.bump(&format!("repair:{}", tag.label()));
+                }
+                item.pair.instruction = instruction;
+                item.pair.response = response;
+            }
+            _ => {
+                item.tag("invalid");
+                ctx.bump("invalid");
+            }
+        }
+    }
+}
+
+/// Revises a whole dataset (Eq. 2) on the shared executor. Pairs in
+/// CoachLM's training subset keep their originals (the §III-B1 leakage
+/// rule). Thread count comes from `config` and never affects the result.
+pub fn revise_dataset(coach: &CoachLm, input: &Dataset, config: &ExecutorConfig) -> RevisedDataset {
+    let stages: Vec<Box<dyn Stage + '_>> = vec![Box::new(CoachReviseStage::new(coach))];
+    let out = Executor::new(config.clone()).run_dataset(&stages, input);
+    RevisedDataset::from_chain(&out, &input.name)
 }
 
 #[cfg(test)]
@@ -143,16 +147,19 @@ mod tests {
     fn setup(n: usize, seed: u64) -> (Dataset, CoachLm) {
         let (d, _) = generate(&GeneratorConfig::small(n, seed));
         let kept = preliminary_filter(&d, seed).kept;
-        let records =
-            ExpertReviser::new(seed).revise_dataset(&ExpertPool::paper_pool(), &d, &kept);
+        let records = ExpertReviser::new(seed).revise_dataset(&ExpertPool::paper_pool(), &d, &kept);
         let coach = CoachLm::train(CoachConfig::default(), &records);
         (d, coach)
+    }
+
+    fn config(seed: u64, threads: usize) -> ExecutorConfig {
+        ExecutorConfig::new(seed).threads(threads)
     }
 
     #[test]
     fn revision_improves_measured_quality() {
         let (d, coach) = setup(800, 3);
-        let out = revise_dataset(&coach, &d, 7, 4);
+        let out = revise_dataset(&coach, &d, &config(7, 4));
         assert_eq!(out.dataset.len(), d.len());
         let engine = coachlm_judge::criteria::CriteriaEngine::new();
         let avg = |ds: &Dataset| {
@@ -170,17 +177,21 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let (d, coach) = setup(200, 4);
-        let a = revise_dataset(&coach, &d, 5, 1);
-        let b = revise_dataset(&coach, &d, 5, 8);
+        let a = revise_dataset(&coach, &d, &config(5, 1));
+        let b = revise_dataset(&coach, &d, &config(5, 8));
         assert_eq!(a.dataset, b.dataset);
         assert_eq!(a.replaced_invalid, b.replaced_invalid);
+        assert_eq!(a.repair_counts, b.repair_counts);
     }
 
     #[test]
     fn leakage_pairs_keep_originals() {
         let (d, coach) = setup(400, 5);
-        let out = revise_dataset(&coach, &d, 9, 4);
-        assert!(out.leakage_skipped > 0, "α-selected training pairs exist in the dataset");
+        let out = revise_dataset(&coach, &d, &config(9, 4));
+        assert!(
+            out.leakage_skipped > 0,
+            "α-selected training pairs exist in the dataset"
+        );
         assert_eq!(out.leakage_skipped, coach.trained_on());
         for id in coach.trained_ids() {
             assert_eq!(out.dataset.get(*id).unwrap(), d.get(*id).unwrap());
@@ -190,7 +201,7 @@ mod tests {
     #[test]
     fn invalid_replacement_rate_near_paper() {
         let (d, coach) = setup(2000, 6);
-        let out = revise_dataset(&coach, &d, 11, 8);
+        let out = revise_dataset(&coach, &d, &config(11, 8));
         let rate = out.replaced_invalid as f64 / d.len() as f64;
         // Paper: ≈1.3 %. Allow a generous band.
         assert!((0.001..0.04).contains(&rate), "invalid rate {rate}");
@@ -199,20 +210,23 @@ mod tests {
     #[test]
     fn most_responses_change_few_instructions_change() {
         let (d, coach) = setup(1500, 7);
-        let out = revise_dataset(&coach, &d, 13, 8);
+        let out = revise_dataset(&coach, &d, &config(13, 8));
         let resp_share = out.responses_changed as f64 / d.len() as f64;
         let instr_share = out.instructions_changed as f64 / d.len() as f64;
         // Table VII: responses change in most pairs; instructions in ~15%
         // (8k of 52k).
         assert!(resp_share > 0.5, "resp share {resp_share}");
-        assert!(instr_share < resp_share, "instr {instr_share} resp {resp_share}");
+        assert!(
+            instr_share < resp_share,
+            "instr {instr_share} resp {resp_share}"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (d, coach) = setup(150, 8);
-        let a = revise_dataset(&coach, &d, 21, 4);
-        let b = revise_dataset(&coach, &d, 21, 4);
+        let a = revise_dataset(&coach, &d, &config(21, 4));
+        let b = revise_dataset(&coach, &d, &config(21, 4));
         assert_eq!(a.dataset, b.dataset);
     }
 
@@ -220,7 +234,7 @@ mod tests {
     fn empty_dataset_is_fine() {
         let (_, coach) = setup(50, 9);
         let empty = Dataset::new("empty");
-        let out = revise_dataset(&coach, &empty, 1, 4);
+        let out = revise_dataset(&coach, &empty, &config(1, 4));
         assert!(out.dataset.is_empty());
     }
 }

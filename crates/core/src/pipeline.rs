@@ -1,22 +1,26 @@
 //! The §IV-A data management pipeline (Fig 6).
 //!
-//! Raw user cases flow through rule-based parsing/cleaning, optionally a
-//! CoachLM revision stage, and then human annotation. The experiment
-//! compares two batches of the platform: without the CoachLM stage
-//! (~80 high-quality pairs per person-day in the paper) and with it
+//! Raw user cases flow through a declarative stage chain on the shared
+//! executor — Clean → (optional) CoachRevise → ExpertAnnotate — and the
+//! batch report is derived from the executor's per-stage reports. The
+//! experiment compares two batches of the platform: without the CoachLM
+//! stage (~80 high-quality pairs per person-day in the paper) and with it
 //! (~100/person-day, a net 15–20 % gain), plus the CoachLM inference
 //! throughput itself (paper: 1.19 samples/s on one A100 at batch 32; ours
 //! is a CPU figure, reported for shape not magnitude).
 
+use crate::baselines::CleanStage;
 use crate::coach::CoachLm;
-use crate::infer::{revise_dataset, RevisedDataset};
+use crate::infer::CoachReviseStage;
 use coachlm_data::category::TaskClass;
 use coachlm_data::pair::Dataset;
 use coachlm_expert::cost::{Throughputs, Workload};
 use coachlm_expert::pool::ExpertPool;
 use coachlm_expert::revision::ExpertReviser;
+use coachlm_runtime::{
+    ChainOutput, Executor, ExecutorConfig, Stage, StageCtx, StageItem, StageReport,
+};
 use serde::Serialize;
-use std::time::Instant;
 
 /// Production annotation throughputs (pairs/person-day), calibrated so the
 /// manual batch lands near the paper's ~80 pairs/person-day.
@@ -29,6 +33,82 @@ pub fn production_throughputs() -> Throughputs {
         revise_creative: 40.0,
         qc: 200.0,
         post_edit: 105.0,
+    }
+}
+
+/// The human-annotation step as an executor stage: pairs still failing the
+/// rubric get a full expert revision (counted per task class); pairs that
+/// pass get at most a verification/post-edit pass.
+pub struct ExpertAnnotateStage {
+    reviser: ExpertReviser,
+    pool: ExpertPool,
+    count_post_edits: bool,
+}
+
+impl ExpertAnnotateStage {
+    /// The stage's report name.
+    pub const NAME: &'static str = "expert-annotate";
+
+    /// A stage with its own reviser seed. `count_post_edits` enables the
+    /// post-edit tally (only meaningful when a machine stage ran before
+    /// this one, so passing pairs can differ from the originals).
+    pub fn new(seed: u64, count_post_edits: bool) -> Self {
+        ExpertAnnotateStage {
+            reviser: ExpertReviser::new(seed),
+            pool: ExpertPool::paper_pool(),
+            count_post_edits,
+        }
+    }
+}
+
+impl Stage for ExpertAnnotateStage {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+        if self.reviser.needs_revision(&item.pair) {
+            let key = match item.pair.category.class() {
+                TaskClass::LanguageTask => "revise:language",
+                TaskClass::QA => "revise:qa",
+                TaskClass::Creative => "revise:creative",
+            };
+            ctx.bump(key);
+            let rec = self
+                .reviser
+                .revise(&self.pool, &item.pair)
+                .expect("needs_revision implies Some");
+            item.pair = rec.revised;
+        } else if self.count_post_edits && (item.instruction_changed() || item.response_changed()) {
+            ctx.bump("post-edited");
+        }
+    }
+}
+
+/// A serialisable slice of a [`StageReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct StageSummary {
+    /// Stage name.
+    pub stage: String,
+    /// Items that entered the stage.
+    pub items_in: usize,
+    /// Items retained after it.
+    pub items_out: usize,
+    /// Measured time inside the stage, summed across workers.
+    pub cpu_seconds: f64,
+    /// Derived processing rate (0 when unmeasurable).
+    pub samples_per_sec: f64,
+}
+
+impl From<&StageReport> for StageSummary {
+    fn from(r: &StageReport) -> Self {
+        StageSummary {
+            stage: r.stage.clone(),
+            items_in: r.items_in,
+            items_out: r.items_out,
+            cpu_seconds: r.cpu_time.as_secs_f64(),
+            samples_per_sec: r.samples_per_sec(),
+        }
     }
 }
 
@@ -47,87 +127,79 @@ pub struct PipelineReport {
     pub person_days: f64,
     /// High-quality pairs produced per person-day (the §IV-A headline).
     pub pairs_per_person_day: f64,
-    /// CoachLM inference throughput (samples/s); 0 when no CoachLM stage.
+    /// CoachLM inference throughput derived from the revise stage's
+    /// executor-measured time (samples per CPU-second, summed across
+    /// workers); 0 when no CoachLM stage ran.
     pub coachlm_samples_per_sec: f64,
+    /// Per-stage execution summaries, in chain order.
+    pub stage_summaries: Vec<StageSummary>,
     /// Final dataset after the batch.
     #[serde(skip)]
     pub output: Dataset,
+}
+
+impl PipelineReport {
+    /// Derives the batch report from a chain run.
+    fn from_chain(out: &ChainOutput, raw: &Dataset, with_coachlm: bool) -> Self {
+        let annotate = out
+            .report(ExpertAnnotateStage::NAME)
+            .expect("chain ends with expert annotation");
+        let revised_by_class = (
+            annotate.counter("revise:language") as usize,
+            annotate.counter("revise:qa") as usize,
+            annotate.counter("revise:creative") as usize,
+        );
+        let post_edited = annotate.counter("post-edited") as usize;
+        let workload = Workload {
+            filtered: 0,
+            examined: annotate.items_in,
+            revised: revised_by_class,
+            post_edited,
+        };
+        let person_days = workload.person_days(&production_throughputs());
+        let output = out.dataset(format!("{}-produced", raw.name));
+        let coachlm_samples_per_sec = out
+            .report(CoachReviseStage::NAME)
+            .map_or(0.0, StageReport::samples_per_sec);
+        PipelineReport {
+            with_coachlm,
+            raw_pairs: raw.len(),
+            human_revised: revised_by_class.0 + revised_by_class.1 + revised_by_class.2,
+            post_edited,
+            person_days,
+            pairs_per_person_day: if person_days > 0.0 {
+                output.len() as f64 / person_days
+            } else {
+                0.0
+            },
+            coachlm_samples_per_sec,
+            stage_summaries: out.reports.iter().map(StageSummary::from).collect(),
+            output,
+        }
+    }
 }
 
 /// Runs one batch through the platform.
 ///
 /// `coach` enables the CoachLM precursor stage. Human annotation is the
 /// expert reviser (deterministic rubric executor); its person-day cost is
-/// modelled with [`production_throughputs`].
+/// modelled with [`production_throughputs`]. The chain seed and worker
+/// count come from `config`; workers never affect the result.
 pub fn run_batch(
     coach: Option<&CoachLm>,
     raw: &Dataset,
-    seed: u64,
-    threads: usize,
+    config: &ExecutorConfig,
 ) -> PipelineReport {
-    let throughputs = production_throughputs();
-    // Stage 1: rule-based scripts (machine cost only).
-    let cleaned = crate::baselines::build_cleaned(raw);
-
-    // Stage 2: optional CoachLM revision, timed.
-    let (staged, samples_per_sec) = match coach {
-        Some(c) => {
-            let start = Instant::now();
-            let revised: RevisedDataset =
-                revise_dataset(c, &cleaned, seed, threads);
-            let secs = start.elapsed().as_secs_f64().max(1e-9);
-            (revised.dataset, cleaned.len() as f64 / secs)
-        }
-        None => (cleaned, 0.0),
-    };
-
-    // Stage 3: human annotation. Pairs still failing the rubric get a full
-    // revision; machine-revised pairs that pass get a verification pass.
-    let reviser = ExpertReviser::new(seed ^ 0xA11CE);
-    let pool = ExpertPool::paper_pool();
-    let mut output = Dataset::new(format!("{}-produced", raw.name));
-    output.pairs.reserve(staged.len());
-    let mut revised_by_class = (0usize, 0usize, 0usize);
-    let mut post_edited = 0usize;
-    for (p, orig) in staged.iter().zip(raw.iter()) {
-        if reviser.needs_revision(p) {
-            match p.category.class() {
-                TaskClass::LanguageTask => revised_by_class.0 += 1,
-                TaskClass::QA => revised_by_class.1 += 1,
-                TaskClass::Creative => revised_by_class.2 += 1,
-            }
-            let rec = reviser.revise(&pool, p).expect("needs_revision implies Some");
-            output.pairs.push(rec.revised);
-        } else {
-            if coach.is_some() && (p.instruction != orig.instruction || p.response != orig.response)
-            {
-                post_edited += 1;
-            }
-            output.pairs.push(p.clone());
-        }
+    let mut stages: Vec<Box<dyn Stage + '_>> = vec![Box::new(CleanStage)];
+    if let Some(c) = coach {
+        stages.push(Box::new(CoachReviseStage::new(c)));
     }
-
-    let workload = Workload {
-        filtered: 0,
-        examined: staged.len(),
-        revised: revised_by_class,
-        post_edited,
-    };
-    let person_days = workload.person_days(&throughputs);
-    PipelineReport {
-        with_coachlm: coach.is_some(),
-        raw_pairs: raw.len(),
-        human_revised: revised_by_class.0 + revised_by_class.1 + revised_by_class.2,
-        post_edited,
-        person_days,
-        pairs_per_person_day: if person_days > 0.0 {
-            output.len() as f64 / person_days
-        } else {
-            0.0
-        },
-        coachlm_samples_per_sec: samples_per_sec,
-        output,
-    }
+    stages.push(Box::new(ExpertAnnotateStage::new(
+        config.seed() ^ 0xA11CE,
+        coach.is_some(),
+    )));
+    let out = Executor::new(config.clone()).run_dataset(&stages, raw);
+    PipelineReport::from_chain(&out, raw, coach.is_some())
 }
 
 /// The §IV-A comparison: efficiency with vs without the CoachLM stage.
@@ -153,12 +225,11 @@ impl DeploymentComparison {
 pub fn compare_deployment(
     coach: &CoachLm,
     raw: &Dataset,
-    seed: u64,
-    threads: usize,
+    config: &ExecutorConfig,
 ) -> DeploymentComparison {
     DeploymentComparison {
-        manual: run_batch(None, raw, seed, threads),
-        assisted: run_batch(Some(coach), raw, seed, threads),
+        manual: run_batch(None, raw, config),
+        assisted: run_batch(Some(coach), raw, config),
     }
 }
 
@@ -176,11 +247,15 @@ mod tests {
         CoachLm::train(CoachConfig::default(), &records)
     }
 
+    fn config(seed: u64, threads: usize) -> ExecutorConfig {
+        ExecutorConfig::new(seed).threads(threads)
+    }
+
     #[test]
     fn coachlm_stage_reduces_human_revision_load() {
         let c = coach(1);
         let (raw, _) = generate(&GeneratorConfig::small(1200, 77));
-        let cmp = compare_deployment(&c, &raw, 5, 4);
+        let cmp = compare_deployment(&c, &raw, &config(5, 4));
         assert!(
             cmp.assisted.human_revised < cmp.manual.human_revised / 2,
             "manual {} assisted {}",
@@ -194,7 +269,7 @@ mod tests {
     fn efficiency_gain_in_paper_band() {
         let c = coach(2);
         let (raw, _) = generate(&GeneratorConfig::small(2000, 42));
-        let cmp = compare_deployment(&c, &raw, 3, 8);
+        let cmp = compare_deployment(&c, &raw, &config(3, 8));
         let gain = cmp.efficiency_gain();
         // Paper: net 15–20 % (we allow a wider band; the shape target is
         // "a meaningful but not overwhelming gain").
@@ -204,7 +279,7 @@ mod tests {
     #[test]
     fn manual_batch_near_80_pairs_per_person_day() {
         let (raw, _) = generate(&GeneratorConfig::small(2000, 43));
-        let report = run_batch(None, &raw, 1, 4);
+        let report = run_batch(None, &raw, &config(1, 4));
         assert!(
             (60.0..105.0).contains(&report.pairs_per_person_day),
             "rate {}",
@@ -217,16 +292,43 @@ mod tests {
     fn throughput_is_measured_when_coach_runs() {
         let c = coach(3);
         let (raw, _) = generate(&GeneratorConfig::small(300, 44));
-        let report = run_batch(Some(&c), &raw, 1, 4);
+        let report = run_batch(Some(&c), &raw, &config(1, 4));
         assert!(report.coachlm_samples_per_sec > 0.0);
         assert!(report.with_coachlm);
+    }
+
+    #[test]
+    fn report_is_derived_from_stage_reports() {
+        let c = coach(5);
+        let (raw, _) = generate(&GeneratorConfig::small(300, 46));
+        let report = run_batch(Some(&c), &raw, &config(2, 4));
+        let names: Vec<&str> = report
+            .stage_summaries
+            .iter()
+            .map(|s| s.stage.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                CleanStage::NAME,
+                CoachReviseStage::NAME,
+                ExpertAnnotateStage::NAME
+            ]
+        );
+        // Nothing is dropped in this chain, so every stage sees every pair.
+        assert!(report
+            .stage_summaries
+            .iter()
+            .all(|s| s.items_in == raw.len()));
+        let manual = run_batch(None, &raw, &config(2, 4));
+        assert_eq!(manual.stage_summaries.len(), 2);
     }
 
     #[test]
     fn output_quality_meets_acceptance_in_both_modes() {
         let c = coach(4);
         let (raw, _) = generate(&GeneratorConfig::small(400, 45));
-        let cmp = compare_deployment(&c, &raw, 9, 4);
+        let cmp = compare_deployment(&c, &raw, &config(9, 4));
         let engine = coachlm_judge::criteria::CriteriaEngine::new();
         for report in [&cmp.manual, &cmp.assisted] {
             let avg: f64 = report

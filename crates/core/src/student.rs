@@ -88,7 +88,13 @@ pub fn tune_student(
         all.extend_from_slice(qs);
     }
     let global_skill = skill_from(&all, &params);
-    StudentModel { name: name.into(), skill, global_skill, noise: 0.06, seed }
+    StudentModel {
+        name: name.into(),
+        skill,
+        global_skill,
+        noise: 0.06,
+        seed,
+    }
 }
 
 /// Builds a fixed-profile student (the "stronger LLMs" group and Vicuna,
@@ -100,9 +106,15 @@ pub fn profile_student(name: impl Into<String>, skill: f64, seed: u64) -> Studen
     let mut map = FxHashMap::default();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
     for cat in Category::all() {
-        map.insert(cat, (skill + rng.gen_range(-0.02..0.02)).clamp(0.0, 1.0));
+        map.insert(cat, (skill + rng.gen_range(-0.02f64..0.02)).clamp(0.0, 1.0));
     }
-    StudentModel { name, skill: map, global_skill: skill, noise: 0.06, seed }
+    StudentModel {
+        name,
+        skill: map,
+        global_skill: skill,
+        noise: 0.06,
+        seed,
+    }
 }
 
 fn skill_from(qs: &[f64], params: &SkillParams) -> f64 {
@@ -132,9 +144,8 @@ impl StudentModel {
     /// item id).
     pub fn respond(&self, item: &TestItem) -> String {
         let s = self.skill(item.category);
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ item.id.wrapping_mul(0x94D0_49BB_1331_11EB),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ item.id.wrapping_mul(0x94D0_49BB_1331_11EB));
         let q = (s + gaussian(&mut rng) * self.noise).clamp(0.0, 1.0);
         let spec = ComposeSpec::sampled(q, &mut rng);
         compose_response(&mut rng, item.topic, spec)
@@ -193,7 +204,10 @@ mod tests {
         let tuned = tune_student(
             "t",
             &d,
-            SkillParams { bonus: 0.05, ..Default::default() },
+            SkillParams {
+                bonus: 0.05,
+                ..Default::default()
+            },
             3,
         );
         assert!((tuned.global_skill() - plain.global_skill() - 0.05).abs() < 1e-9);
@@ -234,7 +248,11 @@ mod tests {
             let r1 = m.respond(item);
             let r2 = m.respond(item);
             assert_eq!(r1, r2);
-            assert!(!coachlm_text::lexicon::is_off_topic(&item.instruction, &r1, 0.2));
+            assert!(!coachlm_text::lexicon::is_off_topic(
+                &item.instruction,
+                &r1,
+                0.2
+            ));
         }
     }
 

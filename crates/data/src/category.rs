@@ -157,7 +157,10 @@ impl Category {
 
     /// Looks a category up by name.
     pub fn by_name(name: &str) -> Option<Category> {
-        CATEGORIES.iter().find(|c| c.name == name).map(|c| Category(c.id))
+        CATEGORIES
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| Category(c.id))
     }
 
     /// All categories.
@@ -201,12 +204,18 @@ mod tests {
     #[test]
     fn code_categories_exist() {
         let n = CATEGORIES.iter().filter(|c| c.code_related).count();
-        assert!(n >= 3, "need several code categories for the AlpaGasus effect");
+        assert!(
+            n >= 3,
+            "need several code categories for the AlpaGasus effect"
+        );
     }
 
     #[test]
     fn by_name_round_trips() {
-        assert_eq!(Category::by_name("summarization").unwrap().name(), "summarization");
+        assert_eq!(
+            Category::by_name("summarization").unwrap().name(),
+            "summarization"
+        );
         assert!(Category::by_name("nonexistent").is_none());
     }
 

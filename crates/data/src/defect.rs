@@ -107,8 +107,7 @@ impl Defect {
             Defect::InstructionTypos => inject_typos(rng, instruction),
             Defect::InstructionLayout => inject_layout_noise(rng, instruction),
             Defect::VagueInstruction => {
-                let vague =
-                    lexicon::VAGUE_PHRASES[rng.gen_range(0..lexicon::VAGUE_PHRASES.len())];
+                let vague = lexicon::VAGUE_PHRASES[rng.gen_range(0..lexicon::VAGUE_PHRASES.len())];
                 // Keep the topic words so a clarifying rewrite is possible.
                 *instruction = format!("{} - {vague}", instruction.trim_end_matches('.'));
             }
@@ -160,12 +159,18 @@ impl Defect {
                 0 => *response = format!("### Response: {response}"),
                 1 => {
                     let pos = response.len() / 2;
-                    let pos = (0..=pos).rev().find(|&i| response.is_char_boundary(i)).unwrap_or(0);
+                    let pos = (0..=pos)
+                        .rev()
+                        .find(|&i| response.is_char_boundary(i))
+                        .unwrap_or(0);
                     response.insert(pos, '\u{0}');
                 }
                 _ => {
-                    let tail: String =
-                        response.split_whitespace().take(3).collect::<Vec<_>>().join(" ");
+                    let tail: String = response
+                        .split_whitespace()
+                        .take(3)
+                        .collect::<Vec<_>>()
+                        .join(" ");
                     response.push_str(&format!(" {}", format!("{tail} ").repeat(5).trim_end()));
                 }
             },
@@ -312,7 +317,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let (mut i, mut r) = base();
         Defect::InstructionTypos.inject(&mut rng, &mut i, &mut r);
-        let has_typo = lexicon::TYPO_PAIRS.iter().any(|(wrong, _)| i.contains(wrong));
+        let has_typo = lexicon::TYPO_PAIRS
+            .iter()
+            .any(|(wrong, _)| i.contains(wrong));
         assert!(has_typo, "no typo planted in: {i}");
     }
 

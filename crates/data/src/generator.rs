@@ -85,7 +85,12 @@ impl Default for GeneratorConfig {
 impl GeneratorConfig {
     /// A small config for tests: `n` pairs, same distributions.
     pub fn small(n: usize, seed: u64) -> Self {
-        Self { size: n, seed, name: format!("synth-{n}"), ..Self::default() }
+        Self {
+            size: n,
+            seed,
+            name: format!("synth-{n}"),
+            ..Self::default()
+        }
     }
 }
 
@@ -160,7 +165,9 @@ pub fn generate(config: &GeneratorConfig) -> (Dataset, Vec<Provenance>) {
         let topic = topic_for(&mut rng, cat.def());
         let tier = pick_tier(&mut rng, config);
         let (instruction, response, defects, tier) = build_pair(&mut rng, cat, topic, tier);
-        dataset.pairs.push(InstructionPair::new(id, instruction, response, cat));
+        dataset
+            .pairs
+            .push(InstructionPair::new(id, instruction, response, cat));
         provenance.push(Provenance { id, tier, defects });
     }
     (dataset, provenance)
@@ -168,7 +175,10 @@ pub fn generate(config: &GeneratorConfig) -> (Dataset, Vec<Provenance>) {
 
 /// Generates the default 52k dataset with the given seed.
 pub fn alpaca52k(seed: u64) -> (Dataset, Vec<Provenance>) {
-    generate(&GeneratorConfig { seed, ..GeneratorConfig::default() })
+    generate(&GeneratorConfig {
+        seed,
+        ..GeneratorConfig::default()
+    })
 }
 
 fn pick_category<R: Rng>(rng: &mut R, weights: &[u32], total: u32) -> Category {
@@ -332,7 +342,10 @@ pub fn instruction_text<R: Rng>(rng: &mut R, def: &CategoryDef, topic: Topic) ->
             )
         ),
         "paraphrasing" => format!("Paraphrase this sentence about {t}: {}", passage()),
-        "translation" => format!("Translate this sentence about {t} into French: {}", passage()),
+        "translation" => format!(
+            "Translate this sentence about {t} into French: {}",
+            passage()
+        ),
         "text classification" => format!(
             "Classify the tone of this passage about {t} as formal or informal: {}",
             passage()
@@ -342,7 +355,10 @@ pub fn instruction_text<R: Rng>(rng: &mut R, def: &CategoryDef, topic: Topic) ->
             passage()
         ),
         "keyword extraction" => {
-            format!("List the three most important keywords in this passage: {}", passage())
+            format!(
+                "List the three most important keywords in this passage: {}",
+                passage()
+            )
         }
         "title generation" => {
             format!("Suggest a short title for an article about {t}.")
@@ -370,7 +386,10 @@ pub fn instruction_text<R: Rng>(rng: &mut R, def: &CategoryDef, topic: Topic) ->
             format!("Rank three everyday examples of {t} from simplest to most complex.")
         }
         "fact verification" => {
-            format!("Is the following claim about {t} accurate? Explain briefly: {}", passage())
+            format!(
+                "Is the following claim about {t} accurate? Explain briefly: {}",
+                passage()
+            )
         }
         "table interpretation" => {
             format!("Given a small table of numbers about {t}, describe the main trend.")
@@ -409,7 +428,9 @@ pub fn instruction_text<R: Rng>(rng: &mut R, def: &CategoryDef, topic: Topic) ->
         _ => {
             // Generic per-class fallback.
             match def.class {
-                TaskClass::LanguageTask => format!("Process the following request about {t}: {}", passage()),
+                TaskClass::LanguageTask => {
+                    format!("Process the following request about {t}: {}", passage())
+                }
                 TaskClass::QA => format!("Answer this question about {t} clearly and helpfully."),
                 TaskClass::Creative => format!("Write something imaginative about {t}."),
             }
@@ -441,8 +462,16 @@ mod tests {
         let (_, p) = small();
         let n = p.len() as f64;
         let frac = |t: Tier| p.iter().filter(|x| x.tier == t).count() as f64 / n;
-        assert!((frac(Tier::Filterable) - 0.181).abs() < 0.02, "{}", frac(Tier::Filterable));
-        assert!((frac(Tier::Rich) - 0.177).abs() < 0.02, "{}", frac(Tier::Rich));
+        assert!(
+            (frac(Tier::Filterable) - 0.181).abs() < 0.02,
+            "{}",
+            frac(Tier::Filterable)
+        );
+        assert!(
+            (frac(Tier::Rich) - 0.177).abs() < 0.02,
+            "{}",
+            frac(Tier::Rich)
+        );
         // Deficient is 46.8% of the kept share.
         let kept = 1.0 - frac(Tier::Filterable);
         assert!((frac(Tier::Deficient) / kept - 0.468).abs() < 0.03);
@@ -453,7 +482,10 @@ mod tests {
         let (_, p) = small();
         for prov in p.iter().filter(|x| x.tier == Tier::Deficient) {
             assert!(!prov.defects.is_empty());
-            assert!(prov.defects.iter().any(|d| d.side() == DefectSide::Response));
+            assert!(prov
+                .defects
+                .iter()
+                .any(|d| d.side() == DefectSide::Response));
         }
     }
 
@@ -463,7 +495,11 @@ mod tests {
         let deficient: Vec<_> = p.iter().filter(|x| x.tier == Tier::Deficient).collect();
         let with_instr = deficient
             .iter()
-            .filter(|x| x.defects.iter().any(|d| d.side() == DefectSide::Instruction))
+            .filter(|x| {
+                x.defects
+                    .iter()
+                    .any(|d| d.side() == DefectSide::Instruction)
+            })
             .count() as f64;
         let share = with_instr / deficient.len() as f64;
         assert!((share - 0.469).abs() < 0.04, "share {share}");
@@ -485,8 +521,7 @@ mod tests {
         let (d, _) = generate(&GeneratorConfig::small(6000, 42));
         let instr: f64 =
             d.iter().map(|p| p.instruction_words() as f64).sum::<f64>() / d.len() as f64;
-        let resp: f64 =
-            d.iter().map(|p| p.response_words() as f64).sum::<f64>() / d.len() as f64;
+        let resp: f64 = d.iter().map(|p| p.response_words() as f64).sum::<f64>() / d.len() as f64;
         // Paper: 17.7 and 43.9 words. The shape target is "short instructions,
         // responses a few times longer"; allow generous bands.
         assert!((10.0..30.0).contains(&instr), "instruction avg {instr}");

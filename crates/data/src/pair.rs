@@ -20,8 +20,18 @@ pub struct InstructionPair {
 
 impl InstructionPair {
     /// Creates a pair.
-    pub fn new(id: u64, instruction: impl Into<String>, response: impl Into<String>, category: Category) -> Self {
-        Self { id, instruction: instruction.into(), response: response.into(), category }
+    pub fn new(
+        id: u64,
+        instruction: impl Into<String>,
+        response: impl Into<String>,
+        category: Category,
+    ) -> Self {
+        Self {
+            id,
+            instruction: instruction.into(),
+            response: response.into(),
+            category,
+        }
     }
 
     /// Word count of the instruction (Table VII's length metric).
@@ -56,7 +66,10 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), pairs: Vec::new() }
+        Self {
+            name: name.into(),
+            pairs: Vec::new(),
+        }
     }
 
     /// Number of pairs.
@@ -135,7 +148,10 @@ impl Dataset {
                 InstructionPair::new(i as u64, instruction, row.output, Category(0))
             })
             .collect();
-        Ok(Self { name: name.to_string(), pairs })
+        Ok(Self {
+            name: name.to_string(),
+            pairs,
+        })
     }
 
     /// Saves the native format to a file.
@@ -168,14 +184,25 @@ mod tests {
 
     fn sample() -> Dataset {
         let mut d = Dataset::new("sample");
-        d.pairs.push(InstructionPair::new(0, "Explain tides", "The moon pulls water.", Category(3)));
-        d.pairs.push(InstructionPair::new(1, "Add 2 and 2", "4", Category(13)));
+        d.pairs.push(InstructionPair::new(
+            0,
+            "Explain tides",
+            "The moon pulls water.",
+            Category(3),
+        ));
+        d.pairs
+            .push(InstructionPair::new(1, "Add 2 and 2", "4", Category(13)));
         d
     }
 
     #[test]
     fn word_counts() {
-        let p = InstructionPair::new(0, "Explain the tides briefly", "The moon pulls the water.", Category(0));
+        let p = InstructionPair::new(
+            0,
+            "Explain the tides briefly",
+            "The moon pulls the water.",
+            Category(0),
+        );
         assert_eq!(p.instruction_words(), 4);
         assert_eq!(p.response_words(), 5);
     }

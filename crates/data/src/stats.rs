@@ -90,7 +90,8 @@ mod tests {
     fn ds(rows: &[(&str, &str)]) -> Dataset {
         let mut d = Dataset::new("t");
         for (i, (instr, resp)) in rows.iter().enumerate() {
-            d.pairs.push(InstructionPair::new(i as u64, *instr, *resp, Category(0)));
+            d.pairs
+                .push(InstructionPair::new(i as u64, *instr, *resp, Category(0)));
         }
         d
     }
@@ -107,7 +108,10 @@ mod tests {
     #[test]
     fn compare_stats_counts_changes_and_distance() {
         let orig = ds(&[("do x", "answer one"), ("do y", "answer two")]);
-        let revised = ds(&[("do x", "answer one plus detail"), ("do y now", "answer two")]);
+        let revised = ds(&[
+            ("do x", "answer one plus detail"),
+            ("do y now", "answer two"),
+        ]);
         let s = compare_stats(&orig, &revised);
         assert_eq!(s.instructions_changed, Some(1));
         assert_eq!(s.responses_changed, Some(1));

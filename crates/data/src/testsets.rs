@@ -137,7 +137,13 @@ impl TestSet {
             let q = rng.gen_range(qlo..qhi);
             let spec = ComposeSpec::sampled(q, &mut rng);
             let reference = compose_response(&mut rng, topic, spec);
-            items.push(TestItem { id, instruction, reference, category: cat, topic });
+            items.push(TestItem {
+                id,
+                instruction,
+                reference,
+                category: cat,
+                topic,
+            });
         }
         Self { kind, items }
     }
@@ -236,7 +242,12 @@ mod tests {
     fn category_counts_match_table6() {
         for kind in TestSetKind::ALL {
             let ts = TestSet::build(kind, 1);
-            assert_eq!(ts.distinct_categories(), kind.category_count(), "{}", kind.name());
+            assert_eq!(
+                ts.distinct_categories(),
+                kind.category_count(),
+                "{}",
+                kind.name()
+            );
         }
     }
 

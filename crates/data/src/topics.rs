@@ -37,62 +37,230 @@ pub struct Topic {
 
 /// The topic bank.
 pub const TOPICS: &[Topic] = &[
-    Topic { phrase: "the water cycle", domain: Domain::Science },
-    Topic { phrase: "photosynthesis", domain: Domain::Science },
-    Topic { phrase: "gravity", domain: Domain::Science },
-    Topic { phrase: "renewable energy", domain: Domain::Science },
-    Topic { phrase: "the solar system", domain: Domain::Science },
-    Topic { phrase: "volcanoes", domain: Domain::Science },
-    Topic { phrase: "ocean currents", domain: Domain::Science },
-    Topic { phrase: "vaccines", domain: Domain::Science },
-    Topic { phrase: "magnetism", domain: Domain::Science },
-    Topic { phrase: "ecosystems", domain: Domain::Science },
-    Topic { phrase: "the human heart", domain: Domain::Science },
-    Topic { phrase: "climate patterns", domain: Domain::Science },
-    Topic { phrase: "the printing press", domain: Domain::Society },
-    Topic { phrase: "the silk road", domain: Domain::Society },
-    Topic { phrase: "ancient rome", domain: Domain::Society },
-    Topic { phrase: "the industrial revolution", domain: Domain::Society },
-    Topic { phrase: "democracy", domain: Domain::Society },
-    Topic { phrase: "urban planning", domain: Domain::Society },
-    Topic { phrase: "the great wall of china", domain: Domain::Society },
-    Topic { phrase: "supply and demand", domain: Domain::Society },
-    Topic { phrase: "public libraries", domain: Domain::Society },
-    Topic { phrase: "world trade", domain: Domain::Society },
-    Topic { phrase: "healthy breakfast habits", domain: Domain::Daily },
-    Topic { phrase: "indoor plants", domain: Domain::Daily },
-    Topic { phrase: "time management", domain: Domain::Daily },
-    Topic { phrase: "bicycle maintenance", domain: Domain::Daily },
-    Topic { phrase: "meal planning", domain: Domain::Daily },
-    Topic { phrase: "home recycling", domain: Domain::Daily },
-    Topic { phrase: "morning exercise", domain: Domain::Daily },
-    Topic { phrase: "budget travel", domain: Domain::Daily },
-    Topic { phrase: "job interviews", domain: Domain::Daily },
-    Topic { phrase: "studying for exams", domain: Domain::Daily },
-    Topic { phrase: "houseplant watering", domain: Domain::Daily },
-    Topic { phrase: "neighborhood gardens", domain: Domain::Daily },
-    Topic { phrase: "sorting algorithms", domain: Domain::Code },
-    Topic { phrase: "hash tables", domain: Domain::Code },
-    Topic { phrase: "recursion", domain: Domain::Code },
-    Topic { phrase: "unit testing", domain: Domain::Code },
-    Topic { phrase: "version control", domain: Domain::Code },
-    Topic { phrase: "binary search", domain: Domain::Code },
-    Topic { phrase: "loops and iteration", domain: Domain::Code },
-    Topic { phrase: "error handling", domain: Domain::Code },
-    Topic { phrase: "fractions", domain: Domain::Math },
-    Topic { phrase: "percentages", domain: Domain::Math },
-    Topic { phrase: "compound interest", domain: Domain::Math },
-    Topic { phrase: "prime numbers", domain: Domain::Math },
-    Topic { phrase: "basic geometry", domain: Domain::Math },
-    Topic { phrase: "probability", domain: Domain::Math },
-    Topic { phrase: "a lighthouse keeper", domain: Domain::Creative },
-    Topic { phrase: "a friendly dragon", domain: Domain::Creative },
-    Topic { phrase: "a rainy market day", domain: Domain::Creative },
-    Topic { phrase: "an old sailing ship", domain: Domain::Creative },
-    Topic { phrase: "a mountain village", domain: Domain::Creative },
-    Topic { phrase: "a midnight library", domain: Domain::Creative },
-    Topic { phrase: "a robot learning to paint", domain: Domain::Creative },
-    Topic { phrase: "a garden in autumn", domain: Domain::Creative },
+    Topic {
+        phrase: "the water cycle",
+        domain: Domain::Science,
+    },
+    Topic {
+        phrase: "photosynthesis",
+        domain: Domain::Science,
+    },
+    Topic {
+        phrase: "gravity",
+        domain: Domain::Science,
+    },
+    Topic {
+        phrase: "renewable energy",
+        domain: Domain::Science,
+    },
+    Topic {
+        phrase: "the solar system",
+        domain: Domain::Science,
+    },
+    Topic {
+        phrase: "volcanoes",
+        domain: Domain::Science,
+    },
+    Topic {
+        phrase: "ocean currents",
+        domain: Domain::Science,
+    },
+    Topic {
+        phrase: "vaccines",
+        domain: Domain::Science,
+    },
+    Topic {
+        phrase: "magnetism",
+        domain: Domain::Science,
+    },
+    Topic {
+        phrase: "ecosystems",
+        domain: Domain::Science,
+    },
+    Topic {
+        phrase: "the human heart",
+        domain: Domain::Science,
+    },
+    Topic {
+        phrase: "climate patterns",
+        domain: Domain::Science,
+    },
+    Topic {
+        phrase: "the printing press",
+        domain: Domain::Society,
+    },
+    Topic {
+        phrase: "the silk road",
+        domain: Domain::Society,
+    },
+    Topic {
+        phrase: "ancient rome",
+        domain: Domain::Society,
+    },
+    Topic {
+        phrase: "the industrial revolution",
+        domain: Domain::Society,
+    },
+    Topic {
+        phrase: "democracy",
+        domain: Domain::Society,
+    },
+    Topic {
+        phrase: "urban planning",
+        domain: Domain::Society,
+    },
+    Topic {
+        phrase: "the great wall of china",
+        domain: Domain::Society,
+    },
+    Topic {
+        phrase: "supply and demand",
+        domain: Domain::Society,
+    },
+    Topic {
+        phrase: "public libraries",
+        domain: Domain::Society,
+    },
+    Topic {
+        phrase: "world trade",
+        domain: Domain::Society,
+    },
+    Topic {
+        phrase: "healthy breakfast habits",
+        domain: Domain::Daily,
+    },
+    Topic {
+        phrase: "indoor plants",
+        domain: Domain::Daily,
+    },
+    Topic {
+        phrase: "time management",
+        domain: Domain::Daily,
+    },
+    Topic {
+        phrase: "bicycle maintenance",
+        domain: Domain::Daily,
+    },
+    Topic {
+        phrase: "meal planning",
+        domain: Domain::Daily,
+    },
+    Topic {
+        phrase: "home recycling",
+        domain: Domain::Daily,
+    },
+    Topic {
+        phrase: "morning exercise",
+        domain: Domain::Daily,
+    },
+    Topic {
+        phrase: "budget travel",
+        domain: Domain::Daily,
+    },
+    Topic {
+        phrase: "job interviews",
+        domain: Domain::Daily,
+    },
+    Topic {
+        phrase: "studying for exams",
+        domain: Domain::Daily,
+    },
+    Topic {
+        phrase: "houseplant watering",
+        domain: Domain::Daily,
+    },
+    Topic {
+        phrase: "neighborhood gardens",
+        domain: Domain::Daily,
+    },
+    Topic {
+        phrase: "sorting algorithms",
+        domain: Domain::Code,
+    },
+    Topic {
+        phrase: "hash tables",
+        domain: Domain::Code,
+    },
+    Topic {
+        phrase: "recursion",
+        domain: Domain::Code,
+    },
+    Topic {
+        phrase: "unit testing",
+        domain: Domain::Code,
+    },
+    Topic {
+        phrase: "version control",
+        domain: Domain::Code,
+    },
+    Topic {
+        phrase: "binary search",
+        domain: Domain::Code,
+    },
+    Topic {
+        phrase: "loops and iteration",
+        domain: Domain::Code,
+    },
+    Topic {
+        phrase: "error handling",
+        domain: Domain::Code,
+    },
+    Topic {
+        phrase: "fractions",
+        domain: Domain::Math,
+    },
+    Topic {
+        phrase: "percentages",
+        domain: Domain::Math,
+    },
+    Topic {
+        phrase: "compound interest",
+        domain: Domain::Math,
+    },
+    Topic {
+        phrase: "prime numbers",
+        domain: Domain::Math,
+    },
+    Topic {
+        phrase: "basic geometry",
+        domain: Domain::Math,
+    },
+    Topic {
+        phrase: "probability",
+        domain: Domain::Math,
+    },
+    Topic {
+        phrase: "a lighthouse keeper",
+        domain: Domain::Creative,
+    },
+    Topic {
+        phrase: "a friendly dragon",
+        domain: Domain::Creative,
+    },
+    Topic {
+        phrase: "a rainy market day",
+        domain: Domain::Creative,
+    },
+    Topic {
+        phrase: "an old sailing ship",
+        domain: Domain::Creative,
+    },
+    Topic {
+        phrase: "a mountain village",
+        domain: Domain::Creative,
+    },
+    Topic {
+        phrase: "a midnight library",
+        domain: Domain::Creative,
+    },
+    Topic {
+        phrase: "a robot learning to paint",
+        domain: Domain::Creative,
+    },
+    Topic {
+        phrase: "a garden in autumn",
+        domain: Domain::Creative,
+    },
 ];
 
 /// Body-sentence templates per domain; `{}` is the topic slot. Each

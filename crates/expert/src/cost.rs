@@ -140,10 +140,21 @@ mod tests {
     #[test]
     fn pairs_per_person_day_scales() {
         let t = Throughputs::default();
-        let manual = Workload { examined: 1000, revised: (300, 250, 120), ..Default::default() };
-        let assisted = Workload { examined: 1000, post_edited: 670, ..Default::default() };
+        let manual = Workload {
+            examined: 1000,
+            revised: (300, 250, 120),
+            ..Default::default()
+        };
+        let assisted = Workload {
+            examined: 1000,
+            post_edited: 670,
+            ..Default::default()
+        };
         let manual_rate = manual.pairs_per_person_day(&t, 670);
         let assisted_rate = assisted.pairs_per_person_day(&t, 670);
-        assert!(assisted_rate > manual_rate, "{assisted_rate} vs {manual_rate}");
+        assert!(
+            assisted_rate > manual_rate,
+            "{assisted_rate} vs {manual_rate}"
+        );
     }
 }

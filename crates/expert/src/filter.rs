@@ -8,9 +8,9 @@
 //! diversity of revision".
 
 use coachlm_data::pair::Dataset;
+use coachlm_runtime::{Executor, ExecutorConfig, Stage, StageCtx, StageItem};
 use coachlm_text::lexicon;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use serde::Serialize;
 
 /// The Table III exclusion reasons.
@@ -58,6 +58,11 @@ impl FilterReason {
             FilterReason::MultiModal => 0.065,
             FilterReason::Safety => 0.159,
         }
+    }
+
+    /// The reason whose [`label`](Self::label) is `label`, if any.
+    pub fn from_label(label: &str) -> Option<FilterReason> {
+        FilterReason::ALL.into_iter().find(|r| r.label() == label)
     }
 }
 
@@ -111,7 +116,11 @@ impl FilterOutcome {
         FilterReason::ALL
             .iter()
             .map(|&r| {
-                let c = self.excluded.iter().filter(|(_, reason)| *reason == r).count();
+                let c = self
+                    .excluded
+                    .iter()
+                    .filter(|(_, reason)| *reason == r)
+                    .count();
                 (r, c as f64 / n)
             })
             .collect()
@@ -122,24 +131,62 @@ impl FilterOutcome {
 /// such pairs were retained during the revision to ensure diversity").
 const DIVERSITY_RETENTION: f64 = 0.04;
 
-/// Runs the preliminary filter over a dataset.
+/// The preliminary filter as an executor stage. Matched pairs are discarded
+/// with a `filter:<reason>` tag, except the per-item diversity draw, which
+/// keeps them with a `retained:<reason>` tag.
+pub struct PreliminaryFilterStage;
+
+impl PreliminaryFilterStage {
+    /// The stage's report name.
+    pub const NAME: &'static str = "preliminary-filter";
+}
+
+impl Stage for PreliminaryFilterStage {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+        let Some(reason) = detect_reason(&item.pair.instruction, &item.pair.response) else {
+            return;
+        };
+        if ctx.rng.gen_bool(DIVERSITY_RETENTION) {
+            item.tag(format!("retained:{}", reason.label()));
+            ctx.bump(&format!("retained:{}", reason.label()));
+        } else {
+            item.discard(format!("filter:{}", reason.label()));
+            ctx.bump(&format!("excluded:{}", reason.label()));
+        }
+    }
+}
+
+/// Runs the preliminary filter over a dataset on the shared executor.
 pub fn preliminary_filter(dataset: &Dataset, seed: u64) -> FilterOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let stages: Vec<Box<dyn Stage>> = vec![Box::new(PreliminaryFilterStage)];
+    let run = Executor::new(ExecutorConfig::new(seed)).run_dataset(&stages, dataset);
     let mut out = FilterOutcome {
         kept: Vec::with_capacity(dataset.len()),
         excluded: Vec::new(),
         retained_for_diversity: Vec::new(),
     };
-    for p in dataset.iter() {
-        match detect_reason(&p.instruction, &p.response) {
-            Some(reason) if !rng.gen_bool(DIVERSITY_RETENTION) => {
-                out.excluded.push((p.id, reason));
+    for item in &run.items {
+        match item.tags.first() {
+            Some(tag) if item.retained => {
+                let reason = tag
+                    .strip_prefix("retained:")
+                    .and_then(FilterReason::from_label)
+                    .expect("retained items carry a reason tag");
+                out.retained_for_diversity.push((item.pair.id, reason));
+                out.kept.push(item.pair.id);
             }
-            Some(reason) => {
-                out.retained_for_diversity.push((p.id, reason));
-                out.kept.push(p.id);
+            Some(tag) => {
+                let reason = tag
+                    .strip_prefix("filter:")
+                    .and_then(FilterReason::from_label)
+                    .expect("discarded items carry a reason tag");
+                out.excluded.push((item.pair.id, reason));
             }
-            None => out.kept.push(p.id),
+            None => out.kept.push(item.pair.id),
         }
     }
     out
@@ -172,7 +219,10 @@ mod tests {
             detect_reason("Explain how to avoid paying the fine illegally", "x"),
             Some(FilterReason::Safety)
         );
-        assert_eq!(detect_reason("Explain the water cycle", "water moves"), None);
+        assert_eq!(
+            detect_reason("Explain the water cycle", "water moves"),
+            None
+        );
     }
 
     #[test]
@@ -182,7 +232,11 @@ mod tests {
         // Every excluded id must be a Filterable-tier pair.
         for (id, _) in &out.excluded {
             let p = &prov[*id as usize];
-            assert_eq!(p.tier, Tier::Filterable, "excluded a non-filterable pair {id}");
+            assert_eq!(
+                p.tier,
+                Tier::Filterable,
+                "excluded a non-filterable pair {id}"
+            );
         }
         // Almost all filterable pairs are excluded (up to diversity retention).
         let filterable = prov.iter().filter(|p| p.tier == Tier::Filterable).count();

@@ -55,10 +55,8 @@ pub struct ExpertPool {
 /// (9.4 / 11.2 / 13.1).
 const GROUP_A_YEARS: [f64; 17] = [
     // Language-task unit (6 experts, avg 9.4).
-    7.2, 8.3, 9.1, 9.8, 10.4, 11.6,
-    // Q&A unit (6 experts, avg 11.2).
-    9.5, 10.2, 11.0, 11.7, 12.3, 12.5,
-    // Creative unit (5 experts, avg 13.1).
+    7.2, 8.3, 9.1, 9.8, 10.4, 11.6, // Q&A unit (6 experts, avg 11.2).
+    9.5, 10.2, 11.0, 11.7, 12.3, 12.5, // Creative unit (5 experts, avg 13.1).
     11.8, 12.6, 13.2, 13.7, 14.2,
 ];
 const GROUP_B_YEARS: [f64; 6] = [3.9, 4.6, 5.2, 5.9, 6.7, 7.5];
@@ -70,15 +68,27 @@ impl ExpertPool {
         let mut experts = Vec::with_capacity(26);
         let mut id = 0u32;
         for &y in &GROUP_A_YEARS {
-            experts.push(Expert { id, years: y, group: Group::A });
+            experts.push(Expert {
+                id,
+                years: y,
+                group: Group::A,
+            });
             id += 1;
         }
         for &y in &GROUP_B_YEARS {
-            experts.push(Expert { id, years: y, group: Group::B });
+            experts.push(Expert {
+                id,
+                years: y,
+                group: Group::B,
+            });
             id += 1;
         }
         for &y in &GROUP_C_YEARS {
-            experts.push(Expert { id, years: y, group: Group::C });
+            experts.push(Expert {
+                id,
+                years: y,
+                group: Group::C,
+            });
             id += 1;
         }
 
@@ -91,9 +101,16 @@ impl ExpertPool {
                     .years
                     .total_cmp(&experts[*a as usize].years)
             });
-            let avg = members.iter().map(|&m| experts[m as usize].years).sum::<f64>()
+            let avg = members
+                .iter()
+                .map(|&m| experts[m as usize].years)
+                .sum::<f64>()
                 / members.len() as f64;
-            RevisionUnit { class, members, avg_years: avg }
+            RevisionUnit {
+                class,
+                members,
+                avg_years: avg,
+            }
         };
         let units = [
             unit(TaskClass::LanguageTask, 0..6),
@@ -211,9 +228,9 @@ mod tests {
     #[test]
     fn stronger_class_gets_more_experienced_unit() {
         let p = ExpertPool::paper_pool();
+        assert!(p.unit_for(TaskClass::Creative).avg_years > p.unit_for(TaskClass::QA).avg_years);
         assert!(
-            p.unit_for(TaskClass::Creative).avg_years > p.unit_for(TaskClass::QA).avg_years
+            p.unit_for(TaskClass::QA).avg_years > p.unit_for(TaskClass::LanguageTask).avg_years
         );
-        assert!(p.unit_for(TaskClass::QA).avg_years > p.unit_for(TaskClass::LanguageTask).avg_years);
     }
 }

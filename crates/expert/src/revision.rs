@@ -13,6 +13,8 @@ use crate::pool::ExpertPool;
 use coachlm_data::pair::{Dataset, InstructionPair};
 use coachlm_judge::criteria::{CriteriaEngine, PairScores};
 use coachlm_lm::knowledge::KnowledgeBase;
+use coachlm_runtime::{Executor, ExecutorConfig, Stage, StageCtx, StageItem};
+use coachlm_text::fxhash::FxHashSet;
 use coachlm_text::lexicon;
 use coachlm_text::normalize;
 use rand::rngs::StdRng;
@@ -78,16 +80,67 @@ const QC_RESPONSE_TARGET: f64 = 95.0;
 /// with extra context (yields Table IV's 7 % Diversify share).
 const CONTEXT_ENRICH_P: f64 = 0.035;
 
+/// The expert revision step as an executor stage: pairs outside the kept
+/// set are discarded; kept pairs the rubric flags are revised in place,
+/// with the full [`RevisionRecord`] attached as the item payload.
+pub struct ExpertReviseStage<'a> {
+    reviser: &'a ExpertReviser,
+    pool: &'a ExpertPool,
+    kept: FxHashSet<u64>,
+}
+
+impl<'a> ExpertReviseStage<'a> {
+    /// The stage's report name.
+    pub const NAME: &'static str = "expert-revise";
+
+    /// A stage revising the pairs in `kept_ids` with `reviser`.
+    pub fn new(reviser: &'a ExpertReviser, pool: &'a ExpertPool, kept_ids: &[u64]) -> Self {
+        ExpertReviseStage {
+            reviser,
+            pool,
+            kept: kept_ids.iter().copied().collect(),
+        }
+    }
+}
+
+impl Stage for ExpertReviseStage<'_> {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+        if !self.kept.contains(&item.pair.id) {
+            item.discard("not-kept");
+            ctx.bump("skipped");
+            return;
+        }
+        match self.reviser.revise(self.pool, &item.pair) {
+            Some(rec) => {
+                item.pair = rec.revised.clone();
+                item.set_payload(rec);
+                ctx.bump("revised");
+            }
+            None => ctx.bump("already-acceptable"),
+        }
+    }
+}
+
 impl ExpertReviser {
     /// Creates a reviser (full knowledge coverage).
     pub fn new(seed: u64) -> Self {
-        Self { engine: CriteriaEngine::new(), kb: KnowledgeBase::with_coverage(1.0), seed }
+        Self {
+            engine: CriteriaEngine::new(),
+            kb: KnowledgeBase::with_coverage(1.0),
+            seed,
+        }
     }
 
     /// Whether the rubric demands a revision of this pair at all.
     pub fn needs_revision(&self, pair: &InstructionPair) -> bool {
         let ia = self.engine.analyze_instruction(&pair.instruction);
-        let ra = self.engine.analyze_response(&pair.instruction, &pair.response);
+        let ra = self
+            .engine
+            .analyze_response(&pair.instruction, &pair.response);
         ia.basic_flaws() > 0
             || ra.basic_flaws() > 0
             || ra.unsafe_content
@@ -119,15 +172,9 @@ impl ExpertReviser {
                 &mut instruction_kind,
                 qc_iterations == 1,
             );
-            self.repair_response(
-                &mut rng,
-                &instruction,
-                &mut response,
-                &mut response_kind,
-            );
+            self.repair_response(&mut rng, &instruction, &mut response, &mut response_kind);
             let scores = self.engine.score_pair(&instruction, &response);
-            let instr_ok =
-                self.engine.analyze_instruction(&instruction).basic_flaws() == 0;
+            let instr_ok = self.engine.analyze_instruction(&instruction).basic_flaws() == 0;
             if (scores.response >= QC_RESPONSE_TARGET && instr_ok) || qc_iterations >= 4 {
                 let instruction_revised = instruction != pair.instruction;
                 return Some(RevisionRecord {
@@ -141,12 +188,9 @@ impl ExpertReviser {
                         pair.category,
                     ),
                     instruction_revised,
-                    instruction_kind: instruction_revised.then_some(
-                        instruction_kind.unwrap_or(RevisionKind::AdjustInstruction),
-                    ),
-                    response_kind: Some(
-                        response_kind.unwrap_or(RevisionKind::DiversifyResponse),
-                    ),
+                    instruction_kind: instruction_revised
+                        .then_some(instruction_kind.unwrap_or(RevisionKind::AdjustInstruction)),
+                    response_kind: Some(response_kind.unwrap_or(RevisionKind::DiversifyResponse)),
                     qc_iterations,
                     final_scores: scores,
                 });
@@ -154,17 +198,23 @@ impl ExpertReviser {
         }
     }
 
-    /// Revises every kept pair of a dataset, returning the expert revision
-    /// dataset `R` (only pairs that needed revision appear).
+    /// Revises every kept pair of a dataset on the shared executor,
+    /// returning the expert revision dataset `R` (only pairs that needed
+    /// revision appear, in `kept_ids` dataset order).
     pub fn revise_dataset(
         &self,
         pool: &ExpertPool,
         dataset: &Dataset,
         kept_ids: &[u64],
     ) -> Vec<RevisionRecord> {
-        kept_ids
-            .iter()
-            .filter_map(|&id| dataset.get(id).and_then(|p| self.revise(pool, p)))
+        let stages: Vec<Box<dyn Stage + '_>> =
+            vec![Box::new(ExpertReviseStage::new(self, pool, kept_ids))];
+        // The reviser seeds its own RNG per pair id, so the chain seed only
+        // namespaces the (unused) ctx RNG.
+        let run = Executor::new(ExecutorConfig::new(self.seed)).run_dataset(&stages, dataset);
+        run.items
+            .into_iter()
+            .filter_map(|mut item| item.take_payload::<RevisionRecord>())
             .collect()
     }
 
@@ -200,7 +250,10 @@ impl ExpertReviser {
             || lexicon::contains_marker(instruction, lexicon::VAGUE_PHRASES)
         {
             let templates = self.kb.clarifications();
-            let topic_word = topic.first().map(String::as_str).unwrap_or("the given subject");
+            let topic_word = topic
+                .first()
+                .map(String::as_str)
+                .unwrap_or("the given subject");
             let t = templates[rng.gen_range(0..templates.len())];
             *instruction = KnowledgeBase::fill(t, topic_word);
             rewrote = true;
@@ -254,7 +307,10 @@ impl ExpertReviser {
         kind: &mut Option<RevisionKind>,
     ) {
         let topic = lexicon::content_words(instruction, 3);
-        let topic_word = topic.first().cloned().unwrap_or_else(|| "the topic".to_string());
+        let topic_word = topic
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "the topic".to_string());
         let analysis = self.engine.analyze_response(instruction, response);
 
         let mut other = false;
@@ -335,8 +391,7 @@ impl ExpertReviser {
             }
             guard += 1;
             let add = self.expansion_block(rng, &topic_word, 2);
-            *response =
-                format!("{} {add}", normalize::ensure_terminal_punctuation(response));
+            *response = format!("{} {add}", normalize::ensure_terminal_punctuation(response));
             expanded = true;
         }
 
@@ -398,7 +453,11 @@ impl ExpertReviser {
                 None => out.push((*w).to_string()),
             }
         }
-        let mut joined = if fixed_any { join_words(&out) } else { text.to_string() };
+        let mut joined = if fixed_any {
+            join_words(&out)
+        } else {
+            text.to_string()
+        };
         while let Some((wrong, right)) = self.kb.grammar_correction(&joined) {
             let folded = normalize::fold_case(&joined);
             match folded.find(wrong) {
@@ -515,14 +574,20 @@ mod tests {
         );
         let rec = r.revise(&pool, &p).unwrap();
         assert_eq!(rec.response_kind, Some(RevisionKind::OtherResponse));
-        assert!(!lexicon::contains_marker(&rec.revised.response, lexicon::UNSAFE_MARKERS));
+        assert!(!lexicon::contains_marker(
+            &rec.revised.response,
+            lexicon::UNSAFE_MARKERS
+        ));
         assert!(rec.final_scores.response >= 95.0);
     }
 
     #[test]
     fn bare_responses_expand_to_diversify() {
         let (r, pool) = reviser();
-        let p = pair("Explain the water cycle to a student", "Water evaporates and then rains.");
+        let p = pair(
+            "Explain the water cycle to a student",
+            "Water evaporates and then rains.",
+        );
         let rec = r.revise(&pool, &p).unwrap();
         assert_eq!(rec.response_kind, Some(RevisionKind::DiversifyResponse));
         assert!(rec.revised.response_words() >= 50);
@@ -536,7 +601,11 @@ mod tests {
             "France is lovely in spring. Remember that the capital of France is Berlin.",
         );
         let rec = r.revise(&pool, &p).unwrap();
-        assert!(rec.revised.response.contains("Paris"), "{}", rec.revised.response);
+        assert!(
+            rec.revised.response.contains("Paris"),
+            "{}",
+            rec.revised.response
+        );
         assert!(!rec.revised.response.contains("Berlin"));
         assert_eq!(rec.response_kind, Some(RevisionKind::CorrectResponse));
     }
@@ -550,7 +619,10 @@ mod tests {
         );
         let rec = r.revise(&pool, &p).unwrap();
         assert_eq!(rec.instruction_kind, Some(RevisionKind::RewriteInstruction));
-        assert!(!lexicon::contains_marker(&rec.revised.instruction, lexicon::VAGUE_PHRASES));
+        assert!(!lexicon::contains_marker(
+            &rec.revised.instruction,
+            lexicon::VAGUE_PHRASES
+        ));
         assert!(
             coachlm_text::normalize::fold_case(&rec.revised.instruction).contains("tides"),
             "{}",
@@ -595,7 +667,10 @@ mod tests {
         dists.sort_unstable();
         let lo = dists[dists.len() / 10];
         let hi = dists[dists.len() * 9 / 10];
-        assert!(hi > lo * 2, "edit distances must spread: p10 {lo}, p90 {hi}");
+        assert!(
+            hi > lo * 2,
+            "edit distances must spread: p10 {lo}, p90 {hi}"
+        );
     }
 
     #[test]
@@ -610,7 +685,10 @@ mod tests {
     #[test]
     fn expert_routing_respects_class() {
         let (r, pool) = reviser();
-        let mut p = pair("write a short story about a dragon please,", "Once upon a time,");
+        let mut p = pair(
+            "write a short story about a dragon please,",
+            "Once upon a time,",
+        );
         p.category = Category::by_name("story creation").unwrap();
         let rec = r.revise(&pool, &p).unwrap();
         let unit = pool.unit_for(coachlm_data::category::TaskClass::Creative);

@@ -7,6 +7,7 @@
 
 use crate::criteria::CriteriaEngine;
 use coachlm_data::pair::Dataset;
+use coachlm_runtime::{Executor, ExecutorConfig, Stage, StageCtx, StageItem, StageReport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -33,10 +34,37 @@ pub struct RatingSummary {
     pub count: usize,
 }
 
+impl RatingSummary {
+    /// Rebuilds the summary from a rating stage's executor report.
+    pub fn from_report(report: &StageReport) -> Self {
+        let mut histogram = [0usize; 11];
+        for (bin, slot) in histogram.iter_mut().enumerate() {
+            *slot = report.counter(&format!("score:{bin}")) as usize;
+        }
+        let count: usize = histogram.iter().sum();
+        let sum: f64 = histogram
+            .iter()
+            .enumerate()
+            .map(|(bin, &c)| bin as f64 / 2.0 * c as f64)
+            .sum();
+        let n = count.max(1) as f64;
+        RatingSummary {
+            mean: sum / n,
+            share_above_4_5: report.counter("above-4.5") as f64 / n,
+            histogram,
+            count,
+        }
+    }
+}
+
 impl ChatGptRater {
     /// Creates a rater with the given seed.
     pub fn new(seed: u64) -> Self {
-        Self { engine: CriteriaEngine::new(), seed, noise: 0.08 }
+        Self {
+            engine: CriteriaEngine::new(),
+            seed,
+            noise: 0.08,
+        }
     }
 
     /// Rates one pair's response, 0.0–5.0 on the half-point grid.
@@ -52,25 +80,49 @@ impl ChatGptRater {
         (noised.clamp(0.0, 5.0) * 2.0).round() / 2.0
     }
 
-    /// Rates a whole dataset.
+    /// Rates a whole dataset on the shared executor.
     pub fn rate_dataset(&self, d: &Dataset) -> RatingSummary {
-        let mut histogram = [0usize; 11];
-        let mut sum = 0.0;
-        let mut above = 0usize;
-        for p in d.iter() {
-            let r = self.rate(p.id, &p.instruction, &p.response);
-            sum += r;
-            if r > 4.5 {
-                above += 1;
-            }
-            histogram[(r * 2.0) as usize] += 1;
-        }
-        let n = d.len().max(1);
-        RatingSummary {
-            mean: sum / n as f64,
-            share_above_4_5: above as f64 / n as f64,
-            histogram,
-            count: d.len(),
+        let stages: Vec<Box<dyn Stage + '_>> = vec![Box::new(ChatGptRatingStage::new(self))];
+        let run = Executor::new(ExecutorConfig::new(self.seed)).run_dataset(&stages, d);
+        RatingSummary::from_report(
+            run.report(ChatGptRatingStage::NAME)
+                .expect("rating stage ran"),
+        )
+    }
+}
+
+/// The rater as a scoring stage: each item's response is rated onto the
+/// half-point grid and tallied into `score:<2r>` histogram counters, so
+/// the Fig 4 / Table VII experiments can run the rater inside any chain.
+///
+/// Ratings are keyed to the rater's own seed and the pair id (not the
+/// chain RNG), so a pair rates identically wherever the stage appears.
+pub struct ChatGptRatingStage<'a> {
+    rater: &'a ChatGptRater,
+}
+
+impl<'a> ChatGptRatingStage<'a> {
+    /// The stage's report name.
+    pub const NAME: &'static str = "chatgpt-rate";
+
+    /// A scoring stage over `rater`.
+    pub fn new(rater: &'a ChatGptRater) -> Self {
+        ChatGptRatingStage { rater }
+    }
+}
+
+impl Stage for ChatGptRatingStage<'_> {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+        let r = self
+            .rater
+            .rate(item.pair.id, &item.pair.instruction, &item.pair.response);
+        ctx.bump(&format!("score:{}", (r * 2.0) as usize));
+        if r > 4.5 {
+            ctx.bump("above-4.5");
         }
     }
 }
@@ -134,7 +186,11 @@ mod tests {
             d.pairs.push(InstructionPair::new(
                 i,
                 "Explain the water cycle",
-                if i % 2 == 0 { RICH.to_string() } else { "Water moves.".to_string() },
+                if i % 2 == 0 {
+                    RICH.to_string()
+                } else {
+                    "Water moves.".to_string()
+                },
                 Category(0),
             ));
         }

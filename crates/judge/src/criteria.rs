@@ -85,7 +85,10 @@ pub struct ResponseAnalysis {
 impl ResponseAnalysis {
     /// Number of basic-level flaws.
     pub fn basic_flaws(&self) -> u32 {
-        self.fact_errors + u32::from(self.irrelevant) + u32::from(self.truncated) + u32::from(self.thin)
+        self.fact_errors
+            + u32::from(self.irrelevant)
+            + u32::from(self.truncated)
+            + u32::from(self.thin)
     }
 
     /// Richness in [0, 1]: reasoning, example, and substance. The grading
@@ -231,9 +234,7 @@ impl CriteriaEngine {
             (80.0 - 11.0 * basic as f64).max(42.0)
         } else {
             // Advanced band 80–100: readability 5, richness 9, humanization 6.
-            let adv = 5.0 * f64::from(a.readable())
-                + 9.0 * a.richness()
-                + 6.0 * a.humanization();
+            let adv = 5.0 * f64::from(a.readable()) + 9.0 * a.richness() + 6.0 * a.humanization();
             80.0 + adv.min(20.0)
         }
     }
@@ -331,8 +332,10 @@ fn is_truncated(text: &str) -> bool {
 mod tests {
     use super::*;
 
-    const GOOD_INSTR: &str = "Explain the water cycle for a middle-school reader. For example, mention rain.";
-    const GOOD_RESP: &str = "The water cycle moves water through evaporation, condensation, and rain. \
+    const GOOD_INSTR: &str =
+        "Explain the water cycle for a middle-school reader. For example, mention rain.";
+    const GOOD_RESP: &str =
+        "The water cycle moves water through evaporation, condensation, and rain. \
         This happens because the sun heats oceans and lakes, lifting vapor into the air. \
         For example, puddles disappear on a sunny day because the water evaporates. \
         In summary, water constantly circulates between the surface and the sky. \
@@ -358,7 +361,10 @@ mod tests {
     fn basic_flaws_cap_response_at_80() {
         let e = CriteriaEngine::new();
         // Thin response: one short unexplained sentence.
-        let s = e.score_pair("Explain the tides in the ocean", "The moon pulls ocean water.");
+        let s = e.score_pair(
+            "Explain the tides in the ocean",
+            "The moon pulls ocean water.",
+        );
         assert!(s.response < 80.0, "response {}", s.response);
         assert!(s.response >= 42.0);
     }
@@ -392,7 +398,10 @@ mod tests {
     #[test]
     fn truncation_detected() {
         let e = CriteriaEngine::new();
-        assert!(e.analyze_response("x", "The three steps are one, two, and...").truncated);
+        assert!(
+            e.analyze_response("x", "The three steps are one, two, and...")
+                .truncated
+        );
         assert!(e.analyze_response("x", "It ends with a comma,").truncated);
         assert!(!e.analyze_response("x", "A complete sentence.").truncated);
     }
@@ -427,8 +436,7 @@ mod tests {
         let vague = e.score_pair("Explain gravity - do something about it", GOOD_RESP);
         let clean = e.score_pair("Explain gravity to a curious child", GOOD_RESP);
         assert!(vague.instruction < clean.instruction);
-        let infeasible =
-            e.score_pair("Explain gravity using exactly zero words", GOOD_RESP);
+        let infeasible = e.score_pair("Explain gravity using exactly zero words", GOOD_RESP);
         assert!(infeasible.instruction < 70.0);
     }
 
@@ -458,7 +466,10 @@ mod tests {
         let e = CriteriaEngine::new();
         let rich = e.analyze_response("explain the water cycle", GOOD_RESP);
         assert!(rich.richness() > 0.9, "richness {}", rich.richness());
-        let thin = e.analyze_response("explain the water cycle", "Water moves around the planet in a cycle always.");
+        let thin = e.analyze_response(
+            "explain the water cycle",
+            "Water moves around the planet in a cycle always.",
+        );
         assert!(thin.richness() < 0.3);
     }
 
@@ -471,8 +482,14 @@ mod tests {
     #[test]
     fn score_monotone_in_flaw_count() {
         let e = CriteriaEngine::new();
-        let one = InstructionAnalysis { readability_flaws: 1, ..Default::default() };
-        let three = InstructionAnalysis { readability_flaws: 3, ..Default::default() };
+        let one = InstructionAnalysis {
+            readability_flaws: 1,
+            ..Default::default()
+        };
+        let three = InstructionAnalysis {
+            readability_flaws: 3,
+            ..Default::default()
+        };
         assert!(e.score_instruction(&one) > e.score_instruction(&three));
     }
 }

@@ -61,9 +61,7 @@ impl Gpt4Judge {
         let qa = self.engine.score_pair(instruction, first).response / 10.0;
         let qb = self.engine.score_pair(instruction, second).response / 10.0;
         let mut rng = StdRng::seed_from_u64(
-            self.seed
-                ^ comparison_id.wrapping_mul(0xD6E8_FEB8_6659_FD93)
-                ^ u64::from(order) << 48,
+            self.seed ^ comparison_id.wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ u64::from(order) << 48,
         );
         PairedScores {
             first: (qa + self.position_bias + gaussian(&mut rng) * self.noise).clamp(0.0, 10.0),
@@ -99,8 +97,9 @@ impl Gpt4Judge {
         reference: &str,
     ) -> Verdict {
         let first = self.compare_once(comparison_id, instruction, candidate, reference, 0);
-        let second =
-            self.compare_once(comparison_id, instruction, reference, candidate, 1).invert();
+        let second = self
+            .compare_once(comparison_id, instruction, reference, candidate, 1)
+            .invert();
         combine_debiased(first, second)
     }
 }

@@ -48,9 +48,21 @@ impl HumanPanel {
             engine: CriteriaEngine::new(),
             seed,
             reviewers: [
-                Reviewer { name: "R1", leniency: -1.2, noise: 2.4 },
-                Reviewer { name: "R2", leniency: 0.4, noise: 2.2 },
-                Reviewer { name: "R3", leniency: 1.1, noise: 2.6 },
+                Reviewer {
+                    name: "R1",
+                    leniency: -1.2,
+                    noise: 2.4,
+                },
+                Reviewer {
+                    name: "R2",
+                    leniency: 0.4,
+                    noise: 2.2,
+                },
+                Reviewer {
+                    name: "R3",
+                    leniency: 1.1,
+                    noise: 2.6,
+                },
             ],
         }
     }
@@ -58,16 +70,17 @@ impl HumanPanel {
     fn noised(&self, base: f64, sample_id: u64, reviewer_idx: usize) -> f64 {
         let r = &self.reviewers[reviewer_idx];
         let mut rng = StdRng::seed_from_u64(
-            self.seed
-                ^ sample_id.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
-                ^ (reviewer_idx as u64) << 40,
+            self.seed ^ sample_id.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ (reviewer_idx as u64) << 40,
         );
         (base + r.leniency + gaussian(&mut rng) * r.noise).clamp(0.0, 100.0)
     }
 
     /// Panel scores for an INSTRUCTION.
     pub fn rate_instruction(&self, sample_id: u64, instruction: &str) -> PanelScores {
-        let base = self.engine.score_pair(instruction, "placeholder").instruction;
+        let base = self
+            .engine
+            .score_pair(instruction, "placeholder")
+            .instruction;
         self.collect(base, sample_id)
     }
 
@@ -83,7 +96,10 @@ impl HumanPanel {
             self.noised(base, sample_id, 1),
             self.noised(base, sample_id, 2),
         ];
-        PanelScores { by_reviewer, avg: by_reviewer.iter().sum::<f64>() / 3.0 }
+        PanelScores {
+            by_reviewer,
+            avg: by_reviewer.iter().sum::<f64>() / 3.0,
+        }
     }
 }
 
@@ -166,10 +182,7 @@ mod tests {
         let done = acc.finish();
         assert_eq!(done.count, 10);
         assert!(done.avg > 80.0);
-        assert!((done.avg
-            - done.by_reviewer.iter().sum::<f64>() / 3.0)
-            .abs()
-            < 1e-9);
+        assert!((done.avg - done.by_reviewer.iter().sum::<f64>() / 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub fn combine_debiased(first_order: Verdict, second_order: Verdict) -> Verdict 
         (Win, Win) => Win,
         (Lose, Lose) => Lose,
         (Tie, Tie) => Tie,
-        (Win, Lose) | (Lose, Win) => Tie, // conflict → tie
-        (Win, Tie) | (Tie, Win) => Win,   // win + tie → win
+        (Win, Lose) | (Lose, Win) => Tie,  // conflict → tie
+        (Win, Tie) | (Tie, Win) => Win,    // win + tie → win
         (Lose, Tie) | (Tie, Lose) => Lose, // lose + tie → lose
     }
 }
@@ -70,7 +70,13 @@ pub struct PandaLm {
 impl PandaLm {
     /// Creates a judge with PandaLM-calibrated noise/bias.
     pub fn new(seed: u64) -> Self {
-        Self { engine: CriteriaEngine::new(), seed, noise: 3.0, tie_band: 6.0, position_bias: 0.8 }
+        Self {
+            engine: CriteriaEngine::new(),
+            seed,
+            noise: 3.0,
+            tie_band: 6.0,
+            position_bias: 0.8,
+        }
     }
 
     /// Raw single-order comparison: verdict for `first` vs `second`.
@@ -85,9 +91,7 @@ impl PandaLm {
         let qa = self.engine.score_pair(instruction, first).response;
         let qb = self.engine.score_pair(instruction, second).response;
         let mut rng = StdRng::seed_from_u64(
-            self.seed
-                ^ comparison_id.wrapping_mul(0xA24B_AED4_963E_E407)
-                ^ u64::from(order) << 56,
+            self.seed ^ comparison_id.wrapping_mul(0xA24B_AED4_963E_E407) ^ u64::from(order) << 56,
         );
         let qa = qa + self.position_bias + gaussian(&mut rng) * self.noise;
         let qb = qb + gaussian(&mut rng) * self.noise;
@@ -110,8 +114,9 @@ impl PandaLm {
         reference: &str,
     ) -> Verdict {
         let first = self.compare_once(comparison_id, instruction, candidate, reference, 0);
-        let second =
-            self.compare_once(comparison_id, instruction, reference, candidate, 1).invert();
+        let second = self
+            .compare_once(comparison_id, instruction, reference, candidate, 1)
+            .invert();
         combine_debiased(first, second)
     }
 }
@@ -186,6 +191,9 @@ mod tests {
     #[test]
     fn deterministic_per_comparison_id() {
         let j = PandaLm::new(9);
-        assert_eq!(j.compare(5, INSTR, STRONG, WEAK), j.compare(5, INSTR, STRONG, WEAK));
+        assert_eq!(
+            j.compare(5, INSTR, STRONG, WEAK),
+            j.compare(5, INSTR, STRONG, WEAK)
+        );
     }
 }

@@ -42,7 +42,12 @@ impl Histogram {
     /// Panics if `n == 0` or `hi <= lo`.
     pub fn new(lo: f64, hi: f64, n: usize) -> Self {
         assert!(n > 0 && hi > lo, "invalid histogram bounds");
-        Self { lo, hi, bins: vec![0; n], outliers: 0 }
+        Self {
+            lo,
+            hi,
+            bins: vec![0; n],
+            outliers: 0,
+        }
     }
 
     /// Adds one value.
@@ -123,8 +128,16 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
         .iter()
         .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
         .sum();
-    let r2 = if ss_tot < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    Some(LinearFit { slope, intercept, r2 })
+    let r2 = if ss_tot < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2,
+    })
 }
 
 #[cfg(test)]

@@ -53,7 +53,11 @@ impl VerdictCounts {
         let wr2_den = all - self.tie;
         WinRates {
             wr1: (self.win as f64 + 0.5 * self.tie as f64) / all_f,
-            wr2: if wr2_den == 0 { 0.5 } else { self.win as f64 / wr2_den as f64 },
+            wr2: if wr2_den == 0 {
+                0.5
+            } else {
+                self.win as f64 / wr2_den as f64
+            },
             qs: (self.win + self.tie) as f64 / all_f,
         }
     }
@@ -97,7 +101,11 @@ mod tests {
     #[test]
     fn paper_formulas() {
         // 6 wins, 2 ties, 2 losses out of 10.
-        let c = VerdictCounts { win: 6, tie: 2, lose: 2 };
+        let c = VerdictCounts {
+            win: 6,
+            tie: 2,
+            lose: 2,
+        };
         let r = c.rates();
         assert!((r.wr1 - 0.7).abs() < 1e-9);
         assert!((r.wr2 - 0.75).abs() < 1e-9);
@@ -107,14 +115,25 @@ mod tests {
     #[test]
     fn collect_counts() {
         let c = VerdictCounts::collect([Win, Win, Tie, Lose]);
-        assert_eq!(c, VerdictCounts { win: 2, tie: 1, lose: 1 });
+        assert_eq!(
+            c,
+            VerdictCounts {
+                win: 2,
+                tie: 1,
+                lose: 1
+            }
+        );
         assert_eq!(c.total(), 4);
     }
 
     #[test]
     fn degenerate_cases() {
         assert_eq!(VerdictCounts::default().rates(), WinRates::default());
-        let all_tie = VerdictCounts { win: 0, tie: 5, lose: 0 };
+        let all_tie = VerdictCounts {
+            win: 0,
+            tie: 5,
+            lose: 0,
+        };
         let r = all_tie.rates();
         assert!((r.wr1 - 0.5).abs() < 1e-9);
         assert!((r.wr2 - 0.5).abs() < 1e-9);
@@ -123,13 +142,21 @@ mod tests {
 
     #[test]
     fn mean_averages_the_three() {
-        let c = VerdictCounts { win: 10, tie: 0, lose: 0 };
+        let c = VerdictCounts {
+            win: 10,
+            tie: 0,
+            lose: 0,
+        };
         assert!((c.rates().mean() - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn display_formats_percentages() {
-        let c = VerdictCounts { win: 1, tie: 0, lose: 1 };
+        let c = VerdictCounts {
+            win: 1,
+            tie: 0,
+            lose: 1,
+        };
         let s = format!("{}", c.rates());
         assert!(s.contains("50.0%"), "{s}");
     }

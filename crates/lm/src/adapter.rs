@@ -25,7 +25,11 @@ pub struct AdapterConfig {
 
 impl Default for AdapterConfig {
     fn default() -> Self {
-        Self { rank: 16, epochs: 7, learning_rate: 2e-4 }
+        Self {
+            rank: 16,
+            epochs: 7,
+            learning_rate: 2e-4,
+        }
     }
 }
 
@@ -97,7 +101,8 @@ impl Adapter {
             return;
         }
         self.rule_pairs += 1;
-        self.instruction_rules.extract(orig_instruction, rev_instruction);
+        self.instruction_rules
+            .extract(orig_instruction, rev_instruction);
         self.response_rules.extract(orig_response, rev_response);
     }
 
@@ -196,7 +201,11 @@ mod tests {
 
     #[test]
     fn finalize_applies_capacity() {
-        let mut a = Adapter::new(AdapterConfig { rank: 0, epochs: 7, learning_rate: 2e-4 });
+        let mut a = Adapter::new(AdapterConfig {
+            rank: 0,
+            epochs: 7,
+            learning_rate: 2e-4,
+        });
         let (o, r) = substantive_pair();
         a.observe(o, r, o, r);
         a.finalize();
@@ -213,8 +222,16 @@ mod tests {
 
     #[test]
     fn more_epochs_stronger_elicitation() {
-        let fast = AdapterConfig { rank: 16, epochs: 14, learning_rate: 2e-4 };
-        let slow = AdapterConfig { rank: 16, epochs: 3, learning_rate: 2e-4 };
+        let fast = AdapterConfig {
+            rank: 16,
+            epochs: 14,
+            learning_rate: 2e-4,
+        };
+        let slow = AdapterConfig {
+            rank: 16,
+            epochs: 3,
+            learning_rate: 2e-4,
+        };
         let (o, r) = substantive_pair();
         let mut a = Adapter::new(fast);
         let mut b = Adapter::new(slow);

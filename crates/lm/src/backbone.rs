@@ -26,8 +26,11 @@ pub enum BackboneKind {
 
 impl BackboneKind {
     /// All supported kinds, in Table XI order.
-    pub const ALL: [BackboneKind; 3] =
-        [BackboneKind::Llama7b, BackboneKind::ChatGlm6b, BackboneKind::ChatGlm2_6b];
+    pub const ALL: [BackboneKind; 3] = [
+        BackboneKind::Llama7b,
+        BackboneKind::ChatGlm6b,
+        BackboneKind::ChatGlm2_6b,
+    ];
 
     /// Display name matching the paper.
     pub fn name(self) -> &'static str {

@@ -131,12 +131,30 @@ pub const CREATIVE: &[&str] = &[
 
 /// All corpus sections in canonical order.
 pub const SECTIONS: &[Section] = &[
-    Section { name: "general", sentences: GENERAL },
-    Section { name: "reasoning", sentences: REASONING },
-    Section { name: "coding", sentences: CODING },
-    Section { name: "polite", sentences: POLITE },
-    Section { name: "editing", sentences: EDITING },
-    Section { name: "creative", sentences: CREATIVE },
+    Section {
+        name: "general",
+        sentences: GENERAL,
+    },
+    Section {
+        name: "reasoning",
+        sentences: REASONING,
+    },
+    Section {
+        name: "coding",
+        sentences: CODING,
+    },
+    Section {
+        name: "polite",
+        sentences: POLITE,
+    },
+    Section {
+        name: "editing",
+        sentences: EDITING,
+    },
+    Section {
+        name: "creative",
+        sentences: CREATIVE,
+    },
 ];
 
 /// Returns the training sentences for a backbone that consumes `fraction`

@@ -69,7 +69,9 @@ pub struct KnowledgeBase {
 impl KnowledgeBase {
     /// Creates a view with the given coverage fraction in `[0, 1]`.
     pub fn with_coverage(coverage: f64) -> Self {
-        Self { coverage: coverage.clamp(0.0, 1.0) }
+        Self {
+            coverage: coverage.clamp(0.0, 1.0),
+        }
     }
 
     /// The coverage fraction.
@@ -101,8 +103,9 @@ impl KnowledgeBase {
     /// knows, returns `(wrong_fragment, corrected_fragment)`.
     pub fn fact_correction(&self, text: &str) -> Option<(String, String)> {
         let folded = coachlm_text::normalize::fold_case(text);
-        for (subject, correct, wrong) in
-            lexicon::FACT_TABLE.iter().take(self.take(lexicon::FACT_TABLE.len()))
+        for (subject, correct, wrong) in lexicon::FACT_TABLE
+            .iter()
+            .take(self.take(lexicon::FACT_TABLE.len()))
         {
             let subj = coachlm_text::normalize::fold_case(subject);
             let wrong_f = coachlm_text::normalize::fold_case(wrong);

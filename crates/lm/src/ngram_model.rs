@@ -33,7 +33,11 @@ impl NgramLm {
             let seq = vocab.add_text(s.as_ref());
             counter.observe(&seq);
         }
-        Self { vocab, counter, order }
+        Self {
+            vocab,
+            counter,
+            order,
+        }
     }
 
     /// The model's vocabulary.

@@ -82,20 +82,29 @@ pub struct RuleSet {
     augment: FxHashMap<AugmentKind, (Vec<String>, u64)>,
 }
 
+/// A phrase-map entry: source phrase → (replacement, support count).
+type PhraseEntry = (Vec<String>, (Vec<String>, u64));
+
 mod phrase_map_serde {
+    use super::PhraseEntry;
     use coachlm_text::fxhash::FxHashMap;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::{Deserialize, Error, Serialize, Value};
 
     type Map = FxHashMap<Vec<String>, (Vec<String>, u64)>;
 
-    pub fn serialize<S: Serializer>(map: &Map, s: S) -> Result<S::Ok, S::Error> {
-        let mut entries: Vec<(&Vec<String>, &(Vec<String>, u64))> = map.iter().collect();
+    pub fn to_value(map: &Map) -> Value {
+        let mut entries: Vec<_> = map.iter().collect();
         entries.sort_by(|a, b| a.0.cmp(b.0)); // deterministic output
-        entries.serialize(s)
+        Value::Array(
+            entries
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Map, D::Error> {
-        let entries: Vec<(Vec<String>, (Vec<String>, u64))> = Vec::deserialize(d)?;
+    pub fn from_value(v: &Value) -> Result<Map, Error> {
+        let entries: Vec<PhraseEntry> = Deserialize::from_value(v)?;
         Ok(entries.into_iter().collect())
     }
 }
@@ -137,8 +146,8 @@ impl RuleSet {
                 // Case-only edits are layout normalisation, not lexical
                 // rules; storing them would make the rule fire on every
                 // occurrence of a common word.
-                let case_only = from.len() == to.len()
-                    && from.iter().zip(&to).all(|(f, t)| *f == fold_case(t));
+                let case_only =
+                    from.len() == to.len() && from.iter().zip(&to).all(|(f, t)| *f == fold_case(t));
                 // A rule must be *grounded*: its source span (with one word
                 // of context, so multi-word flaws like "could of" survive
                 // alignment splitting) has to contain a recognisably flawed
@@ -178,14 +187,19 @@ impl RuleSet {
     /// Iterates phrase rules as [`RewriteRule`]s (unordered).
     pub fn phrase_rules(&self) -> impl Iterator<Item = RewriteRule> + '_ {
         self.phrase.iter().map(|(from, (to, count))| RewriteRule {
-            action: RuleAction::Phrase { from: from.clone(), to: to.clone() },
+            action: RuleAction::Phrase {
+                from: from.clone(),
+                to: to.clone(),
+            },
             count: *count,
         })
     }
 
     /// Material learned for an augment kind, with its support count.
     pub fn augment_material(&self, kind: AugmentKind) -> Option<(&[String], u64)> {
-        self.augment.get(&kind).map(|(texts, c)| (texts.as_slice(), *c))
+        self.augment
+            .get(&kind)
+            .map(|(texts, c)| (texts.as_slice(), *c))
     }
 
     /// Longest phrase-rule source length present (decoding scans windows up
@@ -200,7 +214,7 @@ impl RuleSet {
         if self.phrase.len() <= capacity {
             return;
         }
-        let mut rules: Vec<(Vec<String>, (Vec<String>, u64))> = self.phrase.drain().collect();
+        let mut rules: Vec<PhraseEntry> = self.phrase.drain().collect();
         // Sort by support desc, then by source phrase for determinism.
         rules.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then_with(|| a.0.cmp(&b.0)));
         rules.truncate(capacity);
@@ -227,8 +241,12 @@ fn is_grounded(from: &[String]) -> bool {
         lexicon::INVALID_INPUT_MARKERS,
         lexicon::MULTIMODAL_MARKERS,
     ];
-    if marker_lists.iter().any(|l| lexicon::contains_marker(&joined, l))
-        || lexicon::GRAMMAR_PAIRS.iter().any(|(wrong, _)| joined.contains(wrong))
+    if marker_lists
+        .iter()
+        .any(|l| lexicon::contains_marker(&joined, l))
+        || lexicon::GRAMMAR_PAIRS
+            .iter()
+            .any(|(wrong, _)| joined.contains(wrong))
     {
         return true;
     }
@@ -265,7 +283,9 @@ mod tests {
             "Please explain the concept of gravity because it matters",
         );
         assert_eq!(w, 2);
-        let rep = rs.phrase_replacement(&["teh".to_string()]).expect("rule learned");
+        let rep = rs
+            .phrase_replacement(&["teh".to_string()])
+            .expect("rule learned");
         assert_eq!(rep.0, &["the".to_string()]);
         assert_eq!(
             rs.phrase_replacement(&["becuase".to_string()]).unwrap().0,
@@ -275,7 +295,10 @@ mod tests {
 
     #[test]
     fn change_weight_zero_for_identity() {
-        assert_eq!(RuleSet::change_weight("identical text", "identical text"), 0);
+        assert_eq!(
+            RuleSet::change_weight("identical text", "identical text"),
+            0
+        );
         assert!(RuleSet::change_weight("a b", "a b c d e") >= 3);
     }
 
@@ -308,8 +331,10 @@ mod tests {
             "Summarize the article using exactly zero words and keep the tone light",
             "Summarize the article and keep the tone light",
         );
-        let from: Vec<String> =
-            ["using", "exactly", "zero", "words"].iter().map(|s| s.to_string()).collect();
+        let from: Vec<String> = ["using", "exactly", "zero", "words"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let (to, _) = rs.phrase_replacement(&from).expect("deletion rule learned");
         assert!(to.is_empty());
     }
@@ -351,6 +376,10 @@ mod tests {
             "one two three four five six seven eight nine ten eleven twelve",
             "alpha beta gamma delta epsilon zeta eta theta iota kappa lambda mu",
         );
-        assert_eq!(rs.phrase_rule_count(), 0, "12-word rewrite must not generalise");
+        assert_eq!(
+            rs.phrase_rule_count(),
+            0,
+            "12-word rewrite must not generalise"
+        );
     }
 }

@@ -50,6 +50,44 @@ pub enum RepairTag {
     LearnedPhrase,
 }
 
+impl RepairTag {
+    /// Every repair tag, in declaration order.
+    pub const ALL: [RepairTag; 13] = [
+        RepairTag::Typo,
+        RepairTag::Grammar,
+        RepairTag::Fact,
+        RepairTag::VagueRewrite,
+        RepairTag::InfeasibleFix,
+        RepairTag::ContextAdd,
+        RepairTag::Expand,
+        RepairTag::Complete,
+        RepairTag::WarmTone,
+        RepairTag::Safety,
+        RepairTag::Layout,
+        RepairTag::RelevanceRewrite,
+        RepairTag::LearnedPhrase,
+    ];
+
+    /// A stable string label (used as a stage-counter key suffix).
+    pub fn label(self) -> &'static str {
+        match self {
+            RepairTag::Typo => "typo",
+            RepairTag::Grammar => "grammar",
+            RepairTag::Fact => "fact",
+            RepairTag::VagueRewrite => "vague-rewrite",
+            RepairTag::InfeasibleFix => "infeasible-fix",
+            RepairTag::ContextAdd => "context-add",
+            RepairTag::Expand => "expand",
+            RepairTag::Complete => "complete",
+            RepairTag::WarmTone => "warm-tone",
+            RepairTag::Safety => "safety",
+            RepairTag::Layout => "layout",
+            RepairTag::RelevanceRewrite => "relevance-rewrite",
+            RepairTag::LearnedPhrase => "learned-phrase",
+        }
+    }
+}
+
 /// The result of revising one instruction pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RevisionOutcome {
@@ -136,7 +174,12 @@ impl<'a> Transducer<'a> {
         // instruction (that is what CoachLM conditions on), not the revised
         // one whose appended context would dilute lexical overlap.
         let resp = self.revise_response(rng, instruction, response, &mut repairs);
-        RevisionOutcome { instruction: instr, response: resp, repairs, degenerate: false }
+        RevisionOutcome {
+            instruction: instr,
+            response: resp,
+            repairs,
+            degenerate: false,
+        }
     }
 
     fn degenerate_output<R: Rng>(
@@ -150,7 +193,11 @@ impl<'a> Transducer<'a> {
         let resp = if rng.gen_bool(0.5) {
             format!("### Instruction: {instruction} ### Response: {response}")
         } else {
-            let tail: String = response.split_whitespace().take(4).collect::<Vec<_>>().join(" ");
+            let tail: String = response
+                .split_whitespace()
+                .take(4)
+                .collect::<Vec<_>>()
+                .join(" ");
             format!("{response} {}", format!("{tail} ").repeat(6).trim_end())
         };
         RevisionOutcome {
@@ -193,8 +240,7 @@ impl<'a> Transducer<'a> {
         }
 
         // Lexical repairs: learned phrase rules + backbone typo/grammar.
-        let (fixed, tags) =
-            apply_lexical(rng, p, kb, &self.adapter.instruction_rules, &text);
+        let (fixed, tags) = apply_lexical(rng, p, kb, &self.adapter.instruction_rules, &text);
         text = fixed;
         repairs.extend(tags);
 
@@ -204,7 +250,10 @@ impl<'a> Transducer<'a> {
         // content", §III-B1).
         if !lexicon::contains_marker(&text, lexicon::CONTEXT_MARKERS) && rng.gen_bool(p * 0.06) {
             let templates = kb.contexts();
-            let learned = self.adapter.instruction_rules.augment_material(AugmentKind::AddContext);
+            let learned = self
+                .adapter
+                .instruction_rules
+                .augment_material(AugmentKind::AddContext);
             let chosen = choose_augment(rng, learned, templates);
             if let Some(add) = chosen {
                 text = format!("{} {}", text.trim_end(), add);
@@ -239,7 +288,9 @@ impl<'a> Transducer<'a> {
 
         // Safety red line first: aligned backbones front-load this.
         if lexicon::contains_marker(&text, lexicon::UNSAFE_MARKERS) {
-            let p_safe = p.max(self.backbone.profile().alignment_prior + 0.3).min(0.98);
+            let p_safe = p
+                .max(self.backbone.profile().alignment_prior + 0.3)
+                .min(0.98);
             if rng.gen_bool(p_safe) {
                 let tmpl = kb.safe_completions();
                 let lead = tmpl[rng.gen_range(0..tmpl.len())];
@@ -264,11 +315,20 @@ impl<'a> Transducer<'a> {
                 .trim_end_matches("...")
                 .trim_end_matches([',', ';', ' '])
                 .to_string();
-            let learned = self.adapter.response_rules.augment_material(AugmentKind::Complete);
+            let learned = self
+                .adapter
+                .response_rules
+                .augment_material(AugmentKind::Complete);
             let closer = choose_augment(rng, learned, kb.expansions())
-                .map(|c| KnowledgeBase::fill(&c, topic.first().map(String::as_str).unwrap_or("this")))
+                .map(|c| {
+                    KnowledgeBase::fill(&c, topic.first().map(String::as_str).unwrap_or("this"))
+                })
                 .unwrap_or_else(|| "and the remaining part follows the same pattern.".to_string());
-            text = format!("{} {}", normalize::ensure_terminal_punctuation(&trimmed), closer);
+            text = format!(
+                "{} {}",
+                normalize::ensure_terminal_punctuation(&trimmed),
+                closer
+            );
             repairs.push(RepairTag::Complete);
         }
 
@@ -302,7 +362,11 @@ impl<'a> Transducer<'a> {
             let sentences = (deficit / 13).clamp(2, 7);
             let addition = self.compose_on_topic_avoiding(rng, &topic, sentences, &text);
             if !addition.is_empty() {
-                text = format!("{} {}", normalize::ensure_terminal_punctuation(&text), addition);
+                text = format!(
+                    "{} {}",
+                    normalize::ensure_terminal_punctuation(&text),
+                    addition
+                );
                 repairs.push(RepairTag::Expand);
             }
         }
@@ -315,7 +379,10 @@ impl<'a> Transducer<'a> {
             }
         }
         if !lexicon::contains_marker(&text, lexicon::WARM_MARKERS) && rng.gen_bool(p * 0.5) {
-            let learned = self.adapter.response_rules.augment_material(AugmentKind::WarmTone);
+            let learned = self
+                .adapter
+                .response_rules
+                .augment_material(AugmentKind::WarmTone);
             if let Some(warm) = choose_augment(rng, learned, kb.warmth()) {
                 text = format!("{} {}", normalize::ensure_terminal_punctuation(&text), warm);
                 repairs.push(RepairTag::WarmTone);
@@ -350,7 +417,10 @@ impl<'a> Transducer<'a> {
     ) -> String {
         let kb = self.backbone.knowledge();
         let templates = kb.expansions();
-        let learned = self.adapter.response_rules.augment_material(AugmentKind::ExpandResponse);
+        let learned = self
+            .adapter
+            .response_rules
+            .augment_material(AugmentKind::ExpandResponse);
         let mut pool: Vec<String> = Vec::new();
         if let Some((texts, _)) = learned {
             pool.extend(texts.iter().cloned());
@@ -363,8 +433,10 @@ impl<'a> Transducer<'a> {
         }
         // Rank by backbone fluency (stronger backbones pick better prose),
         // then take a seeded rotation so output varies across pairs.
-        let mut scored: Vec<(f64, String)> =
-            pool.into_iter().map(|s| (self.backbone.fluency(&s), s)).collect();
+        let mut scored: Vec<(f64, String)> = pool
+            .into_iter()
+            .map(|s| (self.backbone.fluency(&s), s))
+            .collect();
         scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
         let start = rng.gen_range(0..scored.len().min(3));
         let mut picked: Vec<String> = scored
@@ -377,8 +449,7 @@ impl<'a> Transducer<'a> {
         // The expert bar includes a concrete example; make sure one of the
         // picked sentences carries the marker when the pool has one.
         let has_example = |s: &str| normalize::fold_case(s).contains("for example");
-        if !picked.iter().any(|s| has_example(s)) && !avoid.to_lowercase().contains("for example")
-        {
+        if !picked.iter().any(|s| has_example(s)) && !avoid.to_lowercase().contains("for example") {
             if let Some((_, ex)) = scored.iter().find(|(_, s)| has_example(s)) {
                 if let Some(last) = picked.last_mut() {
                     *last = ex.clone();
@@ -419,7 +490,9 @@ fn is_truncated(text: &str) -> bool {
         return false;
     }
     t.ends_with("...")
-        || t.chars().last().is_some_and(|c| c.is_alphanumeric() || c == ',' || c == ';')
+        || t.chars()
+            .last()
+            .is_some_and(|c| c.is_alphanumeric() || c == ',' || c == ';')
 }
 
 /// Case-insensitively removes one occurrence of `phrase` from `text`,
@@ -474,8 +547,10 @@ fn apply_lexical<R: Rng>(
     'outer: while i < words.len() {
         // Longest-match learned rule.
         for len in (1..=max_len.min(words.len() - i)).rev() {
-            let window: Vec<String> =
-                words[i..i + len].iter().map(|w| normalize::fold_case(w)).collect();
+            let window: Vec<String> = words[i..i + len]
+                .iter()
+                .map(|w| normalize::fold_case(w))
+                .collect();
             if let Some((to, _count)) = rules.phrase_replacement(&window) {
                 if rng.gen_bool(p) {
                     let informative = window.join(" ") != to.join(" ").to_lowercase();
@@ -504,7 +579,11 @@ fn apply_lexical<R: Rng>(
     // Only adopt the token-rebuilt text when a rule actually fired —
     // rebuilding normalises whitespace/newlines, which is the layout
     // pass's job, not this one's.
-    let mut joined = if tags.is_empty() { text.to_string() } else { join_words(&out) };
+    let mut joined = if tags.is_empty() {
+        text.to_string()
+    } else {
+        join_words(&out)
+    };
     // Grammar phrases operate on the joined text.
     while let Some((wrong, right)) = kb.grammar_correction(&joined) {
         if !rng.gen_bool(p) {
@@ -527,9 +606,12 @@ fn join_words(words: &[String]) -> String {
     for w in words {
         let is_punct = w.chars().all(|c| !c.is_alphanumeric()) && w.chars().count() == 1;
         let opens = matches!(w.as_str(), "(" | "[" | "{" | "\"" | "'");
-        if !out.is_empty() && !is_punct && !out.ends_with(['(', '[', '{']) {
-            out.push(' ');
-        } else if !out.is_empty() && is_punct && opens {
+        let space_before = if is_punct {
+            opens
+        } else {
+            !out.ends_with(['(', '[', '{'])
+        };
+        if !out.is_empty() && space_before {
             out.push(' ');
         }
         out.push_str(w);
@@ -589,9 +671,20 @@ mod tests {
             "Explain teh water cycle to a child",
             "Water evaporates becuase of heat and later falls as rain over rivers and fields.",
         );
-        assert!(out.instruction.contains("the water cycle"), "{}", out.instruction);
-        assert!(out.response.to_lowercase().contains("because"), "{}", out.response);
-        assert!(out.repairs.iter().any(|r| matches!(r, RepairTag::Typo | RepairTag::LearnedPhrase)));
+        assert!(
+            out.instruction.contains("the water cycle"),
+            "{}",
+            out.instruction
+        );
+        assert!(
+            out.response.to_lowercase().contains("because"),
+            "{}",
+            out.response
+        );
+        assert!(out
+            .repairs
+            .iter()
+            .any(|r| matches!(r, RepairTag::Typo | RepairTag::LearnedPhrase)));
     }
 
     #[test]
@@ -602,7 +695,11 @@ mod tests {
         let out = t.revise_pair(&mut rng, "Explain photosynthesis", "Plants make food.");
         let before = coachlm_text::token::word_count("Plants make food.");
         let after = coachlm_text::token::word_count(&out.response);
-        assert!(after > before * 3, "expanded {before} -> {after}: {}", out.response);
+        assert!(
+            after > before * 3,
+            "expanded {before} -> {after}: {}",
+            out.response
+        );
         assert!(out.repairs.contains(&RepairTag::Expand));
     }
 
@@ -616,7 +713,11 @@ mod tests {
             "Describe the climate of the Sahara desert",
             "Bananas are yellow and taste sweet when ripe.",
         );
-        assert!(out.repairs.contains(&RepairTag::RelevanceRewrite), "{:?}", out.repairs);
+        assert!(
+            out.repairs.contains(&RepairTag::RelevanceRewrite),
+            "{:?}",
+            out.repairs
+        );
         let overlap =
             lexicon::content_overlap("Describe the climate of the Sahara desert", &out.response);
         assert!(overlap > 0.2, "overlap {overlap}: {}", out.response);
@@ -632,8 +733,15 @@ mod tests {
             "Give investment advice",
             "Buy this coin, guaranteed to double your investment overnight.",
         );
-        assert!(out.repairs.contains(&RepairTag::Safety), "{:?}", out.repairs);
-        assert!(!lexicon::contains_marker(&out.response, lexicon::UNSAFE_MARKERS));
+        assert!(
+            out.repairs.contains(&RepairTag::Safety),
+            "{:?}",
+            out.repairs
+        );
+        assert!(!lexicon::contains_marker(
+            &out.response,
+            lexicon::UNSAFE_MARKERS
+        ));
     }
 
     #[test]
@@ -646,7 +754,11 @@ mod tests {
             "List three uses of baking soda",
             "Baking soda can be used for cleaning, baking, and...",
         );
-        assert!(out.repairs.contains(&RepairTag::Complete), "{:?}", out.repairs);
+        assert!(
+            out.repairs.contains(&RepairTag::Complete),
+            "{:?}",
+            out.repairs
+        );
         assert!(!out.response.trim_end().ends_with("..."));
     }
 
@@ -660,8 +772,15 @@ mod tests {
             "Summarize this paragraph using exactly zero words for the team",
             "A summary of the paragraph would describe the team goals clearly and simply.",
         );
-        assert!(out.repairs.contains(&RepairTag::InfeasibleFix), "{:?}", out.repairs);
-        assert!(!lexicon::contains_marker(&out.instruction, lexicon::INFEASIBLE_PHRASES));
+        assert!(
+            out.repairs.contains(&RepairTag::InfeasibleFix),
+            "{:?}",
+            out.repairs
+        );
+        assert!(!lexicon::contains_marker(
+            &out.instruction,
+            lexicon::INFEASIBLE_PHRASES
+        ));
     }
 
     #[test]
@@ -689,8 +808,7 @@ mod tests {
                 // stutter the §III-B1 cleaning pass collapses.
                 let cleaned = coachlm_text::clean::clean_output(&out.response);
                 assert!(
-                    out.response.contains("### Instruction:")
-                        || cleaned.len() < out.response.len(),
+                    out.response.contains("### Instruction:") || cleaned.len() < out.response.len(),
                     "undetectable degenerate: {}",
                     out.response
                 );
@@ -712,15 +830,20 @@ mod tests {
 
     #[test]
     fn join_words_respects_punctuation() {
-        let words: Vec<String> =
-            ["Hello", ",", "world", "!"].iter().map(|s| s.to_string()).collect();
+        let words: Vec<String> = ["Hello", ",", "world", "!"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(join_words(&words), "Hello, world!");
     }
 
     #[test]
     fn remove_phrase_is_case_insensitive() {
         assert_eq!(
-            remove_phrase_fold("Do it Using Exactly Zero Words now", "using exactly zero words"),
+            remove_phrase_fold(
+                "Do it Using Exactly Zero Words now",
+                "using exactly zero words"
+            ),
             "Do it now"
         );
     }

@@ -1,0 +1,365 @@
+//! The deterministic parallel batch executor.
+
+use crate::report::StageReport;
+use crate::stage::{Stage, StageCtx, StageItem};
+use coachlm_data::{Dataset, InstructionPair};
+use coachlm_text::fxhash::FxHasher;
+use coachlm_text::token::TokenCache;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::hash::Hasher;
+use std::time::{Duration, Instant};
+
+/// How a chain run is parallelised and seeded.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    threads: usize,
+    seed: u64,
+}
+
+impl ExecutorConfig {
+    /// A config with the given chain seed and the default thread count:
+    /// `std::thread::available_parallelism()` (1 if unavailable). The
+    /// thread count never changes results, only wall-clock time, so the
+    /// default is right unless an experiment pins threads for comparison.
+    pub fn new(seed: u64) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ExecutorConfig { threads, seed }
+    }
+
+    /// Overrides the worker count (floored at 1).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// The chain seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig::new(0)
+    }
+}
+
+/// Runs stage chains over datasets in parallel, deterministically.
+pub struct Executor {
+    config: ExecutorConfig,
+}
+
+/// Everything a chain run produced.
+pub struct ChainOutput {
+    /// All items, in input order, including discarded ones (their tags say
+    /// why they were dropped).
+    pub items: Vec<StageItem>,
+    /// One report per stage, in chain order.
+    pub reports: Vec<StageReport>,
+    /// Token-cache hits summed across workers (informational: depends on
+    /// chunking, so it is *not* covered by the determinism contract).
+    pub cache_hits: u64,
+    /// Token-cache misses summed across workers (informational, as above).
+    pub cache_misses: u64,
+}
+
+impl ChainOutput {
+    /// The retained items, in input order.
+    pub fn retained(&self) -> impl Iterator<Item = &StageItem> {
+        self.items.iter().filter(|i| i.retained)
+    }
+
+    /// Collects the retained pairs into a dataset.
+    pub fn dataset(&self, name: impl Into<String>) -> Dataset {
+        Dataset {
+            name: name.into(),
+            pairs: self.retained().map(|i| i.pair.clone()).collect(),
+        }
+    }
+
+    /// The report for the named stage, if it ran.
+    pub fn report(&self, stage: &str) -> Option<&StageReport> {
+        self.reports.iter().find(|r| r.stage == stage)
+    }
+
+    /// Total measured stage time across the whole chain.
+    pub fn total_cpu_time(&self) -> Duration {
+        self.reports.iter().map(|r| r.cpu_time).sum()
+    }
+}
+
+/// Per-stage accumulation local to one worker.
+#[derive(Default)]
+struct StageStats {
+    items_in: usize,
+    items_out: usize,
+    counters: BTreeMap<String, u64>,
+    time: Duration,
+}
+
+struct ChunkStats {
+    per_stage: Vec<StageStats>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl Executor {
+    /// An executor with the given config.
+    pub fn new(config: ExecutorConfig) -> Self {
+        Executor { config }
+    }
+
+    /// This executor's config.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    /// Runs `stages` over `pairs`.
+    ///
+    /// Each item flows through the whole chain before the next item starts
+    /// (good token-cache locality); items are split into contiguous chunks
+    /// across workers, so output order is input order.
+    pub fn run(&self, stages: &[Box<dyn Stage + '_>], pairs: Vec<InstructionPair>) -> ChainOutput {
+        let salts: Vec<u64> = stages
+            .iter()
+            .enumerate()
+            .map(|(k, s)| stage_salt(s.name(), k))
+            .collect();
+        let mut items: Vec<StageItem> = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| StageItem::new(i, p))
+            .collect();
+
+        let n = items.len();
+        let threads = self.config.threads.min(n.max(1));
+        let seed = self.config.seed;
+
+        let stats: Vec<ChunkStats> = if threads <= 1 {
+            vec![run_chunk(stages, &salts, seed, &mut items)]
+        } else {
+            let chunk_size = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = items
+                    .chunks_mut(chunk_size)
+                    .map(|chunk| scope.spawn(|| run_chunk(stages, &salts, seed, chunk)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("executor worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut reports: Vec<StageReport> = stages
+            .iter()
+            .map(|s| StageReport {
+                stage: s.name().to_string(),
+                ..StageReport::default()
+            })
+            .collect();
+        let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+        for chunk in stats {
+            cache_hits += chunk.cache_hits;
+            cache_misses += chunk.cache_misses;
+            for (report, stage_stats) in reports.iter_mut().zip(chunk.per_stage) {
+                report.items_in += stage_stats.items_in;
+                report.items_out += stage_stats.items_out;
+                report.cpu_time += stage_stats.time;
+                for (key, v) in stage_stats.counters {
+                    *report.counters.entry(key).or_insert(0) += v;
+                }
+            }
+        }
+
+        ChainOutput {
+            items,
+            reports,
+            cache_hits,
+            cache_misses,
+        }
+    }
+
+    /// Runs `stages` over a dataset's pairs (cloned; the input is kept).
+    pub fn run_dataset(&self, stages: &[Box<dyn Stage + '_>], dataset: &Dataset) -> ChainOutput {
+        self.run(stages, dataset.pairs.clone())
+    }
+}
+
+/// Mixes a stage's name and chain position into an RNG salt, so distinct
+/// stages (even two instances of the same type) draw distinct streams.
+fn stage_salt(name: &str, position: usize) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(name.as_bytes());
+    h.finish()
+        .wrapping_add((position as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Seed for one (stage, item): independent of worker assignment.
+fn item_seed(chain_seed: u64, salt: u64, id: u64) -> u64 {
+    chain_seed ^ salt ^ id.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+fn run_chunk(
+    stages: &[Box<dyn Stage + '_>],
+    salts: &[u64],
+    chain_seed: u64,
+    chunk: &mut [StageItem],
+) -> ChunkStats {
+    let mut cache = TokenCache::new();
+    let mut per_stage: Vec<StageStats> = stages.iter().map(|_| StageStats::default()).collect();
+    for item in chunk.iter_mut() {
+        for (k, stage) in stages.iter().enumerate() {
+            if !item.retained {
+                break;
+            }
+            let stats = &mut per_stage[k];
+            stats.items_in += 1;
+            let mut ctx = StageCtx {
+                rng: StdRng::seed_from_u64(item_seed(chain_seed, salts[k], item.pair.id)),
+                cache: &mut cache,
+                counters: &mut stats.counters,
+            };
+            let start = Instant::now();
+            stage.process(item, &mut ctx);
+            stats.time += start.elapsed();
+            if item.retained {
+                stats.items_out += 1;
+            }
+        }
+    }
+    let (cache_hits, cache_misses) = cache.stats();
+    ChunkStats {
+        per_stage,
+        cache_hits,
+        cache_misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coachlm_data::Category;
+    use rand::Rng;
+
+    fn pairs(n: usize) -> Vec<InstructionPair> {
+        (0..n as u64)
+            .map(|id| {
+                InstructionPair::new(
+                    id,
+                    format!("Question {id}?"),
+                    format!("Answer {id}."),
+                    Category(0),
+                )
+            })
+            .collect()
+    }
+
+    /// Appends a seeded random suffix and counts even ids.
+    struct Scribble;
+
+    impl Stage for Scribble {
+        fn name(&self) -> &str {
+            "scribble"
+        }
+        fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+            let roll: u64 = ctx.rng.gen_range(0..1000);
+            item.pair.response.push_str(&format!(" [{roll}]"));
+            if item.pair.id.is_multiple_of(2) {
+                ctx.bump("even");
+            }
+            ctx.cache.word_count(&item.pair.response);
+        }
+    }
+
+    /// Discards ids divisible by 5.
+    struct DropFifths;
+
+    impl Stage for DropFifths {
+        fn name(&self) -> &str {
+            "drop-fifths"
+        }
+        fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+            if item.pair.id.is_multiple_of(5) {
+                item.discard("fifth");
+                ctx.bump("dropped");
+            }
+        }
+    }
+
+    fn chain() -> Vec<Box<dyn Stage>> {
+        vec![Box::new(Scribble), Box::new(DropFifths)]
+    }
+
+    #[test]
+    fn output_is_thread_count_invariant() {
+        let base = Executor::new(ExecutorConfig::new(11).threads(1)).run(&chain(), pairs(101));
+        for threads in [2, 3, 8] {
+            let out =
+                Executor::new(ExecutorConfig::new(11).threads(threads)).run(&chain(), pairs(101));
+            assert_eq!(out.items.len(), base.items.len());
+            for (a, b) in out.items.iter().zip(&base.items) {
+                assert_eq!(a.pair, b.pair);
+                assert_eq!(a.retained, b.retained);
+                assert_eq!(a.tags, b.tags);
+            }
+            for (ra, rb) in out.reports.iter().zip(&base.reports) {
+                assert_eq!(ra.stage, rb.stage);
+                assert_eq!(ra.items_in, rb.items_in);
+                assert_eq!(ra.items_out, rb.items_out);
+                assert_eq!(ra.counters, rb.counters);
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_items_skip_later_stages_and_counts_add_up() {
+        let stages: Vec<Box<dyn Stage>> = vec![Box::new(DropFifths), Box::new(Scribble)];
+        let out = Executor::new(ExecutorConfig::new(5).threads(4)).run(&stages, pairs(50));
+        let filter = out.report("drop-fifths").unwrap();
+        assert_eq!(filter.items_in, 50);
+        assert_eq!(filter.items_out, 40);
+        assert_eq!(filter.items_dropped(), 10);
+        assert_eq!(filter.counter("dropped"), 10);
+        let scribble = out.report("scribble").unwrap();
+        assert_eq!(scribble.items_in, 40);
+        // Dropped items keep their original text.
+        assert!(out
+            .items
+            .iter()
+            .filter(|i| !i.retained)
+            .all(|i| !i.response_changed() && i.has_tag("fifth")));
+        assert_eq!(out.dataset("kept").len(), 40);
+    }
+
+    #[test]
+    fn seed_changes_results_and_same_seed_repeats() {
+        let a = Executor::new(ExecutorConfig::new(1).threads(2)).run(&chain(), pairs(40));
+        let b = Executor::new(ExecutorConfig::new(1).threads(2)).run(&chain(), pairs(40));
+        let c = Executor::new(ExecutorConfig::new(2).threads(2)).run(&chain(), pairs(40));
+        let text = |o: &ChainOutput| {
+            o.items
+                .iter()
+                .map(|i| i.pair.response.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(text(&a), text(&b));
+        assert_ne!(text(&a), text(&c));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_reports() {
+        let out = Executor::new(ExecutorConfig::default()).run(&chain(), Vec::new());
+        assert!(out.items.is_empty());
+        assert_eq!(out.reports.len(), 2);
+        assert!(out.reports.iter().all(|r| r.items_in == 0));
+        assert_eq!(out.total_cpu_time(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,34 @@
+//! # coachlm-runtime
+//!
+//! The shared dataset-processing runtime: a [`Stage`] trait over
+//! instruction pairs and a deterministic parallel batch [`Executor`] that
+//! runs a stage chain over a dataset.
+//!
+//! Every batch path in the workspace — cleaning, CoachLM revision, expert
+//! filtering and annotation, baseline construction, ChatGPT-judge rating —
+//! is expressed as a chain of stages and executed here, instead of each
+//! module hand-rolling its own thread pool and RNG plumbing.
+//!
+//! Determinism contract: for a fixed stage chain, input, and seed, the
+//! output items and every [`StageReport`]'s item counts and counters are
+//! identical for **any** thread count. This holds because
+//!
+//! * each (stage, item) gets its own RNG seeded from
+//!   `chain seed × stage salt × pair id` — no sequential stream is shared
+//!   across items, so chunk boundaries cannot shift draws;
+//! * items are processed in place in contiguous chunks, so output order is
+//!   input order by construction;
+//! * counters merge by summation, which is commutative.
+//!
+//! Only wall-clock fields ([`StageReport::cpu_time`]) and the token-cache
+//! hit/miss tallies (caches are per-worker) vary across runs.
+
+#![warn(missing_docs)]
+
+mod executor;
+mod report;
+mod stage;
+
+pub use executor::{ChainOutput, Executor, ExecutorConfig};
+pub use report::StageReport;
+pub use stage::{Stage, StageCtx, StageItem};

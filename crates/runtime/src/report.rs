@@ -1,0 +1,72 @@
+//! Per-stage execution reports.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// What one stage did over a whole run.
+///
+/// Item counts and counters are deterministic (thread-count-invariant);
+/// [`cpu_time`](Self::cpu_time) is measured and varies run to run.
+#[derive(Debug, Clone, Default)]
+pub struct StageReport {
+    /// The stage's [`name`](crate::Stage::name).
+    pub stage: String,
+    /// Items that entered the stage (still retained when they reached it).
+    pub items_in: usize,
+    /// Items still retained after the stage.
+    pub items_out: usize,
+    /// Stage counters, summed across workers.
+    pub counters: BTreeMap<String, u64>,
+    /// Total time spent inside this stage's `process`, summed across
+    /// workers (CPU-side busy time, not wall clock).
+    pub cpu_time: Duration,
+}
+
+impl StageReport {
+    /// The counter's value, zero when never bumped.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Items discarded by this stage.
+    pub fn items_dropped(&self) -> usize {
+        self.items_in - self.items_out
+    }
+
+    /// Processing rate derived from measured stage time; `0.0` when the
+    /// stage saw no items or ran too fast to time.
+    pub fn samples_per_sec(&self) -> f64 {
+        let secs = self.cpu_time.as_secs_f64();
+        if self.items_in == 0 || secs <= 0.0 {
+            0.0
+        } else {
+            self.items_in as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rate_is_zero_guarded() {
+        let mut r = StageReport::default();
+        assert_eq!(r.samples_per_sec(), 0.0);
+        r.items_in = 100;
+        assert_eq!(r.samples_per_sec(), 0.0);
+        r.cpu_time = Duration::from_millis(500);
+        assert!((r.samples_per_sec() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_default_to_zero() {
+        let mut r = StageReport::default();
+        assert_eq!(r.counter("missing"), 0);
+        r.counters.insert("seen".into(), 3);
+        assert_eq!(r.counter("seen"), 3);
+        r.items_in = 5;
+        r.items_out = 2;
+        assert_eq!(r.items_dropped(), 3);
+    }
+}

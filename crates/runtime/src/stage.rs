@@ -1,0 +1,161 @@
+//! The [`Stage`] trait and the per-item state it operates on.
+
+use coachlm_data::InstructionPair;
+use coachlm_text::token::TokenCache;
+use rand::rngs::StdRng;
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// One step of a dataset-processing chain.
+///
+/// A stage sees each pair once, in isolation, and may rewrite it, discard
+/// it, tag it, or attach a payload. Stages hold no per-item mutable state
+/// (`&self`, `Sync`): all per-item randomness comes from the context's RNG,
+/// which the executor seeds per (stage, item) so results are independent of
+/// thread count and processing order.
+pub trait Stage: Sync {
+    /// Stage name, used in reports and to salt the per-item RNG.
+    fn name(&self) -> &str;
+
+    /// Processes one item.
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>);
+}
+
+/// A pair flowing through a stage chain, with its bookkeeping.
+pub struct StageItem {
+    /// Position in the input dataset (output order preserves it).
+    pub index: usize,
+    /// The pair as it entered the chain, untouched.
+    pub original: InstructionPair,
+    /// The pair in its current, possibly rewritten, state.
+    pub pair: InstructionPair,
+    /// `false` once a stage discards the item; later stages skip it.
+    pub retained: bool,
+    /// Labels stages attach (e.g. a filter's exclusion reason).
+    pub tags: Vec<String>,
+    payload: Option<Box<dyn Any + Send>>,
+}
+
+impl StageItem {
+    /// Wraps a pair for processing.
+    pub fn new(index: usize, pair: InstructionPair) -> Self {
+        StageItem {
+            index,
+            original: pair.clone(),
+            pair,
+            retained: true,
+            tags: Vec::new(),
+            payload: None,
+        }
+    }
+
+    /// Drops the item from the chain, recording why.
+    pub fn discard(&mut self, tag: impl Into<String>) {
+        self.retained = false;
+        self.tags.push(tag.into());
+    }
+
+    /// Attaches a label without changing retention.
+    pub fn tag(&mut self, tag: impl Into<String>) {
+        self.tags.push(tag.into());
+    }
+
+    /// `true` if any attached tag equals `tag`.
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+
+    /// Stores a typed payload (e.g. a revision record), replacing any
+    /// previous one.
+    pub fn set_payload<T: Any + Send>(&mut self, value: T) {
+        self.payload = Some(Box::new(value));
+    }
+
+    /// Borrows the payload if one of type `T` is attached.
+    pub fn payload_ref<T: Any>(&self) -> Option<&T> {
+        self.payload.as_deref().and_then(|p| p.downcast_ref())
+    }
+
+    /// Removes and returns the payload if it has type `T`.
+    pub fn take_payload<T: Any>(&mut self) -> Option<T> {
+        let boxed = self.payload.take()?;
+        match boxed.downcast::<T>() {
+            Ok(v) => Some(*v),
+            Err(other) => {
+                self.payload = Some(other);
+                None
+            }
+        }
+    }
+
+    /// `true` when some stage rewrote the instruction.
+    pub fn instruction_changed(&self) -> bool {
+        self.pair.instruction != self.original.instruction
+    }
+
+    /// `true` when some stage rewrote the response.
+    pub fn response_changed(&self) -> bool {
+        self.pair.response != self.original.response
+    }
+}
+
+/// Per-(stage, item) context handed to [`Stage::process`].
+pub struct StageCtx<'a> {
+    /// RNG seeded for exactly this (stage, item) — identical draws no
+    /// matter which worker thread runs the item.
+    pub rng: StdRng,
+    /// Worker-local tokenisation memo: a pair that several stages measure
+    /// is tokenised once per worker, not once per stage.
+    pub cache: &'a mut TokenCache,
+    pub(crate) counters: &'a mut BTreeMap<String, u64>,
+}
+
+impl StageCtx<'_> {
+    /// Increments the stage counter `key` by one.
+    pub fn bump(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Adds `n` to the stage counter `key`.
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.counters.entry(key.to_string()).or_insert(0) += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coachlm_data::Category;
+
+    fn pair(id: u64) -> InstructionPair {
+        InstructionPair::new(id, "Say hi.", "Hi there.", Category(0))
+    }
+
+    #[test]
+    fn payload_round_trips_and_preserves_on_type_mismatch() {
+        let mut item = StageItem::new(0, pair(7));
+        item.set_payload(42u64);
+        assert_eq!(item.payload_ref::<u64>(), Some(&42));
+        assert_eq!(item.take_payload::<String>(), None);
+        assert_eq!(item.take_payload::<u64>(), Some(42));
+        assert_eq!(item.take_payload::<u64>(), None);
+    }
+
+    #[test]
+    fn discard_records_reason() {
+        let mut item = StageItem::new(3, pair(9));
+        assert!(item.retained);
+        item.discard("filter:safety");
+        assert!(!item.retained);
+        assert!(item.has_tag("filter:safety"));
+    }
+
+    #[test]
+    fn change_tracking_compares_against_original() {
+        let mut item = StageItem::new(0, pair(1));
+        assert!(!item.response_changed());
+        item.pair.response = "Hello!".into();
+        assert!(item.response_changed());
+        assert!(!item.instruction_changed());
+    }
+}

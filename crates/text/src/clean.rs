@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn strips_control_chars() {
         assert_eq!(strip_invalid_chars("a\u{0}b\u{7}c"), "abc");
-        assert_eq!(strip_invalid_chars("keep\nnewlines\tand tabs"), "keep\nnewlines\tand tabs");
+        assert_eq!(
+            strip_invalid_chars("keep\nnewlines\tand tabs"),
+            "keep\nnewlines\tand tabs"
+        );
         assert_eq!(strip_invalid_chars("bad\u{FFFD}char"), "badchar");
     }
 
@@ -177,7 +180,10 @@ mod tests {
             collapse_word_stutter("it is very very very very good", 2),
             "it is very very good"
         );
-        assert_eq!(collapse_word_stutter("no repeats here", 2), "no repeats here");
+        assert_eq!(
+            collapse_word_stutter("no repeats here", 2),
+            "no repeats here"
+        );
     }
 
     #[test]

@@ -146,8 +146,8 @@ pub fn diff_tokens<T: PartialEq>(a: &[T], b: &[T]) -> EditScript {
             j += 1;
         }
     }
-    raw.extend(std::iter::repeat(Raw::Del).take(n - i));
-    raw.extend(std::iter::repeat(Raw::Ins).take(m - j));
+    raw.extend(std::iter::repeat_n(Raw::Del, n - i));
+    raw.extend(std::iter::repeat_n(Raw::Ins, m - j));
 
     // Coalesce into ranged ops; adjacent Del+Ins runs merge into Replace.
     let mut ops: Vec<EditOp> = Vec::new();
@@ -162,7 +162,10 @@ pub fn diff_tokens<T: PartialEq>(a: &[T], b: &[T]) -> EditScript {
                     bj += 1;
                     k += 1;
                 }
-                ops.push(EditOp::Equal { a_range: a0..ai, b_range: b0..bj });
+                ops.push(EditOp::Equal {
+                    a_range: a0..ai,
+                    b_range: b0..bj,
+                });
             }
             Raw::Del | Raw::Ins => {
                 let (a0, b0) = (ai, bj);
@@ -175,7 +178,10 @@ pub fn diff_tokens<T: PartialEq>(a: &[T], b: &[T]) -> EditScript {
                     k += 1;
                 }
                 ops.push(match (a0 == ai, b0 == bj) {
-                    (false, false) => EditOp::Replace { a_range: a0..ai, b_range: b0..bj },
+                    (false, false) => EditOp::Replace {
+                        a_range: a0..ai,
+                        b_range: b0..bj,
+                    },
                     (false, true) => EditOp::Delete { a_range: a0..ai },
                     (true, false) => EditOp::Insert { b_range: b0..bj },
                     (true, true) => unreachable!("empty change chunk"),
@@ -218,9 +224,15 @@ mod tests {
         assert_eq!(
             s.ops,
             vec![
-                EditOp::Equal { a_range: 0..1, b_range: 0..1 },
+                EditOp::Equal {
+                    a_range: 0..1,
+                    b_range: 0..1
+                },
                 EditOp::Insert { b_range: 1..2 },
-                EditOp::Equal { a_range: 1..2, b_range: 2..3 },
+                EditOp::Equal {
+                    a_range: 1..2,
+                    b_range: 2..3
+                },
             ]
         );
         assert_eq!(s.change_weight(), 1);
@@ -232,9 +244,15 @@ mod tests {
         assert_eq!(
             s.ops,
             vec![
-                EditOp::Equal { a_range: 0..1, b_range: 0..1 },
+                EditOp::Equal {
+                    a_range: 0..1,
+                    b_range: 0..1
+                },
                 EditOp::Delete { a_range: 1..2 },
-                EditOp::Equal { a_range: 2..3, b_range: 1..2 },
+                EditOp::Equal {
+                    a_range: 2..3,
+                    b_range: 1..2
+                },
             ]
         );
     }
@@ -245,9 +263,18 @@ mod tests {
         assert_eq!(
             s.ops,
             vec![
-                EditOp::Equal { a_range: 0..1, b_range: 0..1 },
-                EditOp::Replace { a_range: 1..2, b_range: 1..2 },
-                EditOp::Equal { a_range: 2..3, b_range: 2..3 },
+                EditOp::Equal {
+                    a_range: 0..1,
+                    b_range: 0..1
+                },
+                EditOp::Replace {
+                    a_range: 1..2,
+                    b_range: 1..2
+                },
+                EditOp::Equal {
+                    a_range: 2..3,
+                    b_range: 2..3
+                },
             ]
         );
     }
@@ -256,7 +283,13 @@ mod tests {
     fn disjoint_sequences() {
         let s = script("x y", "p q r");
         assert_eq!(s.ops.len(), 1);
-        assert_eq!(s.ops[0], EditOp::Replace { a_range: 0..2, b_range: 0..3 });
+        assert_eq!(
+            s.ops[0],
+            EditOp::Replace {
+                a_range: 0..2,
+                b_range: 0..3
+            }
+        );
         assert_eq!(s.change_weight(), 3);
     }
 

@@ -288,8 +288,8 @@ mod tests {
             for (i, row) in dp.iter_mut().enumerate() {
                 row[0] = i;
             }
-            for j in 0..=b.len() {
-                dp[0][j] = j;
+            for (j, cell) in dp[0].iter_mut().enumerate() {
+                *cell = j;
             }
             for i in 1..=a.len() {
                 for j in 1..=b.len() {
@@ -308,8 +308,16 @@ mod tests {
         ];
         for (a, b) in cases {
             let want = reference(a.as_bytes(), b.as_bytes());
-            assert_eq!(edit_distance(a.as_bytes(), b.as_bytes()), want, "{a} vs {b}");
-            assert_eq!(myers::distance(a.as_bytes(), b.as_bytes()), want, "{a} vs {b}");
+            assert_eq!(
+                edit_distance(a.as_bytes(), b.as_bytes()),
+                want,
+                "{a} vs {b}"
+            );
+            assert_eq!(
+                myers::distance(a.as_bytes(), b.as_bytes()),
+                want,
+                "{a} vs {b}"
+            );
         }
     }
 

@@ -199,7 +199,11 @@ pub const WORKLOAD_MARKERS: &[&str] = &[
 /// generator can corrupt and the judge/repairer can check.
 pub const FACT_TABLE: &[(&str, &str, &str)] = &[
     ("the capital of France is", "Paris", "Berlin"),
-    ("water boils at", "100 degrees Celsius", "50 degrees Celsius"),
+    (
+        "water boils at",
+        "100 degrees Celsius",
+        "50 degrees Celsius",
+    ),
     ("the Earth orbits the", "Sun", "Moon"),
     ("2 plus 2 equals", "4", "5"),
     ("the largest planet is", "Jupiter", "Mercury"),
@@ -208,31 +212,174 @@ pub const FACT_TABLE: &[(&str, &str, &str)] = &[
     ("DNA is shaped like a", "double helix", "perfect cube"),
     ("the Pacific is the largest", "ocean", "desert"),
     ("a triangle has", "three sides", "five sides"),
-    ("the freezing point of water is", "0 degrees Celsius", "40 degrees Celsius"),
+    (
+        "the freezing point of water is",
+        "0 degrees Celsius",
+        "40 degrees Celsius",
+    ),
     ("photosynthesis produces", "oxygen", "pure carbon"),
 ];
 
 /// Common English stopwords, used for content-word extraction when judging
 /// response relevance and choosing revision topics.
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "and", "or", "but", "if", "then", "else", "of", "in", "on", "at", "to",
-    "for", "from", "with", "by", "about", "as", "into", "is", "are", "was", "were", "be", "been",
-    "being", "am", "do", "does", "did", "have", "has", "had", "will", "would", "can", "could",
-    "should", "may", "might", "must", "shall", "it", "its", "this", "that", "these", "those",
-    "i", "you", "he", "she", "we", "they", "them", "his", "her", "their", "your", "my", "our",
-    "me", "him", "us", "what", "which", "who", "whom", "whose", "when", "where", "why", "how",
-    "not", "no", "nor", "so", "too", "very", "just", "also", "than", "there", "here", "all",
-    "each", "any", "some", "such", "more", "most", "other", "please", "write", "given",
-    "following", "make", "give", "list", "describe", "explain", "create", "generate",
+    "a",
+    "an",
+    "the",
+    "and",
+    "or",
+    "but",
+    "if",
+    "then",
+    "else",
+    "of",
+    "in",
+    "on",
+    "at",
+    "to",
+    "for",
+    "from",
+    "with",
+    "by",
+    "about",
+    "as",
+    "into",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "being",
+    "am",
+    "do",
+    "does",
+    "did",
+    "have",
+    "has",
+    "had",
+    "will",
+    "would",
+    "can",
+    "could",
+    "should",
+    "may",
+    "might",
+    "must",
+    "shall",
+    "it",
+    "its",
+    "this",
+    "that",
+    "these",
+    "those",
+    "i",
+    "you",
+    "he",
+    "she",
+    "we",
+    "they",
+    "them",
+    "his",
+    "her",
+    "their",
+    "your",
+    "my",
+    "our",
+    "me",
+    "him",
+    "us",
+    "what",
+    "which",
+    "who",
+    "whom",
+    "whose",
+    "when",
+    "where",
+    "why",
+    "how",
+    "not",
+    "no",
+    "nor",
+    "so",
+    "too",
+    "very",
+    "just",
+    "also",
+    "than",
+    "there",
+    "here",
+    "all",
+    "each",
+    "any",
+    "some",
+    "such",
+    "more",
+    "most",
+    "other",
+    "please",
+    "write",
+    "given",
+    "following",
+    "make",
+    "give",
+    "list",
+    "describe",
+    "explain",
+    "create",
+    "generate",
     // Generic task verbs and meta-words common in instructions; they name
     // the *task*, not the topic, so relevance must not hinge on them.
-    "suggest", "recommend", "brainstorm", "compose", "draft", "complete", "correct",
-    "classify", "decide", "summarize", "paraphrase", "translate", "extract", "rank",
-    "convert", "compare", "define", "find", "provide", "involving", "ideas", "ways",
-    "things", "examples", "example", "one", "two", "three", "four", "five", "short",
-    "long", "brief", "briefly", "sentence", "sentences", "passage", "paragraph",
-    "article", "text", "title", "dialogue", "keywords", "facts", "key", "main",
-    "simple", "everyday", "clearly", "using",
+    "suggest",
+    "recommend",
+    "brainstorm",
+    "compose",
+    "draft",
+    "complete",
+    "correct",
+    "classify",
+    "decide",
+    "summarize",
+    "paraphrase",
+    "translate",
+    "extract",
+    "rank",
+    "convert",
+    "compare",
+    "define",
+    "find",
+    "provide",
+    "involving",
+    "ideas",
+    "ways",
+    "things",
+    "examples",
+    "example",
+    "one",
+    "two",
+    "three",
+    "four",
+    "five",
+    "short",
+    "long",
+    "brief",
+    "briefly",
+    "sentence",
+    "sentences",
+    "passage",
+    "paragraph",
+    "article",
+    "text",
+    "title",
+    "dialogue",
+    "keywords",
+    "facts",
+    "key",
+    "main",
+    "simple",
+    "everyday",
+    "clearly",
+    "using",
 ];
 
 /// Returns `true` if `word` (case-folded) is a stopword.
@@ -313,7 +460,9 @@ pub fn typo_correction(word: &str, coverage_len: usize) -> Option<&'static str> 
 /// Case-insensitive containment test for any marker in `markers`.
 pub fn contains_marker(text: &str, markers: &[&str]) -> bool {
     let folded = crate::normalize::fold_case(text);
-    markers.iter().any(|m| folded.contains(&crate::normalize::fold_case(m)))
+    markers
+        .iter()
+        .any(|m| folded.contains(&crate::normalize::fold_case(m)))
 }
 
 /// Returns the first matching marker (case-insensitive), if any.
@@ -359,7 +508,10 @@ mod tests {
             "As an AI language model, I cannot",
             MACHINE_TONE_MARKERS
         ));
-        assert!(!contains_marker("a helpful human reply", MACHINE_TONE_MARKERS));
+        assert!(!contains_marker(
+            "a helpful human reply",
+            MACHINE_TONE_MARKERS
+        ));
         assert_eq!(
             find_marker("For Example, consider this", CONTEXT_MARKERS),
             Some("for example")

@@ -45,7 +45,10 @@ pub fn fix_punctuation_spacing(s: &str) -> String {
     let mut i = 0;
     while i < chars.len() {
         let c = chars[i];
-        if c == ' ' && i + 1 < chars.len() && matches!(chars[i + 1], ',' | '.' | ';' | ':' | '!' | '?') {
+        if c == ' '
+            && i + 1 < chars.len()
+            && matches!(chars[i + 1], ',' | '.' | ';' | ':' | '!' | '?')
+        {
             // Drop the space before punctuation.
             i += 1;
             continue;

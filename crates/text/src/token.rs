@@ -81,7 +81,11 @@ pub fn tokenize(s: &str) -> Vec<Token> {
             }
             out.push(Token {
                 span: start..end,
-                kind: if all_numeric { TokenKind::Number } else { TokenKind::Word },
+                kind: if all_numeric {
+                    TokenKind::Number
+                } else {
+                    TokenKind::Word
+                },
             });
         } else {
             out.push(Token {
@@ -108,6 +112,73 @@ pub fn word_count(s: &str) -> usize {
         .iter()
         .filter(|t| t.kind != TokenKind::Punct)
         .count()
+}
+
+/// A memo of tokenisations keyed by exact text, so a pair that flows through
+/// several pipeline stages is tokenised once per stage chain rather than once
+/// per stage. Shared results are handed out as `Arc`s; hit/miss counters feed
+/// the executor's per-stage reports.
+#[derive(Debug, Default)]
+pub struct TokenCache {
+    entries: crate::fxhash::FxHashMap<String, std::sync::Arc<Vec<Token>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TokenCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The tokenisation of `s`, computed on first sight and shared after.
+    pub fn tokens(&mut self, s: &str) -> std::sync::Arc<Vec<Token>> {
+        if let Some(hit) = self.entries.get(s) {
+            self.hits += 1;
+            return std::sync::Arc::clone(hit);
+        }
+        self.misses += 1;
+        let toks = std::sync::Arc::new(tokenize(s));
+        self.entries
+            .insert(s.to_string(), std::sync::Arc::clone(&toks));
+        toks
+    }
+
+    /// Cached [`word_count`]: non-punct tokens of `s`.
+    pub fn word_count(&mut self, s: &str) -> usize {
+        self.tokens(s)
+            .iter()
+            .filter(|t| t.kind != TokenKind::Punct)
+            .count()
+    }
+
+    /// Cached [`words`]: the token texts of `s` (punctuation included).
+    pub fn words<'a>(&mut self, s: &'a str) -> Vec<&'a str> {
+        let toks = self.tokens(s);
+        toks.iter().map(|t| t.text(s)).collect()
+    }
+
+    /// `(hits, misses)` since construction or the last [`clear`](Self::clear).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of distinct texts currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all entries and zeroes the counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
 }
 
 /// Split `s` into sentences on `.`, `!`, `?` and newlines, keeping the
@@ -243,13 +314,39 @@ mod tests {
 
     #[test]
     fn sentences_on_newlines() {
-        assert_eq!(sentences("line one\nline two"), vec!["line one", "line two"]);
+        assert_eq!(
+            sentences("line one\nline two"),
+            vec!["line one", "line two"]
+        );
+    }
+
+    #[test]
+    fn token_cache_reuses_and_counts() {
+        let mut cache = TokenCache::new();
+        assert!(cache.is_empty());
+        let a = cache.tokens("Hello, world!");
+        let b = cache.tokens("Hello, world!");
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.word_count("Hello, world!"), 2);
+        assert_eq!(
+            cache.word_count("Hello, world!"),
+            word_count("Hello, world!")
+        );
+        assert_eq!(cache.words("don't stop"), words("don't stop"));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert_eq!(cache.stats(), (0, 0));
+        assert!(cache.is_empty());
     }
 
     #[test]
     fn words_round_trip_alignment() {
         let s = "Rewrite the sentence; keep tone.";
         let ws = words(s);
-        assert_eq!(ws, vec!["Rewrite", "the", "sentence", ";", "keep", "tone", "."]);
+        assert_eq!(
+            ws,
+            vec!["Rewrite", "the", "sentence", ";", "keep", "tone", "."]
+        );
     }
 }

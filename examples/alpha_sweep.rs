@@ -16,21 +16,31 @@ use coachlm::expert::filter::preliminary_filter;
 use coachlm::expert::pool::ExpertPool;
 use coachlm::expert::revision::ExpertReviser;
 use coachlm::judge::pandalm::PandaLm;
+use coachlm::runtime::ExecutorConfig;
 
 fn main() {
     let (dataset, _) = generate(&GeneratorConfig::small(5000, 9));
     let kept = preliminary_filter(&dataset, 1).kept;
-    let records =
-        ExpertReviser::new(2).revise_dataset(&ExpertPool::paper_pool(), &dataset, &kept);
+    let records = ExpertReviser::new(2).revise_dataset(&ExpertPool::paper_pool(), &dataset, &kept);
     let test_set = TestSet::build(TestSetKind::CoachLm150, 4);
     let judge = PandaLm::new(8);
 
     println!("alpha  C_a   p_apply  copy%   WR1    WR2    QS");
     for alpha in [0.0, 0.1, 0.3, 0.5, 0.7, 1.0] {
-        let coach = CoachLm::train(CoachConfig { alpha, ..Default::default() }, &records);
-        let revised = revise_dataset(&coach, &dataset, 3, 4);
-        let student =
-            tune_student("Alpaca-CoachLM", &revised.dataset, SkillParams::default(), 6);
+        let coach = CoachLm::train(
+            CoachConfig {
+                alpha,
+                ..Default::default()
+            },
+            &records,
+        );
+        let revised = revise_dataset(&coach, &dataset, &ExecutorConfig::new(3).threads(4));
+        let student = tune_student(
+            "Alpaca-CoachLM",
+            &revised.dataset,
+            SkillParams::default(),
+            6,
+        );
         let result = evaluate(&student, &test_set, &judge);
         println!(
             "{alpha:.1}    {:4}  {:.3}    {:4.1}%  {:5.1}%  {:5.1}%  {:5.1}%",

@@ -12,6 +12,7 @@ use coachlm::data::generator::{generate, GeneratorConfig};
 use coachlm::expert::filter::preliminary_filter;
 use coachlm::expert::pool::ExpertPool;
 use coachlm::expert::revision::ExpertReviser;
+use coachlm::runtime::ExecutorConfig;
 
 fn main() {
     // Train CoachLM from one batch of expert revisions…
@@ -23,7 +24,7 @@ fn main() {
 
     // …then run a fresh production batch through the platform twice.
     let (raw, _) = generate(&GeneratorConfig::small(8000, 90));
-    let cmp = compare_deployment(&coach, &raw, 5, 4);
+    let cmp = compare_deployment(&coach, &raw, &ExecutorConfig::new(5).threads(4));
 
     for report in [&cmp.manual, &cmp.assisted] {
         println!(

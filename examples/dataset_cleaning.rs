@@ -14,18 +14,18 @@ use coachlm::expert::filter::preliminary_filter;
 use coachlm::expert::pool::ExpertPool;
 use coachlm::expert::revision::ExpertReviser;
 use coachlm::judge::chatgpt::ChatGptRater;
+use coachlm::runtime::ExecutorConfig;
 
 fn main() -> std::io::Result<()> {
     let (dataset, _) = generate(&GeneratorConfig::small(4000, 2024));
 
     // Expert revision on a sample (here: the whole small dataset).
     let kept = preliminary_filter(&dataset, 3).kept;
-    let records =
-        ExpertReviser::new(5).revise_dataset(&ExpertPool::paper_pool(), &dataset, &kept);
+    let records = ExpertReviser::new(5).revise_dataset(&ExpertPool::paper_pool(), &dataset, &kept);
 
     // CoachLM revises every pair (with §III-B1 post-processing).
     let coach = CoachLm::train(CoachConfig::default(), &records);
-    let revised = revise_dataset(&coach, &dataset, 11, 4);
+    let revised = revise_dataset(&coach, &dataset, &ExecutorConfig::new(11).threads(4));
     println!(
         "revised {} pairs: {} responses changed, {} instructions changed, \
          {} invalid outputs replaced, {} leakage-skipped",
@@ -51,7 +51,9 @@ fn main() -> std::io::Result<()> {
     // Persist in the Alpaca JSON format.
     let out = std::env::temp_dir().join("coachlm_revised.json");
     let file = std::fs::File::create(&out)?;
-    revised.dataset.write_alpaca_json(std::io::BufWriter::new(file))?;
+    revised
+        .dataset
+        .write_alpaca_json(std::io::BufWriter::new(file))?;
     println!("revised dataset written to {}", out.display());
     Ok(())
 }

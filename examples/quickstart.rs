@@ -47,10 +47,16 @@ fn main() {
     let engine = CriteriaEngine::new();
     let before = engine.score_pair(instruction, response);
     let after = engine.score_pair(&out.instruction, &out.response);
-    println!("\nBEFORE  (instr {:.0}, resp {:.0})", before.instruction, before.response);
+    println!(
+        "\nBEFORE  (instr {:.0}, resp {:.0})",
+        before.instruction, before.response
+    );
     println!("  INSTRUCTION: {instruction}");
     println!("  RESPONSE:    {response}");
-    println!("\nAFTER   (instr {:.0}, resp {:.0})", after.instruction, after.response);
+    println!(
+        "\nAFTER   (instr {:.0}, resp {:.0})",
+        after.instruction, after.response
+    );
     println!("  INSTRUCTION: {}", out.instruction);
     println!("  RESPONSE:    {}", out.response);
     println!("\nrepairs applied: {:?}", out.repairs);

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Full local CI: format check, lints, release build, tests.
+#
+# The workspace builds fully offline (all third-party dependencies are
+# vendored under crates/compat/), so network access is never required —
+# CARGO_NET_OFFLINE hard-fails any accidental registry round-trip.
+set -eu
+
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release --workspace
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> ci OK"

@@ -12,6 +12,8 @@
 //! * [`data`] — instruction-pair data model, dataset and test-set generators.
 //! * [`judge`] — the Table II criteria engine and all automatic judges.
 //! * [`expert`] — the simulated expert revision workflow (groups A/B/C).
+//! * [`runtime`] — the [`Stage`](coachlm_runtime::Stage) trait and the
+//!   deterministic parallel batch executor every dataset path runs on.
 //! * [`core`] — CoachLM itself: coach tuning, α-selection, inference, the
 //!   student-tuning simulator, and the §IV-A data management pipeline.
 //!
@@ -23,4 +25,5 @@ pub use coachlm_data as data;
 pub use coachlm_expert as expert;
 pub use coachlm_judge as judge;
 pub use coachlm_lm as lm;
+pub use coachlm_runtime as runtime;
 pub use coachlm_text as text;

@@ -14,6 +14,7 @@ use coachlm::expert::revision::{ExpertReviser, RevisionRecord};
 use coachlm::judge::chatgpt::ChatGptRater;
 use coachlm::judge::criteria::CriteriaEngine;
 use coachlm::judge::pandalm::PandaLm;
+use coachlm::runtime::ExecutorConfig;
 
 struct World {
     dataset: Dataset,
@@ -28,8 +29,14 @@ fn build_world(n: usize, seed: u64) -> World {
     let records =
         ExpertReviser::new(seed).revise_dataset(&ExpertPool::paper_pool(), &dataset, &kept);
     let coach = CoachLm::train(CoachConfig::default(), &records);
-    let revised = revise_dataset(&coach, &dataset, seed ^ 1, 4).dataset;
-    World { dataset, records, coach, revised }
+    let revised =
+        revise_dataset(&coach, &dataset, &ExecutorConfig::new(seed ^ 1).threads(4)).dataset;
+    World {
+        dataset,
+        records,
+        coach,
+        revised,
+    }
 }
 
 #[test]
@@ -39,7 +46,12 @@ fn pipeline_improves_dataset_quality_end_to_end() {
     let before = rater.rate_dataset(&w.dataset);
     let after = rater.rate_dataset(&w.revised);
     // Fig 4 direction: mean rises, high-quality share rises sharply.
-    assert!(after.mean > before.mean + 0.3, "{} -> {}", before.mean, after.mean);
+    assert!(
+        after.mean > before.mean + 0.3,
+        "{} -> {}",
+        before.mean,
+        after.mean
+    );
     assert!(
         after.share_above_4_5 > before.share_above_4_5 * 2.5,
         "{} -> {}",
@@ -73,11 +85,30 @@ fn human_merge_and_baselines_are_ordered() {
     let judge = PandaLm::new(4);
     let refs: Vec<&RevisionRecord> = w.records.iter().collect();
     let human = build_human_merged(&w.dataset, &refs, usize::MAX);
+    // Compare on the pairs CoachLM actually revises: the §III-B1 leakage
+    // rule keeps C_α originals, which at this test scale is ~11 % of the
+    // dataset (paper scale: 1.3 %) — enough unrevised tail to drown the
+    // merged-vs-revised ordering in the low-quality skill penalty.
+    let trained: std::collections::HashSet<u64> = w.coach.trained_ids().iter().copied().collect();
+    let strip = |d: &Dataset| {
+        let mut out = Dataset::new(d.name.clone());
+        out.pairs = d
+            .pairs
+            .iter()
+            .filter(|p| !trained.contains(&p.id))
+            .cloned()
+            .collect();
+        out
+    };
     let seed = 11;
     let wr = |d: &Dataset| {
-        evaluate(&tune_student("m", d, SkillParams::default(), seed), &test_set, &judge)
-            .rates
-            .wr1
+        evaluate(
+            &tune_student("m", &strip(d), SkillParams::default(), seed),
+            &test_set,
+            &judge,
+        )
+        .rates
+        .wr1
     };
     let alpaca = wr(&w.dataset);
     let merged = wr(&human);
@@ -125,12 +156,15 @@ fn revised_dataset_has_no_detectable_unsafe_responses_left() {
     // their originals by design, and at this test scale (where the training
     // sample is the whole dataset) unsafe pairs rank high in C_α. At paper
     // scale the training subset is ~1.3 % of the dataset.
-    let trained: std::collections::HashSet<u64> =
-        w.coach.trained_ids().iter().copied().collect();
+    let trained: std::collections::HashSet<u64> = w.coach.trained_ids().iter().copied().collect();
     let unsafe_count = |d: &Dataset| {
         d.iter()
             .filter(|p| !trained.contains(&p.id))
-            .filter(|p| engine.analyze_response(&p.instruction, &p.response).unsafe_content)
+            .filter(|p| {
+                engine
+                    .analyze_response(&p.instruction, &p.response)
+                    .unsafe_content
+            })
             .count()
     };
     let unsafe_before = unsafe_count(&w.dataset);

@@ -24,7 +24,10 @@ fn table3_shape_exclusion_mix() {
     // smallest of the non-workload reasons (Table III).
     assert!((0.14..0.22).contains(&out.exclusion_ratio()));
     let ratio = |r: FilterReason| {
-        out.excluded.iter().filter(|(_, reason)| *reason == r).count() as f64
+        out.excluded
+            .iter()
+            .filter(|(_, reason)| *reason == r)
+            .count() as f64
             / out.excluded.len() as f64
     };
     assert!(ratio(FilterReason::InvalidInput) > ratio(FilterReason::BeyondExpertise));
@@ -45,14 +48,20 @@ fn table4_shape_revision_mix() {
     let adjust = share(RevisionKind::AdjustResponse);
     let correct = share(RevisionKind::CorrectResponse);
     let other = share(RevisionKind::OtherResponse);
-    assert!(diversify > rewrite, "diversify {diversify} rewrite {rewrite}");
+    assert!(
+        diversify > rewrite,
+        "diversify {diversify} rewrite {rewrite}"
+    );
     assert!(diversify > adjust);
     assert!(rewrite > correct && adjust > correct);
     assert!(correct > other);
     // Instruction side: Adjust dominates, Diversify is smallest.
     let instr: Vec<_> = recs.iter().filter(|r| r.instruction_revised).collect();
     let ishare = |k: RevisionKind| {
-        instr.iter().filter(|r| r.instruction_kind == Some(k)).count() as f64
+        instr
+            .iter()
+            .filter(|r| r.instruction_kind == Some(k))
+            .count() as f64
             / instr.len() as f64
     };
     assert!(ishare(RevisionKind::AdjustInstruction) > ishare(RevisionKind::RewriteInstruction));
@@ -68,17 +77,44 @@ fn alpha_mechanism_shape() {
     let wd = |r: &RevisionRecord| {
         coachlm::text::editdist::word_edit_distance(&r.original.response, &r.revised.response)
     };
-    let top: f64 = ranked.iter().take(recs.len() / 3).map(|r| wd(r) as f64).sum::<f64>()
+    let top: f64 = ranked
+        .iter()
+        .take(recs.len() / 3)
+        .map(|r| wd(r) as f64)
+        .sum::<f64>()
         / (recs.len() / 3) as f64;
-    let bottom: f64 = ranked.iter().rev().take(recs.len() / 3).map(|r| wd(r) as f64).sum::<f64>()
+    let bottom: f64 = ranked
+        .iter()
+        .rev()
+        .take(recs.len() / 3)
+        .map(|r| wd(r) as f64)
+        .sum::<f64>()
         / (recs.len() / 3) as f64;
     assert!(top > bottom * 4.0, "top {top} bottom {bottom}");
 
     // Copy noise: alpha = 1 carries copy mass, alpha = 0.3 does not; the
     // apply probability peaks at the selective alpha (Fig 5a mechanism).
-    let a03 = CoachLm::train(CoachConfig { alpha: 0.3, ..Default::default() }, &recs);
-    let a10 = CoachLm::train(CoachConfig { alpha: 1.0, ..Default::default() }, &recs);
-    let a00 = CoachLm::train(CoachConfig { alpha: 0.0, ..Default::default() }, &recs);
+    let a03 = CoachLm::train(
+        CoachConfig {
+            alpha: 0.3,
+            ..Default::default()
+        },
+        &recs,
+    );
+    let a10 = CoachLm::train(
+        CoachConfig {
+            alpha: 1.0,
+            ..Default::default()
+        },
+        &recs,
+    );
+    let a00 = CoachLm::train(
+        CoachConfig {
+            alpha: 0.0,
+            ..Default::default()
+        },
+        &recs,
+    );
     assert!(a03.adapter().copy_ratio() < 0.05);
     assert!(a10.adapter().copy_ratio() > 0.15);
     assert!(a03.apply_probability() > a10.apply_probability());
@@ -91,7 +127,11 @@ fn table11_shape_backbone_ordering() {
     let mut last = 0.0;
     for kind in BackboneKind::ALL {
         let coach = CoachLm::train(
-            CoachConfig { backbone: kind, alpha: 1.0, ..Default::default() },
+            CoachConfig {
+                backbone: kind,
+                alpha: 1.0,
+                ..Default::default()
+            },
             &recs,
         );
         let p = coach.apply_probability();

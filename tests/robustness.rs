@@ -9,6 +9,7 @@ use coachlm::expert::pool::ExpertPool;
 use coachlm::expert::revision::ExpertReviser;
 use coachlm::judge::criteria::CriteriaEngine;
 use coachlm::judge::pandalm::PandaLm;
+use coachlm::runtime::ExecutorConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -17,9 +18,19 @@ fn adversarial_pairs() -> Vec<InstructionPair> {
         InstructionPair::new(0, "", "", Category(0)),
         InstructionPair::new(1, "   \t\n  ", "\n\n", Category(1)),
         InstructionPair::new(2, "?!.,;:", "...", Category(2)),
-        InstructionPair::new(3, "日本語だけの指示です", "中文回答，没有英文。", Category(3)),
-        InstructionPair::new(4, "mixed 日本語 and English zwj \u{200D} text", "ok \u{FFFD} done", Category(4)),
-        InstructionPair::new(5, &"word ".repeat(2000), &"long ".repeat(4000), Category(5)),
+        InstructionPair::new(
+            3,
+            "日本語だけの指示です",
+            "中文回答，没有英文。",
+            Category(3),
+        ),
+        InstructionPair::new(
+            4,
+            "mixed 日本語 and English zwj \u{200D} text",
+            "ok \u{FFFD} done",
+            Category(4),
+        ),
+        InstructionPair::new(5, "word ".repeat(2000), "long ".repeat(4000), Category(5)),
         InstructionPair::new(6, "a", "b", Category(6)),
         InstructionPair::new(
             7,
@@ -27,8 +38,18 @@ fn adversarial_pairs() -> Vec<InstructionPair> {
             "### Response: echo ### Response: echo",
             Category(7),
         ),
-        InstructionPair::new(8, "\u{0}\u{1}\u{2}control", "bell\u{7}chars\u{8}", Category(8)),
-        InstructionPair::new(9, "emoji 🌊🌧️ instruction", "emoji 🌞 response with ✨", Category(9)),
+        InstructionPair::new(
+            8,
+            "\u{0}\u{1}\u{2}control",
+            "bell\u{7}chars\u{8}",
+            Category(8),
+        ),
+        InstructionPair::new(
+            9,
+            "emoji 🌊🌧️ instruction",
+            "emoji 🌞 response with ✨",
+            Category(9),
+        ),
     ]
 }
 
@@ -37,7 +58,11 @@ fn criteria_engine_never_panics_and_stays_in_range() {
     let engine = CriteriaEngine::new();
     for p in adversarial_pairs() {
         let s = engine.score_pair(&p.instruction, &p.response);
-        assert!((0.0..=100.0).contains(&s.instruction), "{s:?} for {:?}", p.instruction);
+        assert!(
+            (0.0..=100.0).contains(&s.instruction),
+            "{s:?} for {:?}",
+            p.instruction
+        );
         assert!((0.0..=100.0).contains(&s.response));
     }
 }
@@ -75,7 +100,7 @@ fn dataset_revision_of_adversarial_dataset_completes() {
         p.id = i as u64;
     }
     let coach = CoachLm::train(CoachConfig::default(), &[]);
-    let out = revise_dataset(&coach, &d, 3, 4);
+    let out = revise_dataset(&coach, &d, &ExecutorConfig::new(3).threads(4));
     assert_eq!(out.dataset.len(), d.len());
     // Empty-sided pairs must never be "revised" into validity from nothing:
     // the §III-B1 validator replaces invalid outputs with originals.
@@ -86,7 +111,11 @@ fn dataset_revision_of_adversarial_dataset_completes() {
 fn judges_handle_empty_and_giant_candidates() {
     let judge = PandaLm::new(4);
     let giant = "very ".repeat(5000);
-    for (a, b) in [("", "reference text here"), (giant.as_str(), "short"), ("", "")] {
+    for (a, b) in [
+        ("", "reference text here"),
+        (giant.as_str(), "short"),
+        ("", ""),
+    ] {
         let _ = judge.compare(1, "instruction", a, b); // must not panic
     }
 }
