@@ -4,7 +4,7 @@
 
 use coachlm_data::generator::generate;
 use coachlm_data::{Dataset, GeneratorConfig};
-use coachlm_runtime::{Executor, ExecutorConfig, Stage, StageCtx, StageItem};
+use coachlm_runtime::{Executor, ExecutorConfig, Schedule, Stage, StageCtx, StageItem};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::Rng;
 
@@ -26,6 +26,37 @@ impl Stage for ScoreStage {
         }
         if acc.is_multiple_of(7) {
             ctx.bump("lucky");
+        }
+    }
+}
+
+/// A heavy-tailed stand-in: most items are cheap scoring work, but the last
+/// stretch of the batch is latency-bound — modelling the production revision
+/// path, where a slice of pairs waits on an external LLM endpoint. Under
+/// static contiguous chunking the whole tail lands in one worker's chunk and
+/// its waits serialise; the dynamic scheduler spreads the tail across
+/// whichever workers finish their cheap chunks first, overlapping the waits.
+struct SkewedStage {
+    heavy_from: u64,
+}
+
+impl Stage for SkewedStage {
+    fn name(&self) -> &str {
+        "skewed"
+    }
+
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+        let words = ctx.cache.word_count(&item.pair.response);
+        let rounds = 2_000 + ctx.rng.gen_range(0u64..1_000);
+        let mut acc = words as u64;
+        for i in 0..rounds {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        if acc.is_multiple_of(7) {
+            ctx.bump("lucky");
+        }
+        if item.pair.id >= self.heavy_from {
+            std::thread::sleep(std::time::Duration::from_micros(500));
         }
     }
 }
@@ -54,9 +85,39 @@ fn bench_executor_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_skewed_batch(c: &mut Criterion) {
+    let dataset = sample_dataset(2_000);
+    // Ids 1900.. (the last ~5% of the batch) carry the heavy tail.
+    let heavy_from = 1_900;
+    let mut group = c.benchmark_group("executor");
+    group.throughput(Throughput::Elements(dataset.len() as u64));
+    for (label, schedule) in [
+        ("skewed_static", Schedule::Static),
+        ("skewed_dynamic", Schedule::Dynamic),
+    ] {
+        for threads in [4usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("threads={threads}")),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let stages: Vec<Box<dyn Stage>> =
+                            vec![Box::new(SkewedStage { heavy_from })];
+                        let executor = Executor::new(
+                            ExecutorConfig::new(9).threads(threads).schedule(schedule),
+                        );
+                        black_box(executor.run_dataset(&stages, &dataset))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_executor_scaling
+    targets = bench_executor_scaling, bench_skewed_batch
 }
 criterion_main!(benches);

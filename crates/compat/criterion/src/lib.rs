@@ -99,6 +99,43 @@ fn report(id: &str, median: Duration, throughput: Option<Throughput>) {
         None => {}
     }
     println!();
+    if let Ok(path) = std::env::var("COACHLM_BENCH_JSON") {
+        if !path.is_empty() {
+            append_json_record(&path, id, ns, throughput);
+        }
+    }
+}
+
+/// Appends one JSONL record per benchmark to the file named by the
+/// `COACHLM_BENCH_JSON` env var, for machine-readable result collection
+/// (`scripts/bench.sh` wraps these lines into `BENCH_2.json`).
+fn append_json_record(path: &str, id: &str, ns: u128, throughput: Option<Throughput>) {
+    use std::io::Write;
+    let mut line = format!("{{\"bench\":{id:?},\"median_ns\":{ns}");
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!(
+                ",\"elems_per_sec\":{:.1}",
+                n as f64 / ns as f64 * 1e9
+            ));
+        }
+        Some(Throughput::Bytes(n)) => {
+            line.push_str(&format!(
+                ",\"bytes_per_sec\":{:.1}",
+                n as f64 / ns as f64 * 1e9
+            ));
+        }
+        None => {}
+    }
+    line.push('}');
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = written {
+        eprintln!("warning: could not append bench record to {path}: {e}");
+    }
 }
 
 /// A named set of related benchmarks sharing a throughput declaration.

@@ -20,13 +20,15 @@ pub struct RankedRecord<'r> {
 
 /// Ranks records by total word-level edit distance, descending.
 pub fn rank_by_edit_distance(records: &[RevisionRecord]) -> Vec<RankedRecord<'_>> {
+    // One calculator for the whole pass: instructions repeat heavily across
+    // records, so the tokenisation memo must survive from record to record
+    // (a fresh `WordDistance` per dataset is the only cache boundary).
     let mut wd = WordDistance::new();
     let mut ranked: Vec<RankedRecord<'_>> = records
         .iter()
         .map(|r| {
             let d = wd.distance(&r.original.instruction, &r.revised.instruction)
                 + wd.distance(&r.original.response, &r.revised.response);
-            wd.clear_cache();
             RankedRecord {
                 record: r,
                 edit_distance: d,

@@ -67,12 +67,13 @@ impl NgramLm {
             let t = self.counter.distinct(1) as f64;
             return (c + t / v) / (total + t).max(1.0);
         }
-        let mut gram = Vec::with_capacity(context.len() + 1);
-        gram.extend_from_slice(context);
-        gram.push(word);
-        let c_hw = self.counter.count(&gram) as f64;
-        let c_h = self.counter.count(context) as f64;
-        let t_h = self.counter.continuations(context) as f64;
+        // Fingerprint the context once, extend by one element for the full
+        // gram: no buffer is assembled, so scoring allocates nothing.
+        let ctx_fp = NgramCounter::<Sym>::fingerprint(context);
+        let gram_fp = NgramCounter::<Sym>::fingerprint_extend(ctx_fp, &word);
+        let c_hw = self.counter.count_fp(context.len() + 1, gram_fp) as f64;
+        let c_h = self.counter.count_fp(context.len(), ctx_fp) as f64;
+        let t_h = self.counter.continuations_fp(context.len(), ctx_fp) as f64;
         let lower = self.prob_backoff(&context[1..], word);
         if c_h == 0.0 && t_h == 0.0 {
             return lower;
@@ -172,12 +173,11 @@ impl NgramLm {
         // Enumerate observed (context, w) grams by scanning the vocabulary;
         // vocabularies here are small (built-in corpora), so this is fine.
         let mut out = Vec::new();
+        let ctx_fp = NgramCounter::<Sym>::fingerprint(context);
         for idx in 0..self.vocab.len() as u32 {
             let w = Sym(idx);
-            let mut gram = Vec::with_capacity(context.len() + 1);
-            gram.extend_from_slice(context);
-            gram.push(w);
-            if self.counter.count(&gram) > 0 {
+            let fp = NgramCounter::<Sym>::fingerprint_extend(ctx_fp, &w);
+            if self.counter.count_fp(context.len() + 1, fp) > 0 {
                 out.push((w, self.prob(context, w)));
             }
         }

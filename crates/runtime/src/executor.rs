@@ -9,13 +9,34 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::hash::Hasher;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// How workers claim items.
+///
+/// Either way, each (stage, item) RNG is seeded independently of worker
+/// assignment, so the schedule affects wall-clock time only — never the
+/// output (the determinism proptests pin this across both schedules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// One contiguous chunk per worker, sized `n / threads`. Simple, but a
+    /// length-skewed batch serializes behind whichever worker drew the
+    /// expensive region.
+    Static,
+    /// Workers repeatedly claim the next fixed-size chunk off an atomic
+    /// counter until the batch is drained. Stragglers only ever hold one
+    /// small chunk, so skewed batches stay balanced. The default.
+    #[default]
+    Dynamic,
+}
 
 /// How a chain run is parallelised and seeded.
 #[derive(Debug, Clone)]
 pub struct ExecutorConfig {
     threads: usize,
     seed: u64,
+    schedule: Schedule,
 }
 
 impl ExecutorConfig {
@@ -25,7 +46,11 @@ impl ExecutorConfig {
     /// default is right unless an experiment pins threads for comparison.
     pub fn new(seed: u64) -> Self {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        ExecutorConfig { threads, seed }
+        ExecutorConfig {
+            threads,
+            seed,
+            schedule: Schedule::default(),
+        }
     }
 
     /// Overrides the worker count (floored at 1).
@@ -34,9 +59,20 @@ impl ExecutorConfig {
         self
     }
 
+    /// Overrides the scheduling policy (defaults to [`Schedule::Dynamic`]).
+    pub fn schedule(mut self, s: Schedule) -> Self {
+        self.schedule = s;
+        self
+    }
+
     /// The configured worker count.
     pub fn thread_count(&self) -> usize {
         self.threads
+    }
+
+    /// The configured scheduling policy.
+    pub fn scheduling(&self) -> Schedule {
+        self.schedule
     }
 
     /// The chain seed.
@@ -104,7 +140,8 @@ struct StageStats {
     time: Duration,
 }
 
-struct ChunkStats {
+/// Everything one worker accumulated across the chunks it processed.
+struct WorkerStats {
     per_stage: Vec<StageStats>,
     cache_hits: u64,
     cache_misses: u64,
@@ -124,8 +161,11 @@ impl Executor {
     /// Runs `stages` over `pairs`.
     ///
     /// Each item flows through the whole chain before the next item starts
-    /// (good token-cache locality); items are split into contiguous chunks
-    /// across workers, so output order is input order.
+    /// (good token-cache locality); items are processed in place, so output
+    /// order is input order regardless of the schedule. Under
+    /// [`Schedule::Dynamic`] workers claim fixed-size chunks off an atomic
+    /// counter; under [`Schedule::Static`] each worker gets one contiguous
+    /// `n / threads` chunk. Results are identical either way.
     pub fn run(&self, stages: &[Box<dyn Stage + '_>], pairs: Vec<InstructionPair>) -> ChainOutput {
         let salts: Vec<u64> = stages
             .iter()
@@ -142,20 +182,70 @@ impl Executor {
         let threads = self.config.threads.min(n.max(1));
         let seed = self.config.seed;
 
-        let stats: Vec<ChunkStats> = if threads <= 1 {
-            vec![run_chunk(stages, &salts, seed, &mut items)]
+        let stats: Vec<WorkerStats> = if threads <= 1 {
+            vec![run_worker_static(stages, &salts, seed, &mut items)]
         } else {
-            let chunk_size = n.div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = items
-                    .chunks_mut(chunk_size)
-                    .map(|chunk| scope.spawn(|| run_chunk(stages, &salts, seed, chunk)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("executor worker panicked"))
-                    .collect()
-            })
+            match self.config.schedule {
+                Schedule::Static => {
+                    let chunk_size = n.div_ceil(threads);
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = items
+                            .chunks_mut(chunk_size)
+                            .map(|chunk| {
+                                scope.spawn(|| run_worker_static(stages, &salts, seed, chunk))
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("executor worker panicked"))
+                            .collect()
+                    })
+                }
+                Schedule::Dynamic => {
+                    let chunk_size = dynamic_chunk_size(n, threads);
+                    // Each chunk slot is claimed exactly once via the atomic
+                    // counter; the mutex only transfers the `&mut` slice to
+                    // the claiming worker (uncontended by construction).
+                    let queue: Vec<Mutex<Option<&mut [StageItem]>>> = items
+                        .chunks_mut(chunk_size)
+                        .map(|c| Mutex::new(Some(c)))
+                        .collect();
+                    let next = AtomicUsize::new(0);
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..threads)
+                            .map(|_| {
+                                scope.spawn(|| {
+                                    let mut cache = TokenCache::new();
+                                    let mut per_stage: Vec<StageStats> =
+                                        stages.iter().map(|_| StageStats::default()).collect();
+                                    loop {
+                                        let i = next.fetch_add(1, Ordering::Relaxed);
+                                        let Some(slot) = queue.get(i) else { break };
+                                        let chunk = slot
+                                            .lock()
+                                            .expect("chunk mutex poisoned")
+                                            .take()
+                                            .expect("chunk claimed exactly once");
+                                        process_items(
+                                            stages,
+                                            &salts,
+                                            seed,
+                                            chunk,
+                                            &mut cache,
+                                            &mut per_stage,
+                                        );
+                                    }
+                                    finish_worker(cache, per_stage)
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("executor worker panicked"))
+                            .collect()
+                    })
+                }
+            }
         };
 
         let mut reports: Vec<StageReport> = stages
@@ -207,14 +297,25 @@ fn item_seed(chain_seed: u64, salt: u64, id: u64) -> u64 {
     chain_seed ^ salt ^ id.wrapping_mul(0x2545_F491_4F6C_DD1D)
 }
 
-fn run_chunk(
+/// The fixed chunk width the dynamic scheduler hands out: small enough that
+/// a straggler only ever holds a sliver of the batch, large enough to
+/// amortise the claim and keep token-cache locality.
+fn dynamic_chunk_size(n: usize, threads: usize) -> usize {
+    const CHUNKS_PER_WORKER: usize = 8;
+    n.div_ceil(threads * CHUNKS_PER_WORKER).clamp(1, 64)
+}
+
+/// Runs the chain over one slice of items, accumulating into the worker's
+/// stats. The per-(stage, item) seeding makes the result independent of
+/// which worker runs which slice.
+fn process_items(
     stages: &[Box<dyn Stage + '_>],
     salts: &[u64],
     chain_seed: u64,
     chunk: &mut [StageItem],
-) -> ChunkStats {
-    let mut cache = TokenCache::new();
-    let mut per_stage: Vec<StageStats> = stages.iter().map(|_| StageStats::default()).collect();
+    cache: &mut TokenCache,
+    per_stage: &mut [StageStats],
+) {
     for item in chunk.iter_mut() {
         for (k, stage) in stages.iter().enumerate() {
             if !item.retained {
@@ -224,7 +325,7 @@ fn run_chunk(
             stats.items_in += 1;
             let mut ctx = StageCtx {
                 rng: StdRng::seed_from_u64(item_seed(chain_seed, salts[k], item.pair.id)),
-                cache: &mut cache,
+                cache,
                 counters: &mut stats.counters,
             };
             let start = Instant::now();
@@ -235,8 +336,24 @@ fn run_chunk(
             }
         }
     }
+}
+
+/// Static/sequential worker body: one chunk, one fresh cache.
+fn run_worker_static(
+    stages: &[Box<dyn Stage + '_>],
+    salts: &[u64],
+    chain_seed: u64,
+    chunk: &mut [StageItem],
+) -> WorkerStats {
+    let mut cache = TokenCache::new();
+    let mut per_stage: Vec<StageStats> = stages.iter().map(|_| StageStats::default()).collect();
+    process_items(stages, salts, chain_seed, chunk, &mut cache, &mut per_stage);
+    finish_worker(cache, per_stage)
+}
+
+fn finish_worker(cache: TokenCache, per_stage: Vec<StageStats>) -> WorkerStats {
     let (cache_hits, cache_misses) = cache.stats();
-    ChunkStats {
+    WorkerStats {
         per_stage,
         cache_hits,
         cache_misses,
@@ -337,6 +454,35 @@ mod tests {
             .filter(|i| !i.retained)
             .all(|i| !i.response_changed() && i.has_tag("fifth")));
         assert_eq!(out.dataset("kept").len(), 40);
+    }
+
+    #[test]
+    fn schedules_agree_item_for_item() {
+        let base = Executor::new(ExecutorConfig::new(23).threads(1)).run(&chain(), pairs(157));
+        for threads in [2, 5, 8] {
+            for schedule in [Schedule::Static, Schedule::Dynamic] {
+                let out =
+                    Executor::new(ExecutorConfig::new(23).threads(threads).schedule(schedule))
+                        .run(&chain(), pairs(157));
+                for (a, b) in out.items.iter().zip(&base.items) {
+                    assert_eq!(a.pair, b.pair, "{schedule:?} x{threads}");
+                    assert_eq!(a.retained, b.retained);
+                    assert_eq!(a.tags, b.tags);
+                }
+                for (ra, rb) in out.reports.iter().zip(&base.reports) {
+                    assert_eq!(ra.counters, rb.counters, "{schedule:?} x{threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_chunk_size_bounds() {
+        assert_eq!(dynamic_chunk_size(0, 4), 1);
+        assert_eq!(dynamic_chunk_size(7, 16), 1);
+        assert_eq!(dynamic_chunk_size(2_000, 8), 32);
+        // Huge batches cap at 64 so stragglers stay bounded.
+        assert_eq!(dynamic_chunk_size(1_000_000, 4), 64);
     }
 
     #[test]

@@ -15,10 +15,18 @@
 //!
 //! * each (stage, item) gets its own RNG seeded from
 //!   `chain seed × stage salt × pair id` — no sequential stream is shared
-//!   across items, so chunk boundaries cannot shift draws;
-//! * items are processed in place in contiguous chunks, so output order is
-//!   input order by construction;
+//!   across items, so neither chunk boundaries nor the claim order of the
+//!   dynamic scheduler can shift draws;
+//! * items are processed in place, so output order is input order by
+//!   construction;
 //! * counters merge by summation, which is commutative.
+//!
+//! Because of this, the scheduling policy ([`Schedule`]) is purely a
+//! wall-clock knob: the default [`Schedule::Dynamic`] hands fixed-size
+//! chunks to workers off an atomic counter (length-skewed batches stay
+//! balanced instead of serialising behind the slowest worker), while
+//! [`Schedule::Static`] splits the batch into one contiguous chunk per
+//! worker. Both produce identical output.
 //!
 //! Only wall-clock fields ([`StageReport::cpu_time`]) and the token-cache
 //! hit/miss tallies (caches are per-worker) vary across runs.
@@ -29,6 +37,6 @@ mod executor;
 mod report;
 mod stage;
 
-pub use executor::{ChainOutput, Executor, ExecutorConfig};
+pub use executor::{ChainOutput, Executor, ExecutorConfig, Schedule};
 pub use report::StageReport;
 pub use stage::{Stage, StageCtx, StageItem};

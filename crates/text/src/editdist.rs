@@ -8,7 +8,7 @@
 //! * **Dataset statistics (Table VII):** the revised ALPACA52K dataset is
 //!   characterised by average *word-level* edit distance.
 //!
-//! Three implementations are provided and cross-checked by tests:
+//! Four implementations are provided and cross-checked by tests:
 //!
 //! * [`edit_distance`] — classic two-row dynamic programming over any
 //!   `PartialEq` items, with common prefix/suffix trimming. O(nm) time,
@@ -18,8 +18,20 @@
 //! * [`myers`] — Myers' 1999 bit-parallel algorithm over bytes, processing
 //!   64 DP columns per machine word; the fast path for character-level
 //!   distance on ASCII text.
+//! * [`SymMyers`] — the same bit-parallel recurrence lifted from bytes to
+//!   interned word symbols ([`Sym`]): the per-pattern `peq` table is a small
+//!   hash map over the pattern's distinct symbols instead of a 256-entry
+//!   array, with Hyyrö's blocked variant for patterns longer than 64 words.
+//!   All scratch state is reused across calls, so dataset-scale ranking
+//!   ([`WordDistance`]) performs zero heap allocations per pair after
+//!   warm-up. This is the word-level hot path for α-selection and the
+//!   Table VII statistics.
+//!
+//! [`Sym`]: crate::intern::Sym
 
 use crate::fxhash::FxHashMap;
+use crate::intern::Sym;
+use std::collections::hash_map::Entry;
 
 /// Levenshtein distance between two slices (unit costs).
 ///
@@ -205,6 +217,134 @@ pub mod myers {
     }
 }
 
+/// Myers' bit-parallel Levenshtein lifted to interned word symbols.
+///
+/// The byte version's 256-entry `peq` array becomes a per-pattern map from
+/// each distinct [`Sym`] in the pattern to a dense row of match-mask words
+/// (one `u64` per 64 pattern positions). Patterns up to 64 words run the
+/// single-word recurrence; longer patterns run Hyyrö's blocked variant.
+///
+/// Every buffer (the `peq` rows, the symbol→row index, the blocked `pv`/`mv`
+/// columns) lives in the struct and is reused across calls, so after a few
+/// warm-up calls the computation performs **zero heap allocations per
+/// query** — the property dataset-scale ranking relies on.
+#[derive(Debug, Default)]
+pub struct SymMyers {
+    /// Distinct pattern symbol → row index into `peq`.
+    index: FxHashMap<Sym, u32>,
+    /// Flattened match masks: row `r` occupies `peq[r*blocks..(r+1)*blocks]`.
+    peq: Vec<u64>,
+    /// Blocked-variant vertical-positive column.
+    pv: Vec<u64>,
+    /// Blocked-variant vertical-negative column.
+    mv: Vec<u64>,
+}
+
+impl SymMyers {
+    /// Creates an empty scratch; buffers grow on first use and are retained.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Levenshtein distance between two symbol sequences.
+    pub fn distance(&mut self, a: &[Sym], b: &[Sym]) -> usize {
+        let (a, b) = trim_common(a, b);
+        // The shorter side is the "pattern" packed into machine words.
+        let (p, t) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        if p.is_empty() {
+            return t.len();
+        }
+        let m = p.len();
+        let blocks = m.div_ceil(64);
+        self.index.clear();
+        self.peq.clear();
+        for (i, &s) in p.iter().enumerate() {
+            let row = match self.index.entry(s) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(v) => {
+                    let r = (self.peq.len() / blocks) as u32;
+                    v.insert(r);
+                    self.peq.resize(self.peq.len() + blocks, 0);
+                    r
+                }
+            };
+            self.peq[row as usize * blocks + i / 64] |= 1 << (i % 64);
+        }
+        if blocks == 1 {
+            self.distance_64(m, t)
+        } else {
+            self.distance_blocked(m, blocks, t)
+        }
+    }
+
+    fn distance_64(&self, m: usize, t: &[Sym]) -> usize {
+        debug_assert!((1..=64).contains(&m));
+        let mut pv: u64 = !0;
+        let mut mv: u64 = 0;
+        let mut score = m;
+        let high = 1u64 << (m - 1);
+        for c in t {
+            let eq = self.index.get(c).map_or(0, |&r| self.peq[r as usize]);
+            let xv = eq | mv;
+            let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+            let ph = mv | !(xh | pv);
+            let mh = pv & xh;
+            if ph & high != 0 {
+                score += 1;
+            }
+            if mh & high != 0 {
+                score -= 1;
+            }
+            let ph = (ph << 1) | 1;
+            pv = (mh << 1) | !(xv | ph);
+            mv = ph & xv;
+        }
+        score
+    }
+
+    fn distance_blocked(&mut self, m: usize, blocks: usize, t: &[Sym]) -> usize {
+        self.pv.clear();
+        self.pv.resize(blocks, !0u64);
+        self.mv.clear();
+        self.mv.resize(blocks, 0);
+        let mut score = m;
+        let last = blocks - 1;
+        let last_high = 1u64 << ((m - 1) % 64);
+        for c in t {
+            let base = self.index.get(c).map(|&r| r as usize * blocks);
+            let mut carry_ph = 1u64;
+            let mut carry_mh = 0u64;
+            for bidx in 0..blocks {
+                let eq = base.map_or(0, |bs| self.peq[bs + bidx]);
+                let pvb = self.pv[bidx];
+                let mvb = self.mv[bidx];
+                let xv = eq | mvb;
+                let eqc = eq | carry_mh;
+                let xh = (((eqc & pvb).wrapping_add(pvb)) ^ pvb) | eqc;
+                let mut ph = mvb | !(xh | pvb);
+                let mut mh = pvb & xh;
+                if bidx == last {
+                    if ph & last_high != 0 {
+                        score += 1;
+                    }
+                    if mh & last_high != 0 {
+                        score -= 1;
+                    }
+                }
+                let ph_out = ph >> 63;
+                let mh_out = mh >> 63;
+                ph = (ph << 1) | carry_ph;
+                mh = (mh << 1) | carry_mh;
+                self.pv[bidx] = mh | !(xv | ph);
+                self.mv[bidx] = ph & xv;
+                carry_ph = ph_out;
+                carry_mh = mh_out;
+            }
+        }
+        score
+    }
+}
+
 /// Character-level Levenshtein between two strings.
 ///
 /// ASCII inputs use Myers' bit-parallel algorithm; other inputs decode to
@@ -222,20 +362,39 @@ pub fn char_edit_distance(a: &str, b: &str) -> usize {
 /// Word-level Levenshtein between two strings (Table VII's metric).
 ///
 /// Tokens are the canonical word sequence of [`crate::token::words`]; words
-/// are interned so the DP compares `u32`s.
+/// are interned so the bit-parallel [`SymMyers`] kernel compares `u32`s.
 pub fn word_edit_distance(a: &str, b: &str) -> usize {
-    let mut interner = crate::intern::Interner::with_capacity(64);
-    let sa = interner.intern_words(a);
-    let sb = interner.intern_words(b);
-    edit_distance(&sa, &sb)
+    // One-shot calls never resolve symbols back to strings, so instead of a
+    // full `Interner` (which copies each distinct word into an owned table),
+    // a borrowed-key map over the input strings assigns dense symbols with
+    // zero string copies.
+    let ta = crate::token::tokenize(a);
+    let tb = crate::token::tokenize(b);
+    let mut map: FxHashMap<&str, Sym> =
+        FxHashMap::with_capacity_and_hasher(ta.len() + tb.len(), Default::default());
+    let mut next = 0u32;
+    let mut sym_of = |word| {
+        *map.entry(word).or_insert_with(|| {
+            let sym = Sym(next);
+            next += 1;
+            sym
+        })
+    };
+    let sa: Vec<Sym> = ta.iter().map(|t| sym_of(t.text(a))).collect();
+    let sb: Vec<Sym> = tb.iter().map(|t| sym_of(t.text(b))).collect();
+    SymMyers::new().distance(&sa, &sb)
 }
 
-/// A reusable word-level distance calculator that shares one interner across
-/// many calls; preferred in dataset-scale loops.
+/// A reusable word-level distance calculator sharing one interner, one
+/// tokenisation memo, and one [`SymMyers`] scratch across many calls;
+/// preferred in dataset-scale loops (α-selection ranks tens of thousands of
+/// pairs, and instructions repeat heavily). After warm-up, a query over
+/// already-seen strings performs zero heap allocations.
 #[derive(Debug, Default)]
 pub struct WordDistance {
     interner: crate::intern::Interner,
-    cache: FxHashMap<Box<str>, Vec<crate::intern::Sym>>,
+    cache: FxHashMap<Box<str>, Vec<Sym>>,
+    myers: SymMyers,
 }
 
 impl WordDistance {
@@ -244,23 +403,25 @@ impl WordDistance {
         Self::default()
     }
 
-    fn syms(&mut self, s: &str) -> Vec<crate::intern::Sym> {
-        if let Some(v) = self.cache.get(s) {
-            return v.clone();
+    fn ensure_cached(&mut self, s: &str) {
+        if !self.cache.contains_key(s) {
+            let v = self.interner.intern_words(s);
+            self.cache.insert(s.into(), v);
         }
-        let v = self.interner.intern_words(s);
-        self.cache.insert(s.into(), v.clone());
-        v
     }
 
     /// Word-level edit distance between `a` and `b`.
     pub fn distance(&mut self, a: &str, b: &str) -> usize {
-        let sa = self.syms(a);
-        let sb = self.syms(b);
-        edit_distance(&sa, &sb)
+        self.ensure_cached(a);
+        self.ensure_cached(b);
+        let sa = self.cache.get(a).expect("cached above");
+        let sb = self.cache.get(b).expect("cached above");
+        self.myers.distance(sa, sb)
     }
 
-    /// Clears the memoisation cache (the interner is retained).
+    /// Clears the memoisation cache (the interner is retained). Call between
+    /// datasets, not between records: keeping the cache across a whole
+    /// ranking pass is what makes repeated instructions free.
     pub fn clear_cache(&mut self) {
         self.cache.clear();
     }
@@ -377,6 +538,55 @@ mod tests {
         for (a, b) in pairs {
             assert_eq!(wd.distance(a, b), word_edit_distance(a, b));
         }
+    }
+
+    #[test]
+    fn sym_myers_matches_generic_dp() {
+        let mut sm = SymMyers::new();
+        let cases: [(&[u32], &[u32]); 6] = [
+            (&[], &[]),
+            (&[1, 2, 3], &[1, 2, 3]),
+            (&[1, 2, 3], &[1, 9, 3, 4]),
+            (&[5, 5, 5, 5], &[6, 6]),
+            (&[0], &[0, 1, 2, 3, 4, 5, 6, 7]),
+            (&[1, 2, 3, 4, 5], &[5, 4, 3, 2, 1]),
+        ];
+        for (a, b) in cases {
+            let sa: Vec<Sym> = a.iter().map(|&x| Sym(x)).collect();
+            let sb: Vec<Sym> = b.iter().map(|&x| Sym(x)).collect();
+            assert_eq!(
+                sm.distance(&sa, &sb),
+                edit_distance(&sa, &sb),
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sym_myers_blocked_long_pattern() {
+        // A >64-symbol pattern exercises the blocked variant; scratch reuse
+        // across calls must not leak state.
+        let mut sm = SymMyers::new();
+        let a: Vec<Sym> = (0..150).map(|i| Sym(i % 37)).collect();
+        let mut b = a.clone();
+        b[10] = Sym(999);
+        b[80] = Sym(998);
+        b.extend([Sym(997), Sym(996)]);
+        assert_eq!(sm.distance(&a, &b), edit_distance(&a, &b));
+        assert_eq!(sm.distance(&a, &b), 4);
+        // A short pattern right after a long one reuses the same scratch.
+        let short: Vec<Sym> = vec![Sym(1), Sym(2)];
+        assert_eq!(sm.distance(&short, &a), edit_distance(&short, &a));
+    }
+
+    #[test]
+    fn word_distance_handles_non_ascii() {
+        let mut wd = WordDistance::new();
+        assert_eq!(
+            wd.distance("日本語 の 文章", "日本語 の 記事"),
+            word_edit_distance("日本語 の 文章", "日本語 の 記事")
+        );
+        assert_eq!(wd.distance("café au lait", "café au lait"), 0);
     }
 
     #[test]

@@ -2,11 +2,65 @@
 
 use coachlm_text::diff::{diff_tokens, EditOp};
 use coachlm_text::editdist::{
-    char_edit_distance, edit_distance, edit_distance_bounded, myers, word_edit_distance,
+    char_edit_distance, edit_distance, edit_distance_bounded, myers, word_edit_distance, SymMyers,
+    WordDistance,
 };
+use coachlm_text::fxhash::FxHashMap;
+use coachlm_text::intern::{Interner, Sym};
+use coachlm_text::ngram::{ngrams, NgramCounter};
 use coachlm_text::normalize::normalize_layout;
 use coachlm_text::token::{tokenize, words};
 use proptest::prelude::*;
+
+/// The pre-fingerprint n-gram counter, reimplemented verbatim with
+/// `Vec<T>`-keyed tables, as the cross-check oracle for [`NgramCounter`].
+struct VecKeyedCounter {
+    max_order: usize,
+    counts: Vec<FxHashMap<Vec<u32>, u64>>,
+    totals: Vec<u64>,
+    continuation_counts: FxHashMap<Vec<u32>, usize>,
+}
+
+impl VecKeyedCounter {
+    fn new(max_order: usize) -> Self {
+        Self {
+            max_order,
+            counts: (0..max_order).map(|_| FxHashMap::default()).collect(),
+            totals: vec![0; max_order],
+            continuation_counts: FxHashMap::default(),
+        }
+    }
+
+    fn observe(&mut self, seq: &[u32]) {
+        for order in 1..=self.max_order {
+            for w in ngrams(seq, order) {
+                let entry = self.counts[order - 1].entry(w.to_vec()).or_insert(0);
+                *entry += 1;
+                if *entry == 1 && order >= 2 {
+                    *self
+                        .continuation_counts
+                        .entry(w[..order - 1].to_vec())
+                        .or_insert(0) += 1;
+                }
+                self.totals[order - 1] += 1;
+            }
+        }
+    }
+
+    fn count(&self, gram: &[u32]) -> u64 {
+        if gram.is_empty() || gram.len() > self.max_order {
+            return 0;
+        }
+        self.counts[gram.len() - 1].get(gram).copied().unwrap_or(0)
+    }
+
+    fn continuations(&self, context: &[u32]) -> usize {
+        if context.is_empty() || context.len() + 1 > self.max_order {
+            return 0;
+        }
+        self.continuation_counts.get(context).copied().unwrap_or(0)
+    }
+}
 
 /// Reference full-matrix Levenshtein to validate all optimised variants.
 fn reference_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
@@ -66,6 +120,81 @@ proptest! {
         let dac = char_edit_distance(&a, &c);
         let dcb = char_edit_distance(&c, &b);
         prop_assert!(dab <= dac + dcb);
+    }
+
+    #[test]
+    fn sym_myers_matches_generic_dp(a in prop::collection::vec(0u32..12, 0..90),
+                                    b in prop::collection::vec(0u32..12, 0..90)) {
+        let sa: Vec<Sym> = a.iter().map(|&x| Sym(x)).collect();
+        let sb: Vec<Sym> = b.iter().map(|&x| Sym(x)).collect();
+        let mut sm = SymMyers::new();
+        prop_assert_eq!(sm.distance(&sa, &sb), edit_distance(&sa, &sb));
+        // Scratch reuse: the same instance re-queried (swapped order) must
+        // agree too — symbol distance is symmetric.
+        prop_assert_eq!(sm.distance(&sb, &sa), edit_distance(&sa, &sb));
+    }
+
+    #[test]
+    fn sym_myers_blocked_matches_generic_dp(a in prop::collection::vec(0u32..6, 65..160),
+                                            b in prop::collection::vec(0u32..6, 0..200)) {
+        // Patterns beyond 64 symbols exercise the blocked (multi-word)
+        // variant, including block-boundary carries.
+        let sa: Vec<Sym> = a.iter().map(|&x| Sym(x)).collect();
+        let sb: Vec<Sym> = b.iter().map(|&x| Sym(x)).collect();
+        prop_assert_eq!(SymMyers::new().distance(&sa, &sb), edit_distance(&sa, &sb));
+    }
+
+    #[test]
+    fn word_distance_matches_dp_on_non_ascii(a in "[αβγδ日本語 ]{0,60}", b in "[αβγδ日本語 ]{0,60}") {
+        // The word path is symbol-level, so non-ASCII scripts take the same
+        // bit-parallel kernel; cross-check against interned generic DP.
+        let mut interner = Interner::new();
+        let sa = interner.intern_words(&a);
+        let sb = interner.intern_words(&b);
+        prop_assert_eq!(word_edit_distance(&a, &b), edit_distance(&sa, &sb));
+        prop_assert_eq!(WordDistance::new().distance(&a, &b), edit_distance(&sa, &sb));
+    }
+
+    #[test]
+    fn word_distance_matches_dp_on_long_texts(a in "[ab ]{130,400}", b in "[abc ]{0,400}") {
+        // Long word sequences (patterns > 64 words) through the public
+        // string API, cross-checked against the interned generic DP.
+        let mut interner = Interner::new();
+        let sa = interner.intern_words(&a);
+        let sb = interner.intern_words(&b);
+        prop_assert_eq!(word_edit_distance(&a, &b), edit_distance(&sa, &sb));
+    }
+
+    #[test]
+    fn fingerprinted_counter_matches_vec_keyed(
+        seqs in prop::collection::vec(prop::collection::vec(0u32..8, 0..24), 0..12),
+        max_order in 1usize..5,
+        probe in prop::collection::vec(0u32..9, 0..6),
+    ) {
+        let mut packed = NgramCounter::new(max_order);
+        let mut oracle = VecKeyedCounter::new(max_order);
+        for s in &seqs {
+            packed.observe(s);
+            oracle.observe(s);
+        }
+        for order in 0..=max_order + 1 {
+            prop_assert_eq!(packed.total(order), oracle.totals.get(order.wrapping_sub(1)).copied().unwrap_or(0));
+            if (1..=max_order).contains(&order) {
+                prop_assert_eq!(packed.distinct(order), oracle.counts[order - 1].len());
+            }
+        }
+        // Every observed gram and a random probe agree on count and
+        // continuations (probe may contain the unseen symbol 8).
+        for s in &seqs {
+            for order in 1..=max_order {
+                for w in ngrams(s, order) {
+                    prop_assert_eq!(packed.count(w), oracle.count(w));
+                    prop_assert_eq!(packed.continuations(w), oracle.continuations(w));
+                }
+            }
+        }
+        prop_assert_eq!(packed.count(&probe), oracle.count(&probe));
+        prop_assert_eq!(packed.continuations(&probe), oracle.continuations(&probe));
     }
 
     #[test]

@@ -21,4 +21,11 @@ cargo build --offline --release --workspace
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+# Optional: regenerate BENCH_2.json from the Criterion suite. Off by
+# default because benches dominate CI wall-clock; enable with COACHLM_BENCH=1.
+if [ "${COACHLM_BENCH:-0}" = "1" ]; then
+    echo "==> scripts/bench.sh"
+    scripts/bench.sh
+fi
+
 echo "==> ci OK"

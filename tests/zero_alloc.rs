@@ -1,0 +1,115 @@
+//! Allocation accounting for the ranking and scoring hot paths.
+//!
+//! The acceptance criterion for the allocation-free hot paths is literal:
+//! after warm-up, `WordDistance::distance` and `NgramLm::prob` must perform
+//! **zero** heap allocations per query. A counting `#[global_allocator]`
+//! makes that measurable instead of aspirational.
+//!
+//! This file holds a single `#[test]` on purpose: the allocator counter is
+//! process-global, and a concurrently running sibling test would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use coachlm::lm::ngram_model::NgramLm;
+use coachlm::text::editdist::WordDistance;
+use coachlm::text::intern::Sym;
+
+/// Wraps the system allocator, counting every `alloc`/`realloc` call.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap allocations it made.
+fn allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
+}
+
+/// A repetitive ~`n`-word text, long enough to cross the 64-word block
+/// boundary of the bit-parallel kernel.
+fn long_text(n: usize, salt: &str) -> String {
+    let words = ["please", "revise", "the", "instruction", salt, "carefully"];
+    (0..n)
+        .map(|i| words[i % words.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[test]
+fn hot_paths_allocate_nothing_after_warm_up() {
+    // --- word-level edit distance -------------------------------------
+    let a = long_text(200, "alpha");
+    let b = long_text(180, "beta");
+    let (short_a, short_b) = ("keep the response concise", "keep every response concise");
+
+    let mut wd = WordDistance::new();
+    // Warm-up: populates the tokenisation memo and sizes the Myers scratch.
+    let warm_long = wd.distance(&a, &b);
+    let warm_short = wd.distance(short_a, short_b);
+
+    let (allocs, d) = allocations(|| {
+        let mut total = 0usize;
+        for _ in 0..32 {
+            total += wd.distance(black_box(&a), black_box(&b));
+            total += wd.distance(black_box(short_a), black_box(short_b));
+            total += wd.distance(black_box(&b), black_box(&a));
+        }
+        total
+    });
+    assert_eq!(d, 32 * (2 * warm_long + warm_short));
+    assert_eq!(
+        allocs, 0,
+        "WordDistance::distance allocated {allocs} times after warm-up"
+    );
+
+    // --- n-gram probability scoring -----------------------------------
+    let m = NgramLm::train(
+        3,
+        &[
+            "the cat sat on the mat",
+            "the cat ran to the door",
+            "the dog sat on the rug",
+        ],
+    );
+    let ctx = m.vocab().encode_text("the cat sat on the mat");
+    let warm: f64 = (1..ctx.len()).map(|i| m.prob(&ctx[..i], ctx[i])).sum();
+
+    let (allocs, p) = allocations(|| {
+        let mut total = 0.0f64;
+        for _ in 0..64 {
+            for i in 1..ctx.len() {
+                total += m.prob(black_box(&ctx[..i]), black_box(ctx[i]));
+            }
+            // Unseen symbols back off through every order without a buffer.
+            total += m.prob(black_box(&ctx[..2]), black_box(Sym(u32::MAX)));
+        }
+        total
+    });
+    assert!(p > 64.0 * warm, "probabilities should accumulate: {p}");
+    assert_eq!(
+        allocs, 0,
+        "NgramLm::prob allocated {allocs} times after warm-up"
+    );
+}
