@@ -4,7 +4,9 @@
 
 use coachlm_data::generator::generate;
 use coachlm_data::{Dataset, GeneratorConfig};
-use coachlm_runtime::{Executor, ExecutorConfig, Schedule, Stage, StageCtx, StageItem};
+use coachlm_runtime::{
+    Executor, ExecutorConfig, Schedule, Stage, StageCtx, StageItem, StageOutcome,
+};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::Rng;
 
@@ -17,7 +19,7 @@ impl Stage for ScoreStage {
         "score"
     }
 
-    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome {
         let words = ctx.cache.word_count(&item.pair.response);
         let rounds = 5_000 + ctx.rng.gen_range(0u64..5_000);
         let mut acc = words as u64;
@@ -27,6 +29,7 @@ impl Stage for ScoreStage {
         if acc.is_multiple_of(7) {
             ctx.bump("lucky");
         }
+        StageOutcome::Ok
     }
 }
 
@@ -45,7 +48,7 @@ impl Stage for SkewedStage {
         "skewed"
     }
 
-    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome {
         let words = ctx.cache.word_count(&item.pair.response);
         let rounds = 2_000 + ctx.rng.gen_range(0u64..1_000);
         let mut acc = words as u64;
@@ -58,6 +61,7 @@ impl Stage for SkewedStage {
         if item.pair.id >= self.heavy_from {
             std::thread::sleep(std::time::Duration::from_micros(500));
         }
+        StageOutcome::Ok
     }
 }
 

@@ -28,12 +28,15 @@ impl Experiment for Deploy {
             name: "production-batch".to_string(),
             ..GeneratorConfig::default()
         });
-        let cmp = compare_deployment(&world.coach, &raw, &world.exec_config(0xDE));
+        let cmp = compare_deployment(&world.coach, &raw, &world.exec_config(0xDE))
+            .expect("deploy chain always includes the expert-annotate stage");
 
         let mut table = Table::new([
             "Batch",
             "Human-revised",
             "Post-edited",
+            "Quarantined",
+            "Retries",
             "Person-days",
             "Pairs/person-day",
         ]);
@@ -47,6 +50,8 @@ impl Experiment for Deploy {
                 .to_string(),
                 r.human_revised.to_string(),
                 r.post_edited.to_string(),
+                r.quarantined.to_string(),
+                r.retries.to_string(),
                 f1(r.person_days),
                 f1(r.pairs_per_person_day),
             ]);
@@ -67,6 +72,7 @@ impl Experiment for Deploy {
                         "human_revised": cmp.manual.human_revised},
             "assisted": {"person_days": cmp.assisted.person_days, "rate": cmp.assisted.pairs_per_person_day,
                           "human_revised": cmp.assisted.human_revised, "post_edited": cmp.assisted.post_edited,
+                          "quarantined": cmp.assisted.quarantined, "retries": cmp.assisted.retries,
                           "samples_per_sec": cmp.assisted.coachlm_samples_per_sec,
                           "stages": cmp.assisted.stage_summaries},
             "efficiency_gain": cmp.efficiency_gain(),

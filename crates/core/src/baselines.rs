@@ -19,7 +19,7 @@ use crate::student::{profile_student, tune_student, SkillParams, StudentModel};
 use coachlm_data::pair::Dataset;
 use coachlm_expert::revision::RevisionRecord;
 use coachlm_judge::chatgpt::ChatGptRater;
-use coachlm_runtime::{Executor, ExecutorConfig, Stage, StageCtx, StageItem};
+use coachlm_runtime::{Executor, ExecutorConfig, Stage, StageCtx, StageItem, StageOutcome};
 use coachlm_text::clean;
 use coachlm_text::fxhash::FxHashMap;
 use serde::Serialize;
@@ -38,7 +38,7 @@ impl Stage for CleanStage {
         Self::NAME
     }
 
-    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome {
         let mut response = clean::clean_output(&item.pair.response);
         // Strip leaked template prefixes (the "inconsistent formats" class).
         for marker in ["### Response:", "### Instruction:"] {
@@ -55,6 +55,7 @@ impl Stage for CleanStage {
         }
         item.pair.response = response;
         item.pair.instruction = instruction;
+        StageOutcome::Ok
     }
 }
 
@@ -89,7 +90,7 @@ impl Stage for AlpaGasusStage<'_> {
         Self::NAME
     }
 
-    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome {
         let score = self
             .rater
             .rate(item.pair.id, &item.pair.instruction, &item.pair.response);
@@ -99,6 +100,7 @@ impl Stage for AlpaGasusStage<'_> {
             item.discard("alpagasus:low-rated");
             ctx.bump("dropped");
         }
+        StageOutcome::Ok
     }
 }
 
@@ -140,11 +142,12 @@ impl Stage for HumanMergeStage {
         Self::NAME
     }
 
-    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome {
         if let Some(revised) = self.revised.get(&item.pair.id) {
             item.pair = revised.clone();
             ctx.bump("merged");
         }
+        StageOutcome::Ok
     }
 }
 

@@ -18,7 +18,9 @@
 use crate::coach::CoachLm;
 use coachlm_data::pair::Dataset;
 use coachlm_lm::transducer::RepairTag;
-use coachlm_runtime::{ChainOutput, Executor, ExecutorConfig, Stage, StageCtx, StageItem};
+use coachlm_runtime::{
+    ChainOutput, Executor, ExecutorConfig, Stage, StageCtx, StageItem, StageOutcome,
+};
 use coachlm_text::clean;
 use coachlm_text::fxhash::{FxHashMap, FxHashSet};
 use serde::Serialize;
@@ -38,6 +40,9 @@ pub struct RevisedDataset {
     pub responses_changed: usize,
     /// Repair-tag frequencies across the run.
     pub repair_counts: FxHashMap<RepairTag, usize>,
+    /// Pairs quarantined by failing stages (0 outside fault-injection runs);
+    /// they are absent from [`dataset`](Self::dataset).
+    pub quarantined: usize,
 }
 
 impl RevisedDataset {
@@ -62,6 +67,7 @@ impl RevisedDataset {
             instructions_changed: report.counter("instruction-changed") as usize,
             responses_changed: report.counter("response-changed") as usize,
             repair_counts,
+            quarantined: out.total_quarantined(),
         }
     }
 }
@@ -91,11 +97,11 @@ impl Stage for CoachReviseStage<'_> {
         Self::NAME
     }
 
-    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome {
         if self.training_ids.contains(&item.pair.id) {
             item.tag("leakage");
             ctx.bump("leakage");
-            return;
+            return StageOutcome::Ok;
         }
         let raw = self
             .coach
@@ -123,6 +129,7 @@ impl Stage for CoachReviseStage<'_> {
                 ctx.bump("invalid");
             }
         }
+        StageOutcome::Ok
     }
 }
 

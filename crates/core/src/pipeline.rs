@@ -18,9 +18,30 @@ use coachlm_expert::cost::{Throughputs, Workload};
 use coachlm_expert::pool::ExpertPool;
 use coachlm_expert::revision::ExpertReviser;
 use coachlm_runtime::{
-    ChainOutput, Executor, ExecutorConfig, Stage, StageCtx, StageItem, StageReport,
+    ChainOutput, Executor, ExecutorConfig, Stage, StageCtx, StageItem, StageOutcome, StageReport,
 };
 use serde::Serialize;
+use std::fmt;
+
+/// Why a pipeline batch could not produce a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The chain ran but produced no report for the named stage — the chain
+    /// was assembled without it, so the batch accounting would be wrong.
+    MissingStageReport(&'static str),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::MissingStageReport(stage) => {
+                write!(f, "pipeline chain produced no report for stage `{stage}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 /// Production annotation throughputs (pairs/person-day), calibrated so the
 /// manual batch lands near the paper's ~80 pairs/person-day.
@@ -66,22 +87,24 @@ impl Stage for ExpertAnnotateStage {
         Self::NAME
     }
 
-    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome {
         if self.reviser.needs_revision(&item.pair) {
+            // Compute the revision before committing anything, so a failed
+            // attempt leaves the item untouched (the StageOutcome contract).
+            let Some(rec) = self.reviser.revise(&self.pool, &item.pair) else {
+                return StageOutcome::fatal("rubric demanded revision but reviser produced none");
+            };
             let key = match item.pair.category.class() {
                 TaskClass::LanguageTask => "revise:language",
                 TaskClass::QA => "revise:qa",
                 TaskClass::Creative => "revise:creative",
             };
             ctx.bump(key);
-            let rec = self
-                .reviser
-                .revise(&self.pool, &item.pair)
-                .expect("needs_revision implies Some");
             item.pair = rec.revised;
         } else if self.count_post_edits && (item.instruction_changed() || item.response_changed()) {
             ctx.bump("post-edited");
         }
+        StageOutcome::Ok
     }
 }
 
@@ -94,7 +117,12 @@ pub struct StageSummary {
     pub items_in: usize,
     /// Items retained after it.
     pub items_out: usize,
-    /// Measured time inside the stage, summed across workers.
+    /// Items the stage sent to quarantine.
+    pub quarantined: usize,
+    /// Retry attempts the executor spent on the stage.
+    pub retries: u64,
+    /// Time attributed to the stage (measured + simulated), summed across
+    /// workers.
     pub cpu_seconds: f64,
     /// Derived processing rate (0 when unmeasurable).
     pub samples_per_sec: f64,
@@ -106,6 +134,8 @@ impl From<&StageReport> for StageSummary {
             stage: r.stage.clone(),
             items_in: r.items_in,
             items_out: r.items_out,
+            quarantined: r.quarantined,
+            retries: r.retries,
             cpu_seconds: r.cpu_time.as_secs_f64(),
             samples_per_sec: r.samples_per_sec(),
         }
@@ -131,6 +161,15 @@ pub struct PipelineReport {
     /// executor-measured time (samples per CPU-second, summed across
     /// workers); 0 when no CoachLM stage ran.
     pub coachlm_samples_per_sec: f64,
+    /// Pairs quarantined by failing stages across the whole chain (retries
+    /// exhausted or permanent failures); they are excluded from the output
+    /// and from the throughput numerator, which is how degraded-mode
+    /// throughput shows up in [`compare_deployment`].
+    pub quarantined: usize,
+    /// Retry attempts the executor spent across the whole chain.
+    pub retries: u64,
+    /// Pairs deliberately discarded by stages (filtering, not failure).
+    pub dropped: usize,
     /// Per-stage execution summaries, in chain order.
     pub stage_summaries: Vec<StageSummary>,
     /// Final dataset after the batch.
@@ -140,10 +179,14 @@ pub struct PipelineReport {
 
 impl PipelineReport {
     /// Derives the batch report from a chain run.
-    fn from_chain(out: &ChainOutput, raw: &Dataset, with_coachlm: bool) -> Self {
+    fn from_chain(
+        out: &ChainOutput,
+        raw: &Dataset,
+        with_coachlm: bool,
+    ) -> Result<Self, PipelineError> {
         let annotate = out
             .report(ExpertAnnotateStage::NAME)
-            .expect("chain ends with expert annotation");
+            .ok_or(PipelineError::MissingStageReport(ExpertAnnotateStage::NAME))?;
         let revised_by_class = (
             annotate.counter("revise:language") as usize,
             annotate.counter("revise:qa") as usize,
@@ -161,7 +204,7 @@ impl PipelineReport {
         let coachlm_samples_per_sec = out
             .report(CoachReviseStage::NAME)
             .map_or(0.0, StageReport::samples_per_sec);
-        PipelineReport {
+        Ok(PipelineReport {
             with_coachlm,
             raw_pairs: raw.len(),
             human_revised: revised_by_class.0 + revised_by_class.1 + revised_by_class.2,
@@ -173,9 +216,12 @@ impl PipelineReport {
                 0.0
             },
             coachlm_samples_per_sec,
+            quarantined: out.total_quarantined(),
+            retries: out.total_retries(),
+            dropped: out.dropped().count(),
             stage_summaries: out.reports.iter().map(StageSummary::from).collect(),
             output,
-        }
+        })
     }
 }
 
@@ -183,13 +229,15 @@ impl PipelineReport {
 ///
 /// `coach` enables the CoachLM precursor stage. Human annotation is the
 /// expert reviser (deterministic rubric executor); its person-day cost is
-/// modelled with [`production_throughputs`]. The chain seed and worker
-/// count come from `config`; workers never affect the result.
+/// modelled with [`production_throughputs`]. The chain seed, worker count,
+/// fault plan, and retry policy come from `config`; workers never affect
+/// the result. Stage failures quarantine the affected pairs instead of
+/// panicking; they are counted in [`PipelineReport::quarantined`].
 pub fn run_batch(
     coach: Option<&CoachLm>,
     raw: &Dataset,
     config: &ExecutorConfig,
-) -> PipelineReport {
+) -> Result<PipelineReport, PipelineError> {
     let mut stages: Vec<Box<dyn Stage + '_>> = vec![Box::new(CleanStage)];
     if let Some(c) = coach {
         stages.push(Box::new(CoachReviseStage::new(c)));
@@ -221,16 +269,18 @@ impl DeploymentComparison {
     }
 }
 
-/// Runs both batches on the same raw data.
+/// Runs both batches on the same raw data. Under a faulty `config` the
+/// quarantined pairs shrink each batch's output, so the comparison reports
+/// degraded-mode throughput rather than failing.
 pub fn compare_deployment(
     coach: &CoachLm,
     raw: &Dataset,
     config: &ExecutorConfig,
-) -> DeploymentComparison {
-    DeploymentComparison {
-        manual: run_batch(None, raw, config),
-        assisted: run_batch(Some(coach), raw, config),
-    }
+) -> Result<DeploymentComparison, PipelineError> {
+    Ok(DeploymentComparison {
+        manual: run_batch(None, raw, config)?,
+        assisted: run_batch(Some(coach), raw, config)?,
+    })
 }
 
 #[cfg(test)]
@@ -255,7 +305,7 @@ mod tests {
     fn coachlm_stage_reduces_human_revision_load() {
         let c = coach(1);
         let (raw, _) = generate(&GeneratorConfig::small(1200, 77));
-        let cmp = compare_deployment(&c, &raw, &config(5, 4));
+        let cmp = compare_deployment(&c, &raw, &config(5, 4)).unwrap();
         assert!(
             cmp.assisted.human_revised < cmp.manual.human_revised / 2,
             "manual {} assisted {}",
@@ -269,7 +319,7 @@ mod tests {
     fn efficiency_gain_in_paper_band() {
         let c = coach(2);
         let (raw, _) = generate(&GeneratorConfig::small(2000, 42));
-        let cmp = compare_deployment(&c, &raw, &config(3, 8));
+        let cmp = compare_deployment(&c, &raw, &config(3, 8)).unwrap();
         let gain = cmp.efficiency_gain();
         // Paper: net 15–20 % (we allow a wider band; the shape target is
         // "a meaningful but not overwhelming gain").
@@ -279,7 +329,7 @@ mod tests {
     #[test]
     fn manual_batch_near_80_pairs_per_person_day() {
         let (raw, _) = generate(&GeneratorConfig::small(2000, 43));
-        let report = run_batch(None, &raw, &config(1, 4));
+        let report = run_batch(None, &raw, &config(1, 4)).unwrap();
         assert!(
             (60.0..105.0).contains(&report.pairs_per_person_day),
             "rate {}",
@@ -292,7 +342,7 @@ mod tests {
     fn throughput_is_measured_when_coach_runs() {
         let c = coach(3);
         let (raw, _) = generate(&GeneratorConfig::small(300, 44));
-        let report = run_batch(Some(&c), &raw, &config(1, 4));
+        let report = run_batch(Some(&c), &raw, &config(1, 4)).unwrap();
         assert!(report.coachlm_samples_per_sec > 0.0);
         assert!(report.with_coachlm);
     }
@@ -301,7 +351,7 @@ mod tests {
     fn report_is_derived_from_stage_reports() {
         let c = coach(5);
         let (raw, _) = generate(&GeneratorConfig::small(300, 46));
-        let report = run_batch(Some(&c), &raw, &config(2, 4));
+        let report = run_batch(Some(&c), &raw, &config(2, 4)).unwrap();
         let names: Vec<&str> = report
             .stage_summaries
             .iter()
@@ -320,7 +370,7 @@ mod tests {
             .stage_summaries
             .iter()
             .all(|s| s.items_in == raw.len()));
-        let manual = run_batch(None, &raw, &config(2, 4));
+        let manual = run_batch(None, &raw, &config(2, 4)).unwrap();
         assert_eq!(manual.stage_summaries.len(), 2);
     }
 
@@ -328,7 +378,7 @@ mod tests {
     fn output_quality_meets_acceptance_in_both_modes() {
         let c = coach(4);
         let (raw, _) = generate(&GeneratorConfig::small(400, 45));
-        let cmp = compare_deployment(&c, &raw, &config(9, 4));
+        let cmp = compare_deployment(&c, &raw, &config(9, 4)).unwrap();
         let engine = coachlm_judge::criteria::CriteriaEngine::new();
         for report in [&cmp.manual, &cmp.assisted] {
             let avg: f64 = report

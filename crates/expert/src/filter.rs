@@ -8,7 +8,7 @@
 //! diversity of revision".
 
 use coachlm_data::pair::Dataset;
-use coachlm_runtime::{Executor, ExecutorConfig, Stage, StageCtx, StageItem};
+use coachlm_runtime::{Executor, ExecutorConfig, Stage, StageCtx, StageItem, StageOutcome};
 use coachlm_text::lexicon;
 use rand::Rng;
 use serde::Serialize;
@@ -146,9 +146,9 @@ impl Stage for PreliminaryFilterStage {
         Self::NAME
     }
 
-    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome {
         let Some(reason) = detect_reason(&item.pair.instruction, &item.pair.response) else {
-            return;
+            return StageOutcome::Ok;
         };
         if ctx.rng.gen_bool(DIVERSITY_RETENTION) {
             item.tag(format!("retained:{}", reason.label()));
@@ -157,6 +157,7 @@ impl Stage for PreliminaryFilterStage {
             item.discard(format!("filter:{}", reason.label()));
             ctx.bump(&format!("excluded:{}", reason.label()));
         }
+        StageOutcome::Ok
     }
 }
 

@@ -13,7 +13,7 @@ use crate::pool::ExpertPool;
 use coachlm_data::pair::{Dataset, InstructionPair};
 use coachlm_judge::criteria::{CriteriaEngine, PairScores};
 use coachlm_lm::knowledge::KnowledgeBase;
-use coachlm_runtime::{Executor, ExecutorConfig, Stage, StageCtx, StageItem};
+use coachlm_runtime::{Executor, ExecutorConfig, Stage, StageCtx, StageItem, StageOutcome};
 use coachlm_text::fxhash::FxHashSet;
 use coachlm_text::lexicon;
 use coachlm_text::normalize;
@@ -108,11 +108,11 @@ impl Stage for ExpertReviseStage<'_> {
         Self::NAME
     }
 
-    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome {
         if !self.kept.contains(&item.pair.id) {
             item.discard("not-kept");
             ctx.bump("skipped");
-            return;
+            return StageOutcome::Ok;
         }
         match self.reviser.revise(self.pool, &item.pair) {
             Some(rec) => {
@@ -122,6 +122,7 @@ impl Stage for ExpertReviseStage<'_> {
             }
             None => ctx.bump("already-acceptable"),
         }
+        StageOutcome::Ok
     }
 }
 

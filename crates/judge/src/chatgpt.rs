@@ -7,7 +7,9 @@
 
 use crate::criteria::CriteriaEngine;
 use coachlm_data::pair::Dataset;
-use coachlm_runtime::{Executor, ExecutorConfig, Stage, StageCtx, StageItem, StageReport};
+use coachlm_runtime::{
+    Executor, ExecutorConfig, Stage, StageCtx, StageItem, StageOutcome, StageReport,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -116,7 +118,7 @@ impl Stage for ChatGptRatingStage<'_> {
         Self::NAME
     }
 
-    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome {
         let r = self
             .rater
             .rate(item.pair.id, &item.pair.instruction, &item.pair.response);
@@ -124,6 +126,7 @@ impl Stage for ChatGptRatingStage<'_> {
         if r > 4.5 {
             ctx.bump("above-4.5");
         }
+        StageOutcome::Ok
     }
 }
 

@@ -1,7 +1,10 @@
 //! The deterministic parallel batch executor.
 
+use crate::fault::{
+    FailureKind, FailureRecord, Fault, FaultPlan, Quarantine, QuarantinedPair, RetryPolicy,
+};
 use crate::report::StageReport;
-use crate::stage::{Stage, StageCtx, StageItem};
+use crate::stage::{Stage, StageCtx, StageItem, StageOutcome};
 use coachlm_data::{Dataset, InstructionPair};
 use coachlm_text::fxhash::FxHasher;
 use coachlm_text::token::TokenCache;
@@ -31,12 +34,14 @@ pub enum Schedule {
     Dynamic,
 }
 
-/// How a chain run is parallelised and seeded.
+/// How a chain run is parallelised, seeded, and hardened.
 #[derive(Debug, Clone)]
 pub struct ExecutorConfig {
     threads: usize,
     seed: u64,
     schedule: Schedule,
+    fault_plan: FaultPlan,
+    retry: RetryPolicy,
 }
 
 impl ExecutorConfig {
@@ -44,12 +49,15 @@ impl ExecutorConfig {
     /// `std::thread::available_parallelism()` (1 if unavailable). The
     /// thread count never changes results, only wall-clock time, so the
     /// default is right unless an experiment pins threads for comparison.
+    /// No faults are injected unless a [`FaultPlan`] is set.
     pub fn new(seed: u64) -> Self {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         ExecutorConfig {
             threads,
             seed,
             schedule: Schedule::default(),
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -65,6 +73,18 @@ impl ExecutorConfig {
         self
     }
 
+    /// Sets the fault plan to inject (defaults to [`FaultPlan::none`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the retry policy (defaults to [`RetryPolicy::default`]).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     /// The configured worker count.
     pub fn thread_count(&self) -> usize {
         self.threads
@@ -73,6 +93,16 @@ impl ExecutorConfig {
     /// The configured scheduling policy.
     pub fn scheduling(&self) -> Schedule {
         self.schedule
+    }
+
+    /// The configured fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// The configured retry policy.
+    pub fn retries(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// The chain seed.
@@ -112,6 +142,18 @@ impl ChainOutput {
         self.items.iter().filter(|i| i.retained)
     }
 
+    /// Items a stage deliberately discarded, in input order.
+    pub fn dropped(&self) -> impl Iterator<Item = &StageItem> {
+        self.items
+            .iter()
+            .filter(|i| !i.retained && i.failure.is_none())
+    }
+
+    /// Items quarantined by a failing stage, in input order.
+    pub fn quarantined(&self) -> impl Iterator<Item = &StageItem> {
+        self.items.iter().filter(|i| i.failure.is_some())
+    }
+
     /// Collects the retained pairs into a dataset.
     pub fn dataset(&self, name: impl Into<String>) -> Dataset {
         Dataset {
@@ -120,14 +162,41 @@ impl ChainOutput {
         }
     }
 
+    /// Collects the quarantined items — each pair in the state it entered
+    /// the failing stage, with its [`FailureRecord`] — for remediation.
+    pub fn quarantine(&self, name: impl Into<String>) -> Quarantine {
+        Quarantine {
+            name: name.into(),
+            items: self
+                .quarantined()
+                .map(|i| QuarantinedPair {
+                    pair: i.pair.clone(),
+                    failure: i.failure.clone().expect("quarantined items carry a record"),
+                })
+                .collect(),
+        }
+    }
+
     /// The report for the named stage, if it ran.
     pub fn report(&self, stage: &str) -> Option<&StageReport> {
         self.reports.iter().find(|r| r.stage == stage)
     }
 
-    /// Total measured stage time across the whole chain.
+    /// Total attributed stage time across the whole chain (measured plus
+    /// simulated backoff/latency).
     pub fn total_cpu_time(&self) -> Duration {
         self.reports.iter().map(|r| r.cpu_time).sum()
+    }
+
+    /// Retry attempts summed across all stages (deterministic).
+    pub fn total_retries(&self) -> u64 {
+        self.reports.iter().map(|r| r.retries).sum()
+    }
+
+    /// Quarantined items summed across all stages (deterministic; equals
+    /// `self.quarantined().count()`).
+    pub fn total_quarantined(&self) -> usize {
+        self.reports.iter().map(|r| r.quarantined).sum()
     }
 }
 
@@ -136,8 +205,16 @@ impl ChainOutput {
 struct StageStats {
     items_in: usize,
     items_out: usize,
+    quarantined: usize,
+    retries: u64,
+    faults: u64,
     counters: BTreeMap<String, u64>,
+    /// Measured time inside `process`.
     time: Duration,
+    /// Simulated retry backoff (deterministic).
+    backoff: Duration,
+    /// Simulated injected latency (deterministic under a fixed plan).
+    latency: Duration,
 }
 
 /// Everything one worker accumulated across the chunks it processed.
@@ -166,6 +243,13 @@ impl Executor {
     /// [`Schedule::Dynamic`] workers claim fixed-size chunks off an atomic
     /// counter; under [`Schedule::Static`] each worker gets one contiguous
     /// `n / threads` chunk. Results are identical either way.
+    ///
+    /// Stage failures never panic the run: transient failures retry under
+    /// the config's [`RetryPolicy`], and items that exhaust retries or fail
+    /// permanently land in the quarantine channel with a
+    /// [`FailureRecord`]. With the default inert [`FaultPlan`] and stages
+    /// that only return [`StageOutcome::Ok`]/`Drop`, behaviour is identical
+    /// to the pre-fault executor.
     pub fn run(&self, stages: &[Box<dyn Stage + '_>], pairs: Vec<InstructionPair>) -> ChainOutput {
         let salts: Vec<u64> = stages
             .iter()
@@ -180,10 +264,16 @@ impl Executor {
 
         let n = items.len();
         let threads = self.config.threads.min(n.max(1));
-        let seed = self.config.seed;
+        let env = ChainEnv {
+            stages,
+            salts: &salts,
+            seed: self.config.seed,
+            plan: &self.config.fault_plan,
+            retry: &self.config.retry,
+        };
 
         let stats: Vec<WorkerStats> = if threads <= 1 {
-            vec![run_worker_static(stages, &salts, seed, &mut items)]
+            vec![run_worker_static(&env, &mut items)]
         } else {
             match self.config.schedule {
                 Schedule::Static => {
@@ -191,9 +281,7 @@ impl Executor {
                     std::thread::scope(|scope| {
                         let handles: Vec<_> = items
                             .chunks_mut(chunk_size)
-                            .map(|chunk| {
-                                scope.spawn(|| run_worker_static(stages, &salts, seed, chunk))
-                            })
+                            .map(|chunk| scope.spawn(|| run_worker_static(&env, chunk)))
                             .collect();
                         handles
                             .into_iter()
@@ -226,14 +314,7 @@ impl Executor {
                                             .expect("chunk mutex poisoned")
                                             .take()
                                             .expect("chunk claimed exactly once");
-                                        process_items(
-                                            stages,
-                                            &salts,
-                                            seed,
-                                            chunk,
-                                            &mut cache,
-                                            &mut per_stage,
-                                        );
+                                        process_items(&env, chunk, &mut cache, &mut per_stage);
                                     }
                                     finish_worker(cache, per_stage)
                                 })
@@ -262,7 +343,11 @@ impl Executor {
             for (report, stage_stats) in reports.iter_mut().zip(chunk.per_stage) {
                 report.items_in += stage_stats.items_in;
                 report.items_out += stage_stats.items_out;
-                report.cpu_time += stage_stats.time;
+                report.quarantined += stage_stats.quarantined;
+                report.retries += stage_stats.retries;
+                report.faults_injected += stage_stats.faults;
+                report.cpu_time += stage_stats.time + stage_stats.backoff + stage_stats.latency;
+                report.backoff_time += stage_stats.backoff;
                 for (key, v) in stage_stats.counters {
                     *report.counters.entry(key).or_insert(0) += v;
                 }
@@ -305,49 +390,120 @@ fn dynamic_chunk_size(n: usize, threads: usize) -> usize {
     n.div_ceil(threads * CHUNKS_PER_WORKER).clamp(1, 64)
 }
 
+/// Everything a worker needs to run the chain over a slice, bundled so the
+/// schedule bodies stay readable.
+struct ChainEnv<'a, 'b> {
+    stages: &'a [Box<dyn Stage + 'b>],
+    salts: &'a [u64],
+    seed: u64,
+    plan: &'a FaultPlan,
+    retry: &'a RetryPolicy,
+}
+
 /// Runs the chain over one slice of items, accumulating into the worker's
-/// stats. The per-(stage, item) seeding makes the result independent of
-/// which worker runs which slice.
+/// stats. The per-(stage, item) seeding and the per-(stage, item, attempt)
+/// fault rolls make the result independent of which worker runs which
+/// slice.
 fn process_items(
-    stages: &[Box<dyn Stage + '_>],
-    salts: &[u64],
-    chain_seed: u64,
+    env: &ChainEnv<'_, '_>,
     chunk: &mut [StageItem],
     cache: &mut TokenCache,
     per_stage: &mut [StageStats],
 ) {
+    let inert = env.plan.is_inert();
     for item in chunk.iter_mut() {
-        for (k, stage) in stages.iter().enumerate() {
+        for (k, stage) in env.stages.iter().enumerate() {
             if !item.retained {
                 break;
             }
             let stats = &mut per_stage[k];
             stats.items_in += 1;
-            let mut ctx = StageCtx {
-                rng: StdRng::seed_from_u64(item_seed(chain_seed, salts[k], item.pair.id)),
-                cache,
-                counters: &mut stats.counters,
-            };
-            let start = Instant::now();
-            stage.process(item, &mut ctx);
-            stats.time += start.elapsed();
-            if item.retained {
-                stats.items_out += 1;
+            // Attempt loop. The stage RNG is seeded per (stage, item) only —
+            // NOT per attempt — so a deterministic stage recomputes the same
+            // result on every attempt and a retried item that eventually
+            // succeeds is byte-identical to its never-faulted self. Fault
+            // rolls, by contrast, are per (stage, item, attempt): a
+            // transient fault on attempt 0 does not doom attempt 1.
+            let rng_seed = item_seed(env.seed, env.salts[k], item.pair.id);
+            let mut attempt: u32 = 0;
+            loop {
+                let fault = if inert {
+                    None
+                } else {
+                    env.plan.roll(env.salts[k], item.pair.id, attempt)
+                };
+                let outcome = match fault {
+                    Some(Fault::Permanent) => {
+                        stats.faults += 1;
+                        StageOutcome::fatal("injected: permanent")
+                    }
+                    Some(Fault::Transient) => {
+                        stats.faults += 1;
+                        StageOutcome::retryable("injected: transient")
+                    }
+                    other => {
+                        if let Some(Fault::Latency(spike)) = other {
+                            stats.faults += 1;
+                            stats.latency += spike;
+                        }
+                        let mut ctx = StageCtx {
+                            rng: StdRng::seed_from_u64(rng_seed),
+                            cache,
+                            counters: &mut stats.counters,
+                        };
+                        let start = Instant::now();
+                        let o = stage.process(item, &mut ctx);
+                        stats.time += start.elapsed();
+                        o
+                    }
+                };
+                match outcome {
+                    StageOutcome::Ok => {
+                        if item.retained {
+                            stats.items_out += 1;
+                        }
+                        break;
+                    }
+                    StageOutcome::Drop => {
+                        item.discard(format!("drop:{}", stage.name()));
+                        break;
+                    }
+                    StageOutcome::Retryable(error) => {
+                        attempt += 1;
+                        if attempt >= env.retry.max_attempts {
+                            item.quarantine(FailureRecord {
+                                stage: stage.name().to_string(),
+                                attempts: attempt,
+                                error,
+                                kind: FailureKind::RetriesExhausted,
+                            });
+                            stats.quarantined += 1;
+                            break;
+                        }
+                        stats.retries += 1;
+                        stats.backoff += env.retry.backoff_before(attempt);
+                    }
+                    StageOutcome::Fatal(error) => {
+                        item.quarantine(FailureRecord {
+                            stage: stage.name().to_string(),
+                            attempts: attempt + 1,
+                            error,
+                            kind: FailureKind::Fatal,
+                        });
+                        stats.quarantined += 1;
+                        break;
+                    }
+                }
             }
         }
     }
 }
 
 /// Static/sequential worker body: one chunk, one fresh cache.
-fn run_worker_static(
-    stages: &[Box<dyn Stage + '_>],
-    salts: &[u64],
-    chain_seed: u64,
-    chunk: &mut [StageItem],
-) -> WorkerStats {
+fn run_worker_static(env: &ChainEnv<'_, '_>, chunk: &mut [StageItem]) -> WorkerStats {
     let mut cache = TokenCache::new();
-    let mut per_stage: Vec<StageStats> = stages.iter().map(|_| StageStats::default()).collect();
-    process_items(stages, salts, chain_seed, chunk, &mut cache, &mut per_stage);
+    let mut per_stage: Vec<StageStats> = env.stages.iter().map(|_| StageStats::default()).collect();
+    process_items(env, chunk, &mut cache, &mut per_stage);
     finish_worker(cache, per_stage)
 }
 
@@ -386,13 +542,14 @@ mod tests {
         fn name(&self) -> &str {
             "scribble"
         }
-        fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+        fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome {
             let roll: u64 = ctx.rng.gen_range(0..1000);
             item.pair.response.push_str(&format!(" [{roll}]"));
             if item.pair.id.is_multiple_of(2) {
                 ctx.bump("even");
             }
             ctx.cache.word_count(&item.pair.response);
+            StageOutcome::Ok
         }
     }
 
@@ -403,10 +560,34 @@ mod tests {
         fn name(&self) -> &str {
             "drop-fifths"
         }
-        fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) {
+        fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome {
             if item.pair.id.is_multiple_of(5) {
                 item.discard("fifth");
                 ctx.bump("dropped");
+            }
+            StageOutcome::Ok
+        }
+    }
+
+    /// Fails organically: ids divisible by `fatal_every` are fatal, ids
+    /// divisible by `retry_every` return a transient error every attempt
+    /// (a deterministic stage retries into the same failure).
+    struct Flaky {
+        retry_every: u64,
+        fatal_every: u64,
+    }
+
+    impl Stage for Flaky {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn process(&self, item: &mut StageItem, _ctx: &mut StageCtx<'_>) -> StageOutcome {
+            if item.pair.id.is_multiple_of(self.fatal_every) {
+                StageOutcome::fatal("organic: unparseable")
+            } else if item.pair.id.is_multiple_of(self.retry_every) {
+                StageOutcome::retryable("organic: flaky")
+            } else {
+                StageOutcome::Ok
             }
         }
     }
@@ -507,5 +688,148 @@ mod tests {
         assert_eq!(out.reports.len(), 2);
         assert!(out.reports.iter().all(|r| r.items_in == 0));
         assert_eq!(out.total_cpu_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn organic_failures_quarantine_without_panicking() {
+        let stages: Vec<Box<dyn Stage>> = vec![
+            Box::new(Flaky {
+                retry_every: 7,
+                fatal_every: 5,
+            }),
+            Box::new(Scribble),
+        ];
+        let out = Executor::new(ExecutorConfig::new(1).threads(4)).run(&stages, pairs(70));
+        // id 0 is divisible by both; fatal wins (checked first). 5s are
+        // fatal, remaining 7s exhaust retries; everything else passes.
+        for item in &out.items {
+            let id = item.pair.id;
+            if id.is_multiple_of(5) {
+                let f = item.failure.as_ref().expect("fatal ids quarantine");
+                assert_eq!(f.kind, FailureKind::Fatal);
+                assert_eq!(f.attempts, 1);
+                assert_eq!(f.error, "organic: unparseable");
+            } else if id.is_multiple_of(7) {
+                let f = item.failure.as_ref().expect("flaky ids exhaust retries");
+                assert_eq!(f.kind, FailureKind::RetriesExhausted);
+                assert_eq!(f.attempts, RetryPolicy::default().max_attempts);
+            } else {
+                assert!(item.retained, "id {id} should pass");
+            }
+        }
+        let report = out.report("flaky").unwrap();
+        assert_eq!(report.quarantined, out.quarantined().count());
+        assert_eq!(report.quarantined, 14 + 8); // 14 fives, 8 non-five sevens
+                                                // Every exhausted item burned max_attempts - 1 retries.
+        assert_eq!(
+            report.retries,
+            8 * u64::from(RetryPolicy::default().max_attempts - 1)
+        );
+        assert!(report.backoff_time > Duration::ZERO);
+        // Quarantined items never reached the second stage.
+        assert_eq!(out.report("scribble").unwrap().items_in, 70 - 22);
+        // The quarantine channel carries structured records.
+        let q = out.quarantine("t-quarantine");
+        assert_eq!(q.len(), 22);
+        assert!(q.items.iter().all(|i| i.failure.stage == "flaky"));
+    }
+
+    #[test]
+    fn drop_outcome_tags_and_discards() {
+        struct DropAll;
+        impl Stage for DropAll {
+            fn name(&self) -> &str {
+                "drop-all"
+            }
+            fn process(&self, _item: &mut StageItem, _ctx: &mut StageCtx<'_>) -> StageOutcome {
+                StageOutcome::Drop
+            }
+        }
+        let stages: Vec<Box<dyn Stage>> = vec![Box::new(DropAll)];
+        let out = Executor::new(ExecutorConfig::new(0).threads(2)).run(&stages, pairs(10));
+        assert_eq!(out.dropped().count(), 10);
+        assert_eq!(out.quarantined().count(), 0);
+        assert!(out.items.iter().all(|i| i.has_tag("drop:drop-all")));
+        assert_eq!(out.report("drop-all").unwrap().items_dropped(), 10);
+    }
+
+    #[test]
+    fn injected_faults_partition_and_replicate_across_threads() {
+        let plan = FaultPlan::new(99).transient(0.2).permanent(0.05);
+        let run_with = |threads: usize, schedule: Schedule| {
+            Executor::new(
+                ExecutorConfig::new(3)
+                    .threads(threads)
+                    .schedule(schedule)
+                    .fault_plan(plan.clone()),
+            )
+            .run(&chain(), pairs(200))
+        };
+        let base = run_with(1, Schedule::Static);
+        let (r, d, q) = (
+            base.retained().count(),
+            base.dropped().count(),
+            base.quarantined().count(),
+        );
+        assert_eq!(r + d + q, 200);
+        assert!(q > 0, "5% permanent over 200 items should quarantine some");
+        assert!(base.total_retries() > 0);
+        for threads in [2, 8] {
+            for schedule in [Schedule::Static, Schedule::Dynamic] {
+                let out = run_with(threads, schedule);
+                for (a, b) in out.items.iter().zip(&base.items) {
+                    assert_eq!(a.pair, b.pair, "{schedule:?} x{threads}");
+                    assert_eq!(a.disposition(), b.disposition());
+                    assert_eq!(a.failure, b.failure);
+                }
+                for (ra, rb) in out.reports.iter().zip(&base.reports) {
+                    assert_eq!(ra.retries, rb.retries);
+                    assert_eq!(ra.quarantined, rb.quarantined);
+                    assert_eq!(ra.faults_injected, rb.faults_injected);
+                    assert_eq!(ra.backoff_time, rb.backoff_time);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_survivors_match_the_unfaulted_run() {
+        let clean = Executor::new(ExecutorConfig::new(7).threads(3)).run(&chain(), pairs(150));
+        let faulted = Executor::new(
+            ExecutorConfig::new(7)
+                .threads(3)
+                .fault_plan(FaultPlan::new(4).transient(0.25))
+                .retry_policy(RetryPolicy::new(4, Duration::from_millis(5))),
+        )
+        .run(&chain(), pairs(150));
+        // Stage RNG is per (stage, item), not per attempt: any item that
+        // survives its transient faults produces exactly the text the
+        // unfaulted run produced.
+        let mut survivors = 0;
+        for (f, c) in faulted.items.iter().zip(&clean.items) {
+            if f.failure.is_none() {
+                assert_eq!(f.pair, c.pair);
+                assert_eq!(f.retained, c.retained);
+                survivors += 1;
+            }
+        }
+        assert!(survivors > 100, "survivors {survivors}");
+    }
+
+    #[test]
+    fn latency_spikes_inflate_time_deterministically() {
+        let spike = Duration::from_millis(3);
+        let out = Executor::new(
+            ExecutorConfig::new(1)
+                .threads(2)
+                .fault_plan(FaultPlan::new(8).latency(1.0, spike)),
+        )
+        .run(&chain(), pairs(20));
+        // Every (stage, item) attempt rolled a spike; nothing failed.
+        assert_eq!(out.quarantined().count(), 0);
+        let scribble = out.report("scribble").unwrap();
+        assert_eq!(scribble.faults_injected, 20);
+        assert!(scribble.cpu_time >= spike * 20);
+        assert_eq!(scribble.backoff_time, Duration::ZERO);
     }
 }

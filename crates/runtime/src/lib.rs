@@ -28,15 +28,37 @@
 //! [`Schedule::Static`] splits the batch into one contiguous chunk per
 //! worker. Both produce identical output.
 //!
-//! Only wall-clock fields ([`StageReport::cpu_time`]) and the token-cache
-//! hit/miss tallies (caches are per-worker) vary across runs.
+//! Only wall-clock fields ([`StageReport::cpu_time`]'s measured portion)
+//! and the token-cache hit/miss tallies (caches are per-worker) vary
+//! across runs.
+//!
+//! ## Fault tolerance
+//!
+//! Stage failures are first-class rather than panics: [`Stage::process`]
+//! returns a [`StageOutcome`] (`Ok`/`Drop`/`Retryable`/`Fatal`), the
+//! executor retries transient failures under a [`RetryPolicy`] with
+//! deterministic simulated exponential backoff, and items that exhaust
+//! retries or fail permanently land in a [`Quarantine`] channel with a
+//! structured [`FailureRecord`] instead of crashing the run or silently
+//! vanishing. A seeded [`FaultPlan`] can inject transient errors, permanent
+//! errors, and latency spikes into any stage, decided purely per
+//! `(stage, item, attempt)` — so chaos runs obey the same determinism
+//! contract as clean runs: every item's terminal
+//! [`Disposition`] (retained / dropped / quarantined) is identical at any
+//! thread count and under either schedule, and the three sets always
+//! partition the input exactly (`tests/fault_injection.rs` property-tests
+//! this).
 
 #![warn(missing_docs)]
 
 mod executor;
+mod fault;
 mod report;
 mod stage;
 
 pub use executor::{ChainOutput, Executor, ExecutorConfig, Schedule};
+pub use fault::{
+    FailureKind, FailureRecord, Fault, FaultPlan, Quarantine, QuarantinedPair, RetryPolicy,
+};
 pub use report::StageReport;
-pub use stage::{Stage, StageCtx, StageItem};
+pub use stage::{Disposition, Stage, StageCtx, StageItem, StageOutcome};

@@ -1,13 +1,17 @@
 //! Per-stage execution reports.
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// What one stage did over a whole run.
 ///
-/// Item counts and counters are deterministic (thread-count-invariant);
-/// [`cpu_time`](Self::cpu_time) is measured and varies run to run.
-#[derive(Debug, Clone, Default)]
+/// Item counts, counters, retry/quarantine tallies, and
+/// [`backoff_time`](Self::backoff_time) are deterministic
+/// (thread-count-invariant); [`cpu_time`](Self::cpu_time) mixes measured
+/// stage time with the deterministic simulated portion, so it varies run
+/// to run by the measured part only.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StageReport {
     /// The stage's [`name`](crate::Stage::name).
     pub stage: String,
@@ -15,11 +19,45 @@ pub struct StageReport {
     pub items_in: usize,
     /// Items still retained after the stage.
     pub items_out: usize,
+    /// Items this stage sent to quarantine (retries exhausted or a
+    /// permanent failure).
+    pub quarantined: usize,
+    /// Retry attempts beyond each item's first (deterministic under a
+    /// seeded fault plan).
+    pub retries: u64,
+    /// Faults the executor injected into this stage (all three classes).
+    pub faults_injected: u64,
     /// Stage counters, summed across workers.
     pub counters: BTreeMap<String, u64>,
-    /// Total time spent inside this stage's `process`, summed across
-    /// workers (CPU-side busy time, not wall clock).
+    /// Total time attributed to this stage, summed across workers: measured
+    /// CPU-side busy time plus the simulated backoff and injected latency
+    /// the production system would have spent.
+    #[serde(with = "duration_nanos")]
     pub cpu_time: Duration,
+    /// The simulated retry-backoff portion of [`cpu_time`](Self::cpu_time)
+    /// alone. Fully deterministic: `Σ base × 2^(retry-1)` over every retry.
+    #[serde(with = "duration_nanos")]
+    pub backoff_time: Duration,
+}
+
+/// `Duration` ⇄ integer nanoseconds, for exact serialization round-trips.
+pub(crate) mod duration_nanos {
+    use serde::{Error, Value};
+    use std::time::Duration;
+
+    /// Serializes as a u64 nanosecond count (saturating far beyond any
+    /// real stage time).
+    pub fn to_value(d: &Duration) -> Value {
+        Value::UInt(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Deserializes from the nanosecond count.
+    pub fn from_value(v: &Value) -> Result<Duration, Error> {
+        match v {
+            Value::UInt(n) => Ok(Duration::from_nanos(*n)),
+            _ => Err(Error::expected("u64 nanoseconds", "Duration")),
+        }
+    }
 }
 
 impl StageReport {
@@ -28,12 +66,13 @@ impl StageReport {
         self.counters.get(key).copied().unwrap_or(0)
     }
 
-    /// Items discarded by this stage.
+    /// Items this stage deliberately discarded (not counting quarantined
+    /// ones, which left the chain by failure rather than by filtering).
     pub fn items_dropped(&self) -> usize {
-        self.items_in - self.items_out
+        self.items_in - self.items_out - self.quarantined
     }
 
-    /// Processing rate derived from measured stage time; `0.0` when the
+    /// Processing rate derived from attributed stage time; `0.0` when the
     /// stage saw no items or ran too fast to time.
     pub fn samples_per_sec(&self) -> f64 {
         let secs = self.cpu_time.as_secs_f64();
@@ -68,5 +107,35 @@ mod tests {
         r.items_in = 5;
         r.items_out = 2;
         assert_eq!(r.items_dropped(), 3);
+    }
+
+    #[test]
+    fn quarantined_items_are_not_counted_as_dropped() {
+        let r = StageReport {
+            items_in: 10,
+            items_out: 6,
+            quarantined: 3,
+            ..StageReport::default()
+        };
+        assert_eq!(r.items_dropped(), 1);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = StageReport {
+            stage: "coach-revise".into(),
+            items_in: 100,
+            items_out: 90,
+            quarantined: 4,
+            retries: 11,
+            faults_injected: 15,
+            cpu_time: Duration::from_nanos(1_234_567_891),
+            backoff_time: Duration::from_millis(70),
+            ..StageReport::default()
+        };
+        r.counters.insert("invalid".into(), 2);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: StageReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 }

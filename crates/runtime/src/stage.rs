@@ -1,10 +1,59 @@
 //! The [`Stage`] trait and the per-item state it operates on.
 
+use crate::fault::FailureRecord;
 use coachlm_data::InstructionPair;
 use coachlm_text::token::TokenCache;
 use rand::rngs::StdRng;
 use std::any::Any;
 use std::collections::BTreeMap;
+
+/// What one attempt at processing one item produced.
+///
+/// Rollback contract: a stage returning [`Retryable`](Self::Retryable) or
+/// [`Fatal`](Self::Fatal) must leave the item exactly as it found it
+/// (compute first, commit mutations only on the success path). The executor
+/// relies on this instead of snapshotting the pair before every attempt,
+/// which keeps the zero-fault hot path free of per-item clones.
+#[must_use]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageOutcome {
+    /// The item was processed (it may still have been discarded via
+    /// [`StageItem::discard`] — that is retention, not failure).
+    Ok,
+    /// The item flows no further; equivalent to `item.discard` with a
+    /// `drop:<stage>` tag, for stages that prefer signalling over mutating.
+    Drop,
+    /// The attempt failed transiently; the executor retries under its
+    /// [`RetryPolicy`](crate::RetryPolicy) and quarantines the item once
+    /// attempts run out.
+    Retryable(String),
+    /// The item cannot be processed by this stage; it is quarantined
+    /// immediately with the given error.
+    Fatal(String),
+}
+
+impl StageOutcome {
+    /// A transient failure with the given error message.
+    pub fn retryable(error: impl Into<String>) -> Self {
+        StageOutcome::Retryable(error.into())
+    }
+
+    /// A permanent failure with the given error message.
+    pub fn fatal(error: impl Into<String>) -> Self {
+        StageOutcome::Fatal(error.into())
+    }
+}
+
+/// Where an item ended up after a chain run — exactly one of these holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Still flowing (or flowed out the end of the chain).
+    Retained,
+    /// A stage discarded it deliberately (filtering, not failure).
+    Dropped,
+    /// A stage failed on it until retries ran out, or failed permanently.
+    Quarantined,
+}
 
 /// One step of a dataset-processing chain.
 ///
@@ -17,8 +66,9 @@ pub trait Stage: Sync {
     /// Stage name, used in reports and to salt the per-item RNG.
     fn name(&self) -> &str;
 
-    /// Processes one item.
-    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>);
+    /// Processes one item. See [`StageOutcome`] for the rollback contract
+    /// on the failure variants.
+    fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome;
 }
 
 /// A pair flowing through a stage chain, with its bookkeeping.
@@ -29,10 +79,14 @@ pub struct StageItem {
     pub original: InstructionPair,
     /// The pair in its current, possibly rewritten, state.
     pub pair: InstructionPair,
-    /// `false` once a stage discards the item; later stages skip it.
+    /// `false` once a stage discards the item (or the executor quarantines
+    /// it); later stages skip it.
     pub retained: bool,
     /// Labels stages attach (e.g. a filter's exclusion reason).
     pub tags: Vec<String>,
+    /// Set by the executor when the item is quarantined; `None` for
+    /// retained and deliberately dropped items.
+    pub failure: Option<FailureRecord>,
     payload: Option<Box<dyn Any + Send>>,
 }
 
@@ -45,6 +99,7 @@ impl StageItem {
             pair,
             retained: true,
             tags: Vec::new(),
+            failure: None,
             payload: None,
         }
     }
@@ -53,6 +108,33 @@ impl StageItem {
     pub fn discard(&mut self, tag: impl Into<String>) {
         self.retained = false;
         self.tags.push(tag.into());
+    }
+
+    /// Quarantines the item: it stops flowing and carries a structured
+    /// failure record. Called by the executor; stages signal failure by
+    /// returning [`StageOutcome::Retryable`] / [`StageOutcome::Fatal`].
+    pub(crate) fn quarantine(&mut self, record: FailureRecord) {
+        self.retained = false;
+        self.tags.push(format!("quarantined:{}", record.stage));
+        self.failure = Some(record);
+    }
+
+    /// `true` when the item was quarantined by a failing stage.
+    pub fn is_quarantined(&self) -> bool {
+        self.failure.is_some()
+    }
+
+    /// The item's terminal state. Exactly one disposition holds per item,
+    /// which is what makes retained/dropped/quarantined an exact partition
+    /// of the input.
+    pub fn disposition(&self) -> Disposition {
+        if self.failure.is_some() {
+            Disposition::Quarantined
+        } else if self.retained {
+            Disposition::Retained
+        } else {
+            Disposition::Dropped
+        }
     }
 
     /// Attaches a label without changing retention.
@@ -145,9 +227,28 @@ mod tests {
     fn discard_records_reason() {
         let mut item = StageItem::new(3, pair(9));
         assert!(item.retained);
+        assert_eq!(item.disposition(), Disposition::Retained);
         item.discard("filter:safety");
         assert!(!item.retained);
         assert!(item.has_tag("filter:safety"));
+        assert_eq!(item.disposition(), Disposition::Dropped);
+    }
+
+    #[test]
+    fn quarantine_is_a_distinct_disposition() {
+        use crate::fault::{FailureKind, FailureRecord};
+        let mut item = StageItem::new(0, pair(2));
+        item.quarantine(FailureRecord {
+            stage: "coach-revise".into(),
+            attempts: 3,
+            error: "injected: transient".into(),
+            kind: FailureKind::RetriesExhausted,
+        });
+        assert!(!item.retained);
+        assert!(item.is_quarantined());
+        assert_eq!(item.disposition(), Disposition::Quarantined);
+        assert!(item.has_tag("quarantined:coach-revise"));
+        assert_eq!(item.failure.as_ref().unwrap().attempts, 3);
     }
 
     #[test]

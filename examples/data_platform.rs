@@ -24,7 +24,8 @@ fn main() {
 
     // …then run a fresh production batch through the platform twice.
     let (raw, _) = generate(&GeneratorConfig::small(8000, 90));
-    let cmp = compare_deployment(&coach, &raw, &ExecutorConfig::new(5).threads(4));
+    let cmp = compare_deployment(&coach, &raw, &ExecutorConfig::new(5).threads(4))
+        .expect("pipeline chain always carries the expert-annotate stage");
 
     for report in [&cmp.manual, &cmp.assisted] {
         println!(

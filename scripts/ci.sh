@@ -21,6 +21,18 @@ cargo build --offline --release --workspace
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+# Fault matrix: one chaos cell per (fault seed, schedule). Each cell checks
+# the partition and thread-invariance properties of the fault-injection
+# layer under a different deterministic fault pattern.
+echo "==> fault matrix (3 fault seeds x 2 schedules)"
+for seed in 11 29 53; do
+    for sched in static dynamic; do
+        echo "   -> seed=$seed schedule=$sched"
+        COACHLM_FAULT_SEED=$seed COACHLM_SCHEDULE=$sched \
+            cargo test --offline -q --test fault_injection fault_matrix_cell
+    done
+done
+
 # Optional: regenerate BENCH_2.json from the Criterion suite. Off by
 # default because benches dominate CI wall-clock; enable with COACHLM_BENCH=1.
 if [ "${COACHLM_BENCH:-0}" = "1" ]; then

@@ -2,6 +2,7 @@
 
 use coachlm::core::coach::{CoachConfig, CoachLm};
 use coachlm::core::infer::revise_dataset;
+use coachlm::core::pipeline::run_batch;
 use coachlm::core::student::{tune_student, SkillParams};
 use coachlm::data::category::Category;
 use coachlm::data::pair::{Dataset, InstructionPair};
@@ -9,7 +10,7 @@ use coachlm::expert::pool::ExpertPool;
 use coachlm::expert::revision::ExpertReviser;
 use coachlm::judge::criteria::CriteriaEngine;
 use coachlm::judge::pandalm::PandaLm;
-use coachlm::runtime::ExecutorConfig;
+use coachlm::runtime::{ExecutorConfig, FaultPlan, RetryPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -105,6 +106,46 @@ fn dataset_revision_of_adversarial_dataset_completes() {
     // Empty-sided pairs must never be "revised" into validity from nothing:
     // the §III-B1 validator replaces invalid outputs with originals.
     assert_eq!(out.dataset.get(0).unwrap().instruction, "");
+}
+
+#[test]
+fn pipeline_batch_survives_adversarial_dataset_end_to_end() {
+    let mut d = Dataset::new("adversarial-batch");
+    d.pairs = adversarial_pairs();
+    for (i, p) in d.pairs.iter_mut().enumerate() {
+        p.id = i as u64;
+    }
+    let coach = CoachLm::train(CoachConfig::default(), &[]);
+    // Full Clean -> CoachRevise -> ExpertAnnotate chain, with and without
+    // the coach, must not panic on control chars, zero-width joiners, or
+    // 2000-word pairs, and must account for every input pair.
+    for coach_opt in [None, Some(&coach)] {
+        let report = run_batch(coach_opt, &d, &ExecutorConfig::new(7).threads(4)).unwrap();
+        assert_eq!(report.raw_pairs, d.len());
+        assert_eq!(
+            report.output.len() + report.dropped + report.quarantined,
+            d.len(),
+            "every adversarial pair must be retained, dropped, or quarantined"
+        );
+        assert_eq!(
+            report.quarantined, 0,
+            "no faults injected, none quarantined"
+        );
+    }
+    // The same batch under an aggressive fault plan still accounts exactly.
+    let report = run_batch(
+        Some(&coach),
+        &d,
+        &ExecutorConfig::new(7)
+            .threads(4)
+            .fault_plan(FaultPlan::new(3).transient(0.4).permanent(0.2))
+            .retry_policy(RetryPolicy::new(2, std::time::Duration::from_millis(1))),
+    )
+    .unwrap();
+    assert_eq!(
+        report.output.len() + report.dropped + report.quarantined,
+        d.len()
+    );
 }
 
 #[test]

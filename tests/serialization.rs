@@ -71,3 +71,66 @@ fn test_sets_serialize_to_json() {
     assert!(json.contains("Vicuna80"));
     assert!(json.contains("reference"));
 }
+
+#[test]
+fn failure_record_round_trips() {
+    use coachlm::runtime::{FailureKind, FailureRecord};
+    for kind in [FailureKind::RetriesExhausted, FailureKind::Fatal] {
+        let rec = FailureRecord {
+            stage: "coach-revise".into(),
+            attempts: 3,
+            error: "injected: transient — ünïcode \"quoted\"".into(),
+            kind,
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: FailureRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+}
+
+#[test]
+fn quarantine_round_trips_from_a_real_faulted_run() {
+    use coachlm::core::baselines::CleanStage;
+    use coachlm::runtime::{Executor, ExecutorConfig, FaultPlan, Quarantine, RetryPolicy, Stage};
+    let (d, _) = generate(&GeneratorConfig::small(200, 8));
+    let stages: Vec<Box<dyn Stage>> = vec![Box::new(CleanStage)];
+    let out = Executor::new(
+        ExecutorConfig::new(1)
+            .threads(4)
+            .fault_plan(FaultPlan::new(5).transient(0.3).permanent(0.1))
+            .retry_policy(RetryPolicy::new(2, std::time::Duration::from_millis(1))),
+    )
+    .run_dataset(&stages, &d);
+    let q = out.quarantine("clean-quarantine");
+    assert!(
+        !q.is_empty(),
+        "the plan's rates guarantee quarantined pairs"
+    );
+    let json = serde_json::to_string_pretty(&q).unwrap();
+    let back: Quarantine = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, q);
+    // The remediation dataset view survives too.
+    assert_eq!(back.dataset().len(), q.len());
+}
+
+#[test]
+fn extended_stage_report_round_trips() {
+    use coachlm::runtime::StageReport;
+    use std::time::Duration;
+    let mut report = StageReport {
+        stage: "expert-annotate".into(),
+        items_in: 500,
+        items_out: 420,
+        quarantined: 60,
+        retries: 131,
+        faults_injected: 191,
+        cpu_time: Duration::from_nanos(987_654_321_987),
+        backoff_time: Duration::from_millis(1_310),
+        ..StageReport::default()
+    };
+    report.counters.insert("revise:qa".into(), 77);
+    let json = serde_json::to_string(&report).unwrap();
+    let back: StageReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+    assert_eq!(back.items_dropped(), 20);
+}
