@@ -59,7 +59,7 @@ fn main() {
     };
 
     eprintln!("building experiment world (scale {scale:?}, seed {seed:#x}) ...");
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // lint: allow(D1, reason = "progress reporting on stderr only; no experiment output depends on this timing")
     let world = ExperimentWorld::build(scale, seed);
     eprintln!(
         "world ready in {:.1}s: {} pairs, {} expert revisions, C_a = {}\n",
@@ -70,7 +70,7 @@ fn main() {
     );
 
     for exp in selected {
-        let t = Instant::now();
+        let t = Instant::now(); // lint: allow(D1, reason = "per-experiment wall-clock banner only; the JSON artifacts carry no timing")
         let (report, json) = exp.run(&world);
         println!("=== {} ({:.1}s) ===", exp.id(), t.elapsed().as_secs_f64());
         println!("{report}");

@@ -52,6 +52,7 @@ impl RevisedDataset {
     pub fn from_chain(out: &ChainOutput, input_name: &str) -> Self {
         let report = out
             .report(CoachReviseStage::NAME)
+            // lint: allow(P1, reason = "structural invariant: every caller builds its chain with a CoachReviseStage two lines earlier; a missing report is a construction bug, not a data condition")
             .expect("chain ran a coach-revise stage");
         let mut repair_counts = FxHashMap::default();
         for tag in RepairTag::ALL {

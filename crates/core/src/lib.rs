@@ -26,6 +26,7 @@
 //! * [`pipeline`] — the §IV-A Huawei data management pipeline with and
 //!   without the CoachLM precursor stage, and its efficiency accounting.
 
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 pub mod alpha;

@@ -83,7 +83,12 @@ pub fn tune_student(
     }
     let mut skill = FxHashMap::default();
     let mut all: Vec<f64> = Vec::with_capacity(dataset.len());
-    for (cat, qs) in &per_cat {
+    // `all` feeds a float reduction in `skill_from`, so hash-map visit
+    // order would leak into the global skill — fix the order by category.
+    // lint: allow(D3, reason = "entries are collected and sorted by category before the float reduction")
+    let mut by_cat: Vec<(&Category, &Vec<f64>)> = per_cat.iter().collect();
+    by_cat.sort_by_key(|(cat, _)| **cat);
+    for (cat, qs) in by_cat {
         skill.insert(*cat, skill_from(qs, &params));
         all.extend_from_slice(qs);
     }

@@ -260,9 +260,10 @@ fn build_pair<R: Rng>(
     let mut defects = Vec::new();
     match tier {
         Tier::Filterable => {
-            let d = weighted(rng, &FILTER_MIX);
-            d.inject(rng, &mut instruction, &mut response);
-            defects.push(d);
+            if let Some(d) = weighted(rng, &FILTER_MIX) {
+                d.inject(rng, &mut instruction, &mut response);
+                defects.push(d);
+            }
         }
         Tier::Deficient => {
             if rng.gen_bool(POLISHED_DEFICIENT_SHARE) {
@@ -273,9 +274,10 @@ fn build_pair<R: Rng>(
                 // (§II-F2, Fig 5a).
                 let polished_q = rng.gen_range(0.72..0.84);
                 response = compose_response(rng, topic, ComposeSpec::for_quality(polished_q));
-                let d = weighted(rng, &MINOR_RESPONSE_DEFECTS);
-                d.inject(rng, &mut instruction, &mut response);
-                defects.push(d);
+                if let Some(d) = weighted(rng, &MINOR_RESPONSE_DEFECTS) {
+                    d.inject(rng, &mut instruction, &mut response);
+                    defects.push(d);
+                }
                 if rng.gen_bool(INSTRUCTION_DEFECT_P) {
                     let di = if rng.gen_bool(0.6) {
                         Defect::InstructionTypos
@@ -286,16 +288,18 @@ fn build_pair<R: Rng>(
                     defects.push(di);
                 }
             } else {
-                let mut d = weighted(rng, &RESPONSE_DEFECT_MIX);
-                if d == Defect::BareResponse && rng.gen_bool(TRUNCATION_SHARE_OF_BARE) {
-                    d = Defect::TruncatedResponse;
+                if let Some(mut d) = weighted(rng, &RESPONSE_DEFECT_MIX) {
+                    if d == Defect::BareResponse && rng.gen_bool(TRUNCATION_SHARE_OF_BARE) {
+                        d = Defect::TruncatedResponse;
+                    }
+                    d.inject(rng, &mut instruction, &mut response);
+                    defects.push(d);
                 }
-                d.inject(rng, &mut instruction, &mut response);
-                defects.push(d);
                 if rng.gen_bool(INSTRUCTION_DEFECT_P) {
-                    let di = weighted(rng, &INSTRUCTION_DEFECT_MIX);
-                    di.inject(rng, &mut instruction, &mut response);
-                    defects.push(di);
+                    if let Some(di) = weighted(rng, &INSTRUCTION_DEFECT_MIX) {
+                        di.inject(rng, &mut instruction, &mut response);
+                        defects.push(di);
+                    }
                 }
             }
         }
@@ -304,16 +308,20 @@ fn build_pair<R: Rng>(
     (instruction, response, defects, tier)
 }
 
-fn weighted<R: Rng>(rng: &mut R, mix: &[(Defect, f64)]) -> Defect {
+fn weighted<R: Rng>(rng: &mut R, mix: &[(Defect, f64)]) -> Option<Defect> {
+    // Splitting off the last entry makes the float-rounding fallback (when
+    // `pick` walks past every weight) panic-free. Exactly one RNG draw per
+    // call on a non-empty mix — the golden snapshots depend on that.
+    let (last, rest) = mix.split_last()?;
     let total: f64 = mix.iter().map(|(_, w)| w).sum();
     let mut pick = rng.gen_range(0.0..total);
-    for (d, w) in mix {
+    for (d, w) in rest {
         if pick < *w {
-            return *d;
+            return Some(*d);
         }
         pick -= w;
     }
-    mix.last().expect("non-empty mix").0
+    Some(last.0)
 }
 
 /// Builds an instruction for the category about the topic. Passage-bearing

@@ -176,6 +176,7 @@ pub fn preliminary_filter(dataset: &Dataset, seed: u64) -> FilterOutcome {
                 let reason = tag
                     .strip_prefix("retained:")
                     .and_then(FilterReason::from_label)
+                    // lint: allow(P1, reason = "tag was written by FilterStage itself in this same run as `retained:<label>`; round-trip is stage-internal, not user data")
                     .expect("retained items carry a reason tag");
                 out.retained_for_diversity.push((item.pair.id, reason));
                 out.kept.push(item.pair.id);
@@ -184,6 +185,7 @@ pub fn preliminary_filter(dataset: &Dataset, seed: u64) -> FilterOutcome {
                 let reason = tag
                     .strip_prefix("filter:")
                     .and_then(FilterReason::from_label)
+                    // lint: allow(P1, reason = "tag was written by FilterStage itself in this same run as `filter:<label>`; round-trip is stage-internal, not user data")
                     .expect("discarded items carry a reason tag");
                 out.excluded.push((item.pair.id, reason));
             }

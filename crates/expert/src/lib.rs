@@ -13,6 +13,7 @@
 //! §II-F2). Their output, the expert revision dataset `R = {(x, x_r)}`, is
 //! what coach instruction tuning consumes.
 
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 pub mod cost;

@@ -142,6 +142,7 @@ impl ExpertPool {
         self.units
             .iter()
             .find(|u| u.class == class)
+            // lint: allow(P1, reason = "paper_pool, the only constructor, builds exactly one unit per TaskClass variant a few lines above; a missing unit is a construction bug, not a data condition")
             .expect("all classes have units")
     }
 

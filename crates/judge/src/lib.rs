@@ -21,6 +21,7 @@
 //! * [`stats`] — histograms, means, and the least-squares linear fit (with
 //!   R²) used in Fig 5(b).
 
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 pub mod chatgpt;

@@ -1,0 +1,136 @@
+//! The allow-comment grammar: `// lint: allow(RULE, reason = "...")`.
+//!
+//! An allow suppresses one rule on one line. A trailing comment binds to
+//! its own line; a comment that owns its line binds forward to the next
+//! code line (so the annotation can sit above a long expression). The
+//! `reason` string is mandatory — a reasonless or otherwise malformed
+//! directive is itself reported as a violation (`A0`), so suppressions
+//! can never silently rot.
+
+use crate::lexer::Comment;
+
+/// One parsed, well-formed allow directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule id the directive names (e.g. `D3`). Not yet validated against
+    /// the catalogue — unknown ids are diagnosed by the engine.
+    pub rule: String,
+    /// The mandatory human reason.
+    pub reason: String,
+    /// Line the allow applies to (after own-line forward binding).
+    pub line: u32,
+    /// Whether any rule consulted this allow; unused allows are diagnosed.
+    pub used: bool,
+}
+
+/// A directive that looked like an allow but failed to parse.
+#[derive(Debug, Clone)]
+pub struct BadAllow {
+    /// Line of the comment.
+    pub line: u32,
+    /// What was wrong with it.
+    pub what: String,
+}
+
+/// Result of scanning one file's comments for directives.
+#[derive(Debug, Default)]
+pub struct Allows {
+    /// Well-formed directives.
+    pub allows: Vec<Allow>,
+    /// Malformed directives (reported as violations).
+    pub bad: Vec<BadAllow>,
+}
+
+impl Allows {
+    /// Returns `true` (and marks the directive used) when `rule` is allowed
+    /// on `line`.
+    pub fn permits(&mut self, rule: &str, line: u32) -> bool {
+        for a in &mut self.allows {
+            if a.line == line && a.rule == rule {
+                a.used = true;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Scans comments for `lint:` directives. `next_code_line` maps a comment's
+/// own line to the line the directive should bind to when the comment owns
+/// its line (the next line carrying a significant token).
+pub fn collect(comments: &[Comment], next_code_line: impl Fn(u32) -> u32) -> Allows {
+    let mut out = Allows::default();
+    for c in comments {
+        let body = c.text.trim();
+        let Some(rest) = strip_marker(body) else {
+            continue;
+        };
+        let bind = if c.own_line {
+            next_code_line(c.line)
+        } else {
+            c.line
+        };
+        match parse_directive(rest) {
+            Ok((rule, reason)) => out.allows.push(Allow {
+                rule,
+                reason,
+                line: bind,
+                used: false,
+            }),
+            Err(what) => out.bad.push(BadAllow { line: c.line, what }),
+        }
+    }
+    out
+}
+
+/// Strips the `lint:` marker, returning the directive tail, or `None` when
+/// the comment is not a directive at all.
+fn strip_marker(body: &str) -> Option<&str> {
+    let rest = body.strip_prefix("lint:")?;
+    Some(rest.trim_start())
+}
+
+/// Parses `allow(RULE, reason = "...")`. Returns `(rule, reason)` or a
+/// description of the malformation.
+fn parse_directive(s: &str) -> Result<(String, String), String> {
+    let Some(args) = s.strip_prefix("allow") else {
+        return Err(format!(
+            "unknown lint directive `{s}`; expected `allow(...)`"
+        ));
+    };
+    let args = args.trim_start();
+    let Some(args) = args.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(close) = args.rfind(')') else {
+        return Err("unclosed `allow(` directive".to_string());
+    };
+    let inner = &args[..close];
+    let Some((rule, rest)) = inner.split_once(',') else {
+        return Err("missing `, reason = \"...\"` — a reason is mandatory".to_string());
+    };
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return Err(format!("bad rule id `{rule}`"));
+    }
+    let rest = rest.trim();
+    let Some(value) = rest.strip_prefix("reason") else {
+        return Err("expected `reason = \"...\"`".to_string());
+    };
+    let value = value.trim_start();
+    let Some(value) = value.strip_prefix('=') else {
+        return Err("expected `=` after `reason`".to_string());
+    };
+    let value = value.trim();
+    let Some(value) = value.strip_prefix('"') else {
+        return Err("reason must be a quoted string".to_string());
+    };
+    let Some(end) = value.find('"') else {
+        return Err("unterminated reason string".to_string());
+    };
+    let reason = &value[..end];
+    if reason.trim().is_empty() {
+        return Err("reason string must not be empty".to_string());
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}

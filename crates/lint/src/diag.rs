@@ -1,0 +1,80 @@
+//! Diagnostic rendering: human text and hand-rolled JSON (dependency-free).
+
+use crate::rules::{Finding, RULES};
+
+/// Renders findings as `file:line:col: [RULE] message` lines plus a
+/// summary footer.
+pub fn render_human(findings: &[Finding], files_checked: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}:{}: [{}] {}\n",
+            f.file, f.line, f.col, f.rule, f.message
+        ));
+    }
+    if findings.is_empty() {
+        out.push_str(&format!(
+            "coachlm-lint: clean — {files_checked} files, 0 violations\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "coachlm-lint: {} violation(s) in {files_checked} files\n",
+            findings.len()
+        ));
+    }
+    out
+}
+
+/// Renders findings as a stable JSON document.
+pub fn render_json(findings: &[Finding], files_checked: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_checked\": {files_checked},\n"));
+    out.push_str(&format!("  \"violations\": {},\n", findings.len()));
+    out.push_str("  \"rules\": {\n");
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        let comma = if i + 1 < RULES.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {}: {}{comma}\n",
+            json_str(id),
+            json_str(desc)
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 < findings.len() { "," } else { "" };
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}{comma}",
+            json_str(f.rule),
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,437 @@
+//! A minimal Rust token lexer: just enough syntax awareness to tell code
+//! from text.
+//!
+//! The rule matchers in [`crate::rules`] work on the significant-token
+//! stream this module produces, so a `thread_rng` inside a string literal, a
+//! doc comment, or a raw string can never fire a rule. Comments are captured
+//! separately (with position) because the allow grammar lives in them.
+//!
+//! This is *not* a full Rust lexer — no float/suffix fidelity, no shebang
+//! handling — but it is exact on the constructs that matter for span-level
+//! static analysis: line comments, nested block comments, string literals
+//! with escapes, raw strings with arbitrary `#` fences, byte strings, char
+//! literals vs. lifetimes, and raw identifiers.
+
+/// What kind of significant token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, fence stripped).
+    Ident,
+    /// Punctuation; `::` is pre-joined into a single token.
+    Punct,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`), kept distinct so it never looks like a char.
+    Lifetime,
+}
+
+/// One significant token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text. For [`TokKind::Str`]/[`TokKind::Char`] this is the raw
+    /// source slice including quotes; rules never match inside it.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+/// One comment (line or block), with position and placement info.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body *without* the `//` / `/*` framing, untrimmed.
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// `true` when no significant token precedes the comment on its line —
+    /// i.e. the comment owns the line and an allow in it binds forward.
+    pub own_line: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens, in source order.
+    pub toks: Vec<Tok>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes one source file into significant tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    // Lines that carry at least one significant token, for `own_line`.
+    let mut line_has_code: Vec<u32> = Vec::new();
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' => {
+                cur.bump();
+                match cur.peek() {
+                    Some('/') => {
+                        cur.bump();
+                        let mut text = String::new();
+                        while let Some(c) = cur.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            text.push(c);
+                            cur.bump();
+                        }
+                        out.comments.push(Comment {
+                            text,
+                            line,
+                            own_line: true, // fixed up below
+                        });
+                    }
+                    Some('*') => {
+                        cur.bump();
+                        let mut depth = 1u32;
+                        let mut text = String::new();
+                        while depth > 0 {
+                            match cur.bump() {
+                                Some('*') if cur.peek() == Some('/') => {
+                                    cur.bump();
+                                    depth -= 1;
+                                    if depth > 0 {
+                                        text.push_str("*/");
+                                    }
+                                }
+                                Some('/') if cur.peek() == Some('*') => {
+                                    cur.bump();
+                                    depth += 1;
+                                    text.push_str("/*");
+                                }
+                                Some(c) => text.push(c),
+                                None => break,
+                            }
+                        }
+                        out.comments.push(Comment {
+                            text,
+                            line,
+                            own_line: true,
+                        });
+                    }
+                    _ => push_tok(&mut out, &mut line_has_code, TokKind::Punct, "/", line, col),
+                }
+            }
+            '"' => {
+                let text = lex_string(&mut cur);
+                push_tok(&mut out, &mut line_has_code, TokKind::Str, &text, line, col);
+            }
+            '\'' => {
+                cur.bump();
+                lex_char_or_lifetime(&mut cur, &mut out, &mut line_has_code, line, col);
+            }
+            c if is_ident_start(c) => {
+                // `r"`/`r#"`/`b"`/`br#"` prefixes start literals, not idents.
+                let mut ident = String::new();
+                ident.push(c);
+                cur.bump();
+                match (ident.as_str(), cur.peek()) {
+                    ("r" | "b" | "br", Some('"')) | ("r" | "br", Some('#')) => {
+                        if lex_raw_or_byte_tail(&mut cur, &mut ident) {
+                            push_tok(
+                                &mut out,
+                                &mut line_has_code,
+                                TokKind::Str,
+                                &ident,
+                                line,
+                                col,
+                            );
+                            continue;
+                        }
+                        // Fell through: `r#ident` raw identifier.
+                        read_ident_tail(&mut cur, &mut ident);
+                        let stripped = ident.trim_start_matches("r#").to_string();
+                        push_tok(
+                            &mut out,
+                            &mut line_has_code,
+                            TokKind::Ident,
+                            &stripped,
+                            line,
+                            col,
+                        );
+                        continue;
+                    }
+                    ("b", Some('\'')) => {
+                        cur.bump();
+                        lex_char_or_lifetime(&mut cur, &mut out, &mut line_has_code, line, col);
+                        continue;
+                    }
+                    _ => {}
+                }
+                read_ident_tail(&mut cur, &mut ident);
+                // Second chance for two-char prefixes (`br`).
+                if ident == "br" && matches!(cur.peek(), Some('"') | Some('#')) {
+                    let mut lit = ident;
+                    if lex_raw_or_byte_tail(&mut cur, &mut lit) {
+                        push_tok(&mut out, &mut line_has_code, TokKind::Str, &lit, line, col);
+                        continue;
+                    }
+                    ident = lit;
+                }
+                push_tok(
+                    &mut out,
+                    &mut line_has_code,
+                    TokKind::Ident,
+                    &ident,
+                    line,
+                    col,
+                );
+            }
+            c if c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(c) = cur.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        num.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                push_tok(&mut out, &mut line_has_code, TokKind::Num, &num, line, col);
+            }
+            ':' => {
+                cur.bump();
+                if cur.peek() == Some(':') {
+                    cur.bump();
+                    push_tok(
+                        &mut out,
+                        &mut line_has_code,
+                        TokKind::Punct,
+                        "::",
+                        line,
+                        col,
+                    );
+                } else {
+                    push_tok(&mut out, &mut line_has_code, TokKind::Punct, ":", line, col);
+                }
+            }
+            c => {
+                cur.bump();
+                let mut s = String::new();
+                s.push(c);
+                push_tok(&mut out, &mut line_has_code, TokKind::Punct, &s, line, col);
+            }
+        }
+    }
+
+    // A comment "owns" its line when no significant token shares the line
+    // (then an allow in it binds forward to the next code line).
+    for c in &mut out.comments {
+        c.own_line = line_has_code.binary_search(&c.line).is_err();
+    }
+
+    out
+}
+
+fn push_tok(
+    out: &mut Lexed,
+    line_has_code: &mut Vec<u32>,
+    kind: TokKind,
+    text: &str,
+    line: u32,
+    col: u32,
+) {
+    // Tokens arrive in non-decreasing line order, so the list stays sorted.
+    if line_has_code.last() != Some(&line) {
+        line_has_code.push(line);
+    }
+    out.toks.push(Tok {
+        kind,
+        text: text.to_string(),
+        line,
+        col,
+    });
+}
+
+fn read_ident_tail(cur: &mut Cursor<'_>, ident: &mut String) {
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            ident.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Lexes a `"…"` string (opening quote not yet consumed). Returns the raw
+/// slice including quotes.
+fn lex_string(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    if let Some(q) = cur.bump() {
+        text.push(q);
+    }
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        match c {
+            '\\' => {
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    text
+}
+
+/// After consuming `r`/`b`/`br`, tries to lex the raw/byte-string tail.
+/// Returns `false` if this is actually a raw identifier (`r#name`), leaving
+/// the cursor just past the consumed `#`, with `text` holding `r#`.
+fn lex_raw_or_byte_tail(cur: &mut Cursor<'_>, text: &mut String) -> bool {
+    if cur.peek() == Some('"') {
+        // Plain (non-raw) byte string for `b"`; raw with zero fences for `r"`.
+        if text.ends_with('r') {
+            return lex_raw_fenced(cur, text, 0);
+        }
+        text.push_str(&lex_string(cur));
+        return true;
+    }
+    // One or more `#` fences — or a raw identifier.
+    let mut fences = 0usize;
+    while cur.peek() == Some('#') {
+        cur.bump();
+        text.push('#');
+        fences += 1;
+        if fences == 1 && cur.peek().map(is_ident_start) == Some(true) {
+            return false; // r#ident
+        }
+    }
+    if cur.peek() == Some('"') {
+        return lex_raw_fenced(cur, text, fences);
+    }
+    true // malformed; treat what we have as opaque
+}
+
+fn lex_raw_fenced(cur: &mut Cursor<'_>, text: &mut String, fences: usize) -> bool {
+    if let Some(q) = cur.bump() {
+        text.push(q); // opening quote
+    }
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                text.push('"');
+                let mut seen = 0usize;
+                while seen < fences && cur.peek() == Some('#') {
+                    cur.bump();
+                    text.push('#');
+                    seen += 1;
+                }
+                if seen == fences {
+                    return true;
+                }
+            }
+            Some(c) => text.push(c),
+            None => return true,
+        }
+    }
+}
+
+/// After a consumed `'`: either a char literal or a lifetime.
+fn lex_char_or_lifetime(
+    cur: &mut Cursor<'_>,
+    out: &mut Lexed,
+    line_has_code: &mut Vec<u32>,
+    line: u32,
+    col: u32,
+) {
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: '\n', '\'', '\u{…}'.
+            let mut text = String::from("'");
+            cur.bump();
+            text.push('\\');
+            while let Some(c) = cur.bump() {
+                text.push(c);
+                if c == '\'' {
+                    break;
+                }
+            }
+            push_tok(out, line_has_code, TokKind::Char, &text, line, col);
+        }
+        Some(c) if is_ident_start(c) => {
+            // 'a' is a char only if a quote directly follows one ident char;
+            // otherwise it's a lifetime ('a, 'static, 'de).
+            let mut body = String::new();
+            body.push(c);
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                let text = format!("'{body}'");
+                push_tok(out, line_has_code, TokKind::Char, &text, line, col);
+            } else {
+                read_ident_tail(cur, &mut body);
+                let text = format!("'{body}");
+                push_tok(out, line_has_code, TokKind::Lifetime, &text, line, col);
+            }
+        }
+        Some(_) => {
+            // Non-ident single char: '(', '0' etc.
+            let mut text = String::from("'");
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                text.push('\'');
+            }
+            push_tok(out, line_has_code, TokKind::Char, &text, line, col);
+        }
+        None => {}
+    }
+}

@@ -1,0 +1,89 @@
+//! `coachlm-lint` — a workspace-wide determinism & panic-safety lint pass.
+//!
+//! The executor's bit-for-bit replication contract rests on invariants the
+//! compiler cannot see: RNG flows only from per-`(stage, item)` seeds, no
+//! wall-clock reads in stage bodies, no default-hasher iteration order
+//! leaking into outputs, no panics in production chains. This crate promotes
+//! those invariants from "tested" to "statically enforced on every commit":
+//! a dependency-free token-level analysis (own lexer, no `syn`) walks every
+//! workspace source file and reports span-accurate diagnostics for the rule
+//! catalogue D1/D2/D3/P1/C1 (see [`rules::RULES`]).
+//!
+//! Suppression is only possible via an inline
+//! `// lint: allow(<rule>, reason = "...")` comment — the reason is
+//! mandatory, malformed or unused directives are themselves violations.
+#![deny(unused_must_use)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+pub mod walk;
+
+use rules::Finding;
+use std::path::Path;
+use walk::FileClass;
+
+/// Result of a full lint run.
+#[derive(Debug)]
+#[must_use]
+pub struct LintRun {
+    /// All surviving findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Number of source files checked.
+    pub files_checked: usize,
+    /// IO errors encountered while walking (nonfatal, but reported).
+    pub io_errors: Vec<String>,
+}
+
+impl LintRun {
+    /// `true` when the tree is clean.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.io_errors.is_empty()
+    }
+}
+
+/// Lints one source string under a file classification. Public so fixture
+/// tests can drive single rules without touching the filesystem.
+pub fn lint_source(class: &FileClass, src: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    // An own-line directive binds to the next line carrying code.
+    let next_code_line = |line: u32| {
+        lexed
+            .toks
+            .iter()
+            .map(|t| t.line)
+            .find(|l| *l > line)
+            .unwrap_or(line)
+    };
+    let mut allows = allow::collect(&lexed.comments, next_code_line);
+    rules::check_file(class, &lexed, &mut allows)
+}
+
+/// Lints every workspace source file under `root`.
+pub fn run_lint(root: &Path) -> LintRun {
+    let mut io_errors = Vec::new();
+    let files = walk::source_files(root, &mut io_errors);
+    let mut findings = Vec::new();
+    let mut files_checked = 0usize;
+    for rel in &files {
+        let class = FileClass::classify(rel);
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(src) => {
+                files_checked += 1;
+                findings.extend(lint_source(&class, &src));
+            }
+            Err(e) => io_errors.push(format!("cannot read {rel}: {e}")),
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    LintRun {
+        findings,
+        files_checked,
+        io_errors,
+    }
+}

@@ -1,0 +1,484 @@
+//! The rule catalogue and the token-level matchers behind it.
+//!
+//! Every rule works on the significant-token stream from [`crate::lexer`],
+//! so pattern names inside string literals, comments, and raw strings can
+//! never fire. Test scopes (from [`crate::scope`]) exempt the rules that
+//! only guard production behaviour.
+
+use crate::allow::Allows;
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::scope::test_scopes;
+use crate::walk::FileClass;
+
+/// Rule identifiers. `A0` covers directive hygiene (malformed or unused
+/// allows), the rest are the catalogue from the replication contract.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "D1",
+        "no wall-clock reads or real sleeps outside the runtime's simulated-time module",
+    ),
+    (
+        "D2",
+        "no ambient/OS randomness; RNG must flow from per-(stage, item) seeding",
+    ),
+    (
+        "D3",
+        "no iteration over HashMap/HashSet in production code without an order-insensitivity allow",
+    ),
+    (
+        "P1",
+        "no unwrap/expect/panic!/user-data indexing in production stage code",
+    ),
+    (
+        "C1",
+        "no raw thread spawns or raw atomics outside crates/runtime",
+    ),
+    ("A0", "lint directives must be well-formed and used"),
+];
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`D1`…`C1`, `A0`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human message.
+    pub message: String,
+}
+
+/// Runs every rule over one lexed file. `allows` is consumed: used
+/// directives are marked, and leftover/malformed ones become `A0` findings.
+pub fn check_file(class: &FileClass, lexed: &Lexed, allows: &mut Allows) -> Vec<Finding> {
+    let toks = &lexed.toks;
+    let in_test = test_scopes(toks);
+    let mut raw = Vec::new();
+
+    rule_d1(class, toks, &in_test, &mut raw);
+    rule_d2(class, toks, &mut raw);
+    rule_d3(class, toks, &in_test, &mut raw);
+    rule_p1(class, toks, &in_test, &mut raw);
+    rule_c1(class, toks, &in_test, &mut raw);
+
+    // Apply allows; what survives is a violation.
+    let mut out: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| !allows.permits(f.rule, f.line))
+        .collect();
+
+    // Directive hygiene.
+    for bad in &allows.bad {
+        out.push(Finding {
+            rule: "A0",
+            file: class.rel.clone(),
+            line: bad.line,
+            col: 1,
+            message: format!("malformed lint directive: {}", bad.what),
+        });
+    }
+    for a in &allows.allows {
+        if !RULES.iter().any(|(id, _)| *id == a.rule) {
+            out.push(Finding {
+                rule: "A0",
+                file: class.rel.clone(),
+                line: a.line,
+                col: 1,
+                message: format!("allow names unknown rule `{}`", a.rule),
+            });
+        } else if !a.used {
+            out.push(Finding {
+                rule: "A0",
+                file: class.rel.clone(),
+                line: a.line,
+                col: 1,
+                message: format!(
+                    "unused allow({}) — nothing on this line fires the rule",
+                    a.rule
+                ),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+fn finding(rule: &'static str, class: &FileClass, t: &Tok, message: String) -> Finding {
+    Finding {
+        rule,
+        file: class.rel.clone(),
+        line: t.line,
+        col: t.col,
+        message,
+    }
+}
+
+/// Is `toks[i]` an ident with this exact text?
+fn is_ident(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+}
+
+fn is_punct(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+/// Matches `recv . name ( … )`-style method calls: token at `i` is `.`,
+/// `i+1` is the method ident, `i+2` is `(`.
+fn is_method_call(toks: &[Tok], i: usize, name: &str) -> bool {
+    is_punct(toks, i, ".") && is_ident(toks, i + 1, name) && is_punct(toks, i + 2, "(")
+}
+
+// ---------------------------------------------------------------------------
+// D1: wall-clock / real sleep
+// ---------------------------------------------------------------------------
+
+fn rule_d1(class: &FileClass, toks: &[Tok], in_test: &[bool], out: &mut Vec<Finding>) {
+    if class.simtime_module || class.test_file || class.example_file {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        // `Instant::now()` / `SystemTime::now()`
+        if (t.text == "Instant" || t.text == "SystemTime")
+            && is_punct(toks, i + 1, "::")
+            && is_ident(toks, i + 2, "now")
+        {
+            out.push(finding(
+                "D1",
+                class,
+                t,
+                format!(
+                    "`{}::now()` reads the wall clock; use the runtime's simulated time",
+                    t.text
+                ),
+            ));
+        }
+        // `thread::sleep(..)` / `sleep(..)` via `std::thread::sleep` path
+        if t.text == "thread" && is_punct(toks, i + 1, "::") && is_ident(toks, i + 2, "sleep") {
+            out.push(finding(
+                "D1",
+                class,
+                t,
+                "`thread::sleep` blocks on real time; model latency via the fault plan".to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D2: ambient randomness (applies everywhere, tests included)
+// ---------------------------------------------------------------------------
+
+fn rule_d2(class: &FileClass, toks: &[Tok], out: &mut Vec<Finding>) {
+    const BANNED: &[(&str, &str)] = &[
+        ("thread_rng", "ambient thread-local RNG breaks replication"),
+        ("from_entropy", "OS-entropy seeding breaks replication"),
+        ("OsRng", "OS randomness breaks replication"),
+        ("getrandom", "OS randomness breaks replication"),
+        ("random_seed", "nondeterministic seeding breaks replication"),
+    ];
+    for t in toks {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        for (name, why) in BANNED {
+            if t.text == *name {
+                out.push(finding(
+                    "D2",
+                    class,
+                    t,
+                    format!("`{name}`: {why}; derive RNG from per-(stage, item) seeds"),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D3: HashMap/HashSet iteration order
+// ---------------------------------------------------------------------------
+
+const MAP_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+fn rule_d3(class: &FileClass, toks: &[Tok], in_test: &[bool], out: &mut Vec<Finding>) {
+    if class.test_file || class.example_file {
+        return;
+    }
+    // Pass 1: names bound to hash-map/set types. Heuristic, intentionally
+    // over-approximate within the file: `name : HashMap<…>` (fields, params,
+    // lets), `let name = HashMap::new()` (incl. default/with_capacity*), and
+    // `type Alias = HashMap<…>` then treating the alias as a map type.
+    let mut aliases: Vec<String> = Vec::new();
+    let is_map_type = |text: &str, aliases: &[String]| {
+        MAP_TYPES.contains(&text) || aliases.iter().any(|a| a == text)
+    };
+    for i in 0..toks.len() {
+        if is_ident(toks, i, "type")
+            && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+            && is_punct(toks, i + 2, "=")
+        {
+            // type Alias = <ty> — map-ness decided by any map type ident
+            // before the terminating `;`.
+            let mut j = i + 3;
+            while j < toks.len() && !is_punct(toks, j, ";") {
+                if toks[j].kind == TokKind::Ident && MAP_TYPES.contains(&toks[j].text.as_str()) {
+                    aliases.push(toks[i + 1].text.clone());
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    let mut tracked: Vec<String> = Vec::new();
+    for (i, (t, &test)) in toks.iter().zip(in_test).enumerate() {
+        // A binding made in test code must not taint a same-named
+        // production variable (test scopes are exempt from D3 anyway).
+        if test || t.kind != TokKind::Ident {
+            continue;
+        }
+        // `name : [&mut]* Ty<…>` where Ty is a map type.
+        if is_punct(toks, i + 1, ":") {
+            let mut j = i + 2;
+            while j < toks.len() && (is_punct(toks, j, "&") || is_ident(toks, j, "mut")) {
+                j += 1;
+            }
+            if toks
+                .get(j)
+                .is_some_and(|ty| ty.kind == TokKind::Ident && is_map_type(&ty.text, &aliases))
+            {
+                tracked.push(t.text.clone());
+            }
+        }
+        // `let name = Ty::new()` / `Ty::default()` / `Ty::with_capacity*`.
+        if is_ident(toks, i, "let") {
+            let mut j = i + 1;
+            if is_ident(toks, j, "mut") {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            if is_punct(toks, j + 1, "=")
+                && toks
+                    .get(j + 2)
+                    .is_some_and(|ty| ty.kind == TokKind::Ident && is_map_type(&ty.text, &aliases))
+                && is_punct(toks, j + 3, "::")
+            {
+                tracked.push(name.text.clone());
+            }
+        }
+    }
+    tracked.sort();
+    tracked.dedup();
+
+    // Pass 2: flag iteration over tracked names (or direct map-type
+    // receivers) in production scopes.
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // `recv.iter()` where recv is a tracked name or `self.field` with a
+        // tracked field name.
+        if t.kind == TokKind::Ident
+            && tracked.iter().any(|n| n == &t.text)
+            && ITER_METHODS.iter().any(|m| is_method_call(toks, i + 1, m))
+        {
+            let method = &toks[i + 2].text;
+            out.push(finding(
+                "D3",
+                class,
+                t,
+                format!(
+                    "`.{method}()` over hash map/set `{}` has nondeterministic order; \
+                     collect-and-sort or add an order-insensitivity allow",
+                    t.text
+                ),
+            ));
+        }
+        // `for pat in [&[mut]] name` / `for (k, v) in &name`.
+        if is_ident(toks, i, "for") {
+            // find the matching `in` at paren depth 0
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" => break,
+                    "in" if depth == 0 && toks[j].kind == TokKind::Ident => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if !is_ident(toks, j, "in") {
+                continue;
+            }
+            let mut k = j + 1;
+            while k < toks.len() && (is_punct(toks, k, "&") || is_ident(toks, k, "mut")) {
+                k += 1;
+            }
+            if let Some(name) = toks.get(k).filter(|t| t.kind == TokKind::Ident) {
+                // plain `for x in map {` — next token must open the body (or
+                // a `.` chain already covered by the method matcher above).
+                if tracked.iter().any(|n| n == &name.text) && is_punct(toks, k + 1, "{") {
+                    out.push(finding(
+                        "D3",
+                        class,
+                        name,
+                        format!(
+                            "for-loop over hash map/set `{}` has nondeterministic order; \
+                             collect-and-sort or add an order-insensitivity allow",
+                            name.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// P1: panic paths in production code
+// ---------------------------------------------------------------------------
+
+fn rule_p1(class: &FileClass, toks: &[Tok], in_test: &[bool], out: &mut Vec<Finding>) {
+    if class.test_file || class.example_file || class.bench_crate {
+        return;
+    }
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap()` / `.expect(`
+        if t.kind == TokKind::Punct && t.text == "." {
+            if is_ident(toks, i + 1, "unwrap") && is_punct(toks, i + 2, "(") {
+                out.push(finding(
+                    "P1",
+                    class,
+                    &toks[i + 1],
+                    "`.unwrap()` can panic in a production chain; handle or quarantine the error"
+                        .to_string(),
+                ));
+            }
+            if is_ident(toks, i + 1, "expect") && is_punct(toks, i + 2, "(") {
+                out.push(finding(
+                    "P1",
+                    class,
+                    &toks[i + 1],
+                    "`.expect(..)` can panic in a production chain; handle or quarantine the error"
+                        .to_string(),
+                ));
+            }
+        }
+        // `panic!(` / `unreachable!(` / `todo!(` / `unimplemented!(`
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+            && is_punct(toks, i + 1, "!")
+            && (is_punct(toks, i + 2, "(") || is_punct(toks, i + 2, "["))
+        {
+            out.push(finding(
+                "P1",
+                class,
+                t,
+                format!(
+                    "`{}!` aborts a production chain; return a StageOutcome instead",
+                    t.text
+                ),
+            ));
+        }
+        // Indexing into user-carried text: `.instruction[` / `.response[`
+        // (the two free-text fields a dataset record carries; anything else
+        // indexed is internal state with checked invariants).
+        if t.kind == TokKind::Punct
+            && t.text == "."
+            && toks
+                .get(i + 1)
+                .is_some_and(|f| matches!(f.text.as_str(), "instruction" | "response"))
+            && is_punct(toks, i + 2, "[")
+        {
+            out.push(finding(
+                "P1",
+                class,
+                &toks[i + 1],
+                format!(
+                    "indexing `[..]` into user-carried `.{}` can panic on adversarial input; \
+                     use `.get(..)`",
+                    toks[i + 1].text
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// C1: raw concurrency primitives
+// ---------------------------------------------------------------------------
+
+fn rule_c1(class: &FileClass, toks: &[Tok], in_test: &[bool], out: &mut Vec<Finding>) {
+    if class.runtime_crate || class.test_file || class.example_file {
+        return;
+    }
+    const ATOMICS: &[&str] = &[
+        "AtomicUsize",
+        "AtomicU64",
+        "AtomicU32",
+        "AtomicBool",
+        "AtomicIsize",
+        "AtomicI64",
+        "AtomicI32",
+        "AtomicPtr",
+    ];
+    for (i, t) in toks.iter().enumerate() {
+        if in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "thread"
+            && is_punct(toks, i + 1, "::")
+            && (is_ident(toks, i + 2, "spawn") || is_ident(toks, i + 2, "scope"))
+        {
+            out.push(finding(
+                "C1",
+                class,
+                t,
+                format!(
+                    "`thread::{}` outside crates/runtime; parallelism must go through the executor",
+                    toks[i + 2].text
+                ),
+            ));
+        }
+        if ATOMICS.contains(&t.text.as_str()) {
+            out.push(finding(
+                "C1",
+                class,
+                t,
+                format!(
+                    "raw atomic `{}` outside crates/runtime; shared state must go through the executor",
+                    t.text
+                ),
+            ));
+        }
+    }
+}

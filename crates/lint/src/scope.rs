@@ -1,0 +1,141 @@
+//! Test-scope detection over the significant-token stream.
+//!
+//! The rule catalogue distinguishes production code from test code inside
+//! the same file: `#[cfg(test)]` modules, `#[test]` functions, and
+//! `#[bench]` functions are exempt from the panic-safety and
+//! iteration-order rules. This pass finds those attribute-guarded item
+//! bodies by brace matching — no parser needed, because attributes and
+//! braces are fully visible in the token stream and string/comment content
+//! was already stripped by the lexer.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Returns, for every token index, whether that token sits inside a
+/// test-only item body.
+pub fn test_scopes(toks: &[Tok]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
+            let (attr_end, is_test) = scan_attribute(toks, i + 1);
+            if is_test {
+                if let Some((body_start, body_end)) = find_item_body(toks, attr_end + 1) {
+                    for flag in in_test
+                        .iter_mut()
+                        .take(body_end.min(toks.len() - 1) + 1)
+                        .skip(body_start)
+                    {
+                        *flag = true;
+                    }
+                    i = attr_end + 1;
+                    continue;
+                }
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Scans an attribute starting at its `[` token. Returns the index of the
+/// closing `]` and whether the attribute marks test-only code.
+///
+/// Test-only means `#[test]`, `#[bench]`, or a `cfg(...)` whose token list
+/// contains `test` without a `not` (so `#[cfg(not(test))]` stays
+/// production).
+fn scan_attribute(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut has_cfg = false;
+    let mut has_test = false;
+    let mut has_bench = false;
+    let mut has_not = false;
+    let mut first_ident: Option<&str> = None;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "[") => depth += 1,
+            (TokKind::Punct, "]") => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            (TokKind::Ident, name) => {
+                if first_ident.is_none() {
+                    first_ident = Some(match name {
+                        "test" => "test",
+                        "bench" => "bench",
+                        "cfg" => "cfg",
+                        _ => "other",
+                    });
+                }
+                match name {
+                    "cfg" => has_cfg = true,
+                    "test" => has_test = true,
+                    "bench" => has_bench = true,
+                    "not" => has_not = true,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let is_test = match first_ident {
+        Some("test") | Some("bench") => has_test || has_bench,
+        Some("cfg") => has_cfg && has_test && !has_not,
+        _ => false,
+    };
+    (j.min(toks.len().saturating_sub(1)), is_test)
+}
+
+/// From just past an attribute, finds the `{ … }` body of the annotated
+/// item. Returns `None` for body-less items (`mod tests;`, `use …;`).
+fn find_item_body(toks: &[Tok], mut i: usize) -> Option<(usize, usize)> {
+    // Skip any further attributes between this one and the item.
+    while i < toks.len()
+        && toks[i].text == "#"
+        && toks.get(i + 1).map(|t| t.text.as_str()) == Some("[")
+    {
+        let (end, _) = scan_attribute(toks, i + 1);
+        i = end + 1;
+    }
+    // Scan to the first `{` of the item, bailing on a top-level `;` (no
+    // body). Parens/brackets/generics in the signature are skipped by depth
+    // counting; `{` only appears once signature grouping is closed.
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            ";" if paren == 0 && bracket == 0 => return None,
+            "{" if paren == 0 && bracket == 0 => {
+                let start = i;
+                let mut depth = 0i32;
+                while i < toks.len() {
+                    match toks[i].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some((start, i));
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return Some((start, toks.len() - 1));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}

@@ -1,0 +1,87 @@
+//! Deterministic workspace walk and per-file rule scoping.
+
+use std::path::{Path, PathBuf};
+
+/// Where a source file sits, and therefore which rules apply to it.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Under a `tests/` or `benches/` directory: D1/D3/P1/C1 exempt
+    /// (D2 still applies — test outcomes must replicate too).
+    pub test_file: bool,
+    /// Under an `examples/` directory.
+    pub example_file: bool,
+    /// In `crates/bench` (offline repro/bench binaries): P1 exempt.
+    pub bench_crate: bool,
+    /// In `crates/runtime`: C1 exempt (the executor owns concurrency).
+    pub runtime_crate: bool,
+    /// The runtime's simulated-time module: D1 exempt (it is the one
+    /// place allowed to touch `Instant`).
+    pub simtime_module: bool,
+}
+
+impl FileClass {
+    /// Classifies a workspace-relative path.
+    pub fn classify(rel: &str) -> FileClass {
+        let parts: Vec<&str> = rel.split('/').collect();
+        let in_dir = |d: &str| parts.contains(&d);
+        FileClass {
+            rel: rel.to_string(),
+            test_file: in_dir("tests") || in_dir("benches"),
+            example_file: in_dir("examples"),
+            bench_crate: rel.starts_with("crates/bench/"),
+            runtime_crate: rel.starts_with("crates/runtime/"),
+            simtime_module: rel == "crates/runtime/src/simtime.rs",
+        }
+    }
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "compat", "fixtures", "results"];
+
+/// Walks `root` for `.rs` files in deterministic (sorted) order, returning
+/// workspace-relative paths. IO errors on individual entries are reported
+/// through `errors` rather than panicking.
+pub fn source_files(root: &Path, errors: &mut Vec<String>) -> Vec<String> {
+    let mut out = Vec::new();
+    walk_dir(root, root, &mut out, errors);
+    out.sort();
+    out
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<String>, errors: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            errors.push(format!("cannot read {}: {e}", dir.display()));
+            return;
+        }
+    };
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        match entry {
+            Ok(e) => paths.push(e.path()),
+            Err(e) => errors.push(format!("cannot read entry in {}: {e}", dir.display())),
+        }
+    }
+    paths.sort();
+    for p in paths {
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if p.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk_dir(root, &p, out, errors);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = p.strip_prefix(root) {
+                let rel: String = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Fixture tests: every rule in the catalogue has a firing fixture, an
+//! allowed-with-reason fixture, and false-positive guards (rule tokens in
+//! strings, comments, raw strings, and `#[cfg(test)]` code must not fire).
+
+use coachlm_lint::lint_source;
+use coachlm_lint::rules::Finding;
+use coachlm_lint::walk::FileClass;
+
+/// Lints a fixture file as if it lived at `as_path` in the workspace.
+fn lint_fixture(name: &str, as_path: &str) -> Vec<Finding> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture file readable");
+    lint_source(&FileClass::classify(as_path), &src)
+}
+
+fn rule_lines(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+const PROD: &str = "crates/core/src/fixture.rs";
+
+// --- D1 -------------------------------------------------------------------
+
+#[test]
+fn d1_fires_on_wall_clock_and_sleep() {
+    let f = lint_fixture("d1_fire.rs", PROD);
+    assert_eq!(rule_lines(&f), vec![("D1", 5), ("D1", 6), ("D1", 7)]);
+}
+
+#[test]
+fn d1_allowed_with_reason_is_clean() {
+    assert!(lint_fixture("d1_allowed.rs", PROD).is_empty());
+}
+
+#[test]
+fn d1_guard_strings_comments_and_cfg_test() {
+    assert!(lint_fixture("d1_guard.rs", PROD).is_empty());
+}
+
+#[test]
+fn d1_exempt_in_simtime_module() {
+    let f = lint_fixture("d1_fire.rs", "crates/runtime/src/simtime.rs");
+    assert!(f.is_empty());
+}
+
+#[test]
+fn d1_exempt_in_test_files() {
+    assert!(lint_fixture("d1_fire.rs", "crates/core/tests/fixture.rs").is_empty());
+}
+
+// --- D2 -------------------------------------------------------------------
+
+#[test]
+fn d2_fires_everywhere_even_in_cfg_test() {
+    let f = lint_fixture("d2_fire.rs", PROD);
+    assert_eq!(rule_lines(&f), vec![("D2", 5), ("D2", 13)]);
+}
+
+#[test]
+fn d2_fires_in_test_files_too() {
+    let f = lint_fixture("d2_fire.rs", "crates/core/tests/fixture.rs");
+    assert_eq!(rule_lines(&f), vec![("D2", 5), ("D2", 13)]);
+}
+
+#[test]
+fn d2_guard_strings_and_comments() {
+    assert!(lint_fixture("d2_guard.rs", PROD).is_empty());
+}
+
+// --- D3 -------------------------------------------------------------------
+
+#[test]
+fn d3_fires_on_map_iteration_including_aliases() {
+    let f = lint_fixture("d3_fire.rs", PROD);
+    assert_eq!(rule_lines(&f), vec![("D3", 7), ("D3", 8), ("D3", 13)]);
+}
+
+#[test]
+fn d3_allowed_collect_and_sort_is_clean() {
+    assert!(lint_fixture("d3_allowed.rs", PROD).is_empty());
+}
+
+#[test]
+fn d3_guard_btreemap_strings_and_cfg_test() {
+    assert!(lint_fixture("d3_guard.rs", PROD).is_empty());
+}
+
+// --- P1 -------------------------------------------------------------------
+
+#[test]
+fn p1_fires_on_panic_paths_and_user_data_indexing() {
+    let f = lint_fixture("p1_fire.rs", PROD);
+    assert_eq!(
+        rule_lines(&f),
+        vec![("P1", 9), ("P1", 10), ("P1", 12), ("P1", 14), ("P1", 15)]
+    );
+}
+
+#[test]
+fn p1_allowed_structural_invariant_is_clean() {
+    assert!(lint_fixture("p1_allowed.rs", PROD).is_empty());
+}
+
+#[test]
+fn p1_guard_strings_comments_and_cfg_test() {
+    assert!(lint_fixture("p1_guard.rs", PROD).is_empty());
+}
+
+#[test]
+fn p1_exempt_in_bench_crate_and_test_files() {
+    assert!(lint_fixture("p1_fire.rs", "crates/bench/src/bin/fixture.rs").is_empty());
+    assert!(lint_fixture("p1_fire.rs", "crates/core/tests/fixture.rs").is_empty());
+}
+
+// --- C1 -------------------------------------------------------------------
+
+#[test]
+fn c1_fires_on_raw_concurrency_outside_runtime() {
+    let f = lint_fixture("c1_fire.rs", PROD);
+    assert_eq!(rule_lines(&f), vec![("C1", 2), ("C1", 5), ("C1", 6)]);
+}
+
+#[test]
+fn c1_exempt_inside_runtime_crate() {
+    assert!(lint_fixture("c1_guard.rs", "crates/runtime/src/fixture.rs").is_empty());
+}
+
+#[test]
+fn c1_guard_fires_when_reclassified_as_production() {
+    // The same source IS a violation outside the runtime — the exemption is
+    // the path, not the pattern.
+    let f = lint_fixture("c1_guard.rs", PROD);
+    assert!(f.iter().all(|f| f.rule == "C1"));
+    assert!(!f.is_empty());
+}
+
+// --- A0 (directive hygiene) ----------------------------------------------
+
+#[test]
+fn a0_fires_on_unused_reasonless_and_unknown_allows() {
+    let f = lint_fixture("a0_bad_allows.rs", PROD);
+    assert_eq!(rule_lines(&f), vec![("A0", 4), ("A0", 5), ("A0", 7)]);
+}
+
+// --- diagnostics ----------------------------------------------------------
+
+#[test]
+fn json_output_escapes_and_lists_findings() {
+    let f = lint_fixture("d1_fire.rs", PROD);
+    let json = coachlm_lint::diag::render_json(&f, 1);
+    assert!(json.contains("\"violations\": 3"));
+    assert!(json.contains("\"rule\": \"D1\""));
+    assert!(json.contains("crates/core/src/fixture.rs"));
+}
+
+#[test]
+fn human_output_has_file_line_col_spans() {
+    let f = lint_fixture("d1_fire.rs", PROD);
+    let text = coachlm_lint::diag::render_human(&f, 1);
+    assert!(text.contains("crates/core/src/fixture.rs:5:"));
+    assert!(text.contains("[D1]"));
+}

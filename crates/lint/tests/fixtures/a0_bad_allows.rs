@@ -1,0 +1,9 @@
+// Directive hygiene: each of these allows is itself a violation.
+
+pub fn noop(maybe: Option<u32>) -> u32 {
+    let a = maybe.unwrap_or(0); // lint: allow(P1, reason = "nothing fires here, so this allow is unused")
+    // lint: allow(P1)
+    let b = maybe.unwrap_or(0);
+    let c = maybe.unwrap_or(0); // lint: allow(Z9, reason = "no such rule")
+    a + b + c
+}

@@ -1,0 +1,8 @@
+// C1 must fire on raw concurrency primitives outside crates/runtime.
+use std::sync::atomic::AtomicUsize; // line 2: fires
+
+pub fn roll_your_own() {
+    let handle = std::thread::spawn(|| 1 + 1); // line 5: fires
+    let _counter = AtomicUsize::new(0); // line 6: fires
+    let _ = handle.join();
+}

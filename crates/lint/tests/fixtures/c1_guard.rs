@@ -1,0 +1,15 @@
+// C1 must NOT fire here when this file is classified as part of
+// crates/runtime (the executor owns concurrency), nor on mentions in text.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn executor_internals() -> usize {
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        scope.spawn(|| next.fetch_add(1, Ordering::Relaxed));
+    });
+    next.load(Ordering::Relaxed)
+}
+
+pub fn doc() -> &'static str {
+    "outside the runtime, thread::spawn and AtomicUsize are banned"
+}

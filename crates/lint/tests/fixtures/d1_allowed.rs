@@ -1,0 +1,7 @@
+// A well-formed allow with a reason suppresses D1 on its line.
+use std::time::Instant;
+
+pub fn banner() {
+    let t0 = Instant::now(); // lint: allow(D1, reason = "stderr progress banner only; no output depends on it")
+    eprintln!("{:?}", t0.elapsed());
+}

@@ -1,0 +1,9 @@
+// D1 must fire on wall-clock reads and real sleeps in production code.
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn measure() -> Duration {
+    let start = Instant::now(); // line 5: fires
+    let _wall = SystemTime::now(); // line 6: fires
+    std::thread::sleep(Duration::from_millis(1)); // line 7: fires
+    start.elapsed()
+}

@@ -1,0 +1,22 @@
+// D1 must NOT fire: the pattern only appears in strings, comments, raw
+// strings, and #[cfg(test)] code.
+
+// A comment mentioning Instant::now() is not a violation.
+
+pub fn doc_strings() -> (&'static str, &'static str) {
+    let plain = "call Instant::now() to read the clock";
+    let raw = r#"SystemTime::now() and thread::sleep inside a raw string"#;
+    (plain, raw)
+}
+
+/* block comment: Instant::now() here is fine too */
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = Instant::now();
+    }
+}

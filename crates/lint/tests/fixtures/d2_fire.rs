@@ -1,0 +1,15 @@
+// D2 must fire on ambient randomness — even inside test code, because
+// test outcomes must replicate too.
+
+pub fn ambient() -> u64 {
+    let mut rng = rand::thread_rng(); // line 5: fires
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_not_exempt() {
+        let _rng = StdRng::from_entropy(); // line 13: fires
+    }
+}

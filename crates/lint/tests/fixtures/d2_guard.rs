@@ -1,0 +1,11 @@
+// D2 must NOT fire on mentions in strings and comments.
+
+// thread_rng and from_entropy in a comment are fine.
+
+pub fn describe() -> &'static str {
+    "never call thread_rng or from_entropy or OsRng in this workspace"
+}
+
+pub fn raw() -> &'static str {
+    r"getrandom is also banned, but this is a raw string"
+}

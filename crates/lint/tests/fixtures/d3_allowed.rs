@@ -1,0 +1,9 @@
+// Collect-and-sort is the sanctioned pattern; the allow documents it.
+use std::collections::HashMap;
+
+pub fn sorted_entries(m: &HashMap<String, u32>) -> Vec<(String, u32)> {
+    // lint: allow(D3, reason = "entries are collected and sorted by key on the next line")
+    let mut entries: Vec<_> = m.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    entries.sort();
+    entries
+}

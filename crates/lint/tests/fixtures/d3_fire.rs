@@ -1,0 +1,15 @@
+// D3 must fire on iteration over hash maps/sets in production code.
+use std::collections::{HashMap, HashSet};
+
+type Index = HashMap<String, u32>;
+
+pub fn leak_order(m: &HashMap<String, u32>, s: HashSet<u32>) -> Vec<String> {
+    let mut out: Vec<String> = m.keys().cloned().collect(); // line 7: fires
+    for v in &s {
+        // line 8: fires (for-loop over a tracked set)
+        out.push(v.to_string());
+    }
+    let idx = Index::new();
+    let _ = idx.iter(); // line 13: fires (through the type alias)
+    out
+}

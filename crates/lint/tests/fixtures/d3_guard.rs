@@ -1,0 +1,24 @@
+// D3 must NOT fire on ordered containers, on map mentions in text, or in
+// #[cfg(test)] code.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn btree_is_ordered(m: &BTreeMap<String, u32>) -> u32 {
+    m.values().sum()
+}
+
+pub fn just_words() -> &'static str {
+    "a HashMap iter() mention inside a string is not iteration"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_iteration_is_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (k, v) in &m {
+            let _ = (k, v);
+        }
+    }
+}

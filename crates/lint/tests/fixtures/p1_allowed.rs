@@ -1,0 +1,9 @@
+// A structural-invariant expect survives with a documented reason.
+
+pub fn first_stage(names: &[&str]) -> String {
+    names
+        .first()
+        // lint: allow(P1, reason = "callers construct the chain with at least one stage; an empty list is a construction bug, not a data condition")
+        .expect("non-empty chain")
+        .to_string()
+}

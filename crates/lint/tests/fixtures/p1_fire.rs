@@ -1,0 +1,17 @@
+// P1 must fire on panic paths in production code.
+
+pub struct Pair {
+    pub instruction: String,
+    pub response: String,
+}
+
+pub fn panicky(p: &Pair, maybe: Option<u32>) -> u32 {
+    let first = &p.instruction[0..1]; // line 9: fires (user-data indexing)
+    let tail = &p.response[1..]; // line 10: fires (user-data indexing)
+    if first.is_empty() && tail.is_empty() {
+        panic!("empty"); // line 12: fires
+    }
+    let a = maybe.unwrap(); // line 14: fires
+    let b = maybe.expect("present"); // line 15: fires
+    a + b
+}

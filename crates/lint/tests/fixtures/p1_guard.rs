@@ -1,0 +1,27 @@
+// P1 must NOT fire: mentions in strings/comments/raw strings, and real
+// panics in #[cfg(test)] code, are all fine.
+
+// A comment may say .unwrap() or panic!("...") freely.
+
+pub fn advice() -> (&'static str, &'static str) {
+    let plain = "never call .unwrap() or .expect(...) in a stage body";
+    let raw = r#"panic!("not a real panic, just a raw string")"#;
+    (plain, raw)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwrap_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let w: Option<u32> = Some(2);
+        assert_eq!(w.expect("set above"), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn test_panic_is_fine() {
+        panic!("expected");
+    }
+}

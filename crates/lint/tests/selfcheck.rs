@@ -1,0 +1,24 @@
+//! Self-check: the pass must run clean over the whole workspace. This is
+//! the test-suite mirror of the CI gate — if a determinism or panic-safety
+//! violation lands anywhere in the tree, this test fails with the exact
+//! file:line:col findings in the panic message.
+
+#[test]
+fn workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let run = coachlm_lint::run_lint(&root);
+    assert!(run.files_checked > 50, "walk found the workspace sources");
+    assert!(
+        run.io_errors.is_empty(),
+        "walk had IO errors: {:?}",
+        run.io_errors
+    );
+    assert!(
+        run.findings.is_empty(),
+        "lint violations in the workspace:\n{}",
+        coachlm_lint::diag::render_human(&run.findings, run.files_checked)
+    );
+}

@@ -137,11 +137,22 @@ impl Backbone {
     /// is bounded (template-derived texts dominate the hot path).
     pub fn fluency(&self, text: &str) -> f64 {
         const CACHE_CAP: usize = 100_000;
-        if let Some(&f) = self.fluency_cache.lock().unwrap().get(text) {
+        // A poisoned lock only means another thread panicked between lock
+        // and unlock; the map itself is always left coherent, so recover it
+        // rather than propagating the panic into this chain.
+        if let Some(&f) = self
+            .fluency_cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(text)
+        {
             return f;
         }
         let f = self.lm.fluency(text);
-        let mut cache = self.fluency_cache.lock().unwrap();
+        let mut cache = self
+            .fluency_cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         if cache.len() < CACHE_CAP {
             cache.insert(text.into(), f);
         }

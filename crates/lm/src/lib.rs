@@ -29,6 +29,7 @@
 //!   (greedy decode, beam size 1 as in §III-A3), with copy-mass competition
 //!   that reproduces the α-sweep behaviour of Fig 5(a).
 
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 pub mod adapter;

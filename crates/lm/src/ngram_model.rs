@@ -146,11 +146,13 @@ impl NgramLm {
                 continue;
             }
             if temperature <= f64::EPSILON {
-                return candidates
-                    .into_iter()
-                    .max_by(|a, b| a.1.total_cmp(&b.1))
-                    .map(|(s, _)| s)
-                    .expect("non-empty candidates");
+                // `candidates` is non-empty here, so `max_by` always yields;
+                // the `continue` (back off one more context level) is the
+                // panic-free fallback the type demands.
+                match candidates.into_iter().max_by(|a, b| a.1.total_cmp(&b.1)) {
+                    Some((s, _)) => return s,
+                    None => continue,
+                }
             }
             let weights: Vec<f64> = candidates
                 .iter()
@@ -164,7 +166,12 @@ impl NgramLm {
                 }
                 pick -= w;
             }
-            return candidates.last().expect("non-empty").0;
+            // Float rounding can walk `pick` past the final weight; the last
+            // candidate is the correct landing spot, and the non-empty check
+            // above guarantees one exists.
+            if let Some(&(last, _)) = candidates.last() {
+                return last;
+            }
         }
         self.vocab.eos()
     }

@@ -93,6 +93,7 @@ mod phrase_map_serde {
     type Map = FxHashMap<Vec<String>, (Vec<String>, u64)>;
 
     pub fn to_value(map: &Map) -> Value {
+        // lint: allow(D3, reason = "entries are collected and sorted by key on the next line before serialisation")
         let mut entries: Vec<_> = map.iter().collect();
         entries.sort_by(|a, b| a.0.cmp(b.0)); // deterministic output
         Value::Array(
@@ -184,15 +185,22 @@ impl RuleSet {
         self.phrase.get(from).map(|(to, c)| (to.as_slice(), *c))
     }
 
-    /// Iterates phrase rules as [`RewriteRule`]s (unordered).
-    pub fn phrase_rules(&self) -> impl Iterator<Item = RewriteRule> + '_ {
-        self.phrase.iter().map(|(from, (to, count))| RewriteRule {
-            action: RuleAction::Phrase {
-                from: from.clone(),
-                to: to.clone(),
-            },
-            count: *count,
-        })
+    /// Phrase rules as [`RewriteRule`]s, sorted by source phrase so the
+    /// listing is deterministic regardless of hash-map layout.
+    pub fn phrase_rules(&self) -> Vec<RewriteRule> {
+        // lint: allow(D3, reason = "entries are collected and sorted by source phrase before being returned")
+        let mut entries: Vec<_> = self.phrase.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries
+            .into_iter()
+            .map(|(from, (to, count))| RewriteRule {
+                action: RuleAction::Phrase {
+                    from: from.clone(),
+                    to: to.clone(),
+                },
+                count: *count,
+            })
+            .collect()
     }
 
     /// Material learned for an augment kind, with its support count.
@@ -205,6 +213,7 @@ impl RuleSet {
     /// Longest phrase-rule source length present (decoding scans windows up
     /// to this size).
     pub fn max_from_len(&self) -> usize {
+        // lint: allow(D3, reason = "max over key lengths is commutative; visit order cannot change the result")
         self.phrase.keys().map(Vec::len).max().unwrap_or(0)
     }
 
@@ -214,6 +223,7 @@ impl RuleSet {
         if self.phrase.len() <= capacity {
             return;
         }
+        // lint: allow(D3, reason = "drained entries are fully sorted by (support, phrase) on the next line")
         let mut rules: Vec<PhraseEntry> = self.phrase.drain().collect();
         // Sort by support desc, then by source phrase for determinism.
         rules.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then_with(|| a.0.cmp(&b.0)));

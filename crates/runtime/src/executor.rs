@@ -4,6 +4,7 @@ use crate::fault::{
     FailureKind, FailureRecord, Fault, FaultPlan, Quarantine, QuarantinedPair, RetryPolicy,
 };
 use crate::report::StageReport;
+use crate::simtime::Stopwatch;
 use crate::stage::{Stage, StageCtx, StageItem, StageOutcome};
 use coachlm_data::{Dataset, InstructionPair};
 use coachlm_text::fxhash::FxHasher;
@@ -14,7 +15,7 @@ use std::collections::BTreeMap;
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How workers claim items.
 ///
@@ -168,10 +169,13 @@ impl ChainOutput {
         Quarantine {
             name: name.into(),
             items: self
-                .quarantined()
-                .map(|i| QuarantinedPair {
-                    pair: i.pair.clone(),
-                    failure: i.failure.clone().expect("quarantined items carry a record"),
+                .items
+                .iter()
+                .filter_map(|i| {
+                    i.failure.as_ref().map(|failure| QuarantinedPair {
+                        pair: i.pair.clone(),
+                        failure: failure.clone(),
+                    })
                 })
                 .collect(),
         }
@@ -283,10 +287,7 @@ impl Executor {
                             .chunks_mut(chunk_size)
                             .map(|chunk| scope.spawn(|| run_worker_static(&env, chunk)))
                             .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("executor worker panicked"))
-                            .collect()
+                        handles.into_iter().map(join_worker).collect()
                     })
                 }
                 Schedule::Dynamic => {
@@ -309,21 +310,25 @@ impl Executor {
                                     loop {
                                         let i = next.fetch_add(1, Ordering::Relaxed);
                                         let Some(slot) = queue.get(i) else { break };
-                                        let chunk = slot
+                                        // A poisoned lock only means another
+                                        // worker panicked mid-claim; the
+                                        // Option inside is still coherent.
+                                        let claimed = slot
                                             .lock()
-                                            .expect("chunk mutex poisoned")
-                                            .take()
-                                            .expect("chunk claimed exactly once");
+                                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                            .take();
+                                        // The atomic counter hands each slot
+                                        // index out once, so `None` cannot
+                                        // occur; skipping is still the safe
+                                        // response.
+                                        let Some(chunk) = claimed else { continue };
                                         process_items(&env, chunk, &mut cache, &mut per_stage);
                                     }
                                     finish_worker(cache, per_stage)
                                 })
                             })
                             .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("executor worker panicked"))
-                            .collect()
+                        handles.into_iter().map(join_worker).collect()
                     })
                 }
             }
@@ -451,9 +456,9 @@ fn process_items(
                             cache,
                             counters: &mut stats.counters,
                         };
-                        let start = Instant::now();
+                        let watch = Stopwatch::start();
                         let o = stage.process(item, &mut ctx);
-                        stats.time += start.elapsed();
+                        stats.time += watch.elapsed();
                         o
                     }
                 };
@@ -505,6 +510,14 @@ fn run_worker_static(env: &ChainEnv<'_, '_>, chunk: &mut [StageItem]) -> WorkerS
     let mut per_stage: Vec<StageStats> = env.stages.iter().map(|_| StageStats::default()).collect();
     process_items(env, chunk, &mut cache, &mut per_stage);
     finish_worker(cache, per_stage)
+}
+
+/// Joins a worker thread, re-raising its panic payload (if any) on the
+/// caller's thread instead of wrapping it in a second panic message.
+fn join_worker(handle: std::thread::ScopedJoinHandle<'_, WorkerStats>) -> WorkerStats {
+    handle
+        .join()
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
 }
 
 fn finish_worker(cache: TokenCache, per_stage: Vec<StageStats>) -> WorkerStats {

@@ -214,6 +214,7 @@ pub struct QuarantinedPair {
 /// quarantine serialises to JSON so a later batch (or a human) can re-run
 /// exactly the failed pairs.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[must_use]
 pub struct Quarantine {
     /// Name of the quarantine set (conventionally `{input}-quarantine`).
     pub name: String,

@@ -49,11 +49,13 @@
 //! partition the input exactly (`tests/fault_injection.rs` property-tests
 //! this).
 
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod executor;
 mod fault;
 mod report;
+pub mod simtime;
 mod stage;
 
 pub use executor::{ChainOutput, Executor, ExecutorConfig, Schedule};

@@ -12,6 +12,7 @@ use std::time::Duration;
 /// stage time with the deterministic simulated portion, so it varies run
 /// to run by the measured part only.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[must_use]
 pub struct StageReport {
     /// The stage's [`name`](crate::Stage::name).
     pub stage: String,

@@ -1,0 +1,43 @@
+//! The runtime's time module — the single place in the workspace allowed
+//! to touch wall-clock primitives.
+//!
+//! Lint rule D1 bans `Instant::now`/`SystemTime::now`/`thread::sleep`
+//! everywhere except this file, so every time source a stage or report can
+//! observe is funnelled through here. Two kinds of time exist in the
+//! runtime:
+//!
+//! * **Measured time** — how long a stage body actually took. Informational
+//!   only: it feeds [`crate::StageReport::cpu_time`] and throughput numbers,
+//!   and is the one field the determinism contract explicitly excludes.
+//!   [`Stopwatch`] is the only way to obtain it.
+//! * **Simulated time** — backoff and injected latency. These are computed
+//!   [`Duration`] values (never slept), so chaos runs replicate bit-for-bit
+//!   and a retry storm costs no wall clock. They are accounted by the
+//!   executor directly and never pass through this module.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic stopwatch for measuring stage-body execution time.
+///
+/// This is deliberately the only wall-clock handle in the workspace: code
+/// that holds a `Stopwatch` can measure a span but cannot branch on the
+/// absolute time of day, which keeps outputs independent of when a run
+/// happens.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts measuring now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}

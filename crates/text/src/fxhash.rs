@@ -34,7 +34,11 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
-            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+            // chunks_exact(8) guarantees 8-byte slices; copy into a fixed
+            // buffer instead of a fallible try_into.
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {

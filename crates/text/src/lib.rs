@@ -24,6 +24,7 @@
 //!   repeated-string collapsing.
 //! * [`fxhash`] — a fast, non-cryptographic hasher for internal maps.
 
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 pub mod clean;

@@ -18,6 +18,13 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --offline --release --workspace
 
+# Static invariants: the determinism & panic-safety rule catalogue
+# (D1/D2/D3/P1/C1 — see DESIGN.md "Static invariants") over every workspace
+# source file. Nonzero exit on any unallowed violation gates the run; the
+# JSON report is the committed baseline artifact.
+echo "==> coachlm-lint (determinism & panic-safety pass)"
+cargo run --offline -p coachlm-lint --release -- --format json --out results/lint.json
+
 echo "==> cargo test"
 cargo test --offline --workspace -q
 

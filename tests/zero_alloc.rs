@@ -5,10 +5,14 @@
 //! **zero** heap allocations per query. A counting `#[global_allocator]`
 //! makes that measurable instead of aspirational.
 //!
-//! This file holds a single `#[test]` on purpose: the allocator counter is
-//! process-global, and a concurrently running sibling test would pollute it.
+//! Counting is gated on a thread-local flag set only around the measured
+//! closure: the allocator hook is process-global, and the libtest harness's
+//! main thread occasionally allocates (channel wakeups) while a test runs,
+//! which must not be attributed to the single-threaded hot path. For the
+//! same reason this file holds a single `#[test]` on purpose.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -16,14 +20,32 @@ use coachlm::lm::ngram_model::NgramLm;
 use coachlm::text::editdist::WordDistance;
 use coachlm::text::intern::Sym;
 
-/// Wraps the system allocator, counting every `alloc`/`realloc` call.
+/// Wraps the system allocator, counting every `alloc`/`realloc` call made
+/// by the thread currently inside [`allocations`].
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// True only on the measuring thread, only inside [`allocations`].
+    ///
+    /// Const-initialized `Cell<bool>` compiles to a plain TLS slot read:
+    /// no lazy init and no allocation, so it is safe to touch from inside
+    /// the allocator itself.
+    static MEASURING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_if_measuring() {
+    // `try_with` rather than `with`: allocations during thread teardown
+    // (after the TLS slot is gone) should be ignored, not panic.
+    if MEASURING.try_with(Cell::get).unwrap_or(false) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_if_measuring();
         System.alloc(layout)
     }
 
@@ -32,7 +54,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_if_measuring();
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -40,10 +62,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Runs `f` and returns how many heap allocations it made.
+/// Runs `f` and returns how many heap allocations it made on this thread.
 fn allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
+    MEASURING.with(|m| m.set(true));
     let out = f();
+    MEASURING.with(|m| m.set(false));
     (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
 }
 
