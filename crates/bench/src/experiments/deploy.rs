@@ -3,12 +3,34 @@
 use super::Experiment;
 use crate::format::{f1, f2, pct, Table};
 use crate::world::ExperimentWorld;
-use coachlm_core::pipeline::compare_deployment;
+use coachlm_core::pipeline::{compare_deployment, run_batch, PipelineReport};
 use coachlm_data::generator::{generate, GeneratorConfig};
+use coachlm_runtime::{BreakerPolicy, FaultPlan};
 use serde_json::json;
+use std::time::Duration;
 
 /// Deployment experiment.
 pub struct Deploy;
+
+/// The latency-storm cell: every CoachRevise attempt suffers a spike far
+/// past its 5 s deadline budget with this probability, modelling an
+/// inference backend brown-out. An item only fails after all three
+/// attempts time out, so the per-item failure rate is roughly the cube of
+/// this; 0.8 keeps whole breaker windows above the trip threshold.
+const STORM_LATENCY_RATE: f64 = 0.8;
+
+/// The injected spike: double the revise stage's deadline budget, so every
+/// struck attempt times out rather than merely running slow.
+const STORM_SPIKE: Duration = Duration::from_secs(10);
+
+fn storm_breaker() -> BreakerPolicy {
+    BreakerPolicy::new()
+        .window(64)
+        .trip_ratio(0.25)
+        .min_failures(8)
+        .cooldown_epochs(1)
+        .probes(8)
+}
 
 impl Experiment for Deploy {
     fn id(&self) -> &'static str {
@@ -31,39 +53,81 @@ impl Experiment for Deploy {
         let cmp = compare_deployment(&world.coach, &raw, &world.exec_config(0xDE))
             .expect("deploy chain always includes the expert-annotate stage");
 
+        // The overload cell: the same assisted batch under an inference
+        // brown-out. Timeouts exhaust retries into quarantine until the
+        // CoachRevise breaker trips; from then on pairs pass through
+        // unrevised (degraded) instead of stalling the platform, and the
+        // expert annotators absorb them as ordinary unrevised pairs.
+        let storm_config = world
+            .exec_config(0xDE)
+            .fault_plan(
+                FaultPlan::new(world.seed ^ 0x5702).latency(STORM_LATENCY_RATE, STORM_SPIKE),
+            )
+            .breaker(storm_breaker());
+        let storm = run_batch(Some(&world.coach), &raw, &storm_config)
+            .expect("storm chain always includes the expert-annotate stage");
+
         let mut table = Table::new([
             "Batch",
             "Human-revised",
             "Post-edited",
             "Quarantined",
+            "Degraded",
             "Retries",
+            "Timeouts",
             "Person-days",
             "Pairs/person-day",
         ]);
-        for r in [&cmp.manual, &cmp.assisted] {
+        for (label, r) in [
+            ("manual", &cmp.manual),
+            ("with CoachLM", &cmp.assisted),
+            ("CoachLM + latency storm", &storm),
+        ] {
             table.row([
-                if r.with_coachlm {
-                    "with CoachLM"
-                } else {
-                    "manual"
-                }
-                .to_string(),
+                label.to_string(),
                 r.human_revised.to_string(),
                 r.post_edited.to_string(),
                 r.quarantined.to_string(),
+                r.degraded.to_string(),
                 r.retries.to_string(),
+                total_timeouts(r).to_string(),
                 f1(r.person_days),
                 f1(r.pairs_per_person_day),
             ]);
         }
+        let mut breaker_lines: Vec<String> = storm
+            .breaker_events
+            .iter()
+            .take(8)
+            .map(|e| {
+                format!(
+                    "  epoch {:>3}  {}  {:?} -> {:?}",
+                    e.epoch, e.stage, e.from, e.to
+                )
+            })
+            .collect();
+        if storm.breaker_events.len() > 8 {
+            breaker_lines.push(format!(
+                "  ... {} more transitions (persistent brown-out: the breaker keeps probing)",
+                storm.breaker_events.len() - 8
+            ));
+        }
         let report = format!(
             "{}\nraw batch: {} pairs\nefficiency gain: {} (paper: net 15-20%, ~80 -> ~100 pairs/person-day)\n\
-             CoachLM inference: {} samples/s on {} CPU threads (paper: 1.19 samples/s on one A100, batch 32)\n{}",
+             CoachLM inference: {} samples/s on {} CPU threads (paper: 1.19 samples/s on one A100, batch 32)\n\
+             storm cell: {:.0}% latency faults of {:?} vs a 5s revise budget; breaker transitions:\n{}\n{}",
             self.title(),
             raw.len(),
             pct(cmp.efficiency_gain()),
             f2(cmp.assisted.coachlm_samples_per_sec),
             world.threads,
+            STORM_LATENCY_RATE * 100.0,
+            STORM_SPIKE,
+            if breaker_lines.is_empty() {
+                "  (none)".to_string()
+            } else {
+                breaker_lines.join("\n")
+            },
             table.render()
         );
         let json = json!({
@@ -75,9 +139,20 @@ impl Experiment for Deploy {
                           "quarantined": cmp.assisted.quarantined, "retries": cmp.assisted.retries,
                           "samples_per_sec": cmp.assisted.coachlm_samples_per_sec,
                           "stages": cmp.assisted.stage_summaries},
+            "storm": {"person_days": storm.person_days, "rate": storm.pairs_per_person_day,
+                       "quarantined": storm.quarantined, "degraded": storm.degraded,
+                       "retries": storm.retries, "timeouts": total_timeouts(&storm),
+                       "breaker_events": storm.breaker_events,
+                       "latency_rate": STORM_LATENCY_RATE,
+                       "spike_secs": STORM_SPIKE.as_secs_f64(),
+                       "stages": storm.stage_summaries},
             "efficiency_gain": cmp.efficiency_gain(),
             "paper": {"gain_low": 0.15, "gain_high": 0.20, "samples_per_sec_a100": 1.19},
         });
         (report, json)
     }
+}
+
+fn total_timeouts(r: &PipelineReport) -> u64 {
+    r.stage_summaries.iter().map(|s| s.timeouts).sum()
 }

@@ -57,6 +57,13 @@ impl Stage for CleanStage {
         item.pair.instruction = instruction;
         StageOutcome::Ok
     }
+
+    fn deadline(&self) -> Option<std::time::Duration> {
+        // In-process string surgery: generous, so a platform-wide latency
+        // storm aimed at the LLM stages doesn't also time this out — it
+        // exists only to bound a genuine hang.
+        Some(std::time::Duration::from_secs(30))
+    }
 }
 
 /// Builds the Alpaca-cleaned dataset: surface-level rule cleaning only.
@@ -101,6 +108,12 @@ impl Stage for AlpaGasusStage<'_> {
             ctx.bump("dropped");
         }
         StageOutcome::Ok
+    }
+
+    fn deadline(&self) -> Option<std::time::Duration> {
+        // Modelled LLM-judge call: the per-request budget the platform
+        // would grant a real ChatGPT rating before retrying.
+        Some(std::time::Duration::from_secs(5))
     }
 }
 
@@ -148,6 +161,11 @@ impl Stage for HumanMergeStage {
             ctx.bump("merged");
         }
         StageOutcome::Ok
+    }
+
+    fn deadline(&self) -> Option<std::time::Duration> {
+        // A map lookup plus a clone.
+        Some(std::time::Duration::from_secs(2))
     }
 }
 

@@ -19,7 +19,8 @@ use crate::coach::CoachLm;
 use coachlm_data::pair::Dataset;
 use coachlm_lm::transducer::RepairTag;
 use coachlm_runtime::{
-    ChainOutput, Executor, ExecutorConfig, Stage, StageCtx, StageItem, StageOutcome,
+    ChainOutput, Executor, ExecutorConfig, Journal, JournalError, Stage, StageCtx, StageItem,
+    StageOutcome,
 };
 use coachlm_text::clean;
 use coachlm_text::fxhash::{FxHashMap, FxHashSet};
@@ -43,6 +44,11 @@ pub struct RevisedDataset {
     /// Pairs quarantined by failing stages (0 outside fault-injection runs);
     /// they are absent from [`dataset`](Self::dataset).
     pub quarantined: usize,
+    /// Pairs passed through unrevised because the revise stage's circuit
+    /// breaker was open (0 unless the config enables a breaker). They stay
+    /// in [`dataset`](Self::dataset) with their original text, like the
+    /// §III-B1 leakage pairs.
+    pub degraded: usize,
 }
 
 impl RevisedDataset {
@@ -69,6 +75,7 @@ impl RevisedDataset {
             responses_changed: report.counter("response-changed") as usize,
             repair_counts,
             quarantined: out.total_quarantined(),
+            degraded: out.total_degraded(),
         }
     }
 }
@@ -132,6 +139,12 @@ impl Stage for CoachReviseStage<'_> {
         }
         StageOutcome::Ok
     }
+
+    fn deadline(&self) -> Option<std::time::Duration> {
+        // Modelled inference call: the per-pair generation budget the
+        // deployment grants CoachLM before timing the item out.
+        Some(std::time::Duration::from_secs(5))
+    }
 }
 
 /// Revises a whole dataset (Eq. 2) on the shared executor. Pairs in
@@ -141,6 +154,23 @@ pub fn revise_dataset(coach: &CoachLm, input: &Dataset, config: &ExecutorConfig)
     let stages: Vec<Box<dyn Stage + '_>> = vec![Box::new(CoachReviseStage::new(coach))];
     let out = Executor::new(config.clone()).run_dataset(&stages, input);
     RevisedDataset::from_chain(&out, &input.name)
+}
+
+/// Revises a whole dataset like [`revise_dataset`], journaling every
+/// committed pair so a crashed sweep resumes instead of restarting: call
+/// it again with a journal recovered by [`Journal::open`] and the same
+/// input and config, and only the uncommitted frontier re-runs. The
+/// result is identical to an uninterrupted [`revise_dataset`] in every
+/// deterministic field.
+pub fn revise_dataset_journaled(
+    coach: &CoachLm,
+    input: &Dataset,
+    config: &ExecutorConfig,
+    journal: &mut Journal,
+) -> Result<RevisedDataset, JournalError> {
+    let stages: Vec<Box<dyn Stage + '_>> = vec![Box::new(CoachReviseStage::new(coach))];
+    let out = Executor::new(config.clone()).run_journaled(&stages, input.pairs.clone(), journal)?;
+    Ok(RevisedDataset::from_chain(&out, &input.name))
 }
 
 #[cfg(test)]

@@ -18,17 +18,21 @@ use coachlm_expert::cost::{Throughputs, Workload};
 use coachlm_expert::pool::ExpertPool;
 use coachlm_expert::revision::ExpertReviser;
 use coachlm_runtime::{
-    ChainOutput, Executor, ExecutorConfig, Stage, StageCtx, StageItem, StageOutcome, StageReport,
+    BreakerEvent, ChainOutput, Executor, ExecutorConfig, Journal, JournalError, Stage, StageCtx,
+    StageItem, StageOutcome, StageReport,
 };
 use serde::Serialize;
 use std::fmt;
 
 /// Why a pipeline batch could not produce a report.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub enum PipelineError {
     /// The chain ran but produced no report for the named stage — the chain
     /// was assembled without it, so the batch accounting would be wrong.
     MissingStageReport(&'static str),
+    /// A journaled batch could not use its crash journal (incompatible
+    /// with this run, or journal IO failed).
+    Journal(JournalError),
 }
 
 impl fmt::Display for PipelineError {
@@ -37,11 +41,18 @@ impl fmt::Display for PipelineError {
             PipelineError::MissingStageReport(stage) => {
                 write!(f, "pipeline chain produced no report for stage `{stage}`")
             }
+            PipelineError::Journal(e) => write!(f, "pipeline crash journal: {e}"),
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
+
+impl From<JournalError> for PipelineError {
+    fn from(e: JournalError) -> Self {
+        PipelineError::Journal(e)
+    }
+}
 
 /// Production annotation throughputs (pairs/person-day), calibrated so the
 /// manual batch lands near the paper's ~80 pairs/person-day.
@@ -106,6 +117,12 @@ impl Stage for ExpertAnnotateStage {
         }
         StageOutcome::Ok
     }
+
+    fn deadline(&self) -> Option<std::time::Duration> {
+        // Human annotation: generous — experts are slow but don't hang,
+        // so only a pathological stall should time a pair out.
+        Some(std::time::Duration::from_secs(30))
+    }
 }
 
 /// A serialisable slice of a [`StageReport`].
@@ -121,6 +138,12 @@ pub struct StageSummary {
     pub quarantined: usize,
     /// Retry attempts the executor spent on the stage.
     pub retries: u64,
+    /// Attempts cut short because injected latency blew the stage's
+    /// deadline budget.
+    pub timeouts: u64,
+    /// Items the stage passed through unrevised because its circuit
+    /// breaker was open.
+    pub degraded: usize,
     /// Time attributed to the stage (measured + simulated), summed across
     /// workers.
     pub cpu_seconds: f64,
@@ -136,6 +159,8 @@ impl From<&StageReport> for StageSummary {
             items_out: r.items_out,
             quarantined: r.quarantined,
             retries: r.retries,
+            timeouts: r.timeouts,
+            degraded: r.degraded,
             cpu_seconds: r.cpu_time.as_secs_f64(),
             samples_per_sec: r.samples_per_sec(),
         }
@@ -170,6 +195,17 @@ pub struct PipelineReport {
     pub retries: u64,
     /// Pairs deliberately discarded by stages (filtering, not failure).
     pub dropped: usize,
+    /// Pairs that passed through at least one tripped stage unrevised
+    /// (the §III-B1 leakage fallback as overload protection), summed
+    /// across stages. They stay in the output but contribute nothing to
+    /// revision quality — the cost of keeping the pipeline flowing.
+    pub degraded: usize,
+    /// Circuit-breaker transitions across the batch, in (epoch, stage)
+    /// order; empty unless the executor config set a breaker policy.
+    pub breaker_events: Vec<BreakerEvent>,
+    /// Pairs replayed from a crash journal rather than re-executed (0 for
+    /// un-journaled batches and fresh journals).
+    pub replayed: usize,
     /// Per-stage execution summaries, in chain order.
     pub stage_summaries: Vec<StageSummary>,
     /// Final dataset after the batch.
@@ -219,10 +255,30 @@ impl PipelineReport {
             quarantined: out.total_quarantined(),
             retries: out.total_retries(),
             dropped: out.dropped().count(),
+            degraded: out.total_degraded(),
+            breaker_events: out.breaker_events.clone(),
+            replayed: out.replayed,
             stage_summaries: out.reports.iter().map(StageSummary::from).collect(),
             output,
         })
     }
+}
+
+/// Builds the pipeline's stage chain: Clean → (optional) CoachRevise →
+/// ExpertAnnotate.
+fn batch_stages<'a>(
+    coach: Option<&'a CoachLm>,
+    config: &ExecutorConfig,
+) -> Vec<Box<dyn Stage + 'a>> {
+    let mut stages: Vec<Box<dyn Stage + '_>> = vec![Box::new(CleanStage)];
+    if let Some(c) = coach {
+        stages.push(Box::new(CoachReviseStage::new(c)));
+    }
+    stages.push(Box::new(ExpertAnnotateStage::new(
+        config.seed() ^ 0xA11CE,
+        coach.is_some(),
+    )));
+    stages
 }
 
 /// Runs one batch through the platform.
@@ -238,15 +294,26 @@ pub fn run_batch(
     raw: &Dataset,
     config: &ExecutorConfig,
 ) -> Result<PipelineReport, PipelineError> {
-    let mut stages: Vec<Box<dyn Stage + '_>> = vec![Box::new(CleanStage)];
-    if let Some(c) = coach {
-        stages.push(Box::new(CoachReviseStage::new(c)));
-    }
-    stages.push(Box::new(ExpertAnnotateStage::new(
-        config.seed() ^ 0xA11CE,
-        coach.is_some(),
-    )));
+    let stages = batch_stages(coach, config);
     let out = Executor::new(config.clone()).run_dataset(&stages, raw);
+    PipelineReport::from_chain(&out, raw, coach.is_some())
+}
+
+/// Runs one batch like [`run_batch`], journaling every committed pair to
+/// `journal` so a crashed batch can be resumed.
+///
+/// Call it again with a journal recovered by [`Journal::open`] and the
+/// same raw data and config: committed pairs replay instead of
+/// re-executing ([`PipelineReport::replayed`] counts them) and the report
+/// is identical to an uninterrupted batch in every deterministic field.
+pub fn run_batch_journaled(
+    coach: Option<&CoachLm>,
+    raw: &Dataset,
+    config: &ExecutorConfig,
+    journal: &mut Journal,
+) -> Result<PipelineReport, PipelineError> {
+    let stages = batch_stages(coach, config);
+    let out = Executor::new(config.clone()).run_journaled(&stages, raw.pairs.clone(), journal)?;
     PipelineReport::from_chain(&out, raw, coach.is_some())
 }
 
@@ -372,6 +439,40 @@ mod tests {
             .all(|s| s.items_in == raw.len()));
         let manual = run_batch(None, &raw, &config(2, 4)).unwrap();
         assert_eq!(manual.stage_summaries.len(), 2);
+    }
+
+    #[test]
+    fn journaled_batch_resumes_to_the_same_report() {
+        use coachlm_runtime::{FaultPlan, Journal};
+        let c = coach(6);
+        let (raw, _) = generate(&GeneratorConfig::small(200, 47));
+        let cfg = config(8, 4).fault_plan(FaultPlan::new(13).transient(0.15).permanent(0.03));
+        let golden = run_batch(Some(&c), &raw, &cfg).unwrap();
+
+        let path = std::env::temp_dir().join(format!(
+            "coachlm-pipeline-journal-{}.wal",
+            std::process::id()
+        ));
+        let mut journal = Journal::create(&path).unwrap();
+        run_batch_journaled(Some(&c), &raw, &cfg, &mut journal).unwrap();
+        let spans = journal.record_spans().to_vec();
+        drop(journal);
+
+        // Kill the batch halfway through its committed records and resume.
+        let cut = spans[spans.len() / 2].0 + 1;
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..cut as usize]).unwrap();
+        let mut recovered = Journal::open(&path).unwrap();
+        let resumed = run_batch_journaled(Some(&c), &raw, &cfg, &mut recovered).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert!(resumed.replayed > 0);
+        assert_eq!(resumed.output, golden.output);
+        assert_eq!(resumed.quarantined, golden.quarantined);
+        assert_eq!(resumed.retries, golden.retries);
+        assert_eq!(resumed.human_revised, golden.human_revised);
+        assert_eq!(resumed.post_edited, golden.post_edited);
+        assert_eq!(resumed.person_days, golden.person_days);
     }
 
     #[test]

@@ -159,6 +159,11 @@ impl Stage for PreliminaryFilterStage {
         }
         StageOutcome::Ok
     }
+
+    fn deadline(&self) -> Option<std::time::Duration> {
+        // Heuristic string matching only.
+        Some(std::time::Duration::from_secs(2))
+    }
 }
 
 /// Runs the preliminary filter over a dataset on the shared executor.

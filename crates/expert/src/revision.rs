@@ -124,6 +124,11 @@ impl Stage for ExpertReviseStage<'_> {
         }
         StageOutcome::Ok
     }
+
+    fn deadline(&self) -> Option<std::time::Duration> {
+        // Budget for one modelled expert revision of a pair.
+        Some(std::time::Duration::from_secs(5))
+    }
 }
 
 impl ExpertReviser {

@@ -129,6 +129,11 @@ impl Stage for ChatGptRatingStage<'_> {
         }
         StageOutcome::Ok
     }
+
+    fn deadline(&self) -> Option<std::time::Duration> {
+        // Modelled LLM-judge call: per-request budget before a retry.
+        Some(std::time::Duration::from_secs(5))
+    }
 }
 
 /// Box–Muller standard normal from a uniform RNG.

@@ -15,7 +15,7 @@ use crate::walk::FileClass;
 pub const RULES: &[(&str, &str)] = &[
     (
         "D1",
-        "no wall-clock reads or real sleeps outside the runtime's simulated-time module",
+        "no wall-clock reads, filesystem timestamps, or real sleeps outside the runtime's simulated-time module",
     ),
     (
         "D2",
@@ -161,6 +161,29 @@ fn rule_d1(class: &FileClass, toks: &[Tok], in_test: &[bool], out: &mut Vec<Find
                 ),
             ));
         }
+        // Any other mention of `SystemTime` (imports, type positions,
+        // `SystemTime::UNIX_EPOCH`): wall-clock timestamps must not leak
+        // into journal records or anything else replayed on resume.
+        else if t.text == "SystemTime" {
+            out.push(finding(
+                "D1",
+                class,
+                t,
+                "`SystemTime` carries wall-clock timestamps; journaled state must stay \
+                 replayable, use the runtime's simulated time"
+                    .to_string(),
+            ));
+        }
+        if t.text == "UNIX_EPOCH" {
+            out.push(finding(
+                "D1",
+                class,
+                t,
+                "`UNIX_EPOCH` anchors wall-clock timestamps; journaled state must stay \
+                 replayable, use the runtime's simulated time"
+                    .to_string(),
+            ));
+        }
         // `thread::sleep(..)` / `sleep(..)` via `std::thread::sleep` path
         if t.text == "thread" && is_punct(toks, i + 1, "::") && is_ident(toks, i + 2, "sleep") {
             out.push(finding(
@@ -169,6 +192,27 @@ fn rule_d1(class: &FileClass, toks: &[Tok], in_test: &[bool], out: &mut Vec<Find
                 t,
                 "`thread::sleep` blocks on real time; model latency via the fault plan".to_string(),
             ));
+        }
+    }
+    // Filesystem timestamp reads: `meta.modified()` / `.created()` /
+    // `.accessed()` are wall-clock values by another door — a journal that
+    // recorded them could never replay bit-identically.
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        for m in ["modified", "created", "accessed"] {
+            if is_method_call(toks, i, m) {
+                out.push(finding(
+                    "D1",
+                    class,
+                    &toks[i + 1],
+                    format!(
+                        "`.{m}()` reads a filesystem timestamp (wall clock); journaled state \
+                         must stay replayable"
+                    ),
+                ));
+            }
         }
     }
 }

@@ -26,7 +26,19 @@ const PROD: &str = "crates/core/src/fixture.rs";
 #[test]
 fn d1_fires_on_wall_clock_and_sleep() {
     let f = lint_fixture("d1_fire.rs", PROD);
-    assert_eq!(rule_lines(&f), vec![("D1", 5), ("D1", 6), ("D1", 7)]);
+    assert_eq!(
+        rule_lines(&f),
+        vec![
+            ("D1", 2),  // SystemTime import
+            ("D1", 5),  // Instant::now()
+            ("D1", 6),  // SystemTime::now() — one finding, not two
+            ("D1", 7),  // thread::sleep
+            ("D1", 12), // .modified()
+            ("D1", 13), // .created()
+            ("D1", 14), // .accessed()
+            ("D1", 15), // UNIX_EPOCH
+        ]
+    );
 }
 
 #[test]
@@ -150,7 +162,7 @@ fn a0_fires_on_unused_reasonless_and_unknown_allows() {
 fn json_output_escapes_and_lists_findings() {
     let f = lint_fixture("d1_fire.rs", PROD);
     let json = coachlm_lint::diag::render_json(&f, 1);
-    assert!(json.contains("\"violations\": 3"));
+    assert!(json.contains("\"violations\": 8"));
     assert!(json.contains("\"rule\": \"D1\""));
     assert!(json.contains("crates/core/src/fixture.rs"));
 }

@@ -1,9 +1,17 @@
-// D1 must fire on wall-clock reads and real sleeps in production code.
-use std::time::{Duration, Instant, SystemTime};
+// D1 must fire on wall-clock reads, timestamps, and real sleeps.
+use std::time::{Duration, Instant, SystemTime}; // line 2: fires (SystemTime)
 
 pub fn measure() -> Duration {
     let start = Instant::now(); // line 5: fires
-    let _wall = SystemTime::now(); // line 6: fires
+    let _wall = SystemTime::now(); // line 6: fires (once — not twice)
     std::thread::sleep(Duration::from_millis(1)); // line 7: fires
     start.elapsed()
+}
+
+pub fn stamps(meta: &std::fs::Metadata) -> bool {
+    let m = meta.modified(); // line 12: fires
+    let c = meta.created(); // line 13: fires
+    let a = meta.accessed(); // line 14: fires
+    let _epoch = std::time::UNIX_EPOCH; // line 15: fires
+    m.is_ok() && c.is_ok() && a.is_ok()
 }

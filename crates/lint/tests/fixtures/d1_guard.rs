@@ -1,22 +1,32 @@
 // D1 must NOT fire: the pattern only appears in strings, comments, raw
-// strings, and #[cfg(test)] code.
+// strings, #[cfg(test)] code, or as plain identifiers that are not the
+// banned calls.
 
 // A comment mentioning Instant::now() is not a violation.
+// Neither is meta.modified() or SystemTime::UNIX_EPOCH in a comment.
 
 pub fn doc_strings() -> (&'static str, &'static str) {
     let plain = "call Instant::now() to read the clock";
-    let raw = r#"SystemTime::now() and thread::sleep inside a raw string"#;
+    let raw = r#"SystemTime::now() and .accessed() inside a raw string"#;
     (plain, raw)
 }
 
 /* block comment: Instant::now() here is fine too */
 
+// `modified`/`created`/`accessed` as ordinary names are not timestamp
+// reads — only the method-call form fires.
+pub fn named_fields(modified: bool, created: bool) -> bool {
+    let accessed = "the string .modified() never fires";
+    modified && created && !accessed.is_empty()
+}
+
 #[cfg(test)]
 mod tests {
-    use std::time::Instant;
+    use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
     #[test]
     fn timing_in_tests_is_fine() {
         let _t = Instant::now();
+        let _since = SystemTime::now().duration_since(UNIX_EPOCH);
     }
 }

@@ -1,11 +1,13 @@
 //! The deterministic parallel batch executor.
 
+use crate::breaker::{Breaker, BreakerEvent, BreakerPolicy, StageMode};
 use crate::fault::{
     FailureKind, FailureRecord, Fault, FaultPlan, Quarantine, QuarantinedPair, RetryPolicy,
 };
+use crate::journal::{HeaderRecord, ItemTrace, Journal, JournalError, StageTrace, JOURNAL_VERSION};
 use crate::report::StageReport;
 use crate::simtime::Stopwatch;
-use crate::stage::{Stage, StageCtx, StageItem, StageOutcome};
+use crate::stage::{Disposition, Stage, StageCtx, StageItem, StageOutcome};
 use coachlm_data::{Dataset, InstructionPair};
 use coachlm_text::fxhash::FxHasher;
 use coachlm_text::token::TokenCache;
@@ -43,6 +45,7 @@ pub struct ExecutorConfig {
     schedule: Schedule,
     fault_plan: FaultPlan,
     retry: RetryPolicy,
+    breaker: Option<BreakerPolicy>,
 }
 
 impl ExecutorConfig {
@@ -50,7 +53,8 @@ impl ExecutorConfig {
     /// `std::thread::available_parallelism()` (1 if unavailable). The
     /// thread count never changes results, only wall-clock time, so the
     /// default is right unless an experiment pins threads for comparison.
-    /// No faults are injected unless a [`FaultPlan`] is set.
+    /// No faults are injected unless a [`FaultPlan`] is set, and no
+    /// circuit breaking happens unless a [`BreakerPolicy`] is set.
     pub fn new(seed: u64) -> Self {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         ExecutorConfig {
@@ -59,6 +63,7 @@ impl ExecutorConfig {
             schedule: Schedule::default(),
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            breaker: None,
         }
     }
 
@@ -86,6 +91,13 @@ impl ExecutorConfig {
         self
     }
 
+    /// Enables per-stage circuit breaking under `policy` (defaults to
+    /// none — every item always executes every stage).
+    pub fn breaker(mut self, policy: BreakerPolicy) -> Self {
+        self.breaker = Some(policy);
+        self
+    }
+
     /// The configured worker count.
     pub fn thread_count(&self) -> usize {
         self.threads
@@ -104,6 +116,11 @@ impl ExecutorConfig {
     /// The configured retry policy.
     pub fn retries(&self) -> &RetryPolicy {
         &self.retry
+    }
+
+    /// The configured breaker policy, if circuit breaking is enabled.
+    pub fn breaker_policy(&self) -> Option<&BreakerPolicy> {
+        self.breaker.as_ref()
     }
 
     /// The chain seed.
@@ -130,6 +147,12 @@ pub struct ChainOutput {
     pub items: Vec<StageItem>,
     /// One report per stage, in chain order.
     pub reports: Vec<StageReport>,
+    /// Breaker transitions, in (epoch, stage) order; empty unless the
+    /// config set a [`BreakerPolicy`].
+    pub breaker_events: Vec<BreakerEvent>,
+    /// Items replayed from a journal instead of executed (always 0 for
+    /// [`Executor::run`]).
+    pub replayed: usize,
     /// Token-cache hits summed across workers (informational: depends on
     /// chunking, so it is *not* covered by the determinism contract).
     pub cache_hits: u64,
@@ -173,6 +196,7 @@ impl ChainOutput {
                 .iter()
                 .filter_map(|i| {
                     i.failure.as_ref().map(|failure| QuarantinedPair {
+                        index: i.index,
                         pair: i.pair.clone(),
                         failure: failure.clone(),
                     })
@@ -186,10 +210,10 @@ impl ChainOutput {
         self.reports.iter().find(|r| r.stage == stage)
     }
 
-    /// Total attributed stage time across the whole chain (measured plus
-    /// simulated backoff/latency).
-    pub fn total_cpu_time(&self) -> Duration {
-        self.reports.iter().map(|r| r.cpu_time).sum()
+    /// Total attributed stage time across the whole chain: measured body
+    /// time plus the simulated backoff/latency channels.
+    pub fn total_time(&self) -> Duration {
+        self.reports.iter().map(|r| r.total_time()).sum()
     }
 
     /// Retry attempts summed across all stages (deterministic).
@@ -202,6 +226,101 @@ impl ChainOutput {
     pub fn total_quarantined(&self) -> usize {
         self.reports.iter().map(|r| r.quarantined).sum()
     }
+
+    /// Items that passed through at least one open breaker, summed across
+    /// stages (deterministic).
+    pub fn total_degraded(&self) -> usize {
+        self.reports.iter().map(|r| r.degraded).sum()
+    }
+
+    /// A digest over every *deterministic* output field: item states,
+    /// report counts/counters and simulated time channels, and breaker
+    /// transitions. Measured `cpu_time`, the cache tallies, and the
+    /// [`replayed`](Self::replayed) count are excluded — they legitimately
+    /// vary run to run. Two runs of the same chain agree on this digest at
+    /// any thread count, under either schedule, and across a crash/resume,
+    /// which is exactly what the crash-matrix CI step asserts.
+    pub fn digest(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(self.items.len() as u64);
+        for item in &self.items {
+            h.write_u64(item_digest(item));
+        }
+        for r in &self.reports {
+            h.write(r.stage.as_bytes());
+            h.write_u8(0xFF);
+            h.write_u64(r.items_in as u64);
+            h.write_u64(r.items_out as u64);
+            h.write_u64(r.quarantined as u64);
+            h.write_u64(r.retries);
+            h.write_u64(r.faults_injected);
+            h.write_u64(r.timeouts);
+            h.write_u64(r.degraded as u64);
+            h.write_u64(u64::try_from(r.backoff_time.as_nanos()).unwrap_or(u64::MAX));
+            h.write_u64(u64::try_from(r.latency_time.as_nanos()).unwrap_or(u64::MAX));
+            for (key, v) in &r.counters {
+                h.write(key.as_bytes());
+                h.write_u8(0xFF);
+                h.write_u64(*v);
+            }
+        }
+        h.write_u64(self.breaker_events.len() as u64);
+        for e in &self.breaker_events {
+            h.write(e.stage.as_bytes());
+            h.write_u8(0xFF);
+            h.write_u64(e.epoch as u64);
+            h.write_u8(state_code(e.from));
+            h.write_u8(state_code(e.to));
+        }
+        h.finish()
+    }
+}
+
+fn state_code(s: crate::breaker::BreakerState) -> u8 {
+    match s {
+        crate::breaker::BreakerState::Closed => 0,
+        crate::breaker::BreakerState::Open => 1,
+        crate::breaker::BreakerState::HalfOpen => 2,
+    }
+}
+
+/// Digest of one item's terminal deterministic state; recorded in journal
+/// records and re-verified on replay so a journal that no longer matches
+/// its run is rejected instead of silently diverging.
+fn item_digest(item: &StageItem) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(item.index as u64);
+    h.write_u64(item.pair.id);
+    h.write_u8(match item.disposition() {
+        Disposition::Retained => 0,
+        Disposition::Dropped => 1,
+        Disposition::Quarantined => 2,
+    });
+    h.write(item.pair.instruction.as_bytes());
+    h.write_u8(0xFE);
+    h.write(item.pair.response.as_bytes());
+    h.write_u8(0xFE);
+    h.write_u64(item.tags.len() as u64);
+    for tag in &item.tags {
+        h.write(tag.as_bytes());
+        h.write_u8(0xFE);
+    }
+    match &item.failure {
+        None => h.write_u8(0),
+        Some(f) => {
+            h.write_u8(1);
+            h.write(f.stage.as_bytes());
+            h.write_u8(0xFE);
+            h.write_u32(f.attempts);
+            h.write(f.error.as_bytes());
+            h.write_u8(0xFE);
+            h.write_u8(match f.kind {
+                FailureKind::RetriesExhausted => 0,
+                FailureKind::Fatal => 1,
+            });
+        }
+    }
+    h.finish()
 }
 
 /// Per-stage accumulation local to one worker.
@@ -210,14 +329,17 @@ struct StageStats {
     items_in: usize,
     items_out: usize,
     quarantined: usize,
+    degraded: usize,
     retries: u64,
     faults: u64,
+    timeouts: u64,
     counters: BTreeMap<String, u64>,
     /// Measured time inside `process`.
     time: Duration,
     /// Simulated retry backoff (deterministic).
     backoff: Duration,
-    /// Simulated injected latency (deterministic under a fixed plan).
+    /// Simulated injected latency, deadline-capped for attempts that timed
+    /// out (deterministic under a fixed plan).
     latency: Duration,
 }
 
@@ -226,6 +348,59 @@ struct WorkerStats {
     per_stage: Vec<StageStats>,
     cache_hits: u64,
     cache_misses: u64,
+}
+
+/// The per-stage outcome deltas of an item replayed from a journal,
+/// re-applied to reports and breaker tallies without re-execution.
+struct AppliedTrace {
+    index: usize,
+    stages: Vec<StageTrace>,
+}
+
+/// Shared handle the workers append committed-item records through. IO
+/// errors are captured (first one wins) rather than panicking a worker;
+/// the run finishes and the error surfaces from `run_journaled`.
+struct JournalSession<'j> {
+    inner: Mutex<SessionInner<'j>>,
+}
+
+struct SessionInner<'j> {
+    journal: &'j mut Journal,
+    error: Option<std::io::Error>,
+}
+
+impl<'j> JournalSession<'j> {
+    fn new(journal: &'j mut Journal) -> Self {
+        JournalSession {
+            inner: Mutex::new(SessionInner {
+                journal,
+                error: None,
+            }),
+        }
+    }
+
+    /// Appends one committed item. After the first IO error the session
+    /// goes quiet: the run still completes, the journal just stops growing.
+    fn append(&self, trace: &ItemTrace) {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if inner.error.is_some() {
+            return;
+        }
+        if let Err(e) = inner.journal.append(trace) {
+            inner.error = Some(e);
+        }
+    }
+
+    fn finish(self) -> (&'j mut Journal, Option<std::io::Error>) {
+        let inner = self
+            .inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        (inner.journal, inner.error)
+    }
 }
 
 impl Executor {
@@ -251,88 +426,206 @@ impl Executor {
     /// Stage failures never panic the run: transient failures retry under
     /// the config's [`RetryPolicy`], and items that exhaust retries or fail
     /// permanently land in the quarantine channel with a
-    /// [`FailureRecord`]. With the default inert [`FaultPlan`] and stages
-    /// that only return [`StageOutcome::Ok`]/`Drop`, behaviour is identical
-    /// to the pre-fault executor.
+    /// [`FailureRecord`]. With the default inert [`FaultPlan`], no breaker,
+    /// and stages that only return [`StageOutcome::Ok`]/`Drop`, behaviour
+    /// is identical to the pre-fault executor.
     pub fn run(&self, stages: &[Box<dyn Stage + '_>], pairs: Vec<InstructionPair>) -> ChainOutput {
+        let pending: Vec<StageItem> = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| StageItem::new(i, p))
+            .collect();
+        self.run_core(stages, Vec::new(), Vec::new(), pending, None)
+    }
+
+    /// Runs `stages` over a dataset's pairs (cloned; the input is kept).
+    pub fn run_dataset(&self, stages: &[Box<dyn Stage + '_>], dataset: &Dataset) -> ChainOutput {
+        self.run(stages, dataset.pairs.clone())
+    }
+
+    /// Runs `stages` over `pairs`, journaling every committed item to
+    /// `journal` so a killed process can [`resume_from`](Self::resume_from)
+    /// where it left off.
+    ///
+    /// On a fresh journal this writes the header (format version, input
+    /// length, and a fingerprint of everything that determines outcomes)
+    /// and then behaves exactly like [`run`](Self::run), appending one
+    /// checksummed record per finished item as workers commit them. On a
+    /// journal recovered by [`Journal::open`], the committed records are
+    /// *replayed* — their items are rebuilt and digest-checked, their
+    /// report and breaker contributions re-applied — and only the
+    /// remaining frontier executes. Replay composes with fresh execution
+    /// bit-for-bit: items, deterministic report fields, quarantine, and
+    /// breaker evolution are identical to an uninterrupted run at any
+    /// thread count and under either schedule, with any [`FaultPlan`].
+    ///
+    /// Fails with [`JournalError::Incompatible`] when the journal belongs
+    /// to a different run (seed, stages, policies, or input changed), and
+    /// with [`JournalError::Io`] when journal writes fail (the run itself
+    /// still completes before the error is surfaced).
+    pub fn run_journaled(
+        &self,
+        stages: &[Box<dyn Stage + '_>],
+        pairs: Vec<InstructionPair>,
+        journal: &mut Journal,
+    ) -> Result<ChainOutput, JournalError> {
+        let fingerprint = self.fingerprint(stages, &pairs);
+        let input_len = pairs.len() as u64;
+        match journal.header() {
+            None => journal.write_header(HeaderRecord {
+                version: JOURNAL_VERSION,
+                input_len,
+                fingerprint,
+            })?,
+            Some(h) => {
+                if h.version != JOURNAL_VERSION {
+                    return Err(JournalError::Incompatible(format!(
+                        "journal format v{} but this build writes v{JOURNAL_VERSION}",
+                        h.version
+                    )));
+                }
+                if h.input_len != input_len {
+                    return Err(JournalError::Incompatible(format!(
+                        "journal covers a {}-item input, this run has {input_len}",
+                        h.input_len
+                    )));
+                }
+                if h.fingerprint != fingerprint {
+                    return Err(JournalError::Incompatible(
+                        "run fingerprint mismatch: seed, stages, policies, or input differ \
+                         from the run that wrote this journal"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+
+        let mut committed = journal.take_committed();
+        let mut replayed = Vec::with_capacity(committed.len());
+        let mut applied = Vec::with_capacity(committed.len());
+        let mut pending = Vec::new();
+        for (i, pair) in pairs.into_iter().enumerate() {
+            match committed.remove(&(i as u64)) {
+                Some(trace) => {
+                    if trace.pair_id != pair.id {
+                        return Err(JournalError::Incompatible(format!(
+                            "item {i}: journal records pair id {}, input has {}",
+                            trace.pair_id, pair.id
+                        )));
+                    }
+                    let (item, stage_traces) = apply_trace(i, pair, trace)?;
+                    replayed.push(item);
+                    applied.push(AppliedTrace {
+                        index: i,
+                        stages: stage_traces,
+                    });
+                }
+                None => pending.push(StageItem::new(i, pair)),
+            }
+        }
+        if let Some((&index, _)) = committed.iter().next() {
+            return Err(JournalError::Incompatible(format!(
+                "journal records item {index}, beyond the {input_len}-item input"
+            )));
+        }
+        for a in &applied {
+            for e in &a.stages {
+                if (e.stage as usize) >= stages.len() {
+                    return Err(JournalError::Incompatible(format!(
+                        "item {}: journal references stage {} but the chain has {}",
+                        a.index,
+                        e.stage,
+                        stages.len()
+                    )));
+                }
+            }
+        }
+
+        let session = JournalSession::new(journal);
+        let out = self.run_core(stages, replayed, applied, pending, Some(&session));
+        let (journal, io_error) = session.finish();
+        journal.sync()?;
+        if let Some(e) = io_error {
+            return Err(e.into());
+        }
+        Ok(out)
+    }
+
+    /// Resumes a run from a recovered journal: replays its committed
+    /// records and executes only the remaining frontier. An alias for
+    /// [`run_journaled`](Self::run_journaled) — the same call both starts
+    /// and resumes a journaled run, so a crash-restart loop needs no
+    /// "first time?" branch.
+    pub fn resume_from(
+        &self,
+        stages: &[Box<dyn Stage + '_>],
+        pairs: Vec<InstructionPair>,
+        journal: &mut Journal,
+    ) -> Result<ChainOutput, JournalError> {
+        self.run_journaled(stages, pairs, journal)
+    }
+
+    /// Hash of everything that determines run outcomes: seed, stage names
+    /// and deadlines, retry policy, fault plan, breaker policy, and the
+    /// full input content. Thread count and schedule are deliberately
+    /// excluded — they never affect results, and a journal written by a
+    /// 16-thread dynamic run must resume on a 1-thread static one.
+    fn fingerprint(&self, stages: &[Box<dyn Stage + '_>], pairs: &[InstructionPair]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(self.config.seed);
+        h.write_u64(stages.len() as u64);
+        for stage in stages {
+            h.write(stage.name().as_bytes());
+            h.write_u8(0xFF);
+            match stage.deadline() {
+                None => h.write_u8(0),
+                Some(budget) => {
+                    h.write_u8(1);
+                    h.write_u128(budget.as_nanos());
+                }
+            }
+        }
+        self.config.retry.fingerprint_into(&mut h);
+        self.config.fault_plan.fingerprint_into(&mut h);
+        match &self.config.breaker {
+            None => h.write_u8(0),
+            Some(policy) => {
+                h.write_u8(1);
+                policy.fingerprint_into(&mut h);
+            }
+        }
+        h.write_u64(pairs.len() as u64);
+        for p in pairs {
+            h.write_u64(p.id);
+            h.write(p.instruction.as_bytes());
+            h.write_u8(0xFE);
+            h.write(p.response.as_bytes());
+            h.write_u8(0xFE);
+            h.write_u16(p.category.0);
+        }
+        h.finish()
+    }
+
+    /// The shared core: replayed items contribute their recorded deltas,
+    /// pending items execute, and both feed the same epoch-synchronous
+    /// breaker evolution. `pending` and `applied` must be sorted by item
+    /// index (they are built that way by the public entry points).
+    fn run_core(
+        &self,
+        stages: &[Box<dyn Stage + '_>],
+        replayed: Vec<StageItem>,
+        applied: Vec<AppliedTrace>,
+        mut pending: Vec<StageItem>,
+        session: Option<&JournalSession<'_>>,
+    ) -> ChainOutput {
         let salts: Vec<u64> = stages
             .iter()
             .enumerate()
             .map(|(k, s)| stage_salt(s.name(), k))
             .collect();
-        let mut items: Vec<StageItem> = pairs
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| StageItem::new(i, p))
-            .collect();
-
-        let n = items.len();
-        let threads = self.config.threads.min(n.max(1));
-        let env = ChainEnv {
-            stages,
-            salts: &salts,
-            seed: self.config.seed,
-            plan: &self.config.fault_plan,
-            retry: &self.config.retry,
-        };
-
-        let stats: Vec<WorkerStats> = if threads <= 1 {
-            vec![run_worker_static(&env, &mut items)]
-        } else {
-            match self.config.schedule {
-                Schedule::Static => {
-                    let chunk_size = n.div_ceil(threads);
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = items
-                            .chunks_mut(chunk_size)
-                            .map(|chunk| scope.spawn(|| run_worker_static(&env, chunk)))
-                            .collect();
-                        handles.into_iter().map(join_worker).collect()
-                    })
-                }
-                Schedule::Dynamic => {
-                    let chunk_size = dynamic_chunk_size(n, threads);
-                    // Each chunk slot is claimed exactly once via the atomic
-                    // counter; the mutex only transfers the `&mut` slice to
-                    // the claiming worker (uncontended by construction).
-                    let queue: Vec<Mutex<Option<&mut [StageItem]>>> = items
-                        .chunks_mut(chunk_size)
-                        .map(|c| Mutex::new(Some(c)))
-                        .collect();
-                    let next = AtomicUsize::new(0);
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = (0..threads)
-                            .map(|_| {
-                                scope.spawn(|| {
-                                    let mut cache = TokenCache::new();
-                                    let mut per_stage: Vec<StageStats> =
-                                        stages.iter().map(|_| StageStats::default()).collect();
-                                    loop {
-                                        let i = next.fetch_add(1, Ordering::Relaxed);
-                                        let Some(slot) = queue.get(i) else { break };
-                                        // A poisoned lock only means another
-                                        // worker panicked mid-claim; the
-                                        // Option inside is still coherent.
-                                        let claimed = slot
-                                            .lock()
-                                            .unwrap_or_else(|poisoned| poisoned.into_inner())
-                                            .take();
-                                        // The atomic counter hands each slot
-                                        // index out once, so `None` cannot
-                                        // occur; skipping is still the safe
-                                        // response.
-                                        let Some(chunk) = claimed else { continue };
-                                        process_items(&env, chunk, &mut cache, &mut per_stage);
-                                    }
-                                    finish_worker(cache, per_stage)
-                                })
-                            })
-                            .collect();
-                        handles.into_iter().map(join_worker).collect()
-                    })
-                }
-            }
-        };
+        let deadlines: Vec<Option<Duration>> = stages.iter().map(|s| s.deadline()).collect();
+        let n = replayed.len() + pending.len();
+        let replayed_count = replayed.len();
 
         let mut reports: Vec<StageReport> = stages
             .iter()
@@ -341,35 +634,185 @@ impl Executor {
                 ..StageReport::default()
             })
             .collect();
+        let mut breakers: Option<Vec<Breaker>> = self.config.breaker.as_ref().map(|policy| {
+            stages
+                .iter()
+                .map(|_| Breaker::new(policy.clone()))
+                .collect()
+        });
+        // Without a breaker the whole batch is one epoch, which reduces to
+        // the plain executor (single segment, caches span the batch).
+        let window = self
+            .config
+            .breaker
+            .as_ref()
+            .map_or(n.max(1), |p| p.window.max(1));
+        let all_execute: Vec<StageMode> = stages.iter().map(|_| StageMode::Execute).collect();
+
+        let mut breaker_events = Vec::new();
         let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
-        for chunk in stats {
-            cache_hits += chunk.cache_hits;
-            cache_misses += chunk.cache_misses;
-            for (report, stage_stats) in reports.iter_mut().zip(chunk.per_stage) {
-                report.items_in += stage_stats.items_in;
-                report.items_out += stage_stats.items_out;
-                report.quarantined += stage_stats.quarantined;
-                report.retries += stage_stats.retries;
-                report.faults_injected += stage_stats.faults;
-                report.cpu_time += stage_stats.time + stage_stats.backoff + stage_stats.latency;
-                report.backoff_time += stage_stats.backoff;
-                for (key, v) in stage_stats.counters {
-                    *report.counters.entry(key).or_insert(0) += v;
+        let (mut pend_lo, mut app_lo) = (0usize, 0usize);
+        let mut start = 0usize;
+        let mut epoch = 0usize;
+        while start < n {
+            let end = start.saturating_add(window).min(n);
+            let modes: Vec<StageMode> = match &breakers {
+                Some(bs) => bs.iter().map(|b| b.mode(start)).collect(),
+                None => all_execute.clone(),
+            };
+            let pend_hi = pend_lo + pending[pend_lo..].partition_point(|it| it.index < end);
+            let app_hi = app_lo + applied[app_lo..].partition_point(|a| a.index < end);
+
+            let env = ChainEnv {
+                stages,
+                salts: &salts,
+                deadlines: &deadlines,
+                modes: &modes,
+                seed: self.config.seed,
+                plan: &self.config.fault_plan,
+                retry: &self.config.retry,
+                session,
+            };
+            let segment = &mut pending[pend_lo..pend_hi];
+            let threads = self.config.threads.min(segment.len().max(1));
+            let stats = run_segment(threads, self.config.schedule, &env, segment);
+
+            // Epoch tallies feed the breakers: executed = items that ran
+            // the stage body (degraded passthroughs don't), failures =
+            // items the stage quarantined. Replayed deltas count too, so
+            // breaker evolution is identical across a crash/resume.
+            let mut executed = vec![0usize; stages.len()];
+            let mut failures = vec![0usize; stages.len()];
+            for ws in stats {
+                cache_hits += ws.cache_hits;
+                cache_misses += ws.cache_misses;
+                for (k, st) in ws.per_stage.into_iter().enumerate() {
+                    executed[k] += st.items_in - st.degraded;
+                    failures[k] += st.quarantined;
+                    merge_stage_stats(&mut reports[k], st);
                 }
             }
+            for a in &applied[app_lo..app_hi] {
+                for e in &a.stages {
+                    let k = e.stage as usize;
+                    if !e.degraded {
+                        executed[k] += 1;
+                    }
+                    if e.quarantined {
+                        failures[k] += 1;
+                    }
+                    merge_trace_delta(&mut reports[k], e);
+                }
+            }
+            if let Some(bs) = breakers.as_mut() {
+                for (k, b) in bs.iter_mut().enumerate() {
+                    if let Some((from, to)) = b.observe(executed[k], failures[k]) {
+                        breaker_events.push(BreakerEvent {
+                            stage: stages[k].name().to_string(),
+                            epoch,
+                            from,
+                            to,
+                        });
+                    }
+                }
+            }
+            pend_lo = pend_hi;
+            app_lo = app_hi;
+            start = end;
+            epoch += 1;
         }
+
+        let mut items = replayed;
+        items.append(&mut pending);
+        items.sort_unstable_by_key(|i| i.index);
 
         ChainOutput {
             items,
             reports,
+            breaker_events,
+            replayed: replayed_count,
             cache_hits,
             cache_misses,
         }
     }
+}
 
-    /// Runs `stages` over a dataset's pairs (cloned; the input is kept).
-    pub fn run_dataset(&self, stages: &[Box<dyn Stage + '_>], dataset: &Dataset) -> ChainOutput {
-        self.run(stages, dataset.pairs.clone())
+/// Rebuilds an item's terminal state from its journal record, verifying
+/// the content digest so a stale or hand-edited record cannot smuggle in a
+/// divergent item.
+fn apply_trace(
+    index: usize,
+    pair: InstructionPair,
+    trace: ItemTrace,
+) -> Result<(StageItem, Vec<StageTrace>), JournalError> {
+    let mut item = StageItem::new(index, pair);
+    if let Some(instruction) = trace.instruction {
+        item.pair.instruction = instruction;
+    }
+    if let Some(response) = trace.response {
+        item.pair.response = response;
+    }
+    item.tags = trace.tags;
+    match trace.disposition {
+        0 => {}
+        1 => item.retained = false,
+        2 => {
+            let Some(failure) = trace.failure else {
+                return Err(JournalError::Incompatible(format!(
+                    "item {index}: quarantined record carries no failure"
+                )));
+            };
+            item.retained = false;
+            item.failure = Some(failure);
+        }
+        d => {
+            return Err(JournalError::Incompatible(format!(
+                "item {index}: unknown disposition {d}"
+            )));
+        }
+    }
+    if item_digest(&item) != trace.digest {
+        return Err(JournalError::Incompatible(format!(
+            "item {index}: replayed state does not match its recorded digest"
+        )));
+    }
+    Ok((item, trace.stages))
+}
+
+/// Folds one worker's per-stage accumulation into the stage's report.
+/// `cpu_time` takes only measured body time; the simulated channels stay
+/// disjoint (see [`StageReport`]).
+fn merge_stage_stats(report: &mut StageReport, st: StageStats) {
+    report.items_in += st.items_in;
+    report.items_out += st.items_out;
+    report.quarantined += st.quarantined;
+    report.degraded += st.degraded;
+    report.retries += st.retries;
+    report.faults_injected += st.faults;
+    report.timeouts += st.timeouts;
+    report.cpu_time += st.time;
+    report.backoff_time += st.backoff;
+    report.latency_time += st.latency;
+    for (key, v) in st.counters {
+        *report.counters.entry(key).or_insert(0) += v;
+    }
+}
+
+/// Folds one replayed item's recorded stage delta into the stage's report.
+/// Replayed items contribute no measured `cpu_time` — that channel is
+/// explicitly outside the determinism contract.
+fn merge_trace_delta(report: &mut StageReport, e: &StageTrace) {
+    report.items_in += 1;
+    report.items_out += usize::from(e.retained_after);
+    report.quarantined += usize::from(e.quarantined);
+    report.degraded += usize::from(e.degraded);
+    report.retries += u64::from(e.retries);
+    report.faults_injected += e.faults;
+    report.timeouts += u64::from(e.timeouts);
+    report.backoff_time += Duration::from_nanos(e.backoff_nanos);
+    report.latency_time += Duration::from_nanos(e.latency_nanos);
+    for (key, v) in &e.counters {
+        *report.counters.entry(key.clone()).or_insert(0) += v;
     }
 }
 
@@ -397,12 +840,83 @@ fn dynamic_chunk_size(n: usize, threads: usize) -> usize {
 
 /// Everything a worker needs to run the chain over a slice, bundled so the
 /// schedule bodies stay readable.
-struct ChainEnv<'a, 'b> {
+struct ChainEnv<'a, 'b, 'j> {
     stages: &'a [Box<dyn Stage + 'b>],
     salts: &'a [u64],
+    deadlines: &'a [Option<Duration>],
+    modes: &'a [StageMode],
     seed: u64,
     plan: &'a FaultPlan,
     retry: &'a RetryPolicy,
+    session: Option<&'a JournalSession<'j>>,
+}
+
+/// Runs one epoch segment across `threads` workers under the given
+/// schedule. Extracted from `run` so the epoch loop can call it per
+/// breaker window.
+fn run_segment(
+    threads: usize,
+    schedule: Schedule,
+    env: &ChainEnv<'_, '_, '_>,
+    items: &mut [StageItem],
+) -> Vec<WorkerStats> {
+    let n = items.len();
+    if threads <= 1 {
+        return vec![run_worker_static(env, items)];
+    }
+    match schedule {
+        Schedule::Static => {
+            let chunk_size = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = items
+                    .chunks_mut(chunk_size)
+                    .map(|chunk| scope.spawn(|| run_worker_static(env, chunk)))
+                    .collect();
+                handles.into_iter().map(join_worker).collect()
+            })
+        }
+        Schedule::Dynamic => {
+            let chunk_size = dynamic_chunk_size(n, threads);
+            // Each chunk slot is claimed exactly once via the atomic
+            // counter; the mutex only transfers the `&mut` slice to
+            // the claiming worker (uncontended by construction).
+            let queue: Vec<Mutex<Option<&mut [StageItem]>>> = items
+                .chunks_mut(chunk_size)
+                .map(|c| Mutex::new(Some(c)))
+                .collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut cache = TokenCache::new();
+                            let mut per_stage: Vec<StageStats> =
+                                env.stages.iter().map(|_| StageStats::default()).collect();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(slot) = queue.get(i) else { break };
+                                // A poisoned lock only means another
+                                // worker panicked mid-claim; the
+                                // Option inside is still coherent.
+                                let claimed = slot
+                                    .lock()
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                    .take();
+                                // The atomic counter hands each slot
+                                // index out once, so `None` cannot
+                                // occur; skipping is still the safe
+                                // response.
+                                let Some(chunk) = claimed else { continue };
+                                process_items(env, chunk, &mut cache, &mut per_stage);
+                            }
+                            finish_worker(cache, per_stage)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(join_worker).collect()
+            })
+        }
+    }
 }
 
 /// Runs the chain over one slice of items, accumulating into the worker's
@@ -410,19 +924,57 @@ struct ChainEnv<'a, 'b> {
 /// fault rolls make the result independent of which worker runs which
 /// slice.
 fn process_items(
-    env: &ChainEnv<'_, '_>,
+    env: &ChainEnv<'_, '_, '_>,
     chunk: &mut [StageItem],
     cache: &mut TokenCache,
     per_stage: &mut [StageStats],
 ) {
     let inert = env.plan.is_inert();
+    // Scratch counter map for the current (item, stage): the deltas go to
+    // both the worker's running totals and (when journaling) the item's
+    // trace record, so they're staged here first.
+    let mut scratch: BTreeMap<String, u64> = BTreeMap::new();
     for item in chunk.iter_mut() {
+        let mut trace = env.session.map(|_| ItemTrace {
+            index: item.index as u64,
+            pair_id: item.pair.id,
+            disposition: 0,
+            instruction: None,
+            response: None,
+            tags: Vec::new(),
+            failure: None,
+            digest: 0,
+            stages: Vec::new(),
+        });
         for (k, stage) in env.stages.iter().enumerate() {
             if !item.retained {
                 break;
             }
             let stats = &mut per_stage[k];
             stats.items_in += 1;
+            // Degraded passthrough: the stage's breaker is open (or this
+            // index is past the half-open probe budget), so the item flows
+            // on unrevised — the paper's §III-B1 leakage fallback.
+            if !env.modes[k].executes(item.index) {
+                item.tag(format!("degraded:{}", stage.name()));
+                stats.degraded += 1;
+                stats.items_out += 1;
+                if let Some(t) = trace.as_mut() {
+                    t.stages.push(StageTrace {
+                        stage: k as u32,
+                        degraded: true,
+                        retained_after: true,
+                        quarantined: false,
+                        retries: 0,
+                        faults: 0,
+                        timeouts: 0,
+                        backoff_nanos: 0,
+                        latency_nanos: 0,
+                        counters: Vec::new(),
+                    });
+                }
+                continue;
+            }
             // Attempt loop. The stage RNG is seeded per (stage, item) only —
             // NOT per attempt — so a deterministic stage recomputes the same
             // result on every attempt and a retried item that eventually
@@ -430,7 +982,13 @@ fn process_items(
             // rolls, by contrast, are per (stage, item, attempt): a
             // transient fault on attempt 0 does not doom attempt 1.
             let rng_seed = item_seed(env.seed, env.salts[k], item.pair.id);
+            let deadline = env.deadlines[k];
             let mut attempt: u32 = 0;
+            let (mut t_retries, mut t_timeouts) = (0u32, 0u32);
+            let mut t_faults = 0u64;
+            let (mut t_time, mut t_backoff, mut t_latency) =
+                (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+            let mut quarantined_here = false;
             loop {
                 let fault = if inert {
                     None
@@ -439,36 +997,55 @@ fn process_items(
                 };
                 let outcome = match fault {
                     Some(Fault::Permanent) => {
-                        stats.faults += 1;
+                        t_faults += 1;
                         StageOutcome::fatal("injected: permanent")
                     }
                     Some(Fault::Transient) => {
-                        stats.faults += 1;
+                        t_faults += 1;
                         StageOutcome::retryable("injected: transient")
                     }
                     other => {
-                        if let Some(Fault::Latency(spike)) = other {
-                            stats.faults += 1;
-                            stats.latency += spike;
-                        }
-                        let mut ctx = StageCtx {
-                            rng: StdRng::seed_from_u64(rng_seed),
-                            cache,
-                            counters: &mut stats.counters,
+                        // A latency spike beyond the stage's simulated-time
+                        // budget cuts the attempt short: the budget (not the
+                        // full spike) is charged, the body never runs, and
+                        // the timeout feeds the normal retry machinery.
+                        let timed_out = if let Some(Fault::Latency(spike)) = other {
+                            t_faults += 1;
+                            match deadline {
+                                Some(budget) if spike > budget => {
+                                    t_latency += budget;
+                                    t_timeouts += 1;
+                                    Some(StageOutcome::retryable(format!(
+                                        "timeout: injected {spike:?} latency exceeded the \
+                                         {budget:?} budget"
+                                    )))
+                                }
+                                _ => {
+                                    t_latency += spike;
+                                    None
+                                }
+                            }
+                        } else {
+                            None
                         };
-                        let watch = Stopwatch::start();
-                        let o = stage.process(item, &mut ctx);
-                        stats.time += watch.elapsed();
-                        o
+                        match timed_out {
+                            Some(o) => o,
+                            None => {
+                                let mut ctx = StageCtx {
+                                    rng: StdRng::seed_from_u64(rng_seed),
+                                    cache,
+                                    counters: &mut scratch,
+                                };
+                                let watch = Stopwatch::start();
+                                let o = stage.process(item, &mut ctx);
+                                t_time += watch.elapsed();
+                                o
+                            }
+                        }
                     }
                 };
                 match outcome {
-                    StageOutcome::Ok => {
-                        if item.retained {
-                            stats.items_out += 1;
-                        }
-                        break;
-                    }
+                    StageOutcome::Ok => break,
                     StageOutcome::Drop => {
                         item.discard(format!("drop:{}", stage.name()));
                         break;
@@ -482,11 +1059,11 @@ fn process_items(
                                 error,
                                 kind: FailureKind::RetriesExhausted,
                             });
-                            stats.quarantined += 1;
+                            quarantined_here = true;
                             break;
                         }
-                        stats.retries += 1;
-                        stats.backoff += env.retry.backoff_before(attempt);
+                        t_retries += 1;
+                        t_backoff += env.retry.backoff_before(attempt);
                     }
                     StageOutcome::Fatal(error) => {
                         item.quarantine(FailureRecord {
@@ -495,17 +1072,65 @@ fn process_items(
                             error,
                             kind: FailureKind::Fatal,
                         });
-                        stats.quarantined += 1;
+                        quarantined_here = true;
                         break;
                     }
                 }
+            }
+            if item.retained {
+                stats.items_out += 1;
+            }
+            if quarantined_here {
+                stats.quarantined += 1;
+            }
+            stats.retries += u64::from(t_retries);
+            stats.faults += t_faults;
+            stats.timeouts += u64::from(t_timeouts);
+            stats.time += t_time;
+            stats.backoff += t_backoff;
+            stats.latency += t_latency;
+            if let Some(t) = trace.as_mut() {
+                t.stages.push(StageTrace {
+                    stage: k as u32,
+                    degraded: false,
+                    retained_after: item.retained,
+                    quarantined: quarantined_here,
+                    retries: t_retries,
+                    faults: t_faults,
+                    timeouts: t_timeouts,
+                    backoff_nanos: u64::try_from(t_backoff.as_nanos()).unwrap_or(u64::MAX),
+                    latency_nanos: u64::try_from(t_latency.as_nanos()).unwrap_or(u64::MAX),
+                    counters: scratch.iter().map(|(key, v)| (key.clone(), *v)).collect(),
+                });
+            }
+            if !scratch.is_empty() {
+                for (key, v) in std::mem::take(&mut scratch) {
+                    *stats.counters.entry(key).or_insert(0) += v;
+                }
+            }
+        }
+        if let Some(session) = env.session {
+            if let Some(mut t) = trace {
+                t.disposition = match item.disposition() {
+                    Disposition::Retained => 0,
+                    Disposition::Dropped => 1,
+                    Disposition::Quarantined => 2,
+                };
+                t.instruction = item
+                    .instruction_changed()
+                    .then(|| item.pair.instruction.clone());
+                t.response = item.response_changed().then(|| item.pair.response.clone());
+                t.tags = item.tags.clone();
+                t.failure = item.failure.clone();
+                t.digest = item_digest(item);
+                session.append(&t);
             }
         }
     }
 }
 
 /// Static/sequential worker body: one chunk, one fresh cache.
-fn run_worker_static(env: &ChainEnv<'_, '_>, chunk: &mut [StageItem]) -> WorkerStats {
+fn run_worker_static(env: &ChainEnv<'_, '_, '_>, chunk: &mut [StageItem]) -> WorkerStats {
     let mut cache = TokenCache::new();
     let mut per_stage: Vec<StageStats> = env.stages.iter().map(|_| StageStats::default()).collect();
     process_items(env, chunk, &mut cache, &mut per_stage);
@@ -532,8 +1157,11 @@ fn finish_worker(cache: TokenCache, per_stage: Vec<StageStats>) -> WorkerStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::breaker::BreakerState;
     use coachlm_data::Category;
     use rand::Rng;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicU64;
 
     fn pairs(n: usize) -> Vec<InstructionPair> {
         (0..n as u64)
@@ -546,6 +1174,16 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "coachlm-executor-unit-{}-{tag}-{n}.wal",
+            std::process::id()
+        ))
     }
 
     /// Appends a seeded random suffix and counts even ids.
@@ -605,6 +1243,21 @@ mod tests {
         }
     }
 
+    /// Wraps any stage with a simulated-time deadline budget.
+    struct Budgeted<S>(S, Duration);
+
+    impl<S: Stage> Stage for Budgeted<S> {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome {
+            self.0.process(item, ctx)
+        }
+        fn deadline(&self) -> Option<Duration> {
+            Some(self.1)
+        }
+    }
+
     fn chain() -> Vec<Box<dyn Stage>> {
         vec![Box::new(Scribble), Box::new(DropFifths)]
     }
@@ -627,6 +1280,7 @@ mod tests {
                 assert_eq!(ra.items_out, rb.items_out);
                 assert_eq!(ra.counters, rb.counters);
             }
+            assert_eq!(out.digest(), base.digest());
         }
     }
 
@@ -666,6 +1320,7 @@ mod tests {
                 for (ra, rb) in out.reports.iter().zip(&base.reports) {
                     assert_eq!(ra.counters, rb.counters, "{schedule:?} x{threads}");
                 }
+                assert_eq!(out.digest(), base.digest(), "{schedule:?} x{threads}");
             }
         }
     }
@@ -691,7 +1346,9 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(text(&a), text(&b));
+        assert_eq!(a.digest(), b.digest());
         assert_ne!(text(&a), text(&c));
+        assert_ne!(a.digest(), c.digest());
     }
 
     #[test]
@@ -700,7 +1357,9 @@ mod tests {
         assert!(out.items.is_empty());
         assert_eq!(out.reports.len(), 2);
         assert!(out.reports.iter().all(|r| r.items_in == 0));
-        assert_eq!(out.total_cpu_time(), Duration::ZERO);
+        assert_eq!(out.total_time(), Duration::ZERO);
+        assert_eq!(out.replayed, 0);
+        assert!(out.breaker_events.is_empty());
     }
 
     #[test]
@@ -741,10 +1400,11 @@ mod tests {
         assert!(report.backoff_time > Duration::ZERO);
         // Quarantined items never reached the second stage.
         assert_eq!(out.report("scribble").unwrap().items_in, 70 - 22);
-        // The quarantine channel carries structured records.
+        // The quarantine channel carries structured records with indices.
         let q = out.quarantine("t-quarantine");
         assert_eq!(q.len(), 22);
         assert!(q.items.iter().all(|i| i.failure.stage == "flaky"));
+        assert!(q.items.iter().all(|i| i.pair.id == i.index as u64));
     }
 
     #[test]
@@ -800,7 +1460,9 @@ mod tests {
                     assert_eq!(ra.quarantined, rb.quarantined);
                     assert_eq!(ra.faults_injected, rb.faults_injected);
                     assert_eq!(ra.backoff_time, rb.backoff_time);
+                    assert_eq!(ra.latency_time, rb.latency_time);
                 }
+                assert_eq!(out.digest(), base.digest());
             }
         }
     }
@@ -842,7 +1504,359 @@ mod tests {
         assert_eq!(out.quarantined().count(), 0);
         let scribble = out.report("scribble").unwrap();
         assert_eq!(scribble.faults_injected, 20);
-        assert!(scribble.cpu_time >= spike * 20);
+        // The spike lands in the latency channel, exactly — never in
+        // cpu_time (that's measured body time only) or backoff.
+        assert_eq!(scribble.latency_time, spike * 20);
         assert_eq!(scribble.backoff_time, Duration::ZERO);
+        assert_eq!(scribble.timeouts, 0);
+    }
+
+    #[test]
+    fn retry_accounting_keeps_channels_disjoint() {
+        // Every attempt faults transiently: the body never runs, so the
+        // measured channel stays zero while backoff accumulates exactly.
+        let stages: Vec<Box<dyn Stage>> = vec![Box::new(Scribble)];
+        let retry = RetryPolicy::new(3, Duration::from_millis(10));
+        let out = Executor::new(
+            ExecutorConfig::new(2)
+                .threads(2)
+                .fault_plan(FaultPlan::new(5).transient(1.0))
+                .retry_policy(retry),
+        )
+        .run(&stages, pairs(8));
+        assert_eq!(out.quarantined().count(), 8);
+        let r = out.report("scribble").unwrap();
+        assert_eq!(r.cpu_time, Duration::ZERO);
+        assert_eq!(r.latency_time, Duration::ZERO);
+        // Each item: retries at backoff 10ms + 20ms; the final failed
+        // attempt charges nothing (there is no retry after it).
+        assert_eq!(r.backoff_time, Duration::from_millis(30) * 8);
+        assert_eq!(r.retries, 16);
+        assert_eq!(r.total_time(), r.backoff_time);
+    }
+
+    #[test]
+    fn deadline_timeouts_feed_retry_and_quarantine() {
+        let budget = Duration::from_millis(10);
+        let spike = Duration::from_millis(50);
+        let stages: Vec<Box<dyn Stage>> = vec![Box::new(Budgeted(Scribble, budget))];
+        let out = Executor::new(
+            ExecutorConfig::new(3)
+                .threads(2)
+                .fault_plan(FaultPlan::new(6).latency(1.0, spike)),
+        )
+        .run(&stages, pairs(12));
+        let max = RetryPolicy::default().max_attempts;
+        // Every attempt spikes past the budget: the body never runs, the
+        // item times out until retries run dry.
+        assert_eq!(out.quarantined().count(), 12);
+        for item in &out.items {
+            let f = item.failure.as_ref().unwrap();
+            assert_eq!(f.kind, FailureKind::RetriesExhausted);
+            assert_eq!(f.attempts, max);
+            assert!(f.error.contains("timeout"), "{}", f.error);
+            // The body never ran, so the text is untouched.
+            assert!(!item.response_changed());
+        }
+        let r = out.report("scribble").unwrap();
+        assert_eq!(r.timeouts, 12 * u64::from(max));
+        assert_eq!(r.faults_injected, 12 * u64::from(max));
+        // Each timed-out attempt charges the budget, not the full spike.
+        assert_eq!(r.latency_time, budget * 12 * max);
+        assert_eq!(r.cpu_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn spikes_below_the_budget_run_to_completion() {
+        let spike = Duration::from_millis(3);
+        let budgeted: Vec<Box<dyn Stage>> = vec![
+            Box::new(Budgeted(Scribble, Duration::from_secs(1))),
+            Box::new(DropFifths),
+        ];
+        let plan = FaultPlan::new(8).latency(1.0, spike);
+        let with_budget = Executor::new(ExecutorConfig::new(1).threads(2).fault_plan(plan.clone()))
+            .run(&budgeted, pairs(20));
+        let without = Executor::new(ExecutorConfig::new(1).threads(2).fault_plan(plan))
+            .run(&chain(), pairs(20));
+        // A generous budget changes nothing: same outputs, same charges.
+        assert_eq!(with_budget.digest(), without.digest());
+        let r = with_budget.report("scribble").unwrap();
+        assert_eq!(r.timeouts, 0);
+        assert_eq!(r.latency_time, spike * 20);
+    }
+
+    #[test]
+    fn journaled_run_matches_plain_run() {
+        let path = temp_journal("fresh");
+        let config = || {
+            ExecutorConfig::new(17)
+                .threads(4)
+                .fault_plan(FaultPlan::new(29).transient(0.2).permanent(0.05))
+        };
+        let plain = Executor::new(config()).run(&chain(), pairs(80));
+        let mut journal = Journal::create(&path).unwrap();
+        let journaled = Executor::new(config())
+            .run_journaled(&chain(), pairs(80), &mut journal)
+            .unwrap();
+        assert_eq!(journaled.replayed, 0);
+        assert_eq!(journaled.digest(), plain.digest());
+        assert_eq!(journal.committed(), 80);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_after_a_torn_tail_reproduces_the_uninterrupted_run() {
+        let path = temp_journal("resume");
+        let config = |threads: usize, schedule: Schedule| {
+            ExecutorConfig::new(17)
+                .threads(threads)
+                .schedule(schedule)
+                .fault_plan(FaultPlan::new(29).transient(0.2).permanent(0.05))
+        };
+        let golden = Executor::new(config(1, Schedule::Static)).run(&chain(), pairs(60));
+
+        let mut journal = Journal::create(&path).unwrap();
+        Executor::new(config(4, Schedule::Dynamic))
+            .run_journaled(&chain(), pairs(60), &mut journal)
+            .unwrap();
+        let spans = journal.record_spans().to_vec();
+        drop(journal);
+
+        // Kill mid-run: cut inside record 31 (journal order is commit
+        // order, not index order — replay handles any committed subset).
+        let cut = spans[31].0 + (spans[31].1 - spans[31].0) / 2;
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..cut as usize]).unwrap();
+
+        let mut recovered = Journal::open(&path).unwrap();
+        let committed = recovered.committed();
+        assert_eq!(committed, 30);
+        let resumed = Executor::new(config(3, Schedule::Static))
+            .resume_from(&chain(), pairs(60), &mut recovered)
+            .unwrap();
+        assert_eq!(resumed.replayed, committed);
+        assert_eq!(resumed.digest(), golden.digest());
+        // Item-level spot check: every field the digest covers.
+        for (a, b) in resumed.items.iter().zip(&golden.items) {
+            assert_eq!(a.pair, b.pair);
+            assert_eq!(a.tags, b.tags);
+            assert_eq!(a.failure, b.failure);
+        }
+        // After the resumed run the journal holds the full input again.
+        assert_eq!(recovered.committed() + resumed.replayed, 60);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_under_a_different_run_is_rejected() {
+        let path = temp_journal("mismatch");
+        let mut journal = Journal::create(&path).unwrap();
+        Executor::new(ExecutorConfig::new(1))
+            .run_journaled(&chain(), pairs(10), &mut journal)
+            .unwrap();
+        drop(journal);
+
+        let mut recovered = Journal::open(&path).unwrap();
+        // Different seed → different fingerprint → refuse to resume.
+        let err = Executor::new(ExecutorConfig::new(2))
+            .run_journaled(&chain(), pairs(10), &mut recovered)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, JournalError::Incompatible(_)), "{err}");
+
+        let mut recovered = Journal::open(&path).unwrap();
+        // Different input length is rejected before fingerprinting aligns.
+        let err = Executor::new(ExecutorConfig::new(1))
+            .run_journaled(&chain(), pairs(11), &mut recovered)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, JournalError::Incompatible(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Fatal for every id below `until`, Ok past it — a stage that storms
+    /// early and then recovers, for exercising the breaker cycle.
+    struct FailBelow {
+        until: u64,
+    }
+
+    impl Stage for FailBelow {
+        fn name(&self) -> &str {
+            "fail-below"
+        }
+        fn process(&self, item: &mut StageItem, _ctx: &mut StageCtx<'_>) -> StageOutcome {
+            if item.pair.id < self.until {
+                StageOutcome::fatal("organic: storm")
+            } else {
+                StageOutcome::Ok
+            }
+        }
+    }
+
+    #[test]
+    fn breaker_trips_degrades_probes_and_recloses() {
+        // ids == indices in pairs(): the storm covers exactly epoch 0.
+        let policy = BreakerPolicy::new()
+            .window(10)
+            .trip_ratio(0.5)
+            .min_failures(3)
+            .cooldown_epochs(1)
+            .probes(2);
+        let stages: Vec<Box<dyn Stage>> = vec![Box::new(FailBelow { until: 10 })];
+        let run = |threads: usize, schedule: Schedule| {
+            Executor::new(
+                ExecutorConfig::new(0)
+                    .threads(threads)
+                    .schedule(schedule)
+                    .breaker(policy.clone()),
+            )
+            .run(&stages, pairs(40))
+        };
+        let out = run(1, Schedule::Static);
+        // Epoch 0: 10 failures → trips. Epoch 1: all degraded, cooldown
+        // expires → half-open. Epoch 2: probes 20, 21 succeed → recloses.
+        // Epoch 3: fully closed again.
+        let transitions: Vec<(usize, BreakerState, BreakerState)> = out
+            .breaker_events
+            .iter()
+            .map(|e| (e.epoch, e.from, e.to))
+            .collect();
+        assert_eq!(
+            transitions,
+            vec![
+                (0, BreakerState::Closed, BreakerState::Open),
+                (1, BreakerState::Open, BreakerState::HalfOpen),
+                (2, BreakerState::HalfOpen, BreakerState::Closed),
+            ]
+        );
+        let r = out.report("fail-below").unwrap();
+        assert_eq!(r.quarantined, 10);
+        // Epoch 1 degrades all 10; epoch 2 degrades the 8 non-probes.
+        assert_eq!(r.degraded, 18);
+        assert_eq!(out.total_degraded(), 18);
+        assert_eq!(r.items_out, 30);
+        // Degraded items pass through unrevised, tagged.
+        let degraded: Vec<_> = out
+            .items
+            .iter()
+            .filter(|i| i.has_tag("degraded:fail-below"))
+            .collect();
+        assert_eq!(degraded.len(), 18);
+        assert!(degraded.iter().all(|i| i.retained && !i.response_changed()));
+        // The whole evolution replays at any thread count and schedule.
+        for threads in [2, 8] {
+            for schedule in [Schedule::Static, Schedule::Dynamic] {
+                let other = run(threads, schedule);
+                assert_eq!(other.digest(), out.digest(), "{schedule:?} x{threads}");
+                assert_eq!(other.breaker_events, out.breaker_events);
+            }
+        }
+    }
+
+    #[test]
+    fn breaker_that_keeps_failing_reopens_after_probes() {
+        struct AlwaysFatal;
+        impl Stage for AlwaysFatal {
+            fn name(&self) -> &str {
+                "always-fatal"
+            }
+            fn process(&self, _item: &mut StageItem, _ctx: &mut StageCtx<'_>) -> StageOutcome {
+                StageOutcome::fatal("organic: dead")
+            }
+        }
+        let policy = BreakerPolicy::new()
+            .window(10)
+            .trip_ratio(0.5)
+            .min_failures(3)
+            .cooldown_epochs(1)
+            .probes(2);
+        let stages: Vec<Box<dyn Stage>> = vec![Box::new(AlwaysFatal)];
+        let out = Executor::new(ExecutorConfig::new(0).threads(4).breaker(policy))
+            .run(&stages, pairs(40));
+        // Trip, probe, re-trip: epochs 0 C→O, 1 O→HO, 2 HO→O, 3 O→HO.
+        let transitions: Vec<(usize, BreakerState, BreakerState)> = out
+            .breaker_events
+            .iter()
+            .map(|e| (e.epoch, e.from, e.to))
+            .collect();
+        assert_eq!(
+            transitions,
+            vec![
+                (0, BreakerState::Closed, BreakerState::Open),
+                (1, BreakerState::Open, BreakerState::HalfOpen),
+                (2, BreakerState::HalfOpen, BreakerState::Open),
+                (3, BreakerState::Open, BreakerState::HalfOpen),
+            ]
+        );
+        let r = out.report("always-fatal").unwrap();
+        // Executed: epoch 0 (10) + epoch 2 probes (2) = 12 quarantined.
+        assert_eq!(r.quarantined, 12);
+        assert_eq!(r.degraded, 40 - 12);
+    }
+
+    #[test]
+    fn crash_resume_preserves_breaker_evolution_and_faults() {
+        let path = temp_journal("chaos");
+        let policy = BreakerPolicy::new()
+            .window(16)
+            .trip_ratio(0.3)
+            .min_failures(4)
+            .cooldown_epochs(1)
+            .probes(4);
+        let config = |threads: usize, schedule: Schedule| {
+            ExecutorConfig::new(53)
+                .threads(threads)
+                .schedule(schedule)
+                .fault_plan(
+                    FaultPlan::new(11)
+                        .transient(0.35)
+                        .permanent(0.1)
+                        .latency(0.2, Duration::from_millis(40)),
+                )
+                .breaker(policy.clone())
+        };
+        let stages = || -> Vec<Box<dyn Stage>> {
+            vec![
+                Box::new(Budgeted(Scribble, Duration::from_millis(10))),
+                Box::new(DropFifths),
+            ]
+        };
+        let golden = Executor::new(config(1, Schedule::Static)).run(&stages(), pairs(100));
+        assert!(!golden.breaker_events.is_empty(), "storm should trip");
+        assert!(golden.report("scribble").unwrap().timeouts > 0);
+
+        let mut journal = Journal::create(&path).unwrap();
+        Executor::new(config(4, Schedule::Dynamic))
+            .run_journaled(&stages(), pairs(100), &mut journal)
+            .unwrap();
+        let spans = journal.record_spans().to_vec();
+        drop(journal);
+        let full = std::fs::read(&path).unwrap();
+
+        // Kill at three depths, resume at a different thread count and
+        // schedule each time: always bit-identical to the golden run.
+        for (frac_num, threads, schedule) in [
+            (1, 2, Schedule::Static),
+            (2, 8, Schedule::Dynamic),
+            (3, 1, Schedule::Static),
+        ] {
+            let cut = spans[spans.len() * frac_num / 4].0 + 3;
+            std::fs::write(&path, &full[..cut as usize]).unwrap();
+            let mut recovered = Journal::open(&path).unwrap();
+            let resumed = Executor::new(config(threads, schedule))
+                .resume_from(&stages(), pairs(100), &mut recovered)
+                .unwrap();
+            assert!(resumed.replayed > 0, "cut {frac_num}/4 should replay");
+            assert_eq!(
+                resumed.digest(),
+                golden.digest(),
+                "cut {frac_num}/4, {schedule:?} x{threads}"
+            );
+            assert_eq!(resumed.breaker_events, golden.breaker_events);
+            let gq = golden.quarantine("q");
+            let rq = resumed.quarantine("q");
+            assert_eq!(gq.items, rq.items);
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

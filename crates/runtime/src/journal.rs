@@ -1,0 +1,790 @@
+//! Crash-consistent write-ahead journal for chain runs.
+//!
+//! A 52k-pair revision sweep is hours of work; a killed process must not
+//! lose it. The executor appends one compact record per *committed* item —
+//! an item that finished the whole chain, whatever its disposition — and a
+//! resumed run replays those records instead of re-executing them, then
+//! re-enters the batch at the exact frontier. Because every per-item
+//! outcome is already a pure function of `(chain, input, seed)`, replay
+//! composes with fresh execution bit-for-bit: the resumed run's items,
+//! deterministic report fields, quarantine, and breaker evolution are
+//! identical to an uninterrupted run at any thread count and under either
+//! schedule.
+//!
+//! ## On-disk format
+//!
+//! A journal is a flat sequence of length-prefixed, checksummed records:
+//!
+//! ```text
+//! record   := len:u32le  crc:u64le  payload[len]
+//! crc      := fxhash64(payload)
+//! payload  := kind:u8 body
+//! kind 1   := header — format version, input length, run fingerprint
+//! kind 2   := item trace — index, pair id (the RNG key), disposition,
+//!             final text (only where changed), tags, failure record,
+//!             content digest, and per-stage outcome deltas
+//! ```
+//!
+//! The header's fingerprint hashes everything that determines outcomes —
+//! chain seed, stage names, retry policy, fault plan, breaker policy, and
+//! the full input content — so resuming under *different* semantics is
+//! rejected up front instead of silently diverging. Thread count and
+//! schedule are deliberately excluded: they never affect results, and a
+//! journal written by a 16-thread dynamic run must resume on a 1-thread
+//! static one.
+//!
+//! ## Torn writes
+//!
+//! Appends are buffered and fsynced in batches ([`Journal::sync_every`]),
+//! so a crash can leave a torn tail: a partial record, or a complete-
+//! looking record whose bytes never all reached the disk. [`Journal::open`]
+//! scans from the start and stops at the first record whose length prefix
+//! overruns the file or whose checksum mismatches, truncating the file
+//! back to the last consistent frontier — replay never trusts a record
+//! that was not durably and completely written. Item records are
+//! independent (no inter-record delta coding), so dropping the tail loses
+//! at most the unsynced suffix of work, never corrupts the prefix.
+//!
+//! Payloads attached via [`StageItem::set_payload`](crate::StageItem) are
+//! *not* journalled (they are opaque `Any` boxes); chains whose stages
+//! communicate through payloads should treat the journal as covering the
+//! item text, tags, and failure state only.
+
+use crate::fault::{FailureKind, FailureRecord};
+use coachlm_text::fxhash::FxHasher;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::hash::Hasher;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal format version; bumped on any encoding change.
+pub(crate) const JOURNAL_VERSION: u32 = 1;
+
+/// Bytes of frame overhead per record (length prefix + checksum).
+const FRAME_BYTES: u64 = 12;
+
+/// Upper bound on a single record's payload, to reject absurd length
+/// prefixes from corrupt files before allocating.
+const MAX_RECORD_BYTES: u32 = 1 << 28;
+
+/// Records buffered between fsyncs by default.
+const DEFAULT_SYNC_EVERY: usize = 32;
+
+/// Why a journal could not be created, recovered, or resumed from.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The journal is internally valid but belongs to a different run
+    /// (fingerprint, input length, or version mismatch) or refers to
+    /// items the given input does not contain.
+    Incompatible(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal IO error: {e}"),
+            JournalError::Incompatible(why) => {
+                write!(f, "journal incompatible with this run: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// The header record's decoded body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct HeaderRecord {
+    /// Format version ([`JOURNAL_VERSION`] when written by this build).
+    pub(crate) version: u32,
+    /// Length of the input the journal was written against.
+    pub(crate) input_len: u64,
+    /// Hash of everything that determines outcomes (see module docs).
+    pub(crate) fingerprint: u64,
+}
+
+/// Per-stage outcome deltas for one committed item, enough to rebuild the
+/// item's contribution to every deterministic [`StageReport`] field.
+///
+/// [`StageReport`]: crate::StageReport
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct StageTrace {
+    /// Chain position of the stage.
+    pub(crate) stage: u32,
+    /// Whether the breaker passed the item through instead of executing.
+    pub(crate) degraded: bool,
+    /// Whether the item was still retained after this stage.
+    pub(crate) retained_after: bool,
+    /// Whether this stage quarantined the item.
+    pub(crate) quarantined: bool,
+    /// Retries taken at this stage.
+    pub(crate) retries: u32,
+    /// Faults injected into this stage's attempts.
+    pub(crate) faults: u64,
+    /// Attempts cut short by the stage deadline.
+    pub(crate) timeouts: u32,
+    /// Simulated backoff charged, in nanoseconds.
+    pub(crate) backoff_nanos: u64,
+    /// Simulated latency charged, in nanoseconds.
+    pub(crate) latency_nanos: u64,
+    /// Stage counter deltas, sorted by key.
+    pub(crate) counters: Vec<(String, u64)>,
+}
+
+/// One committed item: its terminal state plus per-stage deltas.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ItemTrace {
+    /// Position in the chain input.
+    pub(crate) index: u64,
+    /// The pair's id — the per-item RNG key, cross-checked on resume.
+    pub(crate) pair_id: u64,
+    /// Terminal disposition: 0 retained, 1 dropped, 2 quarantined.
+    pub(crate) disposition: u8,
+    /// Final instruction, recorded only when a stage changed it.
+    pub(crate) instruction: Option<String>,
+    /// Final response, recorded only when a stage changed it.
+    pub(crate) response: Option<String>,
+    /// All tags attached during the run, in order.
+    pub(crate) tags: Vec<String>,
+    /// The failure record, for quarantined items.
+    pub(crate) failure: Option<FailureRecord>,
+    /// Content digest of the terminal item state, re-verified on replay.
+    pub(crate) digest: u64,
+    /// Per-stage deltas, in chain order (stages the item never reached
+    /// are absent).
+    pub(crate) stages: Vec<StageTrace>,
+}
+
+/// An append-only, checksummed, fsync-batched record log for one chain
+/// run, with torn-tail recovery on open. See the module docs for the
+/// format and guarantees; drive it through
+/// [`Executor::run_journaled`](crate::Executor::run_journaled) /
+/// [`Executor::resume_from`](crate::Executor::resume_from).
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    header: Option<HeaderRecord>,
+    committed: BTreeMap<u64, ItemTrace>,
+    spans: Vec<(u64, u64)>,
+    /// Logical end offset: durable bytes plus buffered bytes.
+    len: u64,
+    buf: Vec<u8>,
+    buffered_records: usize,
+    sync_every: usize,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path`, truncating anything there.
+    pub fn create(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
+        let path = path.as_ref();
+        let file = File::create(path)?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+            header: None,
+            committed: BTreeMap::new(),
+            spans: Vec::new(),
+            len: 0,
+            buf: Vec::new(),
+            buffered_records: 0,
+            sync_every: DEFAULT_SYNC_EVERY,
+        })
+    }
+
+    /// Opens the journal at `path` for resumption (creating an empty one
+    /// if none exists), recovering whatever consistent prefix survives: a
+    /// torn or corrupt tail — partial frame, short payload, checksum
+    /// mismatch, undecodable body — ends the scan, and the file is
+    /// truncated back to that frontier so later appends extend a clean
+    /// log.
+    pub fn open(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
+        let path = path.as_ref();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+
+        let mut header = None;
+        let mut committed = BTreeMap::new();
+        let mut spans = Vec::new();
+        let mut pos: usize = 0;
+        while let Some((payload, end)) = next_frame(&data, pos) {
+            let mut dec = Dec::new(payload);
+            let parsed = match dec.u8() {
+                Some(1) if header.is_none() => decode_header(&mut dec).map(|h| {
+                    header = Some(h);
+                }),
+                Some(2) if header.is_some() => decode_item(&mut dec).map(|t| {
+                    committed.insert(t.index, t);
+                }),
+                // Unknown kind, duplicate header, or an item before the
+                // header: not a log this build wrote — stop at the last
+                // good frontier.
+                _ => None,
+            };
+            if parsed.is_none() || !dec.exhausted() {
+                break;
+            }
+            spans.push((pos as u64, end as u64));
+            pos = end;
+        }
+
+        if (pos as u64) < data.len() as u64 {
+            file.set_len(pos as u64)?;
+        }
+        file.seek(SeekFrom::Start(pos as u64))?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+            header,
+            committed,
+            spans,
+            len: pos as u64,
+            buf: Vec::new(),
+            buffered_records: 0,
+            sync_every: DEFAULT_SYNC_EVERY,
+        })
+    }
+
+    /// Overrides how many records are buffered between fsyncs (floored at
+    /// 1 — every record synced immediately). The trade is the usual one:
+    /// larger batches cost fewer fsyncs but widen the window of work a
+    /// crash can lose.
+    pub fn sync_every(mut self, records: usize) -> Journal {
+        self.sync_every = records.max(1);
+        self
+    }
+
+    /// Number of committed item records recovered or appended so far.
+    pub fn committed(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Byte spans `(start, end)` of every valid record, header included —
+    /// the crash tests use these to truncate mid-record at every offset.
+    pub fn record_spans(&self) -> &[(u64, u64)] {
+        &self.spans
+    }
+
+    /// The recovered header, if the journal has one.
+    pub(crate) fn header(&self) -> Option<&HeaderRecord> {
+        self.header.as_ref()
+    }
+
+    /// Writes the header record. Must be the first append.
+    pub(crate) fn write_header(&mut self, h: HeaderRecord) -> Result<(), std::io::Error> {
+        let mut enc = Enc::new();
+        enc.u8(1);
+        enc.u32(h.version);
+        enc.u64(h.input_len);
+        enc.u64(h.fingerprint);
+        self.header = Some(h);
+        self.append_frame(enc.into_payload())
+    }
+
+    /// Appends one committed item record (buffered; durable after the
+    /// next batch boundary or [`Journal::sync`]).
+    pub(crate) fn append(&mut self, trace: &ItemTrace) -> Result<(), std::io::Error> {
+        let mut enc = Enc::new();
+        enc.u8(2);
+        encode_item(&mut enc, trace);
+        self.committed.insert(trace.index, trace.clone());
+        self.append_frame(enc.into_payload())
+    }
+
+    /// Flushes buffered records and fsyncs file data.
+    pub fn sync(&mut self) -> Result<(), std::io::Error> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        self.buffered_records = 0;
+        self.file.sync_data()
+    }
+
+    /// Takes the recovered traces for replay. The records stay durable in
+    /// the file; the in-memory copy moves to the resuming run, so one
+    /// `Journal` handle drives at most one run.
+    pub(crate) fn take_committed(&mut self) -> BTreeMap<u64, ItemTrace> {
+        std::mem::take(&mut self.committed)
+    }
+
+    fn append_frame(&mut self, payload: Vec<u8>) -> Result<(), std::io::Error> {
+        let mut h = FxHasher::default();
+        h.write(&payload);
+        let crc = h.finish();
+        let start = self.len;
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.buf.extend_from_slice(&payload);
+        self.len = start + FRAME_BYTES + payload.len() as u64;
+        self.spans.push((start, self.len));
+        self.buffered_records += 1;
+        if self.buffered_records >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+}
+
+/// Extracts the frame starting at `pos`: returns the payload slice and
+/// the frame's end offset, or `None` for a torn/corrupt/absent frame.
+fn next_frame(data: &[u8], pos: usize) -> Option<(&[u8], usize)> {
+    let frame = data.get(pos..)?;
+    let len_bytes: [u8; 4] = frame.get(..4)?.try_into().ok()?;
+    let crc_bytes: [u8; 8] = frame.get(4..12)?.try_into().ok()?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 || len > MAX_RECORD_BYTES {
+        return None;
+    }
+    let payload = frame.get(12..12 + len as usize)?;
+    let mut h = FxHasher::default();
+    h.write(payload);
+    if h.finish() != u64::from_le_bytes(crc_bytes) {
+        return None;
+    }
+    Some((payload, pos + 12 + len as usize))
+}
+
+fn decode_header(dec: &mut Dec<'_>) -> Option<HeaderRecord> {
+    Some(HeaderRecord {
+        version: dec.u32()?,
+        input_len: dec.u64()?,
+        fingerprint: dec.u64()?,
+    })
+}
+
+fn encode_item(enc: &mut Enc, t: &ItemTrace) {
+    enc.u64(t.index);
+    enc.u64(t.pair_id);
+    enc.u8(t.disposition);
+    enc.opt_str(t.instruction.as_deref());
+    enc.opt_str(t.response.as_deref());
+    enc.u32(t.tags.len() as u32);
+    for tag in &t.tags {
+        enc.str(tag);
+    }
+    match &t.failure {
+        None => enc.u8(0),
+        Some(f) => {
+            enc.u8(1);
+            enc.str(&f.stage);
+            enc.u32(f.attempts);
+            enc.str(&f.error);
+            enc.u8(match f.kind {
+                FailureKind::RetriesExhausted => 0,
+                FailureKind::Fatal => 1,
+            });
+        }
+    }
+    enc.u64(t.digest);
+    enc.u32(t.stages.len() as u32);
+    for s in &t.stages {
+        enc.u32(s.stage);
+        enc.u8(u8::from(s.degraded));
+        enc.u8(u8::from(s.retained_after));
+        enc.u8(u8::from(s.quarantined));
+        enc.u32(s.retries);
+        enc.u64(s.faults);
+        enc.u32(s.timeouts);
+        enc.u64(s.backoff_nanos);
+        enc.u64(s.latency_nanos);
+        enc.u32(s.counters.len() as u32);
+        for (key, v) in &s.counters {
+            enc.str(key);
+            enc.u64(*v);
+        }
+    }
+}
+
+fn decode_item(dec: &mut Dec<'_>) -> Option<ItemTrace> {
+    let index = dec.u64()?;
+    let pair_id = dec.u64()?;
+    let disposition = dec.u8()?;
+    if disposition > 2 {
+        return None;
+    }
+    let instruction = dec.opt_str()?;
+    let response = dec.opt_str()?;
+    let n_tags = dec.u32()?;
+    let mut tags = Vec::with_capacity(n_tags.min(1024) as usize);
+    for _ in 0..n_tags {
+        tags.push(dec.str()?);
+    }
+    let failure = match dec.u8()? {
+        0 => None,
+        1 => Some(FailureRecord {
+            stage: dec.str()?,
+            attempts: dec.u32()?,
+            error: dec.str()?,
+            kind: match dec.u8()? {
+                0 => FailureKind::RetriesExhausted,
+                1 => FailureKind::Fatal,
+                _ => return None,
+            },
+        }),
+        _ => return None,
+    };
+    let digest = dec.u64()?;
+    let n_stages = dec.u32()?;
+    let mut stages = Vec::with_capacity(n_stages.min(1024) as usize);
+    for _ in 0..n_stages {
+        let stage = dec.u32()?;
+        let degraded = dec.bool()?;
+        let retained_after = dec.bool()?;
+        let quarantined = dec.bool()?;
+        let retries = dec.u32()?;
+        let faults = dec.u64()?;
+        let timeouts = dec.u32()?;
+        let backoff_nanos = dec.u64()?;
+        let latency_nanos = dec.u64()?;
+        let n_counters = dec.u32()?;
+        let mut counters = Vec::with_capacity(n_counters.min(1024) as usize);
+        for _ in 0..n_counters {
+            let key = dec.str()?;
+            let v = dec.u64()?;
+            counters.push((key, v));
+        }
+        stages.push(StageTrace {
+            stage,
+            degraded,
+            retained_after,
+            quarantined,
+            retries,
+            faults,
+            timeouts,
+            backoff_nanos,
+            latency_nanos,
+            counters,
+        });
+    }
+    Some(ItemTrace {
+        index,
+        pair_id,
+        disposition,
+        instruction,
+        response,
+        tags,
+        failure,
+        digest,
+        stages,
+    })
+}
+
+/// Little-endian record encoder.
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Enc {
+        Enc { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn opt_str(&mut self, s: Option<&str>) {
+        match s {
+            None => self.u8(0),
+            Some(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+        }
+    }
+
+    fn into_payload(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian record decoder; every getter returns `None` on underrun
+/// or malformed data, which the scanner treats as end-of-valid-log.
+struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(data: &'a [u8]) -> Dec<'a> {
+        Dec { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.data.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)?.try_into().ok().map(u32::from_le_bytes)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)?.try_into().ok().map(u64::from_le_bytes)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn opt_str(&mut self) -> Option<Option<String>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.str()?)),
+            _ => None,
+        }
+    }
+
+    /// `true` when the whole payload was consumed — trailing garbage in a
+    /// checksummed record means a format mismatch, not a torn write, and
+    /// is rejected all the same.
+    fn exhausted(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "coachlm-journal-unit-{}-{tag}-{n}.wal",
+            std::process::id()
+        ))
+    }
+
+    fn header() -> HeaderRecord {
+        HeaderRecord {
+            version: JOURNAL_VERSION,
+            input_len: 4,
+            fingerprint: 0xFEED_BEEF,
+        }
+    }
+
+    fn trace(index: u64) -> ItemTrace {
+        ItemTrace {
+            index,
+            pair_id: index * 10,
+            disposition: u8::from(index % 3 == 2) * 2,
+            instruction: index.is_multiple_of(2).then(|| format!("revised {index}?")),
+            response: Some(format!("answer {index} with ünïcode")),
+            tags: vec!["leakage".into(), format!("t{index}")],
+            failure: (index % 3 == 2).then(|| FailureRecord {
+                stage: "coach-revise".into(),
+                attempts: 3,
+                error: "injected: transient".into(),
+                kind: FailureKind::RetriesExhausted,
+            }),
+            digest: 0xD1_6E57 ^ index,
+            stages: vec![StageTrace {
+                stage: 0,
+                degraded: index % 4 == 1,
+                retained_after: index % 3 != 2,
+                quarantined: index % 3 == 2,
+                retries: 2,
+                faults: 3,
+                timeouts: 1,
+                backoff_nanos: 30_000_000,
+                latency_nanos: 250_000_000,
+                counters: vec![("invalid".into(), 1), ("repair:x".into(), 2)],
+            }],
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_a_reopen() {
+        let path = temp_path("roundtrip");
+        let mut j = Journal::create(&path).unwrap();
+        j.write_header(header()).unwrap();
+        for i in 0..4 {
+            j.append(&trace(i)).unwrap();
+        }
+        j.sync().unwrap();
+        drop(j);
+
+        let mut back = Journal::open(&path).unwrap();
+        assert_eq!(back.header(), Some(&header()));
+        assert_eq!(back.committed(), 4);
+        let committed = back.take_committed();
+        for i in 0..4u64 {
+            assert_eq!(committed.get(&i), Some(&trace(i)));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_tail_truncation_offset_recovers_the_prefix() {
+        let path = temp_path("torn");
+        let mut j = Journal::create(&path).unwrap();
+        j.write_header(header()).unwrap();
+        for i in 0..3 {
+            j.append(&trace(i)).unwrap();
+        }
+        j.sync().unwrap();
+        let spans = j.record_spans().to_vec();
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        let (last_start, last_end) = spans[spans.len() - 1];
+        assert_eq!(last_end, full.len() as u64);
+
+        // Cutting anywhere inside the tail record must recover exactly
+        // the first two items and truncate the torn bytes away.
+        for cut in last_start..last_end {
+            std::fs::write(&path, &full[..cut as usize]).unwrap();
+            let j = Journal::open(&path).unwrap();
+            assert_eq!(j.committed(), 2, "cut at {cut}");
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                last_start,
+                "cut at {cut} must truncate to the frontier"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_byte_drops_everything_from_the_flip_onward() {
+        let path = temp_path("corrupt");
+        let mut j = Journal::create(&path).unwrap();
+        j.write_header(header()).unwrap();
+        for i in 0..3 {
+            j.append(&trace(i)).unwrap();
+        }
+        j.sync().unwrap();
+        let spans = j.record_spans().to_vec();
+        drop(j);
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a byte inside item record 1 (spans[0] is the header).
+        let mid = (spans[2].0 + 13) as usize;
+        data[mid] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.committed(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), spans[2].0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn appends_after_recovery_extend_the_clean_log() {
+        let path = temp_path("extend");
+        let mut j = Journal::create(&path).unwrap();
+        j.write_header(header()).unwrap();
+        j.append(&trace(0)).unwrap();
+        j.append(&trace(1)).unwrap();
+        j.sync().unwrap();
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        drop(j);
+        // Tear the tail record in half, reopen, append a replacement.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 5]).unwrap();
+        let mut j = Journal::open(&path).unwrap();
+        assert_eq!(j.committed(), 1);
+        j.append(&trace(1)).unwrap();
+        j.sync().unwrap();
+        drop(j);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.committed(), 2);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), full_len);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn item_record_before_header_is_rejected() {
+        let path = temp_path("no-header");
+        let mut j = Journal::create(&path).unwrap();
+        j.write_header(header()).unwrap();
+        j.append(&trace(0)).unwrap();
+        j.sync().unwrap();
+        let spans = j.record_spans().to_vec();
+        drop(j);
+        // Strip the header record; the orphaned item must not be trusted.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[spans[0].1 as usize..]).unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.committed(), 0);
+        assert!(j.header().is_none());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_every_floors_at_one_and_batches_otherwise() {
+        let path = temp_path("batch");
+        let mut j = Journal::create(&path).unwrap().sync_every(0);
+        j.write_header(header()).unwrap();
+        // sync_every(0) floors to 1: the record is already durable.
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            j.record_spans()[0].1
+        );
+        drop(j);
+
+        let path2 = temp_path("batch2");
+        let mut j = Journal::create(&path2).unwrap().sync_every(100);
+        j.write_header(header()).unwrap();
+        j.append(&trace(0)).unwrap();
+        // Buffered, not yet written.
+        assert_eq!(std::fs::metadata(&path2).unwrap().len(), 0);
+        j.sync().unwrap();
+        assert!(std::fs::metadata(&path2).unwrap().len() > 0);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
+    }
+}

@@ -28,9 +28,12 @@
 //! [`Schedule::Static`] splits the batch into one contiguous chunk per
 //! worker. Both produce identical output.
 //!
-//! Only wall-clock fields ([`StageReport::cpu_time`]'s measured portion)
-//! and the token-cache hit/miss tallies (caches are per-worker) vary
-//! across runs.
+//! Only the wall-clock field ([`StageReport::cpu_time`], which is measured
+//! stage-body time and nothing else) and the token-cache hit/miss tallies
+//! (caches are per-worker) vary across runs; the simulated channels
+//! ([`StageReport::backoff_time`], [`StageReport::latency_time`]) are
+//! deterministic and disjoint from it, with
+//! [`StageReport::total_time`] as their sum.
 //!
 //! ## Fault tolerance
 //!
@@ -48,19 +51,45 @@
 //! thread count and under either schedule, and the three sets always
 //! partition the input exactly (`tests/fault_injection.rs` property-tests
 //! this).
+//!
+//! ## Durability & overload protection
+//!
+//! Three further layers make long production sweeps survivable:
+//!
+//! * **Crash recovery** — [`Executor::run_journaled`] appends one
+//!   checksummed record per committed item to a [`Journal`];
+//!   [`Executor::resume_from`] replays the recovered records without
+//!   re-executing them and re-enters the batch at the exact frontier,
+//!   reproducing every deterministic output field bit-for-bit versus an
+//!   uninterrupted run. Torn tail records are detected and dropped on
+//!   [`Journal::open`].
+//! * **Deadlines** — a stage may declare a simulated-time budget via
+//!   [`Stage::deadline`]; injected latency beyond it becomes a
+//!   `Retryable` timeout feeding the retry/quarantine machinery, so a
+//!   latency storm degrades instead of hanging.
+//! * **Circuit breaking** — with a [`BreakerPolicy`] configured, each
+//!   stage gets a deterministic, epoch-synchronous breaker over its
+//!   quarantine/timeout outcomes; a tripped stage passes items through
+//!   unrevised (the paper's §III-B1 leakage fallback), counted in
+//!   [`StageReport::degraded`] and surfaced as [`BreakerEvent`]s, with a
+//!   deterministic half-open probe schedule for recovery.
 
 #![deny(unused_must_use)]
 #![warn(missing_docs)]
 
+mod breaker;
 mod executor;
 mod fault;
+mod journal;
 mod report;
 pub mod simtime;
 mod stage;
 
+pub use breaker::{BreakerEvent, BreakerPolicy, BreakerState};
 pub use executor::{ChainOutput, Executor, ExecutorConfig, Schedule};
 pub use fault::{
     FailureKind, FailureRecord, Fault, FaultPlan, Quarantine, QuarantinedPair, RetryPolicy,
 };
+pub use journal::{Journal, JournalError};
 pub use report::StageReport;
 pub use stage::{Disposition, Stage, StageCtx, StageItem, StageOutcome};

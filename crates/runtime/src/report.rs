@@ -6,11 +6,20 @@ use std::time::Duration;
 
 /// What one stage did over a whole run.
 ///
-/// Item counts, counters, retry/quarantine tallies, and
-/// [`backoff_time`](Self::backoff_time) are deterministic
-/// (thread-count-invariant); [`cpu_time`](Self::cpu_time) mixes measured
-/// stage time with the deterministic simulated portion, so it varies run
-/// to run by the measured part only.
+/// Item counts, counters, retry/quarantine/timeout/degraded tallies,
+/// [`backoff_time`](Self::backoff_time), and
+/// [`latency_time`](Self::latency_time) are deterministic
+/// (thread-count-invariant); [`cpu_time`](Self::cpu_time) is measured wall
+/// time, the one field the determinism contract excludes.
+///
+/// The three time channels are disjoint — measured stage-body time
+/// ([`cpu_time`](Self::cpu_time)), simulated retry backoff
+/// ([`backoff_time`](Self::backoff_time)), and simulated injected
+/// latency / deadline waits ([`latency_time`](Self::latency_time)) — and
+/// [`total_time`](Self::total_time) is their sum. Earlier versions folded
+/// the simulated channels into `cpu_time` as well, double-counting backoff
+/// whenever latency and transient faults hit the same (stage, item,
+/// attempt); the split accounting makes each channel additive on its own.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 #[must_use]
 pub struct StageReport {
@@ -28,17 +37,30 @@ pub struct StageReport {
     pub retries: u64,
     /// Faults the executor injected into this stage (all three classes).
     pub faults_injected: u64,
+    /// Attempts cut short because an injected latency spike exceeded the
+    /// stage's [`deadline`](crate::Stage::deadline) budget (each also
+    /// counts as an injected fault and feeds the retry machinery).
+    pub timeouts: u64,
+    /// Items that passed through unprocessed because the stage's circuit
+    /// breaker was open (the §III-B1 leakage fallback).
+    pub degraded: usize,
     /// Stage counters, summed across workers.
     pub counters: BTreeMap<String, u64>,
-    /// Total time attributed to this stage, summed across workers: measured
-    /// CPU-side busy time plus the simulated backoff and injected latency
-    /// the production system would have spent.
+    /// Measured stage-body time, summed across workers. Informational:
+    /// this is the one report field that varies run to run.
     #[serde(with = "duration_nanos")]
     pub cpu_time: Duration,
-    /// The simulated retry-backoff portion of [`cpu_time`](Self::cpu_time)
-    /// alone. Fully deterministic: `Σ base × 2^(retry-1)` over every retry.
+    /// Simulated retry backoff. Fully deterministic:
+    /// `Σ base × 2^(retry-1)` over every retry actually taken (the final
+    /// failed attempt of an exhausted item charges no backoff — there is
+    /// no retry after it to wait for).
     #[serde(with = "duration_nanos")]
     pub backoff_time: Duration,
+    /// Simulated injected latency: spikes that ran to completion plus
+    /// deadline-capped waits for attempts that timed out. Deterministic
+    /// under a fixed [`FaultPlan`](crate::FaultPlan).
+    #[serde(with = "duration_nanos")]
+    pub latency_time: Duration,
 }
 
 /// `Duration` ⇄ integer nanoseconds, for exact serialization round-trips.
@@ -73,10 +95,19 @@ impl StageReport {
         self.items_in - self.items_out - self.quarantined
     }
 
-    /// Processing rate derived from attributed stage time; `0.0` when the
-    /// stage saw no items or ran too fast to time.
+    /// Everything attributed to the stage: measured body time plus the
+    /// simulated backoff and latency the production system would have
+    /// spent. This is what throughput figures divide by, so chaos runs
+    /// report degraded-mode rates instead of pretending faults are free.
+    pub fn total_time(&self) -> Duration {
+        self.cpu_time + self.backoff_time + self.latency_time
+    }
+
+    /// Processing rate derived from attributed stage time
+    /// ([`total_time`](Self::total_time)); `0.0` when the stage saw no
+    /// items or ran too fast to time.
     pub fn samples_per_sec(&self) -> f64 {
-        let secs = self.cpu_time.as_secs_f64();
+        let secs = self.total_time().as_secs_f64();
         if self.items_in == 0 || secs <= 0.0 {
             0.0
         } else {
@@ -130,13 +161,31 @@ mod tests {
             quarantined: 4,
             retries: 11,
             faults_injected: 15,
+            timeouts: 3,
+            degraded: 7,
             cpu_time: Duration::from_nanos(1_234_567_891),
             backoff_time: Duration::from_millis(70),
+            latency_time: Duration::from_millis(460),
             ..StageReport::default()
         };
         r.counters.insert("invalid".into(), 2);
         let json = serde_json::to_string(&r).unwrap();
         let back: StageReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn total_time_sums_the_disjoint_channels() {
+        let r = StageReport {
+            cpu_time: Duration::from_millis(5),
+            backoff_time: Duration::from_millis(30),
+            latency_time: Duration::from_millis(65),
+            ..StageReport::default()
+        };
+        assert_eq!(r.total_time(), Duration::from_millis(100));
+        // The rate divides by total time, so simulated waits slow the
+        // reported throughput exactly as they would in production.
+        let r = StageReport { items_in: 100, ..r };
+        assert!((r.samples_per_sec() - 1000.0).abs() < 1e-9);
     }
 }

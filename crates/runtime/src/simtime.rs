@@ -10,10 +10,20 @@
 //!   only: it feeds [`crate::StageReport::cpu_time`] and throughput numbers,
 //!   and is the one field the determinism contract explicitly excludes.
 //!   [`Stopwatch`] is the only way to obtain it.
-//! * **Simulated time** — backoff and injected latency. These are computed
+//! * **Simulated time** — backoff, injected latency, and per-stage
+//!   deadline budgets ([`crate::Stage::deadline`]). These are computed
 //!   [`Duration`] values (never slept), so chaos runs replicate bit-for-bit
 //!   and a retry storm costs no wall clock. They are accounted by the
-//!   executor directly and never pass through this module.
+//!   executor directly and never pass through this module. Deadlines in
+//!   particular compare *simulated* latency against the budget — never a
+//!   [`Stopwatch`] reading — so whether an attempt times out is a pure
+//!   function of the fault plan, not of host speed.
+//!
+//! The crash journal ([`crate::Journal`]) obtains no time at all: records
+//! carry only deterministic outcomes, and lint rule D1 additionally bans
+//! filesystem timestamp reads (`SystemTime`, `UNIX_EPOCH`, metadata
+//! `modified()`/`created()`/`accessed()`) outside this module so journal
+//! code cannot smuggle a wall-clock dependency in through its file IO.
 
 use std::time::{Duration, Instant};
 

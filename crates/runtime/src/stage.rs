@@ -69,6 +69,22 @@ pub trait Stage: Sync {
     /// Processes one item. See [`StageOutcome`] for the rollback contract
     /// on the failure variants.
     fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome;
+
+    /// The stage's *simulated-time* budget per attempt, or `None` for no
+    /// deadline (the default).
+    ///
+    /// Deadlines are enforced against simulated time only (see
+    /// [`simtime`](crate::simtime)): when an injected latency spike
+    /// exceeds the budget, the attempt is cut short as a `Retryable`
+    /// timeout — the executor charges the budget (not the full spike) to
+    /// [`latency_time`](crate::StageReport::latency_time) and feeds the
+    /// item to the normal retry/quarantine machinery. Measured wall time
+    /// is never compared against the budget, so a slow host cannot change
+    /// results; a latency-fault storm degrades deterministically instead
+    /// of hanging the chain.
+    fn deadline(&self) -> Option<std::time::Duration> {
+        None
+    }
 }
 
 /// A pair flowing through a stage chain, with its bookkeeping.

@@ -40,6 +40,21 @@ for seed in 11 29 53; do
     done
 done
 
+# Crash matrix: one cell per (seed, kill point, schedule). Each cell writes
+# a journaled run, truncates the journal at the kill point, and checks that
+# the resumed run is digest-identical to an uninterrupted one at several
+# thread counts — the crash-consistency contract of the write-ahead journal.
+echo "==> crash matrix (3 seeds x 3 kill points x 2 schedules)"
+for seed in 11 29 53; do
+    for kill in 25 50 90; do
+        for sched in static dynamic; do
+            echo "   -> seed=$seed kill=$kill% schedule=$sched"
+            COACHLM_CRASH_SEED=$seed COACHLM_KILL_POINT=$kill COACHLM_SCHEDULE=$sched \
+                cargo test --offline -q --test crash_resume crash_matrix_cell
+        done
+    done
+done
+
 # Optional: regenerate BENCH_2.json from the Criterion suite. Off by
 # default because benches dominate CI wall-clock; enable with COACHLM_BENCH=1.
 if [ "${COACHLM_BENCH:-0}" = "1" ]; then

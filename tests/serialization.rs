@@ -124,8 +124,11 @@ fn extended_stage_report_round_trips() {
         quarantined: 60,
         retries: 131,
         faults_injected: 191,
+        timeouts: 17,
+        degraded: 44,
         cpu_time: Duration::from_nanos(987_654_321_987),
         backoff_time: Duration::from_millis(1_310),
+        latency_time: Duration::from_millis(8_400),
         ..StageReport::default()
     };
     report.counters.insert("revise:qa".into(), 77);
@@ -133,4 +136,72 @@ fn extended_stage_report_round_trips() {
     let back: StageReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back, report);
     assert_eq!(back.items_dropped(), 20);
+    // The three time channels are disjoint; total_time sums them.
+    assert_eq!(
+        back.total_time(),
+        back.cpu_time + back.backoff_time + back.latency_time
+    );
+}
+
+#[test]
+fn merged_quarantines_round_trip_like_a_resumed_run() {
+    use coachlm::core::baselines::CleanStage;
+    use coachlm::runtime::{Executor, ExecutorConfig, FaultPlan, Quarantine, RetryPolicy, Stage};
+    let (d, _) = generate(&GeneratorConfig::small(300, 9));
+    let stages: Vec<Box<dyn Stage>> = vec![Box::new(CleanStage)];
+    let full = Executor::new(
+        ExecutorConfig::new(1)
+            .threads(4)
+            .fault_plan(FaultPlan::new(5).transient(0.3).permanent(0.1))
+            .retry_policy(RetryPolicy::new(2, std::time::Duration::from_millis(1))),
+    )
+    .run_dataset(&stages, &d)
+    .quarantine("merged");
+    assert!(
+        full.len() >= 4,
+        "the plan's rates guarantee quarantined pairs"
+    );
+
+    // Model an interrupted sweep: two partial quarantines with an
+    // overlapping item (recorded on both sides of the crash). Merging in
+    // either order reproduces the uninterrupted quarantine exactly.
+    let mid = full.len() / 2;
+    let first = Quarantine {
+        name: "merged".into(),
+        items: full.items[..=mid].to_vec(),
+    };
+    let second = Quarantine {
+        name: "merged".into(),
+        items: full.items[mid..].to_vec(),
+    };
+    let ab = first.clone().merge(second.clone());
+    assert_eq!(ab, full);
+    let ba = second.merge(first);
+    assert_eq!(ba, full);
+
+    let json = serde_json::to_string(&ab).unwrap();
+    let back: Quarantine = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, ab);
+}
+
+#[test]
+fn breaker_events_round_trip() {
+    use coachlm::runtime::{BreakerEvent, BreakerState};
+    let events = vec![
+        BreakerEvent {
+            stage: "coach-revise".into(),
+            epoch: 3,
+            from: BreakerState::Closed,
+            to: BreakerState::Open,
+        },
+        BreakerEvent {
+            stage: "coach-revise".into(),
+            epoch: 4,
+            from: BreakerState::Open,
+            to: BreakerState::HalfOpen,
+        },
+    ];
+    let json = serde_json::to_string(&events).unwrap();
+    let back: Vec<BreakerEvent> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, events);
 }
