@@ -3,9 +3,9 @@
 use super::Experiment;
 use crate::format::{f1, f2, pct, Table};
 use crate::world::ExperimentWorld;
-use coachlm_core::pipeline::{compare_deployment, run_batch, PipelineReport};
+use coachlm_core::pipeline::{compare_deployment, run_batch, run_stream, PipelineReport};
 use coachlm_data::generator::{generate, GeneratorConfig};
-use coachlm_runtime::{BreakerPolicy, FaultPlan};
+use coachlm_runtime::{BreakerPolicy, FaultPlan, Feed};
 use serde_json::json;
 use std::time::Duration;
 
@@ -22,6 +22,16 @@ const STORM_LATENCY_RATE: f64 = 0.8;
 /// The injected spike: double the revise stage's deadline budget, so every
 /// struck attempt times out rather than merely running slow.
 const STORM_SPIKE: Duration = Duration::from_secs(10);
+
+/// The sustained-traffic cell: continuous arrivals at this multiple of the
+/// service's modeled drain rate. Anything above 1.0 eventually fills the
+/// admission backlog; the long-run shed share tends to
+/// `1 - 1/SUSTAINED_OVERLOAD` once it does.
+const SUSTAINED_OVERLOAD: f64 = 1.5;
+
+/// Admission backlog capacity (pairs queued but not yet admitted) before
+/// the front door starts shedding.
+const SUSTAINED_BACKLOG: usize = 256;
 
 fn storm_breaker() -> BreakerPolicy {
     BreakerPolicy::new()
@@ -67,12 +77,35 @@ impl Experiment for Deploy {
         let storm = run_batch(Some(&world.coach), &raw, &storm_config)
             .expect("storm chain always includes the expert-annotate stage");
 
+        // The sustained-traffic cell: instead of one pre-staged batch, the
+        // same pairs arrive continuously at a rate above the service's
+        // modeled drain capacity (paper: 1.19 samples/s per A100, one lane
+        // per thread here). Admission control keeps the backlog bounded by
+        // shedding overload arrivals at the front door — deterministically,
+        // independent of thread count and queue depth — rather than letting
+        // the pipeline stall.
+        let drain_per_sec = 1.19 * world.threads as f64;
+        let rate_per_sec = drain_per_sec * SUSTAINED_OVERLOAD;
+        let sustained = run_stream(
+            Some(&world.coach),
+            &raw,
+            &world.exec_config(0xDE),
+            Feed::Sustained {
+                rate_per_sec,
+                drain_per_sec,
+                backlog_capacity: SUSTAINED_BACKLOG,
+            },
+        )
+        .expect("sustained chain always includes the expert-annotate stage");
+        let shed_share = sustained.shed as f64 / raw.len().max(1) as f64;
+
         let mut table = Table::new([
             "Batch",
             "Human-revised",
             "Post-edited",
             "Quarantined",
             "Degraded",
+            "Shed",
             "Retries",
             "Timeouts",
             "Person-days",
@@ -82,6 +115,7 @@ impl Experiment for Deploy {
             ("manual", &cmp.manual),
             ("with CoachLM", &cmp.assisted),
             ("CoachLM + latency storm", &storm),
+            ("CoachLM + sustained traffic", &sustained),
         ] {
             table.row([
                 label.to_string(),
@@ -89,6 +123,7 @@ impl Experiment for Deploy {
                 r.post_edited.to_string(),
                 r.quarantined.to_string(),
                 r.degraded.to_string(),
+                r.shed.to_string(),
                 r.retries.to_string(),
                 total_timeouts(r).to_string(),
                 f1(r.person_days),
@@ -115,7 +150,8 @@ impl Experiment for Deploy {
         let report = format!(
             "{}\nraw batch: {} pairs\nefficiency gain: {} (paper: net 15-20%, ~80 -> ~100 pairs/person-day)\n\
              CoachLM inference: {} samples/s on {} CPU threads (paper: 1.19 samples/s on one A100, batch 32)\n\
-             storm cell: {:.0}% latency faults of {:?} vs a 5s revise budget; breaker transitions:\n{}\n{}",
+             storm cell: {:.0}% latency faults of {:?} vs a 5s revise budget; breaker transitions:\n{}\n\
+             sustained cell: arrivals at {}/s vs {}/s drain, backlog cap {} -> {} pairs shed ({}), modeled makespan {}s\n{}",
             self.title(),
             raw.len(),
             pct(cmp.efficiency_gain()),
@@ -128,6 +164,12 @@ impl Experiment for Deploy {
             } else {
                 breaker_lines.join("\n")
             },
+            f2(rate_per_sec),
+            f2(drain_per_sec),
+            SUSTAINED_BACKLOG,
+            sustained.shed,
+            pct(shed_share),
+            f1(sustained.sim_elapsed_secs),
             table.render()
         );
         let json = json!({
@@ -146,6 +188,13 @@ impl Experiment for Deploy {
                        "latency_rate": STORM_LATENCY_RATE,
                        "spike_secs": STORM_SPIKE.as_secs_f64(),
                        "stages": storm.stage_summaries},
+            "sustained": {"person_days": sustained.person_days, "rate": sustained.pairs_per_person_day,
+                           "human_revised": sustained.human_revised, "post_edited": sustained.post_edited,
+                           "shed": sustained.shed, "shed_share": shed_share,
+                           "rate_per_sec": rate_per_sec, "drain_per_sec": drain_per_sec,
+                           "backlog_capacity": SUSTAINED_BACKLOG,
+                           "sim_elapsed_secs": sustained.sim_elapsed_secs,
+                           "stages": sustained.stage_summaries},
             "efficiency_gain": cmp.efficiency_gain(),
             "paper": {"gain_low": 0.15, "gain_high": 0.20, "samples_per_sec_a100": 1.19},
         });

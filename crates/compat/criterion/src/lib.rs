@@ -108,9 +108,8 @@ fn report(id: &str, median: Duration, throughput: Option<Throughput>) {
 
 /// Appends one JSONL record per benchmark to the file named by the
 /// `COACHLM_BENCH_JSON` env var, for machine-readable result collection
-/// (`scripts/bench.sh` wraps these lines into `BENCH_2.json`).
+/// (`scripts/bench.sh` wraps these lines into `BENCH_3.json`).
 fn append_json_record(path: &str, id: &str, ns: u128, throughput: Option<Throughput>) {
-    use std::io::Write;
     let mut line = format!("{{\"bench\":{id:?},\"median_ns\":{ns}");
     match throughput {
         Some(Throughput::Elements(n)) => {
@@ -128,6 +127,11 @@ fn append_json_record(path: &str, id: &str, ns: u128, throughput: Option<Through
         None => {}
     }
     line.push('}');
+    append_line(path, &line);
+}
+
+fn append_line(path: &str, line: &str) {
+    use std::io::Write;
     let written = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -135,6 +139,37 @@ fn append_json_record(path: &str, id: &str, ns: u128, throughput: Option<Through
         .and_then(|mut f| writeln!(f, "{line}"));
     if let Err(e) = written {
         eprintln!("warning: could not append bench record to {path}: {e}");
+    }
+}
+
+/// Emits a derived-metric record — a benchmark-shaped JSONL line carrying
+/// computed figures (speedup ratios, modeled throughput) instead of a raw
+/// timing. Printed to stdout like a benchmark and appended to the
+/// `COACHLM_BENCH_JSON` file when set, so derived numbers land in
+/// `BENCH_3.json` next to the medians they were computed from.
+///
+/// Not part of the real `criterion` API; bench binaries in this workspace
+/// use it to report figures the harness cannot measure directly.
+pub fn append_metric(id: &str, fields: &[(&str, f64)]) {
+    print!("{id:<40}");
+    for (name, value) in fields {
+        print!("  {name}={value:.3}");
+    }
+    println!();
+    if let Ok(path) = std::env::var("COACHLM_BENCH_JSON") {
+        if !path.is_empty() {
+            let mut line = format!("{{\"bench\":{id:?}");
+            for (name, value) in fields {
+                let rendered = if value.is_finite() {
+                    format!("{value:.6}")
+                } else {
+                    "null".to_string()
+                };
+                line.push_str(&format!(",{name:?}:{rendered}"));
+            }
+            line.push('}');
+            append_line(&path, &line);
+        }
     }
 }
 
@@ -151,8 +186,10 @@ impl BenchmarkGroup<'_> {
         self.throughput = Some(throughput);
     }
 
-    /// Runs one benchmark in this group.
-    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    /// Runs one benchmark in this group. Returns the measured median (a
+    /// deviation from the real `criterion` API) so bench binaries can
+    /// derive cross-benchmark figures like speedup-vs-baseline.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> Duration
     where
         F: FnMut(&mut Bencher),
     {
@@ -163,15 +200,18 @@ impl BenchmarkGroup<'_> {
         };
         let median = run_one(&mut b, |bencher| f(bencher));
         report(&format!("{}/{}", self.name, id.id), median, self.throughput);
+        median
     }
 
-    /// Runs one parameterised benchmark in this group.
+    /// Runs one parameterised benchmark in this group. Returns the measured
+    /// median like [`bench_function`](Self::bench_function).
     pub fn bench_with_input<I: ?Sized, F>(
         &mut self,
         id: impl Into<BenchmarkId>,
         input: &I,
         mut f: F,
-    ) where
+    ) -> Duration
+    where
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
@@ -181,6 +221,7 @@ impl BenchmarkGroup<'_> {
         };
         let median = run_one(&mut b, |bencher| f(bencher, input));
         report(&format!("{}/{}", self.name, id.id), median, self.throughput);
+        median
     }
 
     /// Ends the group (printing is immediate; this is a no-op for parity).

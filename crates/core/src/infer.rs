@@ -19,8 +19,8 @@ use crate::coach::CoachLm;
 use coachlm_data::pair::Dataset;
 use coachlm_lm::transducer::RepairTag;
 use coachlm_runtime::{
-    ChainOutput, Executor, ExecutorConfig, Journal, JournalError, Stage, StageCtx, StageItem,
-    StageOutcome,
+    ChainOutput, Executor, ExecutorConfig, Feed, Journal, JournalError, Stage, StageCtx, StageItem,
+    StageOutcome, StreamSource,
 };
 use coachlm_text::clean;
 use coachlm_text::fxhash::{FxHashMap, FxHashSet};
@@ -145,14 +145,40 @@ impl Stage for CoachReviseStage<'_> {
         // deployment grants CoachLM before timing the item out.
         Some(std::time::Duration::from_secs(5))
     }
+
+    fn service_time(&self) -> std::time::Duration {
+        // Paper §IV-A: 1.19 samples/s on one A100 at batch 32 → ~840ms
+        // per pair. The chain's modeled bottleneck; drives lane
+        // allocation and the virtual-time throughput figures only.
+        std::time::Duration::from_millis(840)
+    }
 }
 
 /// Revises a whole dataset (Eq. 2) on the shared executor. Pairs in
 /// CoachLM's training subset keep their originals (the §III-B1 leakage
 /// rule). Thread count comes from `config` and never affects the result.
 pub fn revise_dataset(coach: &CoachLm, input: &Dataset, config: &ExecutorConfig) -> RevisedDataset {
+    revise_stream(coach, input, config, Feed::Batch)
+}
+
+/// Revises a whole dataset under an explicit arrival model.
+/// [`revise_dataset`] is this with [`Feed::Batch`]; a [`Feed::Sustained`]
+/// feed models the deployed revision service absorbing continuous
+/// traffic, with overload arrivals shed deterministically at admission —
+/// discarded up front with a `shed:admission` tag, so they are absent
+/// from the output dataset and from every revision tally.
+pub fn revise_stream(
+    coach: &CoachLm,
+    input: &Dataset,
+    config: &ExecutorConfig,
+    feed: Feed,
+) -> RevisedDataset {
     let stages: Vec<Box<dyn Stage + '_>> = vec![Box::new(CoachReviseStage::new(coach))];
-    let out = Executor::new(config.clone()).run_dataset(&stages, input);
+    let source = StreamSource {
+        pairs: input.pairs.clone(),
+        feed,
+    };
+    let out = Executor::new(config.clone()).run_stream(&stages, source);
     RevisedDataset::from_chain(&out, &input.name)
 }
 

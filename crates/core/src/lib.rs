@@ -39,5 +39,5 @@ pub mod student;
 
 pub use alpha::select_alpha;
 pub use coach::{CoachConfig, CoachLm};
-pub use infer::{revise_dataset, RevisedDataset};
+pub use infer::{revise_dataset, revise_stream, RevisedDataset};
 pub use student::{tune_student, StudentModel};

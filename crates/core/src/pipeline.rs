@@ -18,8 +18,8 @@ use coachlm_expert::cost::{Throughputs, Workload};
 use coachlm_expert::pool::ExpertPool;
 use coachlm_expert::revision::ExpertReviser;
 use coachlm_runtime::{
-    BreakerEvent, ChainOutput, Executor, ExecutorConfig, Journal, JournalError, Stage, StageCtx,
-    StageItem, StageOutcome, StageReport,
+    BreakerEvent, ChainOutput, Executor, ExecutorConfig, Feed, Journal, JournalError, Stage,
+    StageCtx, StageItem, StageOutcome, StageReport, StreamSource,
 };
 use serde::Serialize;
 use std::fmt;
@@ -123,6 +123,13 @@ impl Stage for ExpertAnnotateStage {
         // so only a pathological stall should time a pair out.
         Some(std::time::Duration::from_secs(30))
     }
+
+    fn service_time(&self) -> std::time::Duration {
+        // The machine-side handling per pair (queueing to annotators,
+        // QC bookkeeping) — the human person-day cost is accounted
+        // separately via `Workload::person_days`. Virtual-time model only.
+        std::time::Duration::from_millis(300)
+    }
 }
 
 /// A serialisable slice of a [`StageReport`].
@@ -206,6 +213,15 @@ pub struct PipelineReport {
     /// Pairs replayed from a crash journal rather than re-executed (0 for
     /// un-journaled batches and fresh journals).
     pub replayed: usize,
+    /// Pairs shed by admission control before entering the chain — always
+    /// 0 under a batch feed; under a sustained feed these are arrivals
+    /// that found the admission backlog full and were discarded up front
+    /// rather than allowed to grow the backlog without bound.
+    pub shed: usize,
+    /// Modeled end-to-end elapsed seconds of the run under the executor's
+    /// virtual-time model (lane topology × declared stage service times);
+    /// deterministic for a fixed config, 0 for stage-less chains.
+    pub sim_elapsed_secs: f64,
     /// Per-stage execution summaries, in chain order.
     pub stage_summaries: Vec<StageSummary>,
     /// Final dataset after the batch.
@@ -258,6 +274,8 @@ impl PipelineReport {
             degraded: out.total_degraded(),
             breaker_events: out.breaker_events.clone(),
             replayed: out.replayed,
+            shed: out.shed,
+            sim_elapsed_secs: out.sim_elapsed.as_secs_f64(),
             stage_summaries: out.reports.iter().map(StageSummary::from).collect(),
             output,
         })
@@ -294,8 +312,29 @@ pub fn run_batch(
     raw: &Dataset,
     config: &ExecutorConfig,
 ) -> Result<PipelineReport, PipelineError> {
+    run_stream(coach, raw, config, Feed::Batch)
+}
+
+/// Runs one batch through the platform under an explicit arrival model.
+///
+/// [`run_batch`] is this with [`Feed::Batch`]. A [`Feed::Sustained`] feed
+/// models the deployed service absorbing continuous user traffic: pairs
+/// arrive at the configured rate, and arrivals that find the admission
+/// backlog full are shed deterministically
+/// ([`PipelineReport::shed`]) instead of growing the backlog without
+/// bound — the overload story of the Fig-6 deployment.
+pub fn run_stream(
+    coach: Option<&CoachLm>,
+    raw: &Dataset,
+    config: &ExecutorConfig,
+    feed: Feed,
+) -> Result<PipelineReport, PipelineError> {
     let stages = batch_stages(coach, config);
-    let out = Executor::new(config.clone()).run_dataset(&stages, raw);
+    let source = StreamSource {
+        pairs: raw.pairs.clone(),
+        feed,
+    };
+    let out = Executor::new(config.clone()).run_stream(&stages, source);
     PipelineReport::from_chain(&out, raw, coach.is_some())
 }
 

@@ -8,7 +8,8 @@
 use crate::criteria::CriteriaEngine;
 use coachlm_data::pair::Dataset;
 use coachlm_runtime::{
-    Executor, ExecutorConfig, Stage, StageCtx, StageItem, StageOutcome, StageReport,
+    Executor, ExecutorConfig, Feed, Stage, StageCtx, StageItem, StageOutcome, StageReport,
+    StreamSource,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -84,8 +85,20 @@ impl ChatGptRater {
 
     /// Rates a whole dataset on the shared executor.
     pub fn rate_dataset(&self, d: &Dataset) -> RatingSummary {
+        self.rate_stream(d, Feed::Batch)
+    }
+
+    /// Rates a dataset under an explicit arrival model.
+    /// [`rate_dataset`](Self::rate_dataset) is this with [`Feed::Batch`];
+    /// under a [`Feed::Sustained`] feed, pairs shed at admission are
+    /// never rated and contribute nothing to the histogram.
+    pub fn rate_stream(&self, d: &Dataset, feed: Feed) -> RatingSummary {
         let stages: Vec<Box<dyn Stage + '_>> = vec![Box::new(ChatGptRatingStage::new(self))];
-        let run = Executor::new(ExecutorConfig::new(self.seed)).run_dataset(&stages, d);
+        let source = StreamSource {
+            pairs: d.pairs.clone(),
+            feed,
+        };
+        let run = Executor::new(ExecutorConfig::new(self.seed)).run_stream(&stages, source);
         RatingSummary::from_report(
             run.report(ChatGptRatingStage::NAME)
                 // lint: allow(P1, reason = "the chain built two lines above contains exactly this stage; a missing report is a construction bug, not a data condition")

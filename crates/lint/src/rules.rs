@@ -524,5 +524,30 @@ fn rule_c1(class: &FileClass, toks: &[Tok], in_test: &[bool], out: &mut Vec<Find
                 ),
             ));
         }
+        // Channel / queue primitives: the streaming core's bounded queues
+        // live in crates/runtime; hand-rolled channels elsewhere would
+        // bypass its backpressure and determinism contract.
+        if t.text == "mpsc" && is_punct(toks, i + 1, "::") {
+            out.push(finding(
+                "C1",
+                class,
+                t,
+                "`mpsc` channel outside crates/runtime; item flow must go through \
+                 the streaming executor's queues"
+                    .to_string(),
+            ));
+        }
+        if matches!(t.text.as_str(), "Condvar" | "sync_channel") {
+            out.push(finding(
+                "C1",
+                class,
+                t,
+                format!(
+                    "queue primitive `{}` outside crates/runtime; blocking coordination \
+                     must go through the streaming executor",
+                    t.text
+                ),
+            ));
+        }
     }
 }

@@ -135,8 +135,18 @@ fn c1_fires_on_raw_concurrency_outside_runtime() {
 }
 
 #[test]
+fn c1_fires_on_channel_primitives_outside_runtime() {
+    let f = lint_fixture("c1_channel_fire.rs", PROD);
+    assert_eq!(
+        rule_lines(&f),
+        vec![("C1", 3), ("C1", 4), ("C1", 7), ("C1", 7), ("C1", 10)]
+    );
+}
+
+#[test]
 fn c1_exempt_inside_runtime_crate() {
     assert!(lint_fixture("c1_guard.rs", "crates/runtime/src/fixture.rs").is_empty());
+    assert!(lint_fixture("c1_channel_fire.rs", "crates/runtime/src/fixture.rs").is_empty());
 }
 
 #[test]

@@ -1,0 +1,12 @@
+// C1 must fire on channel/queue primitives outside crates/runtime: the
+// streaming core's bounded queues are the only sanctioned item transport.
+use std::sync::mpsc::Sender; // line 3: fires (mpsc path)
+use std::sync::Condvar; // line 4: fires
+
+pub fn roll_your_own_queue(tx: Sender<u32>) {
+    let (btx, brx) = std::sync::mpsc::sync_channel(4); // line 7: fires twice
+    tx.send(1).ok();
+    btx.send(2).ok();
+    let _parked = Condvar::new(); // line 10: fires
+    let _ = brx.recv();
+}

@@ -1,21 +1,16 @@
-//! The deterministic parallel batch executor.
+//! The deterministic executor: public entry points over the
+//! pipeline-parallel streaming core in [`crate::stream`].
 
-use crate::breaker::{Breaker, BreakerEvent, BreakerPolicy, StageMode};
-use crate::fault::{
-    FailureKind, FailureRecord, Fault, FaultPlan, Quarantine, QuarantinedPair, RetryPolicy,
-};
+use crate::breaker::BreakerEvent;
+use crate::breaker::BreakerPolicy;
+use crate::fault::{FailureKind, FaultPlan, Quarantine, QuarantinedPair, RetryPolicy};
 use crate::journal::{HeaderRecord, ItemTrace, Journal, JournalError, StageTrace, JOURNAL_VERSION};
 use crate::report::StageReport;
-use crate::simtime::Stopwatch;
-use crate::stage::{Disposition, Stage, StageCtx, StageItem, StageOutcome};
+use crate::stage::{Disposition, Stage, StageItem};
+use crate::stream::{run_pipeline, Feed, Slot, StreamEnv, StreamSource};
 use coachlm_data::{Dataset, InstructionPair};
 use coachlm_text::fxhash::FxHasher;
-use coachlm_text::token::TokenCache;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::BTreeMap;
 use std::hash::Hasher;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -46,6 +41,8 @@ pub struct ExecutorConfig {
     fault_plan: FaultPlan,
     retry: RetryPolicy,
     breaker: Option<BreakerPolicy>,
+    queue_capacity: usize,
+    epoch_len: usize,
 }
 
 impl ExecutorConfig {
@@ -64,6 +61,8 @@ impl ExecutorConfig {
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
             breaker: None,
+            queue_capacity: 64,
+            epoch_len: 256,
         }
     }
 
@@ -98,9 +97,36 @@ impl ExecutorConfig {
         self
     }
 
+    /// Overrides the bounded inter-group queue capacity, in items
+    /// (floored at 1; defaults to 64). A wall-clock/memory knob only:
+    /// like the thread count, it never changes results.
+    pub fn queue_capacity(mut self, items: usize) -> Self {
+        self.queue_capacity = items.max(1);
+        self
+    }
+
+    /// Overrides the logical-epoch length used when *no* breaker is
+    /// configured (floored at 1; defaults to 256). Epochs drive journal
+    /// frame commits and cache maintenance cadence; with a
+    /// [`BreakerPolicy`] set, its `window` is the epoch length instead.
+    pub fn epoch_len(mut self, items: usize) -> Self {
+        self.epoch_len = items.max(1);
+        self
+    }
+
     /// The configured worker count.
     pub fn thread_count(&self) -> usize {
         self.threads
+    }
+
+    /// The configured bounded-queue capacity, in items.
+    pub fn queue_capacity_items(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// The configured breaker-less logical-epoch length, in items.
+    pub fn epoch_length(&self) -> usize {
+        self.epoch_len
     }
 
     /// The configured scheduling policy.
@@ -158,6 +184,17 @@ pub struct ChainOutput {
     pub cache_hits: u64,
     /// Token-cache misses summed across workers (informational, as above).
     pub cache_misses: u64,
+    /// Items shed by admission control before entering the chain (always
+    /// 0 under a [`Feed::Batch`] source). Shed items still appear in
+    /// [`items`](Self::items), discarded with a `shed:admission` tag.
+    pub shed: usize,
+    /// Modeled end-to-end elapsed time of the run under the virtual-time
+    /// model: the completion time of the last item given the pipeline's
+    /// lane topology, each stage's declared service time, and the
+    /// deterministic backoff/latency channels. Deterministic for a fixed
+    /// config, but *excluded* from [`digest`](Self::digest) — it varies
+    /// with the configured thread count by design.
+    pub sim_elapsed: Duration,
 }
 
 impl ChainOutput {
@@ -287,7 +324,7 @@ fn state_code(s: crate::breaker::BreakerState) -> u8 {
 /// Digest of one item's terminal deterministic state; recorded in journal
 /// records and re-verified on replay so a journal that no longer matches
 /// its run is rejected instead of silently diverging.
-fn item_digest(item: &StageItem) -> u64 {
+pub(crate) fn item_digest(item: &StageItem) -> u64 {
     let mut h = FxHasher::default();
     h.write_u64(item.index as u64);
     h.write_u64(item.pair.id);
@@ -323,44 +360,10 @@ fn item_digest(item: &StageItem) -> u64 {
     h.finish()
 }
 
-/// Per-stage accumulation local to one worker.
-#[derive(Default)]
-struct StageStats {
-    items_in: usize,
-    items_out: usize,
-    quarantined: usize,
-    degraded: usize,
-    retries: u64,
-    faults: u64,
-    timeouts: u64,
-    counters: BTreeMap<String, u64>,
-    /// Measured time inside `process`.
-    time: Duration,
-    /// Simulated retry backoff (deterministic).
-    backoff: Duration,
-    /// Simulated injected latency, deadline-capped for attempts that timed
-    /// out (deterministic under a fixed plan).
-    latency: Duration,
-}
-
-/// Everything one worker accumulated across the chunks it processed.
-struct WorkerStats {
-    per_stage: Vec<StageStats>,
-    cache_hits: u64,
-    cache_misses: u64,
-}
-
-/// The per-stage outcome deltas of an item replayed from a journal,
-/// re-applied to reports and breaker tallies without re-execution.
-struct AppliedTrace {
-    index: usize,
-    stages: Vec<StageTrace>,
-}
-
-/// Shared handle the workers append committed-item records through. IO
+/// Shared handle the sink appends committed-item records through. IO
 /// errors are captured (first one wins) rather than panicking a worker;
 /// the run finishes and the error surfaces from `run_journaled`.
-struct JournalSession<'j> {
+pub(crate) struct JournalSession<'j> {
     inner: Mutex<SessionInner<'j>>,
 }
 
@@ -381,7 +384,7 @@ impl<'j> JournalSession<'j> {
 
     /// Appends one committed item. After the first IO error the session
     /// goes quiet: the run still completes, the journal just stops growing.
-    fn append(&self, trace: &ItemTrace) {
+    pub(crate) fn append(&self, trace: &ItemTrace) {
         let mut inner = self
             .inner
             .lock()
@@ -390,6 +393,22 @@ impl<'j> JournalSession<'j> {
             return;
         }
         if let Err(e) = inner.journal.append(trace) {
+            inner.error = Some(e);
+        }
+    }
+
+    /// Flushes and fsyncs everything appended so far — the epoch-frame
+    /// commit the sink issues at logical-epoch boundaries. IO errors are
+    /// captured like append errors.
+    pub(crate) fn sync(&self) {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if inner.error.is_some() {
+            return;
+        }
+        if let Err(e) = inner.journal.sync() {
             inner.error = Some(e);
         }
     }
@@ -414,28 +433,46 @@ impl Executor {
         &self.config
     }
 
-    /// Runs `stages` over `pairs`.
+    /// Runs `stages` over `pairs` — a thin wrapper feeding a bounded
+    /// batch source into [`run_stream`](Self::run_stream).
     ///
-    /// Each item flows through the whole chain before the next item starts
-    /// (good token-cache locality); items are processed in place, so output
-    /// order is input order regardless of the schedule. Under
-    /// [`Schedule::Dynamic`] workers claim fixed-size chunks off an atomic
-    /// counter; under [`Schedule::Static`] each worker gets one contiguous
-    /// `n / threads` chunk. Results are identical either way.
-    ///
-    /// Stage failures never panic the run: transient failures retry under
-    /// the config's [`RetryPolicy`], and items that exhaust retries or fail
-    /// permanently land in the quarantine channel with a
-    /// [`FailureRecord`]. With the default inert [`FaultPlan`], no breaker,
-    /// and stages that only return [`StageOutcome::Ok`]/`Drop`, behaviour
-    /// is identical to the pre-fault executor.
+    /// Items are collected in input order regardless of the schedule or
+    /// thread count. Stage failures never panic the run: transient
+    /// failures retry under the config's [`RetryPolicy`], and items that
+    /// exhaust retries or fail permanently land in the quarantine channel
+    /// with a [`crate::fault::FailureRecord`]. With the default inert
+    /// [`FaultPlan`], no breaker, and stages that only return
+    /// `Ok`/`Drop`, behaviour is identical to the pre-fault executor.
     pub fn run(&self, stages: &[Box<dyn Stage + '_>], pairs: Vec<InstructionPair>) -> ChainOutput {
-        let pending: Vec<StageItem> = pairs
+        self.run_stream(stages, StreamSource::batch(pairs))
+    }
+
+    /// Runs `stages` over a streaming source.
+    ///
+    /// Items flow through the stage chain pipeline-parallel: the chain is
+    /// partitioned into contiguous stage groups, each group gets one or
+    /// more worker lanes (lanes sum to the configured thread count), and
+    /// chunks of items move from group to group over bounded, sequenced
+    /// queues with backpressure — stage *k+1* processes item *i* while
+    /// stage *k* processes item *i+1*, with no batch barriers. Breaker
+    /// transitions, journal frames, and report merging key off
+    /// deterministic logical epochs (fixed index windows), so the output
+    /// is digest-identical at any thread count, queue capacity, or
+    /// schedule — see [`crate::stream`] for the full model.
+    ///
+    /// A [`Feed::Sustained`] source models continuous arrivals with
+    /// admission control: arrivals that find the admission backlog full
+    /// are shed up front (counted in [`ChainOutput::shed`], tagged
+    /// `shed:admission`). Shedding depends only on the feed parameters,
+    /// never on threads or queues.
+    pub fn run_stream(&self, stages: &[Box<dyn Stage + '_>], source: StreamSource) -> ChainOutput {
+        let StreamSource { pairs, feed } = source;
+        let slots: Vec<Slot> = pairs
             .into_iter()
             .enumerate()
-            .map(|(i, p)| StageItem::new(i, p))
+            .map(|(i, p)| Slot::live(StageItem::new(i, p), false))
             .collect();
-        self.run_core(stages, Vec::new(), Vec::new(), pending, None)
+        self.stream_core(stages, feed, slots, 0, None)
     }
 
     /// Runs `stages` over a dataset's pairs (cloned; the input is kept).
@@ -469,7 +506,22 @@ impl Executor {
         pairs: Vec<InstructionPair>,
         journal: &mut Journal,
     ) -> Result<ChainOutput, JournalError> {
-        let fingerprint = self.fingerprint(stages, &pairs);
+        self.run_stream_journaled(stages, StreamSource::batch(pairs), journal)
+    }
+
+    /// Journaled variant of [`run_stream`](Self::run_stream): the
+    /// streaming counterpart of [`run_journaled`](Self::run_journaled),
+    /// with the source's [`Feed`] folded into the run fingerprint (a
+    /// journal written under one arrival model must not resume under
+    /// another — shed decisions are part of run outcomes).
+    pub fn run_stream_journaled(
+        &self,
+        stages: &[Box<dyn Stage + '_>],
+        source: StreamSource,
+        journal: &mut Journal,
+    ) -> Result<ChainOutput, JournalError> {
+        let StreamSource { pairs, feed } = source;
+        let fingerprint = self.fingerprint(stages, &pairs, &feed);
         let input_len = pairs.len() as u64;
         match journal.header() {
             None => journal.write_header(HeaderRecord {
@@ -501,9 +553,8 @@ impl Executor {
         }
 
         let mut committed = journal.take_committed();
-        let mut replayed = Vec::with_capacity(committed.len());
-        let mut applied = Vec::with_capacity(committed.len());
-        let mut pending = Vec::new();
+        let mut replayed = 0usize;
+        let mut slots = Vec::with_capacity(pairs.len());
         for (i, pair) in pairs.into_iter().enumerate() {
             match committed.remove(&(i as u64)) {
                 Some(trace) => {
@@ -514,13 +565,19 @@ impl Executor {
                         )));
                     }
                     let (item, stage_traces) = apply_trace(i, pair, trace)?;
-                    replayed.push(item);
-                    applied.push(AppliedTrace {
-                        index: i,
-                        stages: stage_traces,
-                    });
+                    for e in &stage_traces {
+                        if (e.stage as usize) >= stages.len() {
+                            return Err(JournalError::Incompatible(format!(
+                                "item {i}: journal references stage {} but the chain has {}",
+                                e.stage,
+                                stages.len()
+                            )));
+                        }
+                    }
+                    replayed += 1;
+                    slots.push(Slot::replayed(item, stage_traces));
                 }
-                None => pending.push(StageItem::new(i, pair)),
+                None => slots.push(Slot::live(StageItem::new(i, pair), true)),
             }
         }
         if let Some((&index, _)) = committed.iter().next() {
@@ -528,21 +585,9 @@ impl Executor {
                 "journal records item {index}, beyond the {input_len}-item input"
             )));
         }
-        for a in &applied {
-            for e in &a.stages {
-                if (e.stage as usize) >= stages.len() {
-                    return Err(JournalError::Incompatible(format!(
-                        "item {}: journal references stage {} but the chain has {}",
-                        a.index,
-                        e.stage,
-                        stages.len()
-                    )));
-                }
-            }
-        }
 
         let session = JournalSession::new(journal);
-        let out = self.run_core(stages, replayed, applied, pending, Some(&session));
+        let out = self.stream_core(stages, feed, slots, replayed, Some(&session));
         let (journal, io_error) = session.finish();
         journal.sync()?;
         if let Some(e) = io_error {
@@ -566,11 +611,17 @@ impl Executor {
     }
 
     /// Hash of everything that determines run outcomes: seed, stage names
-    /// and deadlines, retry policy, fault plan, breaker policy, and the
-    /// full input content. Thread count and schedule are deliberately
-    /// excluded — they never affect results, and a journal written by a
-    /// 16-thread dynamic run must resume on a 1-thread static one.
-    fn fingerprint(&self, stages: &[Box<dyn Stage + '_>], pairs: &[InstructionPair]) -> u64 {
+    /// and deadlines, retry policy, fault plan, breaker policy, the feed
+    /// (arrival model), and the full input content. Thread count, queue
+    /// capacity, and schedule are deliberately excluded — they never
+    /// affect results, and a journal written by a 16-thread dynamic run
+    /// must resume on a 1-thread static one.
+    fn fingerprint(
+        &self,
+        stages: &[Box<dyn Stage + '_>],
+        pairs: &[InstructionPair],
+        feed: &Feed,
+    ) -> u64 {
         let mut h = FxHasher::default();
         h.write_u64(self.config.seed);
         h.write_u64(stages.len() as u64);
@@ -594,6 +645,7 @@ impl Executor {
                 policy.fingerprint_into(&mut h);
             }
         }
+        feed.fingerprint_into(&mut h);
         h.write_u64(pairs.len() as u64);
         for p in pairs {
             h.write_u64(p.id);
@@ -606,16 +658,17 @@ impl Executor {
         h.finish()
     }
 
-    /// The shared core: replayed items contribute their recorded deltas,
-    /// pending items execute, and both feed the same epoch-synchronous
-    /// breaker evolution. `pending` and `applied` must be sorted by item
-    /// index (they are built that way by the public entry points).
-    fn run_core(
+    /// The shared core: builds the per-stage tables (salts, deadlines,
+    /// modeled service times), derives the logical-epoch window (the
+    /// breaker's window when one is configured, the config's `epoch_len`
+    /// otherwise), and hands the slot sequence — live and replayed alike,
+    /// in index order — to the streaming engine.
+    fn stream_core(
         &self,
         stages: &[Box<dyn Stage + '_>],
-        replayed: Vec<StageItem>,
-        applied: Vec<AppliedTrace>,
-        mut pending: Vec<StageItem>,
+        feed: Feed,
+        slots: Vec<Slot>,
+        replayed: usize,
         session: Option<&JournalSession<'_>>,
     ) -> ChainOutput {
         let salts: Vec<u64> = stages
@@ -624,115 +677,45 @@ impl Executor {
             .map(|(k, s)| stage_salt(s.name(), k))
             .collect();
         let deadlines: Vec<Option<Duration>> = stages.iter().map(|s| s.deadline()).collect();
-        let n = replayed.len() + pending.len();
-        let replayed_count = replayed.len();
-
-        let mut reports: Vec<StageReport> = stages
+        let service: Vec<u64> = stages
             .iter()
-            .map(|s| StageReport {
-                stage: s.name().to_string(),
-                ..StageReport::default()
-            })
+            .map(|s| u64::try_from(s.service_time().as_nanos()).unwrap_or(u64::MAX))
             .collect();
-        let mut breakers: Option<Vec<Breaker>> = self.config.breaker.as_ref().map(|policy| {
-            stages
-                .iter()
-                .map(|_| Breaker::new(policy.clone()))
-                .collect()
-        });
-        // Without a breaker the whole batch is one epoch, which reduces to
-        // the plain executor (single segment, caches span the batch).
         let window = self
             .config
             .breaker
             .as_ref()
-            .map_or(n.max(1), |p| p.window.max(1));
-        let all_execute: Vec<StageMode> = stages.iter().map(|_| StageMode::Execute).collect();
-
-        let mut breaker_events = Vec::new();
-        let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
-        let (mut pend_lo, mut app_lo) = (0usize, 0usize);
-        let mut start = 0usize;
-        let mut epoch = 0usize;
-        while start < n {
-            let end = start.saturating_add(window).min(n);
-            let modes: Vec<StageMode> = match &breakers {
-                Some(bs) => bs.iter().map(|b| b.mode(start)).collect(),
-                None => all_execute.clone(),
-            };
-            let pend_hi = pend_lo + pending[pend_lo..].partition_point(|it| it.index < end);
-            let app_hi = app_lo + applied[app_lo..].partition_point(|a| a.index < end);
-
-            let env = ChainEnv {
-                stages,
-                salts: &salts,
-                deadlines: &deadlines,
-                modes: &modes,
-                seed: self.config.seed,
-                plan: &self.config.fault_plan,
-                retry: &self.config.retry,
-                session,
-            };
-            let segment = &mut pending[pend_lo..pend_hi];
-            let threads = self.config.threads.min(segment.len().max(1));
-            let stats = run_segment(threads, self.config.schedule, &env, segment);
-
-            // Epoch tallies feed the breakers: executed = items that ran
-            // the stage body (degraded passthroughs don't), failures =
-            // items the stage quarantined. Replayed deltas count too, so
-            // breaker evolution is identical across a crash/resume.
-            let mut executed = vec![0usize; stages.len()];
-            let mut failures = vec![0usize; stages.len()];
-            for ws in stats {
-                cache_hits += ws.cache_hits;
-                cache_misses += ws.cache_misses;
-                for (k, st) in ws.per_stage.into_iter().enumerate() {
-                    executed[k] += st.items_in - st.degraded;
-                    failures[k] += st.quarantined;
-                    merge_stage_stats(&mut reports[k], st);
-                }
-            }
-            for a in &applied[app_lo..app_hi] {
-                for e in &a.stages {
-                    let k = e.stage as usize;
-                    if !e.degraded {
-                        executed[k] += 1;
-                    }
-                    if e.quarantined {
-                        failures[k] += 1;
-                    }
-                    merge_trace_delta(&mut reports[k], e);
-                }
-            }
-            if let Some(bs) = breakers.as_mut() {
-                for (k, b) in bs.iter_mut().enumerate() {
-                    if let Some((from, to)) = b.observe(executed[k], failures[k]) {
-                        breaker_events.push(BreakerEvent {
-                            stage: stages[k].name().to_string(),
-                            epoch,
-                            from,
-                            to,
-                        });
-                    }
-                }
-            }
-            pend_lo = pend_hi;
-            app_lo = app_hi;
-            start = end;
-            epoch += 1;
-        }
-
-        let mut items = replayed;
-        items.append(&mut pending);
-        items.sort_unstable_by_key(|i| i.index);
-
+            .map_or(self.config.epoch_len, |p| p.window)
+            .max(1);
+        let env = StreamEnv {
+            stages,
+            salts: &salts,
+            deadlines: &deadlines,
+            service: &service,
+            seed: self.config.seed,
+            plan: &self.config.fault_plan,
+            retry: &self.config.retry,
+            breaker: self.config.breaker.as_ref(),
+            window,
+            session,
+        };
+        let run = run_pipeline(
+            &env,
+            self.config.threads,
+            self.config.schedule,
+            self.config.queue_capacity,
+            &feed,
+            slots,
+        );
         ChainOutput {
-            items,
-            reports,
-            breaker_events,
-            replayed: replayed_count,
-            cache_hits,
-            cache_misses,
+            items: run.items,
+            reports: run.reports,
+            breaker_events: run.breaker_events,
+            replayed,
+            cache_hits: run.cache_hits,
+            cache_misses: run.cache_misses,
+            shed: run.shed,
+            sim_elapsed: run.sim_elapsed,
         }
     }
 }
@@ -779,43 +762,6 @@ fn apply_trace(
     Ok((item, trace.stages))
 }
 
-/// Folds one worker's per-stage accumulation into the stage's report.
-/// `cpu_time` takes only measured body time; the simulated channels stay
-/// disjoint (see [`StageReport`]).
-fn merge_stage_stats(report: &mut StageReport, st: StageStats) {
-    report.items_in += st.items_in;
-    report.items_out += st.items_out;
-    report.quarantined += st.quarantined;
-    report.degraded += st.degraded;
-    report.retries += st.retries;
-    report.faults_injected += st.faults;
-    report.timeouts += st.timeouts;
-    report.cpu_time += st.time;
-    report.backoff_time += st.backoff;
-    report.latency_time += st.latency;
-    for (key, v) in st.counters {
-        *report.counters.entry(key).or_insert(0) += v;
-    }
-}
-
-/// Folds one replayed item's recorded stage delta into the stage's report.
-/// Replayed items contribute no measured `cpu_time` — that channel is
-/// explicitly outside the determinism contract.
-fn merge_trace_delta(report: &mut StageReport, e: &StageTrace) {
-    report.items_in += 1;
-    report.items_out += usize::from(e.retained_after);
-    report.quarantined += usize::from(e.quarantined);
-    report.degraded += usize::from(e.degraded);
-    report.retries += u64::from(e.retries);
-    report.faults_injected += e.faults;
-    report.timeouts += u64::from(e.timeouts);
-    report.backoff_time += Duration::from_nanos(e.backoff_nanos);
-    report.latency_time += Duration::from_nanos(e.latency_nanos);
-    for (key, v) in &e.counters {
-        *report.counters.entry(key.clone()).or_insert(0) += v;
-    }
-}
-
 /// Mixes a stage's name and chain position into an RNG salt, so distinct
 /// stages (even two instances of the same type) draw distinct streams.
 fn stage_salt(name: &str, position: usize) -> u64 {
@@ -825,343 +771,29 @@ fn stage_salt(name: &str, position: usize) -> u64 {
         .wrapping_add((position as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-/// Seed for one (stage, item): independent of worker assignment.
-fn item_seed(chain_seed: u64, salt: u64, id: u64) -> u64 {
-    chain_seed ^ salt ^ id.wrapping_mul(0x2545_F491_4F6C_DD1D)
+/// Seed for one (stage, item), given the hoisted per-stage base
+/// `chain_seed ^ stage_salt`: independent of worker assignment.
+pub(crate) fn item_seed(seed_base: u64, id: u64) -> u64 {
+    seed_base ^ id.wrapping_mul(0x2545_F491_4F6C_DD1D)
 }
 
 /// The fixed chunk width the dynamic scheduler hands out: small enough that
 /// a straggler only ever holds a sliver of the batch, large enough to
 /// amortise the claim and keep token-cache locality.
-fn dynamic_chunk_size(n: usize, threads: usize) -> usize {
+pub(crate) fn dynamic_chunk_size(n: usize, threads: usize) -> usize {
     const CHUNKS_PER_WORKER: usize = 8;
     n.div_ceil(threads * CHUNKS_PER_WORKER).clamp(1, 64)
-}
-
-/// Everything a worker needs to run the chain over a slice, bundled so the
-/// schedule bodies stay readable.
-struct ChainEnv<'a, 'b, 'j> {
-    stages: &'a [Box<dyn Stage + 'b>],
-    salts: &'a [u64],
-    deadlines: &'a [Option<Duration>],
-    modes: &'a [StageMode],
-    seed: u64,
-    plan: &'a FaultPlan,
-    retry: &'a RetryPolicy,
-    session: Option<&'a JournalSession<'j>>,
-}
-
-/// Runs one epoch segment across `threads` workers under the given
-/// schedule. Extracted from `run` so the epoch loop can call it per
-/// breaker window.
-fn run_segment(
-    threads: usize,
-    schedule: Schedule,
-    env: &ChainEnv<'_, '_, '_>,
-    items: &mut [StageItem],
-) -> Vec<WorkerStats> {
-    let n = items.len();
-    if threads <= 1 {
-        return vec![run_worker_static(env, items)];
-    }
-    match schedule {
-        Schedule::Static => {
-            let chunk_size = n.div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = items
-                    .chunks_mut(chunk_size)
-                    .map(|chunk| scope.spawn(|| run_worker_static(env, chunk)))
-                    .collect();
-                handles.into_iter().map(join_worker).collect()
-            })
-        }
-        Schedule::Dynamic => {
-            let chunk_size = dynamic_chunk_size(n, threads);
-            // Each chunk slot is claimed exactly once via the atomic
-            // counter; the mutex only transfers the `&mut` slice to
-            // the claiming worker (uncontended by construction).
-            let queue: Vec<Mutex<Option<&mut [StageItem]>>> = items
-                .chunks_mut(chunk_size)
-                .map(|c| Mutex::new(Some(c)))
-                .collect();
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut cache = TokenCache::new();
-                            let mut per_stage: Vec<StageStats> =
-                                env.stages.iter().map(|_| StageStats::default()).collect();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(slot) = queue.get(i) else { break };
-                                // A poisoned lock only means another
-                                // worker panicked mid-claim; the
-                                // Option inside is still coherent.
-                                let claimed = slot
-                                    .lock()
-                                    .unwrap_or_else(|poisoned| poisoned.into_inner())
-                                    .take();
-                                // The atomic counter hands each slot
-                                // index out once, so `None` cannot
-                                // occur; skipping is still the safe
-                                // response.
-                                let Some(chunk) = claimed else { continue };
-                                process_items(env, chunk, &mut cache, &mut per_stage);
-                            }
-                            finish_worker(cache, per_stage)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(join_worker).collect()
-            })
-        }
-    }
-}
-
-/// Runs the chain over one slice of items, accumulating into the worker's
-/// stats. The per-(stage, item) seeding and the per-(stage, item, attempt)
-/// fault rolls make the result independent of which worker runs which
-/// slice.
-fn process_items(
-    env: &ChainEnv<'_, '_, '_>,
-    chunk: &mut [StageItem],
-    cache: &mut TokenCache,
-    per_stage: &mut [StageStats],
-) {
-    let inert = env.plan.is_inert();
-    // Scratch counter map for the current (item, stage): the deltas go to
-    // both the worker's running totals and (when journaling) the item's
-    // trace record, so they're staged here first.
-    let mut scratch: BTreeMap<String, u64> = BTreeMap::new();
-    for item in chunk.iter_mut() {
-        let mut trace = env.session.map(|_| ItemTrace {
-            index: item.index as u64,
-            pair_id: item.pair.id,
-            disposition: 0,
-            instruction: None,
-            response: None,
-            tags: Vec::new(),
-            failure: None,
-            digest: 0,
-            stages: Vec::new(),
-        });
-        for (k, stage) in env.stages.iter().enumerate() {
-            if !item.retained {
-                break;
-            }
-            let stats = &mut per_stage[k];
-            stats.items_in += 1;
-            // Degraded passthrough: the stage's breaker is open (or this
-            // index is past the half-open probe budget), so the item flows
-            // on unrevised — the paper's §III-B1 leakage fallback.
-            if !env.modes[k].executes(item.index) {
-                item.tag(format!("degraded:{}", stage.name()));
-                stats.degraded += 1;
-                stats.items_out += 1;
-                if let Some(t) = trace.as_mut() {
-                    t.stages.push(StageTrace {
-                        stage: k as u32,
-                        degraded: true,
-                        retained_after: true,
-                        quarantined: false,
-                        retries: 0,
-                        faults: 0,
-                        timeouts: 0,
-                        backoff_nanos: 0,
-                        latency_nanos: 0,
-                        counters: Vec::new(),
-                    });
-                }
-                continue;
-            }
-            // Attempt loop. The stage RNG is seeded per (stage, item) only —
-            // NOT per attempt — so a deterministic stage recomputes the same
-            // result on every attempt and a retried item that eventually
-            // succeeds is byte-identical to its never-faulted self. Fault
-            // rolls, by contrast, are per (stage, item, attempt): a
-            // transient fault on attempt 0 does not doom attempt 1.
-            let rng_seed = item_seed(env.seed, env.salts[k], item.pair.id);
-            let deadline = env.deadlines[k];
-            let mut attempt: u32 = 0;
-            let (mut t_retries, mut t_timeouts) = (0u32, 0u32);
-            let mut t_faults = 0u64;
-            let (mut t_time, mut t_backoff, mut t_latency) =
-                (Duration::ZERO, Duration::ZERO, Duration::ZERO);
-            let mut quarantined_here = false;
-            loop {
-                let fault = if inert {
-                    None
-                } else {
-                    env.plan.roll(env.salts[k], item.pair.id, attempt)
-                };
-                let outcome = match fault {
-                    Some(Fault::Permanent) => {
-                        t_faults += 1;
-                        StageOutcome::fatal("injected: permanent")
-                    }
-                    Some(Fault::Transient) => {
-                        t_faults += 1;
-                        StageOutcome::retryable("injected: transient")
-                    }
-                    other => {
-                        // A latency spike beyond the stage's simulated-time
-                        // budget cuts the attempt short: the budget (not the
-                        // full spike) is charged, the body never runs, and
-                        // the timeout feeds the normal retry machinery.
-                        let timed_out = if let Some(Fault::Latency(spike)) = other {
-                            t_faults += 1;
-                            match deadline {
-                                Some(budget) if spike > budget => {
-                                    t_latency += budget;
-                                    t_timeouts += 1;
-                                    Some(StageOutcome::retryable(format!(
-                                        "timeout: injected {spike:?} latency exceeded the \
-                                         {budget:?} budget"
-                                    )))
-                                }
-                                _ => {
-                                    t_latency += spike;
-                                    None
-                                }
-                            }
-                        } else {
-                            None
-                        };
-                        match timed_out {
-                            Some(o) => o,
-                            None => {
-                                let mut ctx = StageCtx {
-                                    rng: StdRng::seed_from_u64(rng_seed),
-                                    cache,
-                                    counters: &mut scratch,
-                                };
-                                let watch = Stopwatch::start();
-                                let o = stage.process(item, &mut ctx);
-                                t_time += watch.elapsed();
-                                o
-                            }
-                        }
-                    }
-                };
-                match outcome {
-                    StageOutcome::Ok => break,
-                    StageOutcome::Drop => {
-                        item.discard(format!("drop:{}", stage.name()));
-                        break;
-                    }
-                    StageOutcome::Retryable(error) => {
-                        attempt += 1;
-                        if attempt >= env.retry.max_attempts {
-                            item.quarantine(FailureRecord {
-                                stage: stage.name().to_string(),
-                                attempts: attempt,
-                                error,
-                                kind: FailureKind::RetriesExhausted,
-                            });
-                            quarantined_here = true;
-                            break;
-                        }
-                        t_retries += 1;
-                        t_backoff += env.retry.backoff_before(attempt);
-                    }
-                    StageOutcome::Fatal(error) => {
-                        item.quarantine(FailureRecord {
-                            stage: stage.name().to_string(),
-                            attempts: attempt + 1,
-                            error,
-                            kind: FailureKind::Fatal,
-                        });
-                        quarantined_here = true;
-                        break;
-                    }
-                }
-            }
-            if item.retained {
-                stats.items_out += 1;
-            }
-            if quarantined_here {
-                stats.quarantined += 1;
-            }
-            stats.retries += u64::from(t_retries);
-            stats.faults += t_faults;
-            stats.timeouts += u64::from(t_timeouts);
-            stats.time += t_time;
-            stats.backoff += t_backoff;
-            stats.latency += t_latency;
-            if let Some(t) = trace.as_mut() {
-                t.stages.push(StageTrace {
-                    stage: k as u32,
-                    degraded: false,
-                    retained_after: item.retained,
-                    quarantined: quarantined_here,
-                    retries: t_retries,
-                    faults: t_faults,
-                    timeouts: t_timeouts,
-                    backoff_nanos: u64::try_from(t_backoff.as_nanos()).unwrap_or(u64::MAX),
-                    latency_nanos: u64::try_from(t_latency.as_nanos()).unwrap_or(u64::MAX),
-                    counters: scratch.iter().map(|(key, v)| (key.clone(), *v)).collect(),
-                });
-            }
-            if !scratch.is_empty() {
-                for (key, v) in std::mem::take(&mut scratch) {
-                    *stats.counters.entry(key).or_insert(0) += v;
-                }
-            }
-        }
-        if let Some(session) = env.session {
-            if let Some(mut t) = trace {
-                t.disposition = match item.disposition() {
-                    Disposition::Retained => 0,
-                    Disposition::Dropped => 1,
-                    Disposition::Quarantined => 2,
-                };
-                t.instruction = item
-                    .instruction_changed()
-                    .then(|| item.pair.instruction.clone());
-                t.response = item.response_changed().then(|| item.pair.response.clone());
-                t.tags = item.tags.clone();
-                t.failure = item.failure.clone();
-                t.digest = item_digest(item);
-                session.append(&t);
-            }
-        }
-    }
-}
-
-/// Static/sequential worker body: one chunk, one fresh cache.
-fn run_worker_static(env: &ChainEnv<'_, '_, '_>, chunk: &mut [StageItem]) -> WorkerStats {
-    let mut cache = TokenCache::new();
-    let mut per_stage: Vec<StageStats> = env.stages.iter().map(|_| StageStats::default()).collect();
-    process_items(env, chunk, &mut cache, &mut per_stage);
-    finish_worker(cache, per_stage)
-}
-
-/// Joins a worker thread, re-raising its panic payload (if any) on the
-/// caller's thread instead of wrapping it in a second panic message.
-fn join_worker(handle: std::thread::ScopedJoinHandle<'_, WorkerStats>) -> WorkerStats {
-    handle
-        .join()
-        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-}
-
-fn finish_worker(cache: TokenCache, per_stage: Vec<StageStats>) -> WorkerStats {
-    let (cache_hits, cache_misses) = cache.stats();
-    WorkerStats {
-        per_stage,
-        cache_hits,
-        cache_misses,
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::breaker::BreakerState;
+    use crate::stage::{StageCtx, StageOutcome};
     use coachlm_data::Category;
     use rand::Rng;
     use std::path::PathBuf;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn pairs(n: usize) -> Vec<InstructionPair> {
         (0..n as u64)

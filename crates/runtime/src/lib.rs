@@ -1,32 +1,46 @@
 //! # coachlm-runtime
 //!
 //! The shared dataset-processing runtime: a [`Stage`] trait over
-//! instruction pairs and a deterministic parallel batch [`Executor`] that
-//! runs a stage chain over a dataset.
+//! instruction pairs and a deterministic pipeline-parallel streaming
+//! [`Executor`] that runs a stage chain over a dataset or a continuous
+//! stream of arrivals.
 //!
-//! Every batch path in the workspace — cleaning, CoachLM revision, expert
-//! filtering and annotation, baseline construction, ChatGPT-judge rating —
-//! is expressed as a chain of stages and executed here, instead of each
-//! module hand-rolling its own thread pool and RNG plumbing.
+//! Every processing path in the workspace — cleaning, CoachLM revision,
+//! expert filtering and annotation, baseline construction, ChatGPT-judge
+//! rating — is expressed as a chain of stages and executed here, instead
+//! of each module hand-rolling its own thread pool and RNG plumbing.
 //!
-//! Determinism contract: for a fixed stage chain, input, and seed, the
-//! output items and every [`StageReport`]'s item counts and counters are
-//! identical for **any** thread count. This holds because
+//! The core ([`stream`], PR 6) is a streaming pipeline: the chain is
+//! partitioned into contiguous stage groups, each group gets one or more
+//! worker lanes, and chunks of items flow group-to-group over bounded
+//! sequenced queues with backpressure — no batch barriers. The classic
+//! batch entry points ([`Executor::run`], [`Executor::run_journaled`])
+//! are thin wrappers feeding a bounded [`StreamSource::batch`] source;
+//! [`Executor::run_stream`] additionally accepts a [`Feed::Sustained`]
+//! arrival model with deterministic admission-control shedding.
+//!
+//! Determinism contract: for a fixed stage chain, input, feed, and seed,
+//! the output items and every [`StageReport`]'s item counts and counters
+//! are identical for **any** thread count and queue capacity. This holds
+//! because
 //!
 //! * each (stage, item) gets its own RNG seeded from
 //!   `chain seed × stage salt × pair id` — no sequential stream is shared
 //!   across items, so neither chunk boundaries nor the claim order of the
 //!   dynamic scheduler can shift draws;
-//! * items are processed in place, so output order is input order by
-//!   construction;
-//! * counters merge by summation, which is commutative.
+//! * items flow through every queue in input order and are processed in
+//!   place, so output order is input order by construction;
+//! * counters merge by summation, which is commutative, and per-lane
+//!   token caches merge order-independently;
+//! * epoch-keyed state (circuit breakers, journal commit frames) follows
+//!   **logical epochs** — fixed windows of input *indices* — rather than
+//!   wall-clock batches, so it evolves identically at any parallelism.
 //!
 //! Because of this, the scheduling policy ([`Schedule`]) is purely a
-//! wall-clock knob: the default [`Schedule::Dynamic`] hands fixed-size
-//! chunks to workers off an atomic counter (length-skewed batches stay
-//! balanced instead of serialising behind the slowest worker), while
-//! [`Schedule::Static`] splits the batch into one contiguous chunk per
-//! worker. Both produce identical output.
+//! wall-clock knob: the default [`Schedule::Dynamic`] hands small chunks
+//! through the queues (lanes within a group stay balanced, groups overlap
+//! within an epoch), while [`Schedule::Static`] moves one epoch per
+//! handoff. Both produce identical output.
 //!
 //! Only the wall-clock field ([`StageReport::cpu_time`], which is measured
 //! stage-body time and nothing else) and the token-cache hit/miss tallies
@@ -68,11 +82,15 @@
 //!   `Retryable` timeout feeding the retry/quarantine machinery, so a
 //!   latency storm degrades instead of hanging.
 //! * **Circuit breaking** — with a [`BreakerPolicy`] configured, each
-//!   stage gets a deterministic, epoch-synchronous breaker over its
-//!   quarantine/timeout outcomes; a tripped stage passes items through
-//!   unrevised (the paper's §III-B1 leakage fallback), counted in
+//!   stage gets a deterministic breaker over its quarantine/timeout
+//!   outcomes, keyed to logical epochs; a tripped stage passes items
+//!   through unrevised (the paper's §III-B1 leakage fallback), counted in
 //!   [`StageReport::degraded`] and surfaced as [`BreakerEvent`]s, with a
 //!   deterministic half-open probe schedule for recovery.
+//! * **Admission control** — a [`Feed::Sustained`] source sheds arrivals
+//!   that find the admission backlog full, deterministically (a pure
+//!   function of the feed parameters), surfaced in
+//!   [`ChainOutput::shed`].
 
 #![deny(unused_must_use)]
 #![warn(missing_docs)]
@@ -84,6 +102,7 @@ mod journal;
 mod report;
 pub mod simtime;
 mod stage;
+pub mod stream;
 
 pub use breaker::{BreakerEvent, BreakerPolicy, BreakerState};
 pub use executor::{ChainOutput, Executor, ExecutorConfig, Schedule};
@@ -93,3 +112,4 @@ pub use fault::{
 pub use journal::{Journal, JournalError};
 pub use report::StageReport;
 pub use stage::{Disposition, Stage, StageCtx, StageItem, StageOutcome};
+pub use stream::{Feed, StreamSource};

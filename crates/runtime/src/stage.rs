@@ -85,6 +85,17 @@ pub trait Stage: Sync {
     fn deadline(&self) -> Option<std::time::Duration> {
         None
     }
+
+    /// Modeled per-item service time, used *only* by the virtual-time
+    /// model in [`crate::stream`]: lane allocation weights stages by this,
+    /// and [`ChainOutput::sim_elapsed`](crate::ChainOutput::sim_elapsed)
+    /// charges it per stage-body run. Never compared against measured
+    /// wall time and never part of the output digest, so a wrong estimate
+    /// skews the modeled throughput but can't change results. Defaults to
+    /// 1ms — a cheap-ish local transform.
+    fn service_time(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(1)
+    }
 }
 
 /// A pair flowing through a stage chain, with its bookkeeping.

@@ -179,6 +179,21 @@ impl TokenCache {
         self.hits = 0;
         self.misses = 0;
     }
+
+    /// Absorbs `other` into `self`: entries union (an entry for a text
+    /// both caches tokenised is kept from whichever cache got there
+    /// first — both hold the identical tokenisation, so the choice is
+    /// unobservable) and hit/miss counters sum. Commutative up to which
+    /// identical `Arc` survives, so merging per-worker caches in any
+    /// order yields the same observable cache — the same shape as
+    /// `Quarantine::merge` in the runtime.
+    pub fn merge(&mut self, other: TokenCache) {
+        for (text, toks) in other.entries {
+            self.entries.entry(text).or_insert(toks);
+        }
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
 }
 
 /// Split `s` into sentences on `.`, `!`, `?` and newlines, keeping the
@@ -338,6 +353,47 @@ mod tests {
         cache.clear();
         assert_eq!(cache.stats(), (0, 0));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn token_cache_merge_is_order_independent() {
+        let texts = ["alpha beta", "gamma, delta!", "alpha beta", "epsilon"];
+        let mut a = TokenCache::new();
+        let mut b = TokenCache::new();
+        for t in &texts[..2] {
+            a.tokens(t);
+        }
+        for t in &texts[2..] {
+            b.tokens(t);
+        }
+        let merge = |first: &TokenCache, second: &TokenCache| {
+            let mut out = TokenCache::new();
+            for (k, v) in &first.entries {
+                out.entries.insert(k.clone(), std::sync::Arc::clone(v));
+            }
+            out.hits = first.hits;
+            out.misses = first.misses;
+            let mut rhs = TokenCache::new();
+            for (k, v) in &second.entries {
+                rhs.entries.insert(k.clone(), std::sync::Arc::clone(v));
+            }
+            rhs.hits = second.hits;
+            rhs.misses = second.misses;
+            out.merge(rhs);
+            out
+        };
+        let ab = merge(&a, &b);
+        let ba = merge(&b, &a);
+        assert_eq!(ab.len(), 3);
+        assert_eq!(ab.len(), ba.len());
+        assert_eq!(ab.stats(), ba.stats());
+        // Merged entries serve lookups as hits with identical contents.
+        let mut ab = ab;
+        let mut ba = ba;
+        for t in texts {
+            assert_eq!(*ab.tokens(t), *ba.tokens(t));
+        }
+        assert_eq!(ab.stats(), ba.stats());
     }
 
     #[test]

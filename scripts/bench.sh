@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Runs the Criterion bench suite offline and writes machine-readable
-# results to BENCH_2.json at the repo root.
+# results to BENCH_3.json at the repo root.
 #
 # Each bench binary appends one JSONL record per benchmark (median ns/iter
 # plus throughput where declared) to the file named by COACHLM_BENCH_JSON —
@@ -21,7 +21,7 @@ export CARGO_NET_OFFLINE=true
 # Absolute path: cargo runs bench binaries with the package directory as
 # CWD, so a relative path would land under crates/bench/.
 jsonl="$(pwd)/target/bench_records.jsonl"
-out="BENCH_2.json"
+out="BENCH_3.json"
 rm -f "$jsonl"
 mkdir -p target
 

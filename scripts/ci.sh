@@ -55,7 +55,24 @@ for seed in 11 29 53; do
     done
 done
 
-# Optional: regenerate BENCH_2.json from the Criterion suite. Off by
+# Streaming matrix: one cell per (seed, thread count, queue capacity).
+# Each cell runs every ported chain through the pipeline-parallel
+# streaming core — batch and sustained feeds, both schedules, faults and
+# breaker active — and checks digest equality against the
+# single-threaded reference. Thread count and queue depth are
+# performance knobs only; any divergence here is a determinism bug.
+echo "==> streaming matrix (3 seeds x 2 thread counts x 2 queue capacities)"
+for seed in 11 29 53; do
+    for threads in 2 8; do
+        for queue in 16 256; do
+            echo "   -> seed=$seed threads=$threads queue=$queue"
+            COACHLM_STREAM_SEED=$seed COACHLM_THREADS=$threads COACHLM_QUEUE=$queue \
+                cargo test --offline -q --test stream_equivalence stream_matrix_cell
+        done
+    done
+done
+
+# Optional: regenerate BENCH_3.json from the Criterion suite. Off by
 # default because benches dominate CI wall-clock; enable with COACHLM_BENCH=1.
 if [ "${COACHLM_BENCH:-0}" = "1" ]; then
     echo "==> scripts/bench.sh"
