@@ -18,7 +18,8 @@
 use coachlm_data::generator::generate;
 use coachlm_data::{Dataset, GeneratorConfig};
 use coachlm_runtime::{
-    Executor, ExecutorConfig, Schedule, Stage, StageCtx, StageItem, StageOutcome, StreamSource,
+    adaptive_chunk_size, Executor, ExecutorConfig, Schedule, Stage, StageCtx, StageItem,
+    StageOutcome, StreamSource,
 };
 use criterion::{
     append_metric, black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
@@ -192,7 +193,9 @@ fn bench_stream_scaling(c: &mut Criterion) {
     let n = full.len() as f64;
     let mut sim_base: Option<f64> = None;
     for threads in [1usize, 2, 4, 8] {
-        let executor = Executor::new(ExecutorConfig::new(9).threads(threads));
+        let config = ExecutorConfig::new(9).threads(threads);
+        let chunk = adaptive_chunk_size(full.len(), threads, config.queue_capacity_items());
+        let executor = Executor::new(config);
         let out = executor.run_stream(&stream_chain(), StreamSource::batch(full.pairs.clone()));
         let sim = out.sim_elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
         let base = *sim_base.get_or_insert(sim);
@@ -202,6 +205,7 @@ fn bench_stream_scaling(c: &mut Criterion) {
                 ("sim_elapsed_secs", sim),
                 ("sim_elems_per_sec", n / sim),
                 ("sim_speedup_vs_1", base / sim),
+                ("adaptive_chunk_size", chunk as f64),
             ],
         );
     }

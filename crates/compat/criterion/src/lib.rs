@@ -108,7 +108,8 @@ fn report(id: &str, median: Duration, throughput: Option<Throughput>) {
 
 /// Appends one JSONL record per benchmark to the file named by the
 /// `COACHLM_BENCH_JSON` env var, for machine-readable result collection
-/// (`scripts/bench.sh` wraps these lines into `BENCH_3.json`).
+/// (`scripts/bench.sh` wraps these lines into the bench JSON artifact,
+/// `BENCH_4.json` currently).
 fn append_json_record(path: &str, id: &str, ns: u128, throughput: Option<Throughput>) {
     let mut line = format!("{{\"bench\":{id:?},\"median_ns\":{ns}");
     match throughput {
@@ -146,7 +147,7 @@ fn append_line(path: &str, line: &str) {
 /// computed figures (speedup ratios, modeled throughput) instead of a raw
 /// timing. Printed to stdout like a benchmark and appended to the
 /// `COACHLM_BENCH_JSON` file when set, so derived numbers land in
-/// `BENCH_3.json` next to the medians they were computed from.
+/// the bench artifact next to the medians they were computed from.
 ///
 /// Not part of the real `criterion` API; bench binaries in this workspace
 /// use it to report figures the harness cannot measure directly.

@@ -18,8 +18,8 @@ use coachlm_expert::cost::{Throughputs, Workload};
 use coachlm_expert::pool::ExpertPool;
 use coachlm_expert::revision::ExpertReviser;
 use coachlm_runtime::{
-    BreakerEvent, ChainOutput, Executor, ExecutorConfig, Feed, Journal, JournalError, Stage,
-    StageCtx, StageItem, StageOutcome, StageReport, StreamSource,
+    shard, BreakerEvent, CacheStats, ChainOutput, Executor, ExecutorConfig, Feed, Journal,
+    JournalError, ShardStats, Stage, StageCtx, StageItem, StageOutcome, StageReport, StreamSource,
 };
 use serde::Serialize;
 use std::fmt;
@@ -218,6 +218,12 @@ pub struct PipelineReport {
     /// that found the admission backlog full and were discarded up front
     /// rather than allowed to grow the backlog without bound.
     pub shed: usize,
+    /// Revision-cache tallies (all zeros unless the executor config set a
+    /// [`coachlm_runtime::CachePolicy`]). With a cache, duplicate user
+    /// cases replay the memoized revision of their first occurrence
+    /// instead of re-running the chain — the deployment dedup semantic for
+    /// repeated traffic.
+    pub revision_cache: CacheStats,
     /// Modeled end-to-end elapsed seconds of the run under the executor's
     /// virtual-time model (lane topology × declared stage service times);
     /// deterministic for a fixed config, 0 for stage-less chains.
@@ -275,6 +281,7 @@ impl PipelineReport {
             breaker_events: out.breaker_events.clone(),
             replayed: out.replayed,
             shed: out.shed,
+            revision_cache: out.revision_cache,
             sim_elapsed_secs: out.sim_elapsed.as_secs_f64(),
             stage_summaries: out.reports.iter().map(StageSummary::from).collect(),
             output,
@@ -354,6 +361,77 @@ pub fn run_batch_journaled(
     let stages = batch_stages(coach, config);
     let out = Executor::new(config.clone()).run_journaled(&stages, raw.pairs.clone(), journal)?;
     PipelineReport::from_chain(&out, raw, coach.is_some())
+}
+
+/// Report of one sharded batch: the merged chain report plus per-shard
+/// execution stats.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardedPipelineReport {
+    /// The merged batch report. Because every pipeline stage derives its
+    /// randomness from pair ids (never from slot positions), the merged
+    /// output is digest-identical to the unsharded [`run_batch`] at any
+    /// shard count.
+    pub report: PipelineReport,
+    /// Per-shard stats in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+/// Runs one batch like [`run_batch`], hash-partitioned across `shards`
+/// independent worker shards ([`shard::run_sharded`]).
+///
+/// Routing is by content fingerprint, so duplicate user cases co-locate
+/// and a per-shard revision cache (configure one with
+/// [`ExecutorConfig::revision_cache`]) keeps its full hit rate. With a
+/// cache, duplicates replay the revision of their first occurrence —
+/// sampled expert behaviour is memoized per *content* rather than
+/// re-drawn per pair id, which is the intended dedup semantic for a
+/// deployed service absorbing repeated traffic.
+pub fn run_batch_sharded(
+    coach: Option<&CoachLm>,
+    raw: &Dataset,
+    config: &ExecutorConfig,
+    shards: usize,
+) -> Result<ShardedPipelineReport, PipelineError> {
+    let stages = batch_stages(coach, config);
+    let out = shard::run_sharded(
+        config,
+        &stages,
+        StreamSource::batch(raw.pairs.clone()),
+        shards,
+    );
+    let report = PipelineReport::from_chain(&out.output, raw, coach.is_some())?;
+    Ok(ShardedPipelineReport {
+        report,
+        shards: out.shards,
+    })
+}
+
+/// Runs one batch like [`run_batch_sharded`], with one crash journal per
+/// shard under `dir` ([`shard::run_sharded_journaled`]).
+///
+/// Re-running after a crash resumes every shard from its own journal —
+/// including a warm revision cache, whose replayed entries converge the
+/// resumed run to the uninterrupted digest.
+pub fn run_batch_sharded_journaled(
+    coach: Option<&CoachLm>,
+    raw: &Dataset,
+    config: &ExecutorConfig,
+    shards: usize,
+    dir: &std::path::Path,
+) -> Result<ShardedPipelineReport, PipelineError> {
+    let stages = batch_stages(coach, config);
+    let out = shard::run_sharded_journaled(
+        config,
+        &stages,
+        StreamSource::batch(raw.pairs.clone()),
+        shards,
+        dir,
+    )?;
+    let report = PipelineReport::from_chain(&out.output, raw, coach.is_some())?;
+    Ok(ShardedPipelineReport {
+        report,
+        shards: out.shards,
+    })
 }
 
 /// The §IV-A comparison: efficiency with vs without the CoachLM stage.
@@ -512,6 +590,45 @@ mod tests {
         assert_eq!(resumed.human_revised, golden.human_revised);
         assert_eq!(resumed.post_edited, golden.post_edited);
         assert_eq!(resumed.person_days, golden.person_days);
+    }
+
+    #[test]
+    fn sharded_batch_matches_unsharded_report() {
+        let c = coach(7);
+        let (raw, _) = generate(&GeneratorConfig::small(400, 48));
+        let cfg = config(11, 4);
+        let base = run_batch(Some(&c), &raw, &cfg).unwrap();
+        for shards in [1, 3] {
+            let sharded = run_batch_sharded(Some(&c), &raw, &cfg, shards).unwrap();
+            assert_eq!(sharded.report.output, base.output, "shards = {shards}");
+            assert_eq!(sharded.report.human_revised, base.human_revised);
+            assert_eq!(sharded.report.post_edited, base.post_edited);
+            assert_eq!(sharded.report.person_days, base.person_days);
+            assert_eq!(sharded.shards.len(), shards);
+        }
+    }
+
+    #[test]
+    fn cached_batch_absorbs_duplicate_traffic() {
+        use coachlm_data::generator::{zipfian_duplicates, ZipfianConfig};
+        use coachlm_runtime::CachePolicy;
+        let raw = zipfian_duplicates(&ZipfianConfig::stress(40, 600, 1.1, 5));
+        let cfg = config(13, 4).revision_cache(CachePolicy::exact());
+        let report = run_batch(None, &raw, &cfg).unwrap();
+        assert_eq!(report.output.len(), 600);
+        assert!(
+            report.revision_cache.hit_rate() > 0.8,
+            "hit rate {}",
+            report.revision_cache.hit_rate()
+        );
+        // Sharded + cached reproduces the unsharded cached batch exactly:
+        // duplicates co-locate, so each shard cache sees its whole cluster.
+        let sharded = run_batch_sharded(None, &raw, &cfg, 4).unwrap();
+        assert_eq!(sharded.report.output, report.output);
+        assert_eq!(sharded.report.revision_cache, report.revision_cache);
+        // An uncached run reports all zeros.
+        let uncached = run_batch(None, &raw, &config(13, 4)).unwrap();
+        assert_eq!(uncached.revision_cache, CacheStats::default());
     }
 
     #[test]

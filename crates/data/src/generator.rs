@@ -181,6 +181,121 @@ pub fn alpaca52k(seed: u64) -> (Dataset, Vec<Provenance>) {
     })
 }
 
+/// Configuration for [`zipfian_duplicates`]: a duplicate-heavy workload
+/// generator for stressing the runtime's revision cache and sharding
+/// (PR 7). `total` pairs are drawn over `distinct` base contents with
+/// Zipfian popularity — content rank `k` is drawn with weight
+/// `1 / (k+1)^exponent` — so a handful of head contents dominate the
+/// traffic, as in deduplicated internet-scale instruction dumps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZipfianConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Number of distinct base contents.
+    pub distinct: usize,
+    /// Total pairs emitted (ids `0..total`).
+    pub total: usize,
+    /// Zipf exponent `s`; `0.0` is uniform, `~1.1` is web-like skew.
+    pub exponent: f64,
+    /// Fraction of draws perturbed into *near*-duplicates (a couple of
+    /// appended words) instead of exact copies — exercises the cache's
+    /// bounded-edit-distance tier.
+    pub near_fraction: f64,
+    /// Compact mode uses cheap templated text (suitable for 10M+ pair
+    /// stress runs); otherwise base contents come from the full
+    /// ALPACA52K-like generator.
+    pub compact: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ZipfianConfig {
+    /// A compact config sized for cache/shard stress runs.
+    pub fn stress(distinct: usize, total: usize, exponent: f64, seed: u64) -> Self {
+        Self {
+            name: format!("zipf-{distinct}x{total}-s{exponent}"),
+            distinct,
+            total,
+            exponent,
+            near_fraction: 0.0,
+            compact: true,
+            seed,
+        }
+    }
+}
+
+/// Word suffixes appended to realise near-duplicates. Two words each, so
+/// a near-duplicate sits at word edit distance 2 from its base content.
+const NEAR_SUFFIXES: [&str; 4] = [
+    " please elaborate",
+    " with examples",
+    " briefly though",
+    " for beginners",
+];
+
+/// Generates a duplicate-heavy dataset: `total` pairs Zipf-drawn from
+/// `distinct` base contents. Duplicates share instruction, response, and
+/// category exactly (so content fingerprints collide as a cache expects);
+/// ids are fresh and dense (`0..total`).
+pub fn zipfian_duplicates(config: &ZipfianConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let distinct = config.distinct.max(1);
+    let base: Vec<(String, String, Category)> = if config.compact {
+        (0..distinct)
+            .map(|k| {
+                (
+                    format!("Explain concept {k} in plain language."),
+                    format!(
+                        "Concept {k} combines idea {} with practice {}; start small and iterate.",
+                        k % 13,
+                        k % 7
+                    ),
+                    Category((k % CATEGORIES.len()) as u16),
+                )
+            })
+            .collect()
+    } else {
+        let (d, _) = generate(&GeneratorConfig {
+            size: distinct,
+            seed: config.seed,
+            name: config.name.clone(),
+            ..GeneratorConfig::default()
+        });
+        d.pairs
+            .into_iter()
+            .map(|p| (p.instruction, p.response, p.category))
+            .collect()
+    };
+
+    // Cumulative harmonic weights once, then binary-search per draw.
+    let mut cumulative = Vec::with_capacity(distinct);
+    let mut acc = 0.0f64;
+    for k in 0..distinct {
+        acc += 1.0 / ((k + 1) as f64).powf(config.exponent);
+        cumulative.push(acc);
+    }
+    let total_weight = acc;
+
+    let mut dataset = Dataset::new(config.name.clone());
+    dataset.pairs.reserve(config.total);
+    for id in 0..config.total as u64 {
+        let u: f64 = rng.gen_range(0.0..total_weight);
+        let k = cumulative.partition_point(|&c| c <= u).min(distinct - 1);
+        let (instruction, response, cat) = &base[k];
+        let mut instruction = instruction.clone();
+        if config.near_fraction > 0.0 && rng.gen_bool(config.near_fraction.min(1.0)) {
+            instruction.push_str(NEAR_SUFFIXES[rng.gen_range(0..NEAR_SUFFIXES.len())]);
+        }
+        dataset.pairs.push(InstructionPair::new(
+            id,
+            instruction,
+            response.clone(),
+            *cat,
+        ));
+    }
+    dataset
+}
+
 fn pick_category<R: Rng>(rng: &mut R, weights: &[u32], total: u32) -> Category {
     let mut pick = rng.gen_range(0..total);
     for (i, w) in weights.iter().enumerate() {
@@ -555,6 +670,76 @@ mod tests {
                 coachlm_text::lexicon::CONTEXT_MARKERS
             ));
         }
+    }
+
+    #[test]
+    fn zipfian_duplicates_skew_and_determinism() {
+        let config = ZipfianConfig::stress(50, 5000, 1.1, 21);
+        let d1 = zipfian_duplicates(&config);
+        let d2 = zipfian_duplicates(&config);
+        assert_eq!(d1, d2, "same config, same dataset");
+        assert_eq!(d1.len(), 5000);
+        for (i, pair) in d1.iter().enumerate() {
+            assert_eq!(pair.id, i as u64, "ids are fresh and dense");
+        }
+        // Zipf skew: the single most popular content should dominate far
+        // beyond the uniform share (5000/50 = 100).
+        let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+        for p in d1.iter() {
+            *counts.entry(p.instruction.as_str()).or_default() += 1;
+        }
+        assert!(counts.len() <= 50);
+        let top = counts.values().copied().max().unwrap();
+        assert!(top > 400, "head content drew {top} of 5000");
+        // A flat exponent spreads draws out instead.
+        let flat = zipfian_duplicates(&ZipfianConfig::stress(50, 5000, 0.0, 21));
+        let mut flat_counts: std::collections::HashMap<&str, usize> = Default::default();
+        for p in flat.iter() {
+            *flat_counts.entry(p.instruction.as_str()).or_default() += 1;
+        }
+        let flat_top = flat_counts.values().copied().max().unwrap();
+        assert!(flat_top < 200, "uniform head drew {flat_top} of 5000");
+    }
+
+    #[test]
+    fn zipfian_near_fraction_perturbs_instructions_only_slightly() {
+        let config = ZipfianConfig {
+            near_fraction: 0.5,
+            ..ZipfianConfig::stress(10, 2000, 0.9, 3)
+        };
+        let d = zipfian_duplicates(&config);
+        let near = d
+            .iter()
+            .filter(|p| NEAR_SUFFIXES.iter().any(|s| p.instruction.ends_with(s)))
+            .count();
+        let share = near as f64 / d.len() as f64;
+        assert!((share - 0.5).abs() < 0.05, "near share {share}");
+        // Every near-duplicate is exactly two appended words.
+        for p in d.iter().take(200) {
+            if let Some(suffix) = NEAR_SUFFIXES.iter().find(|s| p.instruction.ends_with(*s)) {
+                let base = &p.instruction[..p.instruction.len() - suffix.len()];
+                assert!(base.ends_with('.'), "suffix appended to a full base");
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_full_mode_reuses_generator_contents() {
+        let config = ZipfianConfig {
+            compact: false,
+            ..ZipfianConfig::stress(30, 300, 1.0, 12)
+        };
+        let d = zipfian_duplicates(&config);
+        assert_eq!(d.len(), 300);
+        let (base, _) = generate(&GeneratorConfig {
+            size: 30,
+            seed: 12,
+            name: config.name.clone(),
+            ..GeneratorConfig::default()
+        });
+        let originals: std::collections::HashSet<&str> =
+            base.iter().map(|p| p.instruction.as_str()).collect();
+        assert!(d.iter().all(|p| originals.contains(p.instruction.as_str())));
     }
 
     #[test]

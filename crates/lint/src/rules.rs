@@ -31,7 +31,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "C1",
-        "no raw thread spawns or raw atomics outside crates/runtime",
+        "no raw thread spawns, atomics, channels, or shard coordination primitives outside crates/runtime",
     ),
     ("A0", "lint directives must be well-formed and used"),
 ];
@@ -546,6 +546,37 @@ fn rule_c1(class: &FileClass, toks: &[Tok], in_test: &[bool], out: &mut Vec<Find
                     "queue primitive `{}` outside crates/runtime; blocking coordination \
                      must go through the streaming executor",
                     t.text
+                ),
+            ));
+        }
+        // Shard-driver coordination primitives (PR 7): the sharded driver
+        // joins worker shards and merges their outputs inside
+        // crates/runtime; hand-rolled shard coordination elsewhere would
+        // bypass its deterministic partition/merge contract.
+        if matches!(t.text.as_str(), "Barrier" | "RwLock" | "JoinHandle") {
+            out.push(finding(
+                "C1",
+                class,
+                t,
+                format!(
+                    "shard coordination primitive `{}` outside crates/runtime; \
+                     fan-out must go through the sharded driver",
+                    t.text
+                ),
+            ));
+        }
+        if t.text == "thread"
+            && is_punct(toks, i + 1, "::")
+            && (is_ident(toks, i + 2, "park") || is_ident(toks, i + 2, "park_timeout"))
+        {
+            out.push(finding(
+                "C1",
+                class,
+                t,
+                format!(
+                    "`thread::{}` outside crates/runtime; worker coordination must go \
+                     through the executor",
+                    toks[i + 2].text
                 ),
             ));
         }

@@ -144,9 +144,26 @@ fn c1_fires_on_channel_primitives_outside_runtime() {
 }
 
 #[test]
+fn c1_fires_on_shard_coordination_outside_runtime() {
+    let f = lint_fixture("c1_shard_fire.rs", PROD);
+    assert_eq!(
+        rule_lines(&f),
+        vec![
+            ("C1", 3),  // Barrier import
+            ("C1", 4),  // RwLock import
+            ("C1", 6),  // JoinHandle in the signature
+            ("C1", 8),  // RwLock::new
+            ("C1", 9),  // Barrier::new
+            ("C1", 14), // thread::park_timeout
+        ]
+    );
+}
+
+#[test]
 fn c1_exempt_inside_runtime_crate() {
     assert!(lint_fixture("c1_guard.rs", "crates/runtime/src/fixture.rs").is_empty());
     assert!(lint_fixture("c1_channel_fire.rs", "crates/runtime/src/fixture.rs").is_empty());
+    assert!(lint_fixture("c1_shard_fire.rs", "crates/runtime/src/fixture.rs").is_empty());
 }
 
 #[test]

@@ -1,0 +1,15 @@
+// C1 must fire on shard-driver coordination primitives outside
+// crates/runtime: fan-out goes through the sharded driver.
+use std::sync::Barrier; // line 3: fires
+use std::sync::RwLock; // line 4: fires
+
+pub fn roll_your_own_shards(handles: Vec<std::thread::JoinHandle<u32>>) {
+    // line 6 above: fires (JoinHandle)
+    let merged = RwLock::new(Vec::new()); // line 8: fires
+    let rendezvous = Barrier::new(4); // line 9: fires
+    for h in handles {
+        merged.write().ok().map(|mut m| m.push(h.join().ok()));
+    }
+    rendezvous.wait();
+    std::thread::park_timeout(std::time::Duration::from_millis(1)); // line 14: fires
+}

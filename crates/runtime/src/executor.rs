@@ -3,6 +3,7 @@
 
 use crate::breaker::BreakerEvent;
 use crate::breaker::BreakerPolicy;
+use crate::cache::{CachePolicy, CacheStats};
 use crate::fault::{FailureKind, FaultPlan, Quarantine, QuarantinedPair, RetryPolicy};
 use crate::journal::{HeaderRecord, ItemTrace, Journal, JournalError, StageTrace, JOURNAL_VERSION};
 use crate::report::StageReport;
@@ -43,6 +44,8 @@ pub struct ExecutorConfig {
     breaker: Option<BreakerPolicy>,
     queue_capacity: usize,
     epoch_len: usize,
+    content_keyed: bool,
+    revision_cache: Option<CachePolicy>,
 }
 
 impl ExecutorConfig {
@@ -63,6 +66,8 @@ impl ExecutorConfig {
             breaker: None,
             queue_capacity: 64,
             epoch_len: 256,
+            content_keyed: false,
+            revision_cache: None,
         }
     }
 
@@ -114,6 +119,30 @@ impl ExecutorConfig {
         self
     }
 
+    /// Keys each item's per-stage RNG and fault rolls on a fingerprint of
+    /// its *content* (instruction, response, category) instead of its pair
+    /// id, so items with identical content behave identically regardless
+    /// of id or arrival position. Off by default: with distinct ids the
+    /// historical id-keyed behaviour is what golden digests pin. Forced on
+    /// by [`revision_cache`](Self::revision_cache) — content keying is
+    /// what makes replaying a duplicate's cached result indistinguishable
+    /// from executing it. Part of the journal fingerprint.
+    pub fn content_keyed(mut self, on: bool) -> Self {
+        self.content_keyed = on;
+        self
+    }
+
+    /// Enables the content-addressed revision cache (see [`crate::cache`]):
+    /// duplicate items skip the stage chain and replay their
+    /// representative's memoized result at the sink. Implies
+    /// [`content_keyed`](Self::content_keyed). Incompatible with a
+    /// [`BreakerPolicy`] — degraded passthrough keys on item index, not
+    /// content, so duplicates may legitimately diverge under a breaker.
+    pub fn revision_cache(mut self, policy: CachePolicy) -> Self {
+        self.revision_cache = Some(policy);
+        self
+    }
+
     /// The configured worker count.
     pub fn thread_count(&self) -> usize {
         self.threads
@@ -152,6 +181,17 @@ impl ExecutorConfig {
     /// The chain seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// `true` when per-item randomness keys on content fingerprints —
+    /// set explicitly or implied by a configured revision cache.
+    pub fn is_content_keyed(&self) -> bool {
+        self.content_keyed || self.revision_cache.is_some()
+    }
+
+    /// The configured revision-cache policy, if caching is enabled.
+    pub fn revision_cache_policy(&self) -> Option<&CachePolicy> {
+        self.revision_cache.as_ref()
     }
 }
 
@@ -195,6 +235,13 @@ pub struct ChainOutput {
     /// config, but *excluded* from [`digest`](Self::digest) — it varies
     /// with the configured thread count by design.
     pub sim_elapsed: Duration,
+    /// Revision-cache tallies (all zeros unless the config enabled a
+    /// [`CachePolicy`]). Deterministic for a fixed config — the pre-pass
+    /// classifying items is sequential and schedule-independent — but
+    /// excluded from [`digest`](Self::digest) like the other
+    /// run-mechanics counters: a cached and an uncached run of the same
+    /// content-keyed chain must digest identically.
+    pub revision_cache: CacheStats,
 }
 
 impl ChainOutput {
@@ -645,6 +692,18 @@ impl Executor {
                 policy.fingerprint_into(&mut h);
             }
         }
+        // Content keying changes every RNG stream and fault roll, and the
+        // cache policy decides which items replay instead of execute —
+        // both are part of run outcomes, so a journal written under one
+        // setting must not resume under another.
+        h.write_u8(u8::from(self.config.is_content_keyed()));
+        match &self.config.revision_cache {
+            None => h.write_u8(0),
+            Some(policy) => {
+                h.write_u8(1);
+                policy.fingerprint_into(&mut h);
+            }
+        }
         feed.fingerprint_into(&mut h);
         h.write_u64(pairs.len() as u64);
         for p in pairs {
@@ -687,6 +746,12 @@ impl Executor {
             .as_ref()
             .map_or(self.config.epoch_len, |p| p.window)
             .max(1);
+        assert!(
+            self.config.revision_cache.is_none() || self.config.breaker.is_none(),
+            "a revision cache cannot be combined with a circuit breaker: degraded \
+             passthrough keys on item index, not content, so duplicate items may \
+             legitimately diverge and hit replay would break digest identity"
+        );
         let env = StreamEnv {
             stages,
             salts: &salts,
@@ -698,6 +763,8 @@ impl Executor {
             breaker: self.config.breaker.as_ref(),
             window,
             session,
+            content_keyed: self.config.is_content_keyed(),
+            cache: self.config.revision_cache.as_ref(),
         };
         let run = run_pipeline(
             &env,
@@ -716,6 +783,7 @@ impl Executor {
             cache_misses: run.cache_misses,
             shed: run.shed,
             sim_elapsed: run.sim_elapsed,
+            revision_cache: run.revision,
         }
     }
 }
@@ -777,12 +845,32 @@ pub(crate) fn item_seed(seed_base: u64, id: u64) -> u64 {
     seed_base ^ id.wrapping_mul(0x2545_F491_4F6C_DD1D)
 }
 
-/// The fixed chunk width the dynamic scheduler hands out: small enough that
-/// a straggler only ever holds a sliver of the batch, large enough to
-/// amortise the claim and keep token-cache locality.
-pub(crate) fn dynamic_chunk_size(n: usize, threads: usize) -> usize {
-    const CHUNKS_PER_WORKER: usize = 8;
-    n.div_ceil(threads * CHUNKS_PER_WORKER).clamp(1, 64)
+/// The chunk width the dynamic scheduler hands out, adapted to both the
+/// lane count and the bounded-queue capacity.
+///
+/// Small enough that a straggler only ever holds a sliver of the batch
+/// (at least `CHUNKS_PER_LANE` chunks per lane), large enough to amortise
+/// the queue handoff and keep token-cache locality — and, new in this
+/// revision, sized *up* when the queues are roomy: each inter-group queue
+/// must hold at least two chunks for pipelining to overlap at all, so the
+/// ceiling tracks `queue_capacity / (2 × lanes)` instead of a fixed 64.
+/// On a single core the handoff cost (lock + condvar wake per chunk)
+/// dominates the wall-clock overhead of the streaming core, so bigger
+/// chunks under bigger queues directly shave the PR 6 single-core
+/// medians. Purely a wall-clock knob: like the queue capacity itself,
+/// the chunk size never changes results.
+///
+/// Public so benches can record the width a configuration actually ran
+/// with next to its timings.
+pub fn adaptive_chunk_size(n: usize, lanes: usize, queue_capacity: usize) -> usize {
+    const CHUNKS_PER_LANE: usize = 8;
+    let lanes = lanes.max(1);
+    // Keep >= 2 chunks per bounded queue window so handoffs can overlap;
+    // never drop the ceiling below the old fixed cap's neighbourhood, and
+    // never balloon past 256 items per claim.
+    let queue_bound = (queue_capacity.max(1) / (2 * lanes)).max(1);
+    let upper = queue_bound.clamp(16, 256);
+    n.div_ceil(lanes * CHUNKS_PER_LANE).clamp(1, upper)
 }
 
 #[cfg(test)]
@@ -958,12 +1046,18 @@ mod tests {
     }
 
     #[test]
-    fn dynamic_chunk_size_bounds() {
-        assert_eq!(dynamic_chunk_size(0, 4), 1);
-        assert_eq!(dynamic_chunk_size(7, 16), 1);
-        assert_eq!(dynamic_chunk_size(2_000, 8), 32);
-        // Huge batches cap at 64 so stragglers stay bounded.
-        assert_eq!(dynamic_chunk_size(1_000_000, 4), 64);
+    fn adaptive_chunk_size_bounds() {
+        assert_eq!(adaptive_chunk_size(0, 4, 64), 1);
+        assert_eq!(adaptive_chunk_size(7, 16, 64), 1);
+        // Load-balance target: ~8 chunks per lane when the queue allows.
+        assert_eq!(adaptive_chunk_size(2_000, 8, 1024), 32);
+        // Tight queues clamp the width so each queue still holds >= 2
+        // chunks (but never below the 16-item amortisation floor).
+        assert_eq!(adaptive_chunk_size(2_000, 8, 64), 16);
+        assert_eq!(adaptive_chunk_size(1_000_000, 4, 64), 16);
+        // Roomy queues let huge batches take bigger claims, up to 256.
+        assert_eq!(adaptive_chunk_size(1_000_000, 4, 2048), 256);
+        assert_eq!(adaptive_chunk_size(1_000_000, 4, 100_000), 256);
     }
 
     #[test]

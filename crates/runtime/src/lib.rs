@@ -91,25 +91,48 @@
 //!   that find the admission backlog full, deterministically (a pure
 //!   function of the feed parameters), surfaced in
 //!   [`ChainOutput::shed`].
+//!
+//! ## Duplicate-heavy traffic
+//!
+//! Two layers (PR 7) make internet-scale, duplicate-heavy deployments
+//! affordable without touching the determinism contract:
+//!
+//! * **Revision caching** — with a [`CachePolicy`] configured
+//!   ([`ExecutorConfig::revision_cache`]), a content-addressed [`cache`]
+//!   memoizes each item's full chain result; duplicates skip the whole
+//!   stage topology and replay the memoized journal-visible effects at
+//!   the sink, digest-identical to the uncached content-keyed run. An
+//!   optional bounded-edit-distance near-match tier trades exactness for
+//!   hit rate (hits tagged `cache:near`). Tallies surface in
+//!   [`ChainOutput::revision_cache`].
+//! * **Sharding** — [`shard::run_sharded`] partitions the input by
+//!   content hash across N worker shards (each with its own journal and
+//!   cache via [`shard::run_sharded_journaled`]) and deterministically
+//!   merges their outputs, reports, and quarantines back into one
+//!   [`ChainOutput`]-shaped result, order-independently.
 
 #![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod breaker;
+pub mod cache;
 mod executor;
 mod fault;
 mod journal;
 mod report;
+pub mod shard;
 pub mod simtime;
 mod stage;
 pub mod stream;
 
 pub use breaker::{BreakerEvent, BreakerPolicy, BreakerState};
-pub use executor::{ChainOutput, Executor, ExecutorConfig, Schedule};
+pub use cache::{CachePolicy, CacheStats};
+pub use executor::{adaptive_chunk_size, ChainOutput, Executor, ExecutorConfig, Schedule};
 pub use fault::{
     FailureKind, FailureRecord, Fault, FaultPlan, Quarantine, QuarantinedPair, RetryPolicy,
 };
 pub use journal::{Journal, JournalError};
 pub use report::StageReport;
+pub use shard::{ShardStats, ShardedOutput};
 pub use stage::{Disposition, Stage, StageCtx, StageItem, StageOutcome};
 pub use stream::{Feed, StreamSource};

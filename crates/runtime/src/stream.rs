@@ -49,13 +49,15 @@
 //! any other disposition.
 
 use crate::breaker::{Breaker, BreakerEvent, BreakerPolicy, StageMode};
-use crate::executor::{dynamic_chunk_size, item_digest, item_seed, JournalSession, Schedule};
+use crate::cache::{content_key, plan_hits, CachePolicy, CacheStats, SlotHit};
+use crate::executor::{adaptive_chunk_size, item_digest, item_seed, JournalSession, Schedule};
 use crate::fault::{FailureKind, FailureRecord, Fault, FaultPlan, RetryPolicy};
 use crate::journal::{ItemTrace, StageTrace};
 use crate::report::StageReport;
 use crate::simtime::Stopwatch;
 use crate::stage::{Disposition, Stage, StageCtx, StageItem, StageOutcome};
 use coachlm_data::InstructionPair;
+use coachlm_text::fxhash::FxHashMap;
 use coachlm_text::token::TokenCache;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -159,22 +161,36 @@ pub(crate) struct Slot {
     /// flows; the sink runs the virtual-time recurrence over these.
     charge: Vec<u64>,
     /// Shed at admission (already discarded, flows through untouched).
-    shed: bool,
+    pub(crate) shed: bool,
+    /// Determinism key: the per-(stage, item) RNG seeds and fault rolls
+    /// key on this. The pair id normally; the content fingerprint in
+    /// content-keyed runs, so identical content behaves identically.
+    pub(crate) key: u64,
+    /// Set by the revision-cache pre-pass: skip execution and replay the
+    /// representative's effects at the sink.
+    pub(crate) hit: Option<SlotHit>,
+}
+
+/// The empty per-item journal record a live slot builds as it flows.
+/// Also force-attached to cache representatives in un-journaled runs so
+/// their per-stage deltas are captured for hit replay.
+fn fresh_trace(item: &StageItem) -> ItemTrace {
+    ItemTrace {
+        index: item.index as u64,
+        pair_id: item.pair.id,
+        disposition: 0,
+        instruction: None,
+        response: None,
+        tags: Vec::new(),
+        failure: None,
+        digest: 0,
+        stages: Vec::new(),
+    }
 }
 
 impl Slot {
     pub(crate) fn live(item: StageItem, journaling: bool) -> Self {
-        let trace = journaling.then(|| ItemTrace {
-            index: item.index as u64,
-            pair_id: item.pair.id,
-            disposition: 0,
-            instruction: None,
-            response: None,
-            tags: Vec::new(),
-            failure: None,
-            digest: 0,
-            stages: Vec::new(),
-        });
+        let trace = journaling.then(|| fresh_trace(&item));
         Slot {
             item,
             trace,
@@ -182,6 +198,8 @@ impl Slot {
             arrival: 0,
             charge: Vec::new(),
             shed: false,
+            key: 0,
+            hit: None,
         }
     }
 
@@ -193,6 +211,8 @@ impl Slot {
             arrival: 0,
             charge: Vec::new(),
             shed: false,
+            key: 0,
+            hit: None,
         }
     }
 }
@@ -433,6 +453,11 @@ pub(crate) struct StreamEnv<'a, 'b, 'j> {
     /// Logical epoch length, items (breaker window, or `epoch_len`).
     pub(crate) window: usize,
     pub(crate) session: Option<&'a JournalSession<'j>>,
+    /// Key per-item randomness on content fingerprints instead of pair
+    /// ids (see [`crate::cache`]). Forced on by a revision cache.
+    pub(crate) content_keyed: bool,
+    /// Revision-cache policy, if caching is enabled for this run.
+    pub(crate) cache: Option<&'a CachePolicy>,
 }
 
 /// Per-stage accumulation local to one worker lane.
@@ -605,6 +630,13 @@ impl<'e, 'a, 'b, 'j> GroupWorker<'e, 'a, 'b, 'j> {
             self.close_epoch();
             self.open_epoch(next);
         }
+        // Cache hit: the whole stage-group topology is skipped. The slot
+        // carries zero charge (a hit is free in virtual time) and the
+        // sink replays the representative's effects. Hits never coexist
+        // with breakers, so there are no tallies to advance here.
+        if slot.hit.is_some() {
+            return;
+        }
         if let Some(traces) = &slot.replay {
             for e in traces {
                 let k = e.stage as usize;
@@ -631,6 +663,7 @@ impl<'e, 'a, 'b, 'j> GroupWorker<'e, 'a, 'b, 'j> {
     fn run_slot(&mut self, slot: &mut Slot) {
         let env = self.env;
         let inert = env.plan.is_inert();
+        let det_key = slot.key;
         let item = &mut slot.item;
         let mut virt: u64 = 0;
         for (j, k) in self.range.clone().enumerate() {
@@ -663,7 +696,7 @@ impl<'e, 'a, 'b, 'j> GroupWorker<'e, 'a, 'b, 'j> {
                 }
                 continue;
             }
-            let rng_seed = item_seed(self.seed_base[j], item.pair.id);
+            let rng_seed = item_seed(self.seed_base[j], det_key);
             let deadline = env.deadlines[k];
             let mut attempt: u32 = 0;
             let (mut t_retries, mut t_timeouts) = (0u32, 0u32);
@@ -676,7 +709,7 @@ impl<'e, 'a, 'b, 'j> GroupWorker<'e, 'a, 'b, 'j> {
                 let fault = if inert {
                     None
                 } else {
-                    env.plan.roll(env.salts[k], item.pair.id, attempt)
+                    env.plan.roll(env.salts[k], det_key, attempt)
                 };
                 let outcome = match fault {
                     Some(Fault::Permanent) => {
@@ -820,6 +853,34 @@ impl<'e, 'a, 'b, 'j> GroupWorker<'e, 'a, 'b, 'j> {
     }
 }
 
+/// A memoized chain result: the journal-visible effects of running one
+/// item through the full stage chain, captured from its representative
+/// and replayed verbatim onto every cache hit.
+struct RepResult {
+    /// Final instruction, `None` if the chain left it unchanged.
+    instruction: Option<String>,
+    /// Final response, `None` if the chain left it unchanged.
+    response: Option<String>,
+    tags: Vec<String>,
+    retained: bool,
+    failure: Option<FailureRecord>,
+    /// Per-stage deltas, for report tallies and the hit's journal record.
+    stages: Vec<StageTrace>,
+}
+
+/// Sink-side state for revision-cache hit replay. Representatives are
+/// stored only while live hits still depend on them (`uses` counts down
+/// per replay), so memory is bounded by in-flight duplication, not input
+/// size.
+struct HitReplayer {
+    /// Representative item index → live dependents remaining.
+    uses: FxHashMap<usize, usize>,
+    store: FxHashMap<usize, RepResult>,
+    /// Per-stage report deltas contributed by hit replays; folded into
+    /// the run totals at `finish`. Indexed by global stage index.
+    reports: Vec<StageReport>,
+}
+
 /// The ordered consumer at the end of the pipe: collects items in index
 /// order, finalizes and appends journal records, fsyncs at logical-epoch
 /// boundaries, and runs the virtual-time recurrence.
@@ -831,10 +892,16 @@ struct Sink<'e, 'a, 'b, 'j> {
     makespan: u64,
     shed: usize,
     prev_epoch: Option<usize>,
+    hits: Option<HitReplayer>,
 }
 
 impl<'e, 'a, 'b, 'j> Sink<'e, 'a, 'b, 'j> {
-    fn new(env: &'e StreamEnv<'a, 'b, 'j>, topology: &Topology, n: usize) -> Self {
+    fn new(
+        env: &'e StreamEnv<'a, 'b, 'j>,
+        topology: &Topology,
+        n: usize,
+        hits: Option<HitReplayer>,
+    ) -> Self {
         Sink {
             env,
             lanes: topology
@@ -846,7 +913,82 @@ impl<'e, 'a, 'b, 'j> Sink<'e, 'a, 'b, 'j> {
             makespan: 0,
             shed: 0,
             prev_epoch: None,
+            hits,
         }
+    }
+
+    /// Replays the representative's recorded effects onto a hit slot:
+    /// terminal item state, per-stage report deltas, and (under a
+    /// journal) the stage traces for the hit's own record. Because the
+    /// sink consumes slots in index order and the pre-pass always picks
+    /// the *earliest* occurrence as representative, the representative's
+    /// result is guaranteed to be in the store by the time its hits
+    /// arrive.
+    fn replay_hit(&mut self, slot: &mut Slot, hit: SlotHit) {
+        let Some(hr) = self.hits.as_mut() else {
+            unreachable!("hit slots only exist under a cache plan");
+        };
+        let Some(rep) = hr.store.get(&hit.rep) else {
+            unreachable!("representative committed before its hits");
+        };
+        if let Some(instruction) = &rep.instruction {
+            slot.item.pair.instruction = instruction.clone();
+        }
+        if let Some(response) = &rep.response {
+            slot.item.pair.response = response.clone();
+        }
+        slot.item.tags = rep.tags.clone();
+        slot.item.retained = rep.retained;
+        slot.item.failure = rep.failure.clone();
+        if hit.near {
+            slot.item.tag("cache:near");
+        }
+        for e in &rep.stages {
+            merge_trace_delta(&mut hr.reports[e.stage as usize], e);
+        }
+        if let Some(t) = slot.trace.as_mut() {
+            t.stages = rep.stages.clone();
+        }
+        let Some(uses) = hr.uses.get_mut(&hit.rep) else {
+            unreachable!("uses tracked per rep");
+        };
+        *uses -= 1;
+        if *uses == 0 {
+            hr.uses.remove(&hit.rep);
+            hr.store.remove(&hit.rep);
+        }
+    }
+
+    /// If this slot is a representative with live dependents, captures
+    /// its terminal state for later hit replay. Live representatives
+    /// carry a force-attached trace (so stage deltas exist even
+    /// un-journaled); replayed ones carry their committed deltas.
+    fn capture_rep(&mut self, slot: &Slot) {
+        let Some(hr) = self.hits.as_mut() else {
+            return;
+        };
+        if !hr.uses.contains_key(&slot.item.index) {
+            return;
+        }
+        let stages = match (&slot.replay, &slot.trace) {
+            (Some(replay), _) => replay.clone(),
+            (None, Some(trace)) => trace.stages.clone(),
+            (None, None) => unreachable!("live representatives get traces attached"),
+        };
+        let item = &slot.item;
+        hr.store.insert(
+            item.index,
+            RepResult {
+                instruction: item
+                    .instruction_changed()
+                    .then(|| item.pair.instruction.clone()),
+                response: item.response_changed().then(|| item.pair.response.clone()),
+                tags: item.tags.clone(),
+                retained: item.retained,
+                failure: item.failure.clone(),
+                stages,
+            },
+        );
     }
 
     fn consume(&mut self, chunk: Chunk) {
@@ -881,6 +1023,11 @@ impl<'e, 'a, 'b, 'j> Sink<'e, 'a, 'b, 'j> {
             if slot.shed {
                 self.shed += 1;
             }
+            if let Some(hit) = slot.hit {
+                self.replay_hit(&mut slot, hit);
+            } else {
+                self.capture_rep(&slot);
+            }
             if let Some(session) = self.env.session {
                 if let Some(mut trace) = slot.trace.take() {
                     let item = &slot.item;
@@ -903,9 +1050,23 @@ impl<'e, 'a, 'b, 'j> Sink<'e, 'a, 'b, 'j> {
         }
     }
 
-    fn finish(self) -> (Vec<StageItem>, Duration, usize) {
-        (self.items, Duration::from_nanos(self.makespan), self.shed)
+    fn finish(self) -> SinkOut {
+        SinkOut {
+            items: self.items,
+            sim_elapsed: Duration::from_nanos(self.makespan),
+            shed: self.shed,
+            hit_reports: self.hits.map(|hr| hr.reports).unwrap_or_default(),
+        }
     }
+}
+
+/// What the sink hands back when the stream runs dry.
+struct SinkOut {
+    items: Vec<StageItem>,
+    sim_elapsed: Duration,
+    shed: usize,
+    /// Per-stage report deltas from cache-hit replays (empty uncached).
+    hit_reports: Vec<StageReport>,
 }
 
 /// Applies the feed to the slot sequence: stamps virtual arrival times
@@ -948,6 +1109,40 @@ fn apply_feed(feed: &Feed, slots: &mut [Slot]) {
             slot.item.discard("shed:admission");
         }
     }
+}
+
+/// The shed decisions [`apply_feed`] would make for a fresh `n`-item run
+/// under `feed`, as a plain bool-per-index plan (`true` = shed), or
+/// `None` for a batch feed. The shard driver needs admission decided
+/// *before* partitioning — shedding is global, a function of arrival
+/// order over the whole input, not of any one shard's subsequence — so
+/// this mirrors the live path of the fluid model exactly (a unit test
+/// pins the equivalence rather than refactoring the replay-aware
+/// original).
+pub(crate) fn admission_plan(feed: &Feed, n: usize) -> Option<Vec<bool>> {
+    let Feed::Sustained {
+        rate_per_sec,
+        drain_per_sec,
+        backlog_capacity,
+    } = feed
+    else {
+        return None;
+    };
+    let rate = rate_per_sec.max(1e-9);
+    let mut backlog = 0f64;
+    let mut prev_t = 0f64;
+    let mut shed = vec![false; n];
+    for (i, slot) in shed.iter_mut().enumerate() {
+        let t = i as f64 / rate;
+        backlog = (backlog - (t - prev_t) * drain_per_sec).max(0.0);
+        prev_t = t;
+        backlog += 1.0;
+        if backlog > *backlog_capacity as f64 {
+            backlog -= 1.0;
+            *slot = true;
+        }
+    }
+    Some(shed)
 }
 
 /// Cuts the slot sequence into chunks of at most `chunk_len` slots,
@@ -993,6 +1188,8 @@ pub(crate) struct StreamRun {
     pub(crate) cache_misses: u64,
     pub(crate) shed: usize,
     pub(crate) sim_elapsed: Duration,
+    /// Revision-cache tallies (all zeros when no cache is configured).
+    pub(crate) revision: CacheStats,
 }
 
 /// Runs the pipeline over the prepared slots. The single entry point for
@@ -1007,6 +1204,37 @@ pub(crate) fn run_pipeline(
 ) -> StreamRun {
     let n = slots.len();
     apply_feed(feed, &mut slots);
+    // Stamp the determinism key every slot's RNG and fault rolls derive
+    // from. With content keying off this is the pair id — bit-identical
+    // to the historical behaviour.
+    for slot in &mut slots {
+        slot.key = if env.content_keyed {
+            content_key(&slot.item.original)
+        } else {
+            slot.item.pair.id
+        };
+    }
+    // Revision-cache pre-pass: a sequential, schedule-independent scan
+    // that marks duplicate slots as hits on their earliest occurrence.
+    let cache_plan = env.cache.map(|policy| plan_hits(&mut slots, policy));
+    let mut replayer = cache_plan.as_ref().map(|plan| {
+        // Live representatives with dependents need their per-stage
+        // deltas captured even when no journal is attached.
+        for slot in &mut slots {
+            if slot.replay.is_none()
+                && slot.trace.is_none()
+                && plan.uses.contains_key(&slot.item.index)
+            {
+                slot.trace = Some(fresh_trace(&slot.item));
+            }
+        }
+        HitReplayer {
+            uses: plan.uses.clone(),
+            store: FxHashMap::default(),
+            reports: vec![StageReport::default(); env.stages.len()],
+        }
+    });
+    let revision = cache_plan.map(|p| p.stats).unwrap_or_default();
     let topology = plan_topology(env.service, threads, env.breaker.is_some());
     let total_lanes = topology.total_lanes().max(1);
     for slot in &mut slots {
@@ -1018,8 +1246,9 @@ pub(crate) fn run_pipeline(
         Schedule::Static => env.window,
         // Dynamic: the tuned claim granularity — small chunks so lanes
         // within a group stay balanced and groups overlap within an
-        // epoch. The default.
-        Schedule::Dynamic => dynamic_chunk_size(n, total_lanes),
+        // epoch, sized up under roomy queues to cut handoff traffic. The
+        // default.
+        Schedule::Dynamic => adaptive_chunk_size(n, total_lanes, queue_capacity),
     };
     let chunks = build_chunks(slots, chunk_len, env.window);
     let total_chunks = chunks.len() as u64;
@@ -1036,9 +1265,9 @@ pub(crate) fn run_pipeline(
     let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
 
     let sequential = topology.groups.len() <= 1 && total_lanes <= 1;
-    let (items, sim_elapsed, shed) = if topology.groups.is_empty() {
+    let sink_out = if topology.groups.is_empty() {
         // Stage-less chain: the sink alone sees every slot.
-        let mut sink = Sink::new(env, &topology, n);
+        let mut sink = Sink::new(env, &topology, n, replayer.take());
         for chunk in chunks {
             sink.consume(chunk);
         }
@@ -1047,7 +1276,7 @@ pub(crate) fn run_pipeline(
         // One group, one lane: drive the exact same worker and sink
         // inline, skipping thread and queue overhead entirely.
         let mut worker = GroupWorker::new(env, 0, topology.groups[0].stages.clone());
-        let mut sink = Sink::new(env, &topology, n);
+        let mut sink = Sink::new(env, &topology, n, replayer.take());
         for mut chunk in chunks {
             worker.process_chunk(&mut chunk);
             sink.consume(chunk);
@@ -1087,9 +1316,10 @@ pub(crate) fn run_pipeline(
                     }));
                 }
             }
+            let sink_hits = replayer.take();
             let sink_handle = scope.spawn(move || {
                 let _guard = AbortOnPanic(queues);
-                let mut sink = Sink::new(env, topology, n);
+                let mut sink = Sink::new(env, topology, n, sink_hits);
                 while let Some(chunk) = queues[groups].pop() {
                     sink.consume(chunk);
                 }
@@ -1120,17 +1350,24 @@ pub(crate) fn run_pipeline(
         sink_out
     };
 
+    // Cache-hit replays contributed report deltas at the sink; fold them
+    // into the per-stage totals alongside the lane reports.
+    for (k, report) in sink_out.hit_reports.into_iter().enumerate() {
+        merge_report(&mut reports[k], report);
+    }
+
     // Batch order is epoch-major, stage-minor; lanes reported events in
     // (group, epoch) order, so a stable sort by epoch restores it.
     events.sort_by_key(|(k, e)| (e.epoch, *k));
     StreamRun {
-        items,
+        items: sink_out.items,
         reports,
         breaker_events: events.into_iter().map(|(_, e)| e).collect(),
         cache_hits,
         cache_misses,
-        shed,
-        sim_elapsed,
+        shed: sink_out.shed,
+        sim_elapsed: sink_out.sim_elapsed,
+        revision,
     }
 }
 
@@ -1155,8 +1392,9 @@ fn fold_lane(
     *cache_misses += m;
 }
 
-/// Adds report `b` into `a` field-by-field (counters union-add).
-fn merge_report(a: &mut StageReport, b: StageReport) {
+/// Adds report `b` into `a` field-by-field (counters union-add). Also
+/// the per-stage merge primitive for the shard driver.
+pub(crate) fn merge_report(a: &mut StageReport, b: StageReport) {
     a.items_in += b.items_in;
     a.items_out += b.items_out;
     a.quarantined += b.quarantined;
@@ -1353,5 +1591,40 @@ mod tests {
         let mut d = mk(50);
         apply_feed(&Feed::Batch, &mut d);
         assert!(d.iter().all(|s| !s.shed && s.arrival == 0));
+    }
+
+    #[test]
+    fn admission_plan_matches_apply_feed_on_fresh_slots() {
+        let mk = |n: usize| -> Vec<Slot> {
+            (0..n)
+                .map(|i| {
+                    Slot::live(
+                        StageItem::new(
+                            i,
+                            InstructionPair::new(
+                                i as u64,
+                                "q".to_string(),
+                                "a".to_string(),
+                                coachlm_data::Category(0),
+                            ),
+                        ),
+                        false,
+                    )
+                })
+                .collect()
+        };
+        for (rate, drain, cap) in [(100.0, 40.0, 10), (55.5, 60.0, 3), (10.0, 200.0, 1)] {
+            let feed = Feed::Sustained {
+                rate_per_sec: rate,
+                drain_per_sec: drain,
+                backlog_capacity: cap,
+            };
+            let mut slots = mk(400);
+            apply_feed(&feed, &mut slots);
+            let plan = admission_plan(&feed, 400).expect("sustained feed plans");
+            let from_slots: Vec<bool> = slots.iter().map(|s| s.shed).collect();
+            assert_eq!(plan, from_slots, "rate {rate} drain {drain} cap {cap}");
+        }
+        assert!(admission_plan(&Feed::Batch, 50).is_none());
     }
 }

@@ -421,6 +421,23 @@ impl WordDistance {
         self.myers.distance(sa, sb)
     }
 
+    /// Word-level edit distance between `a` and `b` if it is `<= bound`,
+    /// else `None` — the `k`-bounded near-match query.
+    ///
+    /// Uses the banded DP ([`edit_distance_bounded`]) over the interned
+    /// word symbols, so a far-apart pair costs O(bound·words) instead of
+    /// O(words²); candidate probing in content-addressed caches runs this
+    /// against many stored entries and needs the early exit.
+    pub fn distance_bounded(&mut self, a: &str, b: &str, bound: usize) -> Option<usize> {
+        self.ensure_cached(a);
+        self.ensure_cached(b);
+        // lint: allow(P1, reason = "ensure_cached on the two lines above inserts both keys; the borrow rules force the re-lookup, not a data condition")
+        let sa = self.cache.get(a).expect("cached above");
+        // lint: allow(P1, reason = "ensure_cached on the lines above inserts both keys; the borrow rules force the re-lookup, not a data condition")
+        let sb = self.cache.get(b).expect("cached above");
+        edit_distance_bounded(sa, sb, bound)
+    }
+
     /// Clears the memoisation cache (the interner is retained). Call between
     /// datasets, not between records: keeping the cache across a whole
     /// ranking pass is what makes repeated instructions free.
@@ -579,6 +596,25 @@ mod tests {
         // A short pattern right after a long one reuses the same scratch.
         let short: Vec<Sym> = vec![Sym(1), Sym(2)];
         assert_eq!(sm.distance(&short, &a), edit_distance(&short, &a));
+    }
+
+    #[test]
+    fn word_distance_bounded_matches_exact_within_bound() {
+        let mut wd = WordDistance::new();
+        let cases = [
+            ("rewrite this please", "please rewrite this text"),
+            ("the quick fox", "the slow fox"),
+            ("identical words here", "identical words here"),
+            ("", "anything at all"),
+        ];
+        for (a, b) in cases {
+            let exact = word_edit_distance(a, b);
+            assert_eq!(wd.distance_bounded(a, b, exact), Some(exact), "{a} vs {b}");
+            assert_eq!(wd.distance_bounded(a, b, exact + 3), Some(exact));
+            if exact > 0 {
+                assert_eq!(wd.distance_bounded(a, b, exact - 1), None);
+            }
+        }
     }
 
     #[test]

@@ -69,6 +69,22 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Hashes a sequence of byte fields into one 64-bit content fingerprint.
+///
+/// Each field is prefixed with its length, so field boundaries are part of
+/// the fingerprint: `["ab", "c"]` and `["a", "bc"]` hash differently. This
+/// is the keying primitive for content-addressed lookups (e.g. the
+/// revision cache in `coachlm-runtime`), where "same bytes, same fields"
+/// must map to the same key on every run and host.
+pub fn fingerprint_fields(fields: &[&[u8]]) -> u64 {
+    let mut h = FxHasher::default();
+    for field in fields {
+        h.write_u64(field.len() as u64);
+        h.write(field);
+    }
+    h.finish()
+}
+
 /// `BuildHasher` for [`FxHasher`].
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
@@ -124,5 +140,21 @@ mod tests {
     fn empty_input_hash_is_zero_state() {
         let h = FxHasher::default();
         assert_eq!(h.finish(), 0);
+    }
+
+    #[test]
+    fn fingerprint_fields_respects_boundaries() {
+        assert_eq!(
+            fingerprint_fields(&[b"ab", b"c"]),
+            fingerprint_fields(&[b"ab", b"c"])
+        );
+        assert_ne!(
+            fingerprint_fields(&[b"ab", b"c"]),
+            fingerprint_fields(&[b"a", b"bc"])
+        );
+        assert_ne!(
+            fingerprint_fields(&[b"ab"]),
+            fingerprint_fields(&[b"ab", b""])
+        );
     }
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Runs the Criterion bench suite offline and writes machine-readable
-# results to BENCH_3.json at the repo root.
+# results to BENCH_4.json at the repo root (override with COACHLM_BENCH_OUT;
+# the number tracks the PR that last changed the suite's shape).
 #
 # Each bench binary appends one JSONL record per benchmark (median ns/iter
 # plus throughput where declared) to the file named by COACHLM_BENCH_JSON —
@@ -11,8 +12,11 @@
 #
 # Usage: scripts/bench.sh [bench-name ...]
 #   With no arguments, runs every bench target (microbench,
-#   executor_scaling, ngram_scoring). Pass names to run a subset — the
-#   JSON output then covers only that subset.
+#   executor_scaling, ngram_scoring, revision_cache). Pass names to run a
+#   subset — the JSON output then covers only that subset.
+#
+# The revision_cache stress cell defaults to a 10M-pair workload; set
+# COACHLM_CACHE_BENCH_PAIRS to shrink it for quick runs.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,14 +25,14 @@ export CARGO_NET_OFFLINE=true
 # Absolute path: cargo runs bench binaries with the package directory as
 # CWD, so a relative path would land under crates/bench/.
 jsonl="$(pwd)/target/bench_records.jsonl"
-out="BENCH_3.json"
+out="${COACHLM_BENCH_OUT:-BENCH_4.json}"
 rm -f "$jsonl"
 mkdir -p target
 
 if [ "$#" -gt 0 ]; then
     benches="$*"
 else
-    benches="microbench executor_scaling ngram_scoring"
+    benches="microbench executor_scaling ngram_scoring revision_cache"
 fi
 
 for name in $benches; do

@@ -72,7 +72,24 @@ for seed in 11 29 53; do
     done
 done
 
-# Optional: regenerate BENCH_3.json from the Criterion suite. Off by
+# Cache/shard matrix: one cell per (seed, shard count, duplicate skew).
+# Each cell runs a Zipfian-duplicated workload through the revision cache
+# and the sharded driver — cached runs at both schedules and two thread
+# counts, plus a sharded run — and checks digest equality against the
+# uncached single-threaded reference. The cache and the shard fan-out are
+# deployment knobs only; any divergence here is a determinism bug.
+echo "==> cache/shard matrix (2 seeds x 2 shard counts x 2 skews)"
+for seed in 11 53; do
+    for shards in 2 8; do
+        for skew in 0.4 1.3; do
+            echo "   -> seed=$seed shards=$shards skew=$skew"
+            COACHLM_CACHE_SEED=$seed COACHLM_SHARDS=$shards COACHLM_SKEW=$skew \
+                cargo test --offline -q --test cache_shard cache_matrix_cell
+        done
+    done
+done
+
+# Optional: regenerate BENCH_4.json from the Criterion suite. Off by
 # default because benches dominate CI wall-clock; enable with COACHLM_BENCH=1.
 if [ "${COACHLM_BENCH:-0}" = "1" ]; then
     echo "==> scripts/bench.sh"
