@@ -83,7 +83,7 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: repro [--scale full|quick] [--seed N] <id>... | all\n\
-         ids: table3 table4 table7 fig4 table8 table9 table10 fig5 table11 deploy"
+         ids: table3 table4 table7 fig4 table8 table9 table10 fig5 table11 deploy tournament"
     );
 }
 

@@ -10,6 +10,7 @@ pub mod table4;
 pub mod table7;
 pub mod table8;
 pub mod table9;
+pub mod tournament;
 
 use crate::world::ExperimentWorld;
 
@@ -36,6 +37,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(fig5::Fig5),
         Box::new(table11::Table11),
         Box::new(deploy::Deploy),
+        Box::new(tournament::Tournament),
     ]
 }
 

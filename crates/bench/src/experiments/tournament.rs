@@ -1,0 +1,133 @@
+//! Strategy tournament — every revision pipeline head-to-head under the
+//! debiased judge.
+//!
+//! The zoo's six strategies (CoachLM, Reflection-Tuning, Self-Review,
+//! auto-evol, AlpaGasus filtering, no-op) each revise the same seeded
+//! arena through the streaming executor; the outputs are then judged
+//! round-robin by the PandaLM-style debiased judge (position-swap
+//! debiasing, canonical pair ordering) into a full win/tie/loss matrix,
+//! and rated on the 0–5 grid for the Fig-4-style ">4.5 share" table.
+//! The paper's Table VII/VIII ordering — revision beats filtering — must
+//! re-emerge as `coachlm` beating `filter` in its pairwise cell.
+
+use super::Experiment;
+use crate::format::{f2, pct, Table};
+use crate::world::ExperimentWorld;
+use coachlm_core::strategies::StrategyZoo;
+use coachlm_judge::chatgpt::ChatGptRater;
+use coachlm_judge::tournament::{run_tournament, Contestant};
+use coachlm_judge::PandaLm;
+use serde_json::json;
+
+/// Tournament experiment.
+pub struct Tournament;
+
+impl Experiment for Tournament {
+    fn id(&self) -> &'static str {
+        "tournament"
+    }
+
+    fn title(&self) -> &'static str {
+        "Tournament: revision strategy zoo, pairwise under the debiased judge"
+    }
+
+    fn run(&self, world: &ExperimentWorld) -> (String, serde_json::Value) {
+        let arena = world.sample();
+        let zoo = StrategyZoo::standard(&world.coach, world.seed ^ 0x70_01);
+        let judge = PandaLm::new(world.seed ^ 0x70_02);
+        let rater = ChatGptRater::new(world.seed ^ 0x70_03);
+        let config = world.exec_config(0x70_04);
+
+        // Every strategy revises the same arena through the same executor.
+        let outputs: Vec<(String, coachlm_data::pair::Dataset)> = zoo
+            .iter()
+            .map(|s| (s.name().to_string(), s.dataset(&arena, &config)))
+            .collect();
+
+        let contestants: Vec<Contestant<'_>> = outputs
+            .iter()
+            .map(|(name, dataset)| Contestant { name, dataset })
+            .collect();
+        let result = run_tournament(&judge, &arena, &contestants);
+
+        // Fig-4-style quality table per strategy output. A filtered
+        // dataset is rated over its survivors, which is exactly where
+        // filtering shines (and still loses the head-to-head).
+        let ratings: Vec<(String, coachlm_judge::chatgpt::RatingSummary)> = outputs
+            .iter()
+            .map(|(name, dataset)| (name.clone(), rater.rate_dataset(dataset)))
+            .collect();
+
+        let mut matrix_table =
+            Table::new(std::iter::once("W/T/L".to_string()).chain(result.names.iter().cloned()));
+        for (i, name) in result.names.iter().enumerate() {
+            let mut cells = vec![name.clone()];
+            for j in 0..result.names.len() {
+                if i == j {
+                    cells.push("-".to_string());
+                } else {
+                    let c = result.matrix[i][j];
+                    cells.push(format!("{}/{}/{}", c.win, c.tie, c.lose));
+                }
+            }
+            matrix_table.row(cells);
+        }
+
+        let standings = result.standings();
+        let mut standings_table = Table::new(["Strategy", "Mean WR1", ">4.5 share", "Mean rating"]);
+        for (name, wr1) in &standings {
+            let rating = ratings.iter().find(|(n, _)| n == name);
+            standings_table.row([
+                name.clone(),
+                f2(*wr1),
+                rating.map_or("-".to_string(), |(_, r)| pct(r.share_above_4_5)),
+                rating.map_or("-".to_string(), |(_, r)| f2(r.mean)),
+            ]);
+        }
+
+        let coach_vs_filter = result.counts("coachlm", "filter").unwrap_or_default();
+        let coach_beats_filter = coach_vs_filter.win > coach_vs_filter.lose;
+
+        let report = format!(
+            "{}\narena: {} pairs; {} strategies; {} comparisons/cell\n\n{}\n{}\n\
+             coachlm vs filter: {}W/{}T/{}L — revision {} filtering (Table VII ordering)",
+            self.title(),
+            arena.len(),
+            result.names.len(),
+            result.comparisons,
+            matrix_table.render(),
+            standings_table.render(),
+            coach_vs_filter.win,
+            coach_vs_filter.tie,
+            coach_vs_filter.lose,
+            if coach_beats_filter {
+                "beats"
+            } else {
+                "does NOT beat"
+            },
+        );
+
+        let json = json!({
+            "arena_pairs": arena.len(),
+            "strategies": result.names,
+            "matrix": result.matrix,
+            "comparisons_per_cell": result.comparisons,
+            "standings": standings
+                .iter()
+                .map(|(name, wr1)| json!({"name": name, "mean_wr1": wr1}))
+                .collect::<Vec<_>>(),
+            "ratings": ratings
+                .iter()
+                .map(|(name, r)| json!({
+                    "name": name,
+                    "mean": r.mean,
+                    "share_above_4_5": r.share_above_4_5,
+                    "count": r.count,
+                }))
+                .collect::<Vec<_>>(),
+            "coachlm_vs_filter": coach_vs_filter,
+            "coachlm_beats_filter": coach_beats_filter,
+        });
+        (report, json)
+    }
+}

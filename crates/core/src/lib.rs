@@ -23,6 +23,11 @@
 //!   Alpaca-human, Vicuna, the stronger group).
 //! * [`evaluate`] — runs a model over a test set under a judge, producing
 //!   WR1/WR2/QS.
+//! * [`strategies`] — the strategy zoo: alternative revision pipelines
+//!   (Reflection-Tuning critique-then-regenerate, Self-Review
+//!   revise-until-pass loops, auto-evol complexity evolution, filtering
+//!   and no-op baselines) behind one [`Strategy`] interface, for
+//!   head-to-head tournaments under the debiased judge.
 //! * [`pipeline`] — the §IV-A Huawei data management pipeline with and
 //!   without the CoachLM precursor stage, and its efficiency accounting.
 
@@ -35,9 +40,11 @@ pub mod coach;
 pub mod evaluate;
 pub mod infer;
 pub mod pipeline;
+pub mod strategies;
 pub mod student;
 
 pub use alpha::select_alpha;
 pub use coach::{CoachConfig, CoachLm};
 pub use infer::{revise_dataset, revise_stream, RevisedDataset};
+pub use strategies::{Strategy, StrategyZoo};
 pub use student::{tune_student, StudentModel};

@@ -17,6 +17,9 @@
 //!   bias, which the same swap protocol cancels).
 //! * [`human`] — the three-reviewer panel (R1–R3 of group C) with
 //!   per-reviewer leniency offsets.
+//! * [`tournament`] — round-robin pairwise judging of whole strategy
+//!   outputs with canonical-order debiasing: the verdict matrix is
+//!   position-swap- and relabeling-invariant by construction.
 //! * [`winrate`] — WR1 / WR2 / QS arithmetic (§III-C1a).
 //! * [`stats`] — histograms, means, and the least-squares linear fit (with
 //!   R²) used in Fig 5(b).
@@ -30,6 +33,7 @@ pub mod gpt4;
 pub mod human;
 pub mod pandalm;
 pub mod stats;
+pub mod tournament;
 pub mod winrate;
 
 pub use chatgpt::ChatGptRater;
@@ -37,4 +41,5 @@ pub use criteria::{CriteriaEngine, InstructionAnalysis, PairScores, ResponseAnal
 pub use gpt4::Gpt4Judge;
 pub use human::{HumanPanel, Reviewer};
 pub use pandalm::{PandaLm, Verdict};
+pub use tournament::{run_tournament, Contestant, TournamentResult};
 pub use winrate::{VerdictCounts, WinRates};

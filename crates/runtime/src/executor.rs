@@ -337,6 +337,7 @@ impl ChainOutput {
             h.write_u64(r.items_out as u64);
             h.write_u64(r.quarantined as u64);
             h.write_u64(r.retries);
+            h.write_u64(r.iterations);
             h.write_u64(r.faults_injected);
             h.write_u64(r.timeouts);
             h.write_u64(r.degraded as u64);
@@ -682,6 +683,10 @@ impl Executor {
                     h.write_u128(budget.as_nanos());
                 }
             }
+            // The iteration budget bounds how many committed passes a
+            // looping stage may take, which changes outcomes — a journal
+            // written under one budget must not resume under another.
+            h.write_u32(stage.iteration_budget().max(1));
         }
         self.config.retry.fingerprint_into(&mut h);
         self.config.fault_plan.fingerprint_into(&mut h);
@@ -740,6 +745,7 @@ impl Executor {
             .iter()
             .map(|s| u64::try_from(s.service_time().as_nanos()).unwrap_or(u64::MAX))
             .collect();
+        let budgets: Vec<u32> = stages.iter().map(|s| s.iteration_budget().max(1)).collect();
         let window = self
             .config
             .breaker
@@ -757,6 +763,7 @@ impl Executor {
             salts: &salts,
             deadlines: &deadlines,
             service: &service,
+            budgets: &budgets,
             seed: self.config.seed,
             plan: &self.config.fault_plan,
             retry: &self.config.retry,
@@ -978,8 +985,107 @@ mod tests {
         }
     }
 
+    /// A bounded revise-until-pass loop: appends one seeded token per
+    /// committed pass and asks for another pass until the response
+    /// carries `(id % 5) + 1` of them.
+    struct Polish {
+        budget: u32,
+    }
+
+    impl Stage for Polish {
+        fn name(&self) -> &str {
+            "polish"
+        }
+        fn process(&self, item: &mut StageItem, ctx: &mut StageCtx<'_>) -> StageOutcome {
+            let roll: u64 = ctx.rng.gen_range(0..1000);
+            item.pair.response.push_str(&format!(" <{roll}>"));
+            ctx.bump("passes");
+            let want = (item.pair.id % 5) as usize + 1;
+            if item.pair.response.matches('<').count() < want {
+                StageOutcome::Again
+            } else {
+                StageOutcome::Ok
+            }
+        }
+        fn iteration_budget(&self) -> u32 {
+            self.budget
+        }
+    }
+
     fn chain() -> Vec<Box<dyn Stage>> {
         vec![Box::new(Scribble), Box::new(DropFifths)]
+    }
+
+    #[test]
+    fn looping_stage_is_bounded_and_counts_iterations() {
+        let stages: Vec<Box<dyn Stage>> = vec![Box::new(Polish { budget: 3 })];
+        let out = Executor::new(ExecutorConfig::new(9).threads(4)).run(&stages, pairs(40));
+        let report = out.report("polish").unwrap();
+        let mut expected = 0u64;
+        for item in &out.items {
+            let want = (item.pair.id % 5) as usize + 1;
+            let took = want.min(3);
+            assert_eq!(
+                item.pair.response.matches('<').count(),
+                took,
+                "id {}",
+                item.pair.id
+            );
+            expected += took as u64;
+        }
+        assert_eq!(report.iterations, expected);
+        assert_eq!(report.counter("passes"), expected);
+        // Multi-pass work is visible, not silently single-pass.
+        assert!(report.iterations > report.items_in as u64);
+    }
+
+    #[test]
+    fn plain_stages_report_one_iteration_per_item() {
+        let out = Executor::new(ExecutorConfig::new(3).threads(2)).run(&chain(), pairs(30));
+        let r = out.report("scribble").unwrap();
+        assert_eq!(r.iterations, r.items_in as u64);
+    }
+
+    #[test]
+    fn looping_digest_is_thread_count_invariant_with_faults() {
+        let config = |threads| {
+            ExecutorConfig::new(77)
+                .threads(threads)
+                .fault_plan(
+                    FaultPlan::new(5)
+                        .transient(0.2)
+                        .latency(0.3, Duration::from_secs(8)),
+                )
+                .retry_policy(RetryPolicy::new(3, Duration::from_millis(10)))
+        };
+        let stages: Vec<Box<dyn Stage>> = vec![Box::new(Budgeted(
+            Polish { budget: 4 },
+            Duration::from_secs(5),
+        ))];
+        let base = Executor::new(config(1)).run(&stages, pairs(60));
+        for threads in [2, 8] {
+            let out = Executor::new(config(threads)).run(&stages, pairs(60));
+            assert_eq!(out.digest(), base.digest());
+        }
+    }
+
+    #[test]
+    fn iteration_budget_is_part_of_the_journal_fingerprint() {
+        let path = temp_journal("iter-budget");
+        let mut journal = Journal::create(&path).unwrap();
+        let a: Vec<Box<dyn Stage>> = vec![Box::new(Polish { budget: 3 })];
+        Executor::new(ExecutorConfig::new(1))
+            .run_journaled(&a, pairs(10), &mut journal)
+            .unwrap();
+        drop(journal);
+        let mut journal = Journal::open(&path).unwrap();
+        let b: Vec<Box<dyn Stage>> = vec![Box::new(Polish { budget: 5 })];
+        let err = Executor::new(ExecutorConfig::new(1)).run_journaled(&b, pairs(10), &mut journal);
+        assert!(
+            err.is_err(),
+            "a resume under a different iteration budget must be refused"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -60,7 +60,8 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Journal format version; bumped on any encoding change.
-pub(crate) const JOURNAL_VERSION: u32 = 1;
+/// v2 added the per-stage `iterations` counter for looping stages.
+pub(crate) const JOURNAL_VERSION: u32 = 2;
 
 /// Bytes of frame overhead per record (length prefix + checksum).
 const FRAME_BYTES: u64 = 12;
@@ -129,6 +130,10 @@ pub(crate) struct StageTrace {
     pub(crate) quarantined: bool,
     /// Retries taken at this stage.
     pub(crate) retries: u32,
+    /// Committed iteration passes at this stage (1 for a plain stage the
+    /// item completed; up to the stage's iteration budget for a looping
+    /// stage; 0 when the item degraded or quarantined before committing).
+    pub(crate) iterations: u32,
     /// Faults injected into this stage's attempts.
     pub(crate) faults: u64,
     /// Attempts cut short by the stage deadline.
@@ -406,6 +411,7 @@ fn encode_item(enc: &mut Enc, t: &ItemTrace) {
         enc.u8(u8::from(s.retained_after));
         enc.u8(u8::from(s.quarantined));
         enc.u32(s.retries);
+        enc.u32(s.iterations);
         enc.u64(s.faults);
         enc.u32(s.timeouts);
         enc.u64(s.backoff_nanos);
@@ -455,6 +461,7 @@ fn decode_item(dec: &mut Dec<'_>) -> Option<ItemTrace> {
         let retained_after = dec.bool()?;
         let quarantined = dec.bool()?;
         let retries = dec.u32()?;
+        let iterations = dec.u32()?;
         let faults = dec.u64()?;
         let timeouts = dec.u32()?;
         let backoff_nanos = dec.u64()?;
@@ -472,6 +479,7 @@ fn decode_item(dec: &mut Dec<'_>) -> Option<ItemTrace> {
             retained_after,
             quarantined,
             retries,
+            iterations,
             faults,
             timeouts,
             backoff_nanos,
@@ -638,6 +646,7 @@ mod tests {
                 retained_after: index % 3 != 2,
                 quarantined: index % 3 == 2,
                 retries: 2,
+                iterations: u32::try_from(1 + index % 3).unwrap_or(1),
                 faults: 3,
                 timeouts: 1,
                 backoff_nanos: 30_000_000,

@@ -35,6 +35,14 @@ pub struct StageReport {
     /// Retry attempts beyond each item's first (deterministic under a
     /// seeded fault plan).
     pub retries: u64,
+    /// Committed iteration passes, summed over items. A plain stage
+    /// contributes exactly one per item it completed (retries of the same
+    /// pass do not count); a looping stage (one returning
+    /// [`StageOutcome::Again`](crate::StageOutcome::Again)) contributes up
+    /// to its [`iteration_budget`](crate::Stage::iteration_budget). This
+    /// is what keeps multi-pass stages from silently reporting single-pass
+    /// work: `iterations / items_in` is the mean pass count.
+    pub iterations: u64,
     /// Faults the executor injected into this stage (all three classes).
     pub faults_injected: u64,
     /// Attempts cut short because an injected latency spike exceeded the
@@ -160,6 +168,7 @@ mod tests {
             items_out: 90,
             quarantined: 4,
             retries: 11,
+            iterations: 137,
             faults_injected: 15,
             timeouts: 3,
             degraded: 7,
@@ -171,6 +180,22 @@ mod tests {
         r.counters.insert("invalid".into(), 2);
         let json = serde_json::to_string(&r).unwrap();
         let back: StageReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn iteration_accounting_round_trips_exactly() {
+        // Multi-pass stages report more iterations than items; the field
+        // must survive serialization bit-exactly, not as a float.
+        let r = StageReport {
+            stage: "revise-until-pass".into(),
+            items_in: 50,
+            items_out: 50,
+            iterations: u64::MAX - 3,
+            ..StageReport::default()
+        };
+        let back: StageReport = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back.iterations, u64::MAX - 3);
         assert_eq!(back, r);
     }
 

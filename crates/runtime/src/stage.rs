@@ -20,6 +20,15 @@ pub enum StageOutcome {
     /// The item was processed (it may still have been discarded via
     /// [`StageItem::discard`] — that is retention, not failure).
     Ok,
+    /// The iteration committed its work to the item, and the stage wants
+    /// another pass (a bounded revise-until-pass loop). The executor runs
+    /// the stage body again with a fresh per-iteration RNG stream, charging
+    /// [`service_time`](Stage::service_time) per body run; once
+    /// [`iteration_budget`](Stage::iteration_budget) passes have committed,
+    /// `Again` is accepted as [`Ok`](Self::Ok) — the loop is always
+    /// bounded. Unlike the failure variants, `Again` *commits* its
+    /// mutations: each pass is a durable partial revision, not a rollback.
+    Again,
     /// The item flows no further; equivalent to `item.discard` with a
     /// `drop:<stage>` tag, for stages that prefer signalling over mutating.
     Drop,
@@ -95,6 +104,18 @@ pub trait Stage: Sync {
     /// 1ms — a cheap-ish local transform.
     fn service_time(&self) -> std::time::Duration {
         std::time::Duration::from_millis(1)
+    }
+
+    /// Hard cap on committed iteration passes per item for a looping stage
+    /// (one returning [`StageOutcome::Again`]). Defaults to 1: a plain
+    /// stage's first committed pass is its last, and `Again` from it is
+    /// accepted immediately. Each pass gets its own RNG stream and fault
+    /// rolls, charges [`service_time`](Self::service_time), and observes
+    /// the per-attempt [`deadline`](Self::deadline); the budget is part of
+    /// the journal fingerprint, so a resume under a different budget is
+    /// refused rather than silently diverging.
+    fn iteration_budget(&self) -> u32 {
+        1
     }
 }
 

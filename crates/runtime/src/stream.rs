@@ -446,6 +446,8 @@ pub(crate) struct StreamEnv<'a, 'b, 'j> {
     pub(crate) deadlines: &'a [Option<Duration>],
     /// Modeled per-stage service time, nanos (virtual-time model only).
     pub(crate) service: &'a [u64],
+    /// Per-stage iteration budget for looping stages (≥ 1).
+    pub(crate) budgets: &'a [u32],
     pub(crate) seed: u64,
     pub(crate) plan: &'a FaultPlan,
     pub(crate) retry: &'a RetryPolicy,
@@ -468,6 +470,7 @@ struct StageStats {
     quarantined: usize,
     degraded: usize,
     retries: u64,
+    iterations: u64,
     faults: u64,
     timeouts: u64,
     counters: BTreeMap<String, u64>,
@@ -485,6 +488,7 @@ fn merge_stage_stats(report: &mut StageReport, st: StageStats) {
     report.quarantined += st.quarantined;
     report.degraded += st.degraded;
     report.retries += st.retries;
+    report.iterations += st.iterations;
     report.faults_injected += st.faults;
     report.timeouts += st.timeouts;
     report.cpu_time += st.time;
@@ -504,6 +508,7 @@ fn merge_trace_delta(report: &mut StageReport, e: &StageTrace) {
     report.quarantined += usize::from(e.quarantined);
     report.degraded += usize::from(e.degraded);
     report.retries += u64::from(e.retries);
+    report.iterations += u64::from(e.iterations);
     report.faults_injected += e.faults;
     report.timeouts += u64::from(e.timeouts);
     report.backoff_time += Duration::from_nanos(e.backoff_nanos);
@@ -687,6 +692,7 @@ impl<'e, 'a, 'b, 'j> GroupWorker<'e, 'a, 'b, 'j> {
                         retained_after: true,
                         quarantined: false,
                         retries: 0,
+                        iterations: 0,
                         faults: 0,
                         timeouts: 0,
                         backoff_nanos: 0,
@@ -698,95 +704,125 @@ impl<'e, 'a, 'b, 'j> GroupWorker<'e, 'a, 'b, 'j> {
             }
             let rng_seed = item_seed(self.seed_base[j], det_key);
             let deadline = env.deadlines[k];
-            let mut attempt: u32 = 0;
+            let iter_budget = env.budgets[k].max(1);
             let (mut t_retries, mut t_timeouts) = (0u32, 0u32);
-            let mut t_faults = 0u64;
+            let (mut t_iterations, mut t_faults) = (0u32, 0u64);
             let (mut t_time, mut t_backoff, mut t_latency) =
                 (Duration::ZERO, Duration::ZERO, Duration::ZERO);
             let mut body_runs: u64 = 0;
             let mut quarantined_here = false;
-            loop {
-                let fault = if inert {
-                    None
-                } else {
-                    env.plan.roll(env.salts[k], det_key, attempt)
-                };
-                let outcome = match fault {
-                    Some(Fault::Permanent) => {
-                        t_faults += 1;
-                        StageOutcome::fatal("injected: permanent")
-                    }
-                    Some(Fault::Transient) => {
-                        t_faults += 1;
-                        StageOutcome::retryable("injected: transient")
-                    }
-                    other => {
-                        let timed_out = if let Some(Fault::Latency(spike)) = other {
+            // Iteration loop for looping stages (`StageOutcome::Again`).
+            // Each committed pass gets its own RNG stream (iteration 0
+            // uses the historical per-(stage, item) seed unchanged, so
+            // single-pass stages keep their digests) and fresh fault
+            // rolls: `roll_idx` advances monotonically across retries
+            // *and* iterations so no pass re-reads an earlier draw. The
+            // retry budget resets per iteration — each pass is a
+            // committed unit of work with its own attempt machinery.
+            let mut iter: u32 = 0;
+            let mut roll_idx: u32 = 0;
+            'iterating: loop {
+                let iter_seed = rng_seed ^ u64::from(iter).wrapping_mul(0x9E6D_63AD_4F5C_2E91);
+                let mut attempt: u32 = 0;
+                loop {
+                    let fault = if inert {
+                        None
+                    } else {
+                        env.plan.roll(env.salts[k], det_key, roll_idx)
+                    };
+                    let outcome = match fault {
+                        Some(Fault::Permanent) => {
                             t_faults += 1;
-                            match deadline {
-                                Some(budget) if spike > budget => {
-                                    t_latency += budget;
-                                    t_timeouts += 1;
-                                    Some(StageOutcome::retryable(format!(
-                                        "timeout: injected {spike:?} latency exceeded the \
-                                         {budget:?} budget"
-                                    )))
+                            StageOutcome::fatal("injected: permanent")
+                        }
+                        Some(Fault::Transient) => {
+                            t_faults += 1;
+                            StageOutcome::retryable("injected: transient")
+                        }
+                        other => {
+                            let timed_out = if let Some(Fault::Latency(spike)) = other {
+                                t_faults += 1;
+                                match deadline {
+                                    Some(budget) if spike > budget => {
+                                        t_latency += budget;
+                                        t_timeouts += 1;
+                                        Some(StageOutcome::retryable(format!(
+                                            "timeout: injected {spike:?} latency exceeded the \
+                                             {budget:?} budget"
+                                        )))
+                                    }
+                                    _ => {
+                                        t_latency += spike;
+                                        None
+                                    }
                                 }
-                                _ => {
-                                    t_latency += spike;
-                                    None
+                            } else {
+                                None
+                            };
+                            match timed_out {
+                                Some(o) => o,
+                                None => {
+                                    let mut ctx = StageCtx {
+                                        rng: StdRng::seed_from_u64(iter_seed),
+                                        cache: &mut self.cache,
+                                        counters: &mut self.scratch,
+                                    };
+                                    let watch = Stopwatch::start();
+                                    let o = stage.process(item, &mut ctx);
+                                    t_time += watch.elapsed();
+                                    body_runs += 1;
+                                    o
                                 }
-                            }
-                        } else {
-                            None
-                        };
-                        match timed_out {
-                            Some(o) => o,
-                            None => {
-                                let mut ctx = StageCtx {
-                                    rng: StdRng::seed_from_u64(rng_seed),
-                                    cache: &mut self.cache,
-                                    counters: &mut self.scratch,
-                                };
-                                let watch = Stopwatch::start();
-                                let o = stage.process(item, &mut ctx);
-                                t_time += watch.elapsed();
-                                body_runs += 1;
-                                o
                             }
                         }
-                    }
-                };
-                match outcome {
-                    StageOutcome::Ok => break,
-                    StageOutcome::Drop => {
-                        item.discard(format!("drop:{}", stage.name()));
-                        break;
-                    }
-                    StageOutcome::Retryable(error) => {
-                        attempt += 1;
-                        if attempt >= env.retry.max_attempts {
+                    };
+                    match outcome {
+                        StageOutcome::Ok => {
+                            t_iterations += 1;
+                            break 'iterating;
+                        }
+                        StageOutcome::Again => {
+                            t_iterations += 1;
+                            iter += 1;
+                            roll_idx = roll_idx.saturating_add(1);
+                            if iter >= iter_budget {
+                                // Budget exhausted: the pass already
+                                // committed, so accept the item as-is.
+                                break 'iterating;
+                            }
+                            continue 'iterating;
+                        }
+                        StageOutcome::Drop => {
+                            t_iterations += 1;
+                            item.discard(format!("drop:{}", stage.name()));
+                            break 'iterating;
+                        }
+                        StageOutcome::Retryable(error) => {
+                            attempt += 1;
+                            roll_idx = roll_idx.saturating_add(1);
+                            if attempt >= env.retry.max_attempts {
+                                item.quarantine(FailureRecord {
+                                    stage: stage.name().to_string(),
+                                    attempts: attempt,
+                                    error,
+                                    kind: FailureKind::RetriesExhausted,
+                                });
+                                quarantined_here = true;
+                                break 'iterating;
+                            }
+                            t_retries += 1;
+                            t_backoff += env.retry.backoff_before(attempt);
+                        }
+                        StageOutcome::Fatal(error) => {
                             item.quarantine(FailureRecord {
                                 stage: stage.name().to_string(),
-                                attempts: attempt,
+                                attempts: attempt + 1,
                                 error,
-                                kind: FailureKind::RetriesExhausted,
+                                kind: FailureKind::Fatal,
                             });
                             quarantined_here = true;
-                            break;
+                            break 'iterating;
                         }
-                        t_retries += 1;
-                        t_backoff += env.retry.backoff_before(attempt);
-                    }
-                    StageOutcome::Fatal(error) => {
-                        item.quarantine(FailureRecord {
-                            stage: stage.name().to_string(),
-                            attempts: attempt + 1,
-                            error,
-                            kind: FailureKind::Fatal,
-                        });
-                        quarantined_here = true;
-                        break;
                     }
                 }
             }
@@ -799,6 +835,7 @@ impl<'e, 'a, 'b, 'j> GroupWorker<'e, 'a, 'b, 'j> {
             }
             self.executed[j] += 1;
             stats.retries += u64::from(t_retries);
+            stats.iterations += u64::from(t_iterations);
             stats.faults += t_faults;
             stats.timeouts += u64::from(t_timeouts);
             stats.time += t_time;
@@ -814,6 +851,7 @@ impl<'e, 'a, 'b, 'j> GroupWorker<'e, 'a, 'b, 'j> {
                     retained_after: item.retained,
                     quarantined: quarantined_here,
                     retries: t_retries,
+                    iterations: t_iterations,
                     faults: t_faults,
                     timeouts: t_timeouts,
                     backoff_nanos: u64::try_from(t_backoff.as_nanos()).unwrap_or(u64::MAX),
@@ -1400,6 +1438,7 @@ pub(crate) fn merge_report(a: &mut StageReport, b: StageReport) {
     a.quarantined += b.quarantined;
     a.degraded += b.degraded;
     a.retries += b.retries;
+    a.iterations += b.iterations;
     a.faults_injected += b.faults_injected;
     a.timeouts += b.timeouts;
     a.cpu_time += b.cpu_time;

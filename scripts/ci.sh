@@ -89,6 +89,24 @@ for seed in 11 53; do
     done
 done
 
+# Tournament matrix: one cell per (seed, schedule, thread count). Each
+# cell runs every registered strategy under chaos at the cell's executor
+# config, checks digest equality against the single-threaded static
+# reference, and verifies the debiased tournament matrix over the zoo's
+# outputs is identical to the reference's. Strategy pipelines — including
+# the looping Self-Review and auto-evol stages — must be execution-config
+# invariant end to end.
+echo "==> tournament matrix (2 seeds x 2 schedules x 2 thread counts)"
+for seed in 11 53; do
+    for sched in static dynamic; do
+        for threads in 2 8; do
+            echo "   -> seed=$seed schedule=$sched threads=$threads"
+            COACHLM_TOURN_SEED=$seed COACHLM_TOURN_SCHEDULE=$sched COACHLM_TOURN_THREADS=$threads \
+                cargo test --offline -q --test strategy_zoo tournament_matrix_cell
+        done
+    done
+done
+
 # Optional: regenerate BENCH_4.json from the Criterion suite. Off by
 # default because benches dominate CI wall-clock; enable with COACHLM_BENCH=1.
 if [ "${COACHLM_BENCH:-0}" = "1" ]; then
