@@ -1,0 +1,340 @@
+//! Persistent per-file analysis cache, keyed by content hash.
+//!
+//! Lexing + parsing + rule matching dominate the analyzer's runtime and
+//! depend only on (file path, file bytes, rule catalogue). CI runs the
+//! pass on every commit over a tree where almost nothing changed, so the
+//! cache stores each file's finished [`crate::FileAnalysis`] — findings
+//! plus the parsed item summary — keyed by an FNV-1a hash of its content.
+//! A hit skips the file entirely; the workspace analyses (call graph,
+//! taint, fingerprint coverage) always re-run over the summaries, which
+//! is cheap.
+//!
+//! The format is a versioned line-oriented text file. The header folds in
+//! the rule catalogue, so editing any rule text or id invalidates every
+//! entry; any parse hiccup while loading drops the whole cache (it is
+//! only ever an accelerator — correctness never depends on it).
+//! Writes are atomic (temp file + rename), so concurrent runs cannot
+//! corrupt it.
+
+use crate::parse::{Call, FieldItem, FileSummary, FnItem, SourceKind, TaintSource, TypeItem};
+use crate::rules::{Finding, RULES};
+use crate::FileAnalysis;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Bump when the cached representation (not the rules) changes shape.
+const FORMAT: u32 = 1;
+
+/// FNV-1a 64-bit: dependency-free, stable across platforms and runs.
+pub fn fx64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash of everything that, when changed, must invalidate every entry.
+fn catalogue_hash() -> u64 {
+    let mut s = format!("format={FORMAT};");
+    for (id, desc) in RULES {
+        s.push_str(id);
+        s.push('=');
+        s.push_str(desc);
+        s.push(';');
+    }
+    fx64(s.as_bytes())
+}
+
+struct Entry {
+    hash: u64,
+    analysis: FileAnalysis,
+}
+
+/// The loaded cache plus hit/miss tallies for reporting.
+pub struct FileCache {
+    path: Option<PathBuf>,
+    entries: BTreeMap<String, Entry>,
+    /// Files served from cache this run.
+    pub hits: usize,
+    /// Files analyzed fresh this run.
+    pub misses: usize,
+}
+
+impl FileCache {
+    /// A disabled cache: everything misses, nothing is written.
+    pub fn disabled() -> FileCache {
+        FileCache {
+            path: None,
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Loads the cache at `path`; any read/parse problem yields an empty
+    /// cache (the pass still runs, just cold).
+    pub fn load(path: &Path) -> FileCache {
+        let entries = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| parse_cache(&text))
+            .unwrap_or_default();
+        FileCache {
+            path: Some(path.to_path_buf()),
+            entries,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up one file by path + content hash, tallying hit/miss.
+    pub fn get(&mut self, rel: &str, hash: u64) -> Option<FileAnalysis> {
+        match self.entries.get(rel) {
+            Some(e) if e.hash == hash => {
+                self.hits += 1;
+                Some(e.analysis.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records one freshly analyzed file.
+    pub fn put(&mut self, rel: &str, hash: u64, analysis: FileAnalysis) {
+        self.entries
+            .insert(rel.to_string(), Entry { hash, analysis });
+    }
+
+    /// Writes the cache atomically. Failures are reported, never fatal.
+    pub fn save(&self) -> Result<(), String> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        let mut text = String::new();
+        text.push_str(&format!("coachlm-lint-cache {:016x}\n", catalogue_hash()));
+        for (rel, e) in &self.entries {
+            render_entry(&mut text, rel, e);
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let write = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        };
+        write().map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("cannot write {}: {e}", path.display())
+        })
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => break,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn opt(s: &Option<String>) -> &str {
+    s.as_deref().unwrap_or("-")
+}
+
+fn render_entry(out: &mut String, rel: &str, e: &Entry) {
+    out.push_str(&format!("F {:016x} {rel}\n", e.hash));
+    for f in &e.analysis.findings {
+        out.push_str(&format!(
+            "d {} {} {} {}\n",
+            f.rule,
+            f.line,
+            f.col,
+            esc(&f.message)
+        ));
+    }
+    for p in &e.analysis.summary.parse_errors {
+        out.push_str(&format!("p {}\n", esc(p)));
+    }
+    for f in &e.analysis.summary.fns {
+        out.push_str(&format!(
+            "n {} {} {} {} {} {}\n",
+            f.name,
+            opt(&f.self_ty),
+            opt(&f.trait_name),
+            f.line,
+            f.col,
+            u8::from(f.is_test)
+        ));
+        for c in &f.calls {
+            out.push_str(&format!(
+                "c {} {} {} {}\n",
+                c.name,
+                opt(&c.qual),
+                u8::from(c.method),
+                c.line
+            ));
+        }
+        for s in &f.sources {
+            out.push_str(&format!("s {} {} {}\n", s.kind.id(), s.line, esc(&s.what)));
+        }
+        if !f.mentions.is_empty() {
+            out.push_str(&format!("m {}\n", f.mentions.join(" ")));
+        }
+    }
+    for t in &e.analysis.summary.types {
+        out.push_str(&format!("t {} {}\n", t.name, t.line));
+        for fd in &t.fields {
+            out.push_str(&format!(
+                "e {} {} {} {}\n",
+                fd.name,
+                fd.line,
+                fd.col,
+                u8::from(fd.allowed)
+            ));
+        }
+    }
+    out.push_str("E\n");
+}
+
+/// Strict parse of the whole cache; `None` (cold start) on any mismatch.
+fn parse_cache(text: &str) -> Option<BTreeMap<String, Entry>> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let want = format!("coachlm-lint-cache {:016x}", catalogue_hash());
+    if header != want {
+        return None;
+    }
+    let mut entries = BTreeMap::new();
+    let mut cur: Option<(String, Entry)> = None;
+    let intern_rule = |r: &str| RULES.iter().find(|(id, _)| *id == r).map(|(id, _)| *id);
+    let parse_opt = |s: &str| -> Option<String> { (s != "-").then(|| s.to_string()) };
+    for line in lines {
+        let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match tag {
+            "F" => {
+                if let Some((rel, e)) = cur.take() {
+                    entries.insert(rel, e);
+                }
+                let (hash, rel) = rest.split_once(' ')?;
+                cur = Some((
+                    rel.to_string(),
+                    Entry {
+                        hash: u64::from_str_radix(hash, 16).ok()?,
+                        analysis: FileAnalysis {
+                            findings: Vec::new(),
+                            summary: FileSummary {
+                                rel: rel.to_string(),
+                                ..FileSummary::default()
+                            },
+                        },
+                    },
+                ));
+            }
+            "d" => {
+                let (_, e) = cur.as_mut()?;
+                let mut it = rest.splitn(4, ' ');
+                e.analysis.findings.push(Finding {
+                    rule: intern_rule(it.next()?)?,
+                    file: e.analysis.summary.rel.clone(),
+                    line: it.next()?.parse().ok()?,
+                    col: it.next()?.parse().ok()?,
+                    message: unesc(it.next()?),
+                });
+            }
+            "p" => {
+                let (_, e) = cur.as_mut()?;
+                e.analysis.summary.parse_errors.push(unesc(rest));
+            }
+            "n" => {
+                let (_, e) = cur.as_mut()?;
+                let mut it = rest.splitn(6, ' ');
+                e.analysis.summary.fns.push(FnItem {
+                    name: it.next()?.to_string(),
+                    self_ty: parse_opt(it.next()?),
+                    trait_name: parse_opt(it.next()?),
+                    line: it.next()?.parse().ok()?,
+                    col: it.next()?.parse().ok()?,
+                    is_test: it.next()? == "1",
+                    calls: Vec::new(),
+                    sources: Vec::new(),
+                    mentions: Vec::new(),
+                });
+            }
+            "c" => {
+                let (_, e) = cur.as_mut()?;
+                let f = e.analysis.summary.fns.last_mut()?;
+                let mut it = rest.splitn(4, ' ');
+                f.calls.push(Call {
+                    name: it.next()?.to_string(),
+                    qual: parse_opt(it.next()?),
+                    method: it.next()? == "1",
+                    line: it.next()?.parse().ok()?,
+                });
+            }
+            "s" => {
+                let (_, e) = cur.as_mut()?;
+                let f = e.analysis.summary.fns.last_mut()?;
+                let mut it = rest.splitn(3, ' ');
+                f.sources.push(TaintSource {
+                    kind: SourceKind::from_id(it.next()?)?,
+                    line: it.next()?.parse().ok()?,
+                    what: unesc(it.next()?),
+                });
+            }
+            "m" => {
+                let (_, e) = cur.as_mut()?;
+                let f = e.analysis.summary.fns.last_mut()?;
+                f.mentions = rest.split(' ').map(str::to_string).collect();
+            }
+            "t" => {
+                let (_, e) = cur.as_mut()?;
+                let (name, line) = rest.split_once(' ')?;
+                e.analysis.summary.types.push(TypeItem {
+                    name: name.to_string(),
+                    line: line.parse().ok()?,
+                    fields: Vec::new(),
+                });
+            }
+            "e" => {
+                let (_, e) = cur.as_mut()?;
+                let t = e.analysis.summary.types.last_mut()?;
+                let mut it = rest.splitn(4, ' ');
+                t.fields.push(FieldItem {
+                    name: it.next()?.to_string(),
+                    line: it.next()?.parse().ok()?,
+                    col: it.next()?.parse().ok()?,
+                    allowed: it.next()? == "1",
+                });
+            }
+            "E" => {
+                let (rel, e) = cur.take()?;
+                entries.insert(rel, e);
+            }
+            _ => return None,
+        }
+    }
+    Some(entries)
+}

@@ -1,0 +1,74 @@
+//! Fingerprint-coverage check (rule `F1`).
+//!
+//! The write-ahead journal refuses to resume under a config that would
+//! change outcomes — but only for config it can *see*: the header
+//! fingerprint covers exactly what `fingerprint_into` hashes. A field
+//! added to a policy struct without a matching hash line silently widens
+//! the resume contract (journal v2's budget field nearly shipped that
+//! way), and nothing dynamic can catch it because both runs agree.
+//!
+//! This check closes the loop statically: for every type that owns a
+//! `fingerprint_into` implementation anywhere in the workspace, every
+//! named field of that type must be *mentioned* in the hash body —
+//! directly (`self.field`) or as a match binding (enum variants). A field
+//! that is deliberately excluded (thread counts, queue depths — knobs
+//! that never change results) must say so on its declaration line:
+//! `// lint: allow(F1, reason = "…")`.
+
+use crate::parse::FileSummary;
+use crate::rules::Finding;
+
+/// Runs the coverage check over all file summaries.
+pub fn coverage_findings(summaries: &[FileSummary]) -> Vec<Finding> {
+    // Every fingerprint_into impl, keyed by its self type.
+    struct FpImpl<'a> {
+        ty: &'a str,
+        mentions: &'a [String],
+    }
+    let mut impls: Vec<FpImpl<'_>> = Vec::new();
+    for s in summaries {
+        for f in &s.fns {
+            if f.name == "fingerprint_into" && !f.is_test {
+                if let Some(ty) = &f.self_ty {
+                    impls.push(FpImpl {
+                        ty,
+                        mentions: &f.mentions,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for s in summaries {
+        for t in &s.types {
+            let covering: Vec<&FpImpl<'_>> = impls.iter().filter(|i| i.ty == t.name).collect();
+            if covering.is_empty() {
+                continue; // not a fingerprinted type
+            }
+            for field in &t.fields {
+                if field.allowed {
+                    continue;
+                }
+                let hashed = covering
+                    .iter()
+                    .any(|i| i.mentions.iter().any(|m| m == &field.name));
+                if !hashed {
+                    out.push(Finding {
+                        rule: "F1",
+                        file: s.rel.clone(),
+                        line: field.line,
+                        col: field.col,
+                        message: format!(
+                            "field `{}` of fingerprinted type `{}` is not folded into \
+                             `{}::fingerprint_into` — hash it, or justify the exclusion with \
+                             `// lint: allow(F1, reason = \"…\")` on the field",
+                            field.name, t.name, t.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}

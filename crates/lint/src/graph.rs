@@ -1,0 +1,185 @@
+//! Workspace call graph and the interprocedural nondeterminism taint
+//! analysis (rule `T1`).
+//!
+//! The token-level rules (D1–D3) see one line at a time; this analysis
+//! sees the whole workspace. Taint is seeded at the sources the parser
+//! detected ([`crate::parse::SourceKind`]), propagated backwards through
+//! the call graph, and reported wherever it reaches a **sink** — a place
+//! whose output is covered by the bit-for-bit replication contract:
+//!
+//! * a production `Stage::process` implementation (stage outputs feed
+//!   the run digest),
+//! * any production function in the write-ahead journal module (frames
+//!   must replay identically on resume),
+//! * any production function whose name contains `digest` or
+//!   `fingerprint` (hashed state by definition).
+//!
+//! Name resolution is deliberately lightweight: a call edge goes to every
+//! workspace function the callee name could plausibly mean (qualified
+//! calls prefer `Type::name` matches; method calls match any impl method
+//! of that name). That over-approximates — soundly for this catalogue:
+//! sources are rare, so false chains only appear when a same-named
+//! function actually contains nondeterminism, which is worth a look
+//! anyway. Diagnostics carry the full (shortest) call chain so the report
+//! reads as evidence, not as an accusation.
+
+use crate::parse::{FileSummary, FnItem, SourceKind};
+use crate::rules::Finding;
+
+/// A borrowed reference to one fn across the workspace summary set.
+#[derive(Clone, Copy)]
+struct FnRef<'a> {
+    file: &'a str,
+    item: &'a FnItem,
+}
+
+impl<'a> FnRef<'a> {
+    /// Display name: `Type::name` or `name`.
+    fn label(&self) -> String {
+        match &self.item.self_ty {
+            Some(ty) => format!("{ty}::{}", self.item.name),
+            None => self.item.name.clone(),
+        }
+    }
+}
+
+/// Why a fn is a sink, for the diagnostic.
+fn sink_role(f: &FnRef<'_>) -> Option<&'static str> {
+    if f.item.is_test {
+        return None;
+    }
+    if f.item.trait_name.as_deref() == Some("Stage") && f.item.name == "process" {
+        return Some("production `Stage::process` path");
+    }
+    if f.file == "crates/runtime/src/journal.rs" {
+        return Some("journal frame path");
+    }
+    let n = &f.item.name;
+    if n.contains("fingerprint") || n.contains("digest") {
+        return Some("digest/fingerprint computation");
+    }
+    None
+}
+
+/// Runs the taint analysis over all file summaries, returning `T1`
+/// findings anchored at each offending sink with the full call chain.
+pub fn taint_findings(summaries: &[FileSummary]) -> Vec<Finding> {
+    // Index every production fn.
+    let mut fns: Vec<FnRef<'_>> = Vec::new();
+    for s in summaries {
+        for f in &s.fns {
+            if !f.is_test {
+                fns.push(FnRef {
+                    file: &s.rel,
+                    item: f,
+                });
+            }
+        }
+    }
+    // Name → fn indices; (type, name) resolution filters on self_ty.
+    let mut by_name: std::collections::BTreeMap<&str, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(&f.item.name).or_default().push(i);
+    }
+
+    // Adjacency: caller → callees (deduped, deterministic order).
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+    for (i, f) in fns.iter().enumerate() {
+        for call in &f.item.calls {
+            let Some(cands) = by_name.get(call.name.as_str()) else {
+                continue; // std / vendored / macro — outside the graph
+            };
+            match (&call.qual, call.method) {
+                (Some(q), _) => {
+                    // `Type::name(..)`: exact impl-type match; if the
+                    // qualifier matches no impl, it's an out-of-graph path.
+                    for &c in cands {
+                        if fns[c].item.self_ty.as_deref() == Some(q.as_str()) {
+                            edges[i].push(c);
+                        }
+                    }
+                }
+                (None, true) => {
+                    // `.name(..)`: any impl method of that name.
+                    for &c in cands {
+                        if fns[c].item.self_ty.is_some() {
+                            edges[i].push(c);
+                        }
+                    }
+                }
+                (None, false) => {
+                    // free call: any free fn of that name; fall back to
+                    // impl fns only when no free fn exists (e.g. a
+                    // `use Type::assoc`-style import, rare).
+                    let free: Vec<usize> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&c| fns[c].item.self_ty.is_none())
+                        .collect();
+                    if free.is_empty() {
+                        edges[i].extend(cands.iter().copied());
+                    } else {
+                        edges[i].extend(free);
+                    }
+                }
+            }
+        }
+        edges[i].sort_unstable();
+        edges[i].dedup();
+    }
+
+    // BFS from each sink; report the shortest chain per (sink, source
+    // kind). Walking the same span via several paths yields one
+    // diagnostic, not one per path.
+    let mut out = Vec::new();
+    for (i, f) in fns.iter().enumerate() {
+        let Some(role) = sink_role(f) else { continue };
+        let mut reported: Vec<SourceKind> = Vec::new();
+        // parent pointers for chain reconstruction
+        let mut prev: Vec<Option<usize>> = vec![None; fns.len()];
+        let mut seen = vec![false; fns.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[i] = true;
+        queue.push_back(i);
+        while let Some(cur) = queue.pop_front() {
+            for s in &fns[cur].item.sources {
+                if reported.contains(&s.kind) {
+                    continue;
+                }
+                reported.push(s.kind);
+                // Reconstruct sink → … → source-bearing fn.
+                let mut chain = Vec::new();
+                let mut at = Some(cur);
+                while let Some(x) = at {
+                    chain.push(fns[x].label());
+                    at = prev[x];
+                }
+                chain.reverse();
+                let via = chain.join(" -> ");
+                let src_at = format!("{}:{}", fns[cur].file, s.line);
+                out.push(Finding {
+                    rule: "T1",
+                    file: f.file.to_string(),
+                    line: f.item.line,
+                    col: f.item.col,
+                    message: format!(
+                        "`{}` is a {role} but reaches a {} source: {} at {src_at} \
+                         [call chain: {via}]",
+                        f.label(),
+                        s.kind.describe(),
+                        s.what,
+                    ),
+                });
+            }
+            for &next in &edges[cur] {
+                if !seen[next] {
+                    seen[next] = true;
+                    prev[next] = Some(cur);
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,10 +1,18 @@
-//! `coachlm-lint` CLI.
+//! `coachlm-lint` CLI — token rules + the `coachlm-analyze` passes.
 //!
 //! ```text
-//! coachlm-lint [--root DIR] [--format human|json] [--out FILE] [--list-rules]
+//! coachlm-lint [--root DIR] [--format human|json] [--out FILE]
+//!              [--cache FILE | --no-cache] [--list-rules]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage or IO error.
+//! Exit codes:
+//! * `0` — clean: no findings, tree fully parsed and read.
+//! * `1` — findings (violations) only.
+//! * `2` — usage error.
+//! * `3` — parse or IO errors: the analysis could not see the whole
+//!   tree, so "no findings" would be vacuous. Distinguished from `1` so
+//!   CI and tooling can tell "the tree is dirty" from "the analyzer is
+//!   blind".
 #![deny(unused_must_use)]
 
 use coachlm_lint::diag;
@@ -16,6 +24,8 @@ struct Opts {
     root: PathBuf,
     json: bool,
     out: Option<PathBuf>,
+    cache: Option<PathBuf>,
+    no_cache: bool,
     list_rules: bool,
 }
 
@@ -24,6 +34,8 @@ fn parse_args() -> Result<Opts, String> {
         root: PathBuf::from("."),
         json: false,
         out: None,
+        cache: None,
+        no_cache: false,
         list_rules: false,
     };
     let mut args = std::env::args().skip(1);
@@ -40,15 +52,23 @@ fn parse_args() -> Result<Opts, String> {
             "--out" => {
                 opts.out = Some(PathBuf::from(args.next().ok_or("--out needs a file")?));
             }
+            "--cache" => {
+                opts.cache = Some(PathBuf::from(args.next().ok_or("--cache needs a file")?));
+            }
+            "--no-cache" => opts.no_cache = true,
             "--list-rules" => opts.list_rules = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: coachlm-lint [--root DIR] [--format human|json] [--out FILE] [--list-rules]"
+                    "usage: coachlm-lint [--root DIR] [--format human|json] [--out FILE] \
+                     [--cache FILE | --no-cache] [--list-rules]"
                         .to_string(),
                 )
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if opts.no_cache && opts.cache.is_some() {
+        return Err("--cache and --no-cache are mutually exclusive".to_string());
     }
     Ok(opts)
 }
@@ -69,10 +89,24 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let run = coachlm_lint::run_lint(&opts.root);
+    let run = if opts.no_cache {
+        coachlm_lint::run_lint_with(&opts.root, None)
+    } else {
+        match &opts.cache {
+            Some(p) => coachlm_lint::run_lint_with(&opts.root, Some(p)),
+            None => coachlm_lint::run_lint(&opts.root),
+        }
+    };
     for e in &run.io_errors {
-        eprintln!("coachlm-lint: {e}");
+        eprintln!("coachlm-lint: io: {e}");
     }
+    for e in &run.parse_errors {
+        eprintln!("coachlm-lint: parse: {e}");
+    }
+    eprintln!(
+        "coachlm-lint: analyzed {} files ({} cached, {} fresh)",
+        run.files_checked, run.cache_hits, run.cache_misses
+    );
 
     let rendered = if opts.json {
         diag::render_json(&run.findings, run.files_checked)
@@ -85,13 +119,13 @@ fn main() -> ExitCode {
             if !parent.as_os_str().is_empty() {
                 if let Err(e) = std::fs::create_dir_all(parent) {
                     eprintln!("coachlm-lint: cannot create {}: {e}", parent.display());
-                    return ExitCode::from(2);
+                    return ExitCode::from(3);
                 }
             }
         }
         if let Err(e) = std::fs::write(out_path, &rendered) {
             eprintln!("coachlm-lint: cannot write {}: {e}", out_path.display());
-            return ExitCode::from(2);
+            return ExitCode::from(3);
         }
         // Keep the terminal summary even when writing to a file.
         if run.findings.is_empty() {
@@ -113,10 +147,10 @@ fn main() -> ExitCode {
         print!("{rendered}");
     }
 
-    if run.clean() {
-        ExitCode::SUCCESS
+    if !run.io_errors.is_empty() || !run.parse_errors.is_empty() {
+        ExitCode::from(3)
     } else if run.findings.is_empty() {
-        ExitCode::from(2) // io errors only
+        ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     }

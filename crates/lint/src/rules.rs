@@ -33,11 +33,19 @@ pub const RULES: &[(&str, &str)] = &[
         "C1",
         "no raw thread spawns, atomics, channels, or shard coordination primitives outside crates/runtime",
     ),
+    (
+        "T1",
+        "no nondeterministic value may reach a production Stage::process path, journal frame, or digest/fingerprint — even through a chain of calls",
+    ),
+    (
+        "F1",
+        "every field of a fingerprinted policy struct must be folded into its fingerprint_into hash (or carry a justified allow)",
+    ),
     ("A0", "lint directives must be well-formed and used"),
 ];
 
 /// One diagnostic.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule id (`D1`…`C1`, `A0`).
     pub rule: &'static str,
@@ -54,6 +62,17 @@ pub struct Finding {
 /// Runs every rule over one lexed file. `allows` is consumed: used
 /// directives are marked, and leftover/malformed ones become `A0` findings.
 pub fn check_file(class: &FileClass, lexed: &Lexed, allows: &mut Allows) -> Vec<Finding> {
+    let mut out = check_file_rules(class, lexed, allows);
+    out.extend(directive_findings(class, allows));
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// The token-level rule pass alone: raw matches filtered through `allows`,
+/// *without* the directive-hygiene (`A0`) finalization — the combined
+/// analyzer pipeline runs the parser (which also consumes allows) in
+/// between.
+pub fn check_file_rules(class: &FileClass, lexed: &Lexed, allows: &mut Allows) -> Vec<Finding> {
     let toks = &lexed.toks;
     let in_test = test_scopes(toks);
     let mut raw = Vec::new();
@@ -65,12 +84,15 @@ pub fn check_file(class: &FileClass, lexed: &Lexed, allows: &mut Allows) -> Vec<
     rule_c1(class, toks, &in_test, &mut raw);
 
     // Apply allows; what survives is a violation.
-    let mut out: Vec<Finding> = raw
-        .into_iter()
+    raw.into_iter()
         .filter(|f| !allows.permits(f.rule, f.line))
-        .collect();
+        .collect()
+}
 
-    // Directive hygiene.
+/// Directive hygiene (`A0`): malformed, unknown-rule, and unused allows.
+/// Must run after every pass that consumes allows.
+pub fn directive_findings(class: &FileClass, allows: &Allows) -> Vec<Finding> {
+    let mut out = Vec::new();
     for bad in &allows.bad {
         out.push(Finding {
             rule: "A0",
@@ -102,8 +124,6 @@ pub fn check_file(class: &FileClass, lexed: &Lexed, allows: &mut Allows) -> Vec<
             });
         }
     }
-
-    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
 }
 
@@ -265,10 +285,48 @@ const ITER_METHODS: &[&str] = &[
     "retain",
 ];
 
+/// One detected hash-map/set iteration: the token index of the receiver
+/// name, the name itself, and how it is iterated (`.iter()` … or a plain
+/// `for` loop). Shared between rule D3 and the interprocedural taint
+/// analysis, which seeds map-order nondeterminism at exactly these sites.
+pub(crate) struct MapIterSite {
+    /// Index of the receiver-name token in the significant-token stream.
+    pub tok: usize,
+    /// The iterated variable/field name.
+    pub name: String,
+    /// `"iter"`, `"keys"`, …, or `"for"` for a bare for-loop.
+    pub how: String,
+}
+
 fn rule_d3(class: &FileClass, toks: &[Tok], in_test: &[bool], out: &mut Vec<Finding>) {
     if class.test_file || class.example_file {
         return;
     }
+    for site in map_iteration_sites(toks, in_test) {
+        let t = &toks[site.tok];
+        let what = if site.how == "for" {
+            format!(
+                "for-loop over hash map/set `{}` has nondeterministic order",
+                site.name
+            )
+        } else {
+            format!(
+                "`.{}()` over hash map/set `{}` has nondeterministic order",
+                site.how, site.name
+            )
+        };
+        out.push(finding(
+            "D3",
+            class,
+            t,
+            format!("{what}; collect-and-sort or add an order-insensitivity allow"),
+        ));
+    }
+}
+
+/// Detects every hash-map/set iteration site in production scopes.
+pub(crate) fn map_iteration_sites(toks: &[Tok], in_test: &[bool]) -> Vec<MapIterSite> {
+    let mut out = Vec::new();
     // Pass 1: names bound to hash-map/set types. Heuristic, intentionally
     // over-approximate within the file: `name : HashMap<…>` (fields, params,
     // lets), `let name = HashMap::new()` (incl. default/with_capacity*), and
@@ -349,17 +407,11 @@ fn rule_d3(class: &FileClass, toks: &[Tok], in_test: &[bool], out: &mut Vec<Find
             && tracked.iter().any(|n| n == &t.text)
             && ITER_METHODS.iter().any(|m| is_method_call(toks, i + 1, m))
         {
-            let method = &toks[i + 2].text;
-            out.push(finding(
-                "D3",
-                class,
-                t,
-                format!(
-                    "`.{method}()` over hash map/set `{}` has nondeterministic order; \
-                     collect-and-sort or add an order-insensitivity allow",
-                    t.text
-                ),
-            ));
+            out.push(MapIterSite {
+                tok: i,
+                name: t.text.clone(),
+                how: toks[i + 2].text.clone(),
+            });
         }
         // `for pat in [&[mut]] name` / `for (k, v) in &name`.
         if is_ident(toks, i, "for") {
@@ -387,20 +439,16 @@ fn rule_d3(class: &FileClass, toks: &[Tok], in_test: &[bool], out: &mut Vec<Find
                 // plain `for x in map {` — next token must open the body (or
                 // a `.` chain already covered by the method matcher above).
                 if tracked.iter().any(|n| n == &name.text) && is_punct(toks, k + 1, "{") {
-                    out.push(finding(
-                        "D3",
-                        class,
-                        name,
-                        format!(
-                            "for-loop over hash map/set `{}` has nondeterministic order; \
-                             collect-and-sort or add an order-insensitivity allow",
-                            name.text
-                        ),
-                    ));
+                    out.push(MapIterSite {
+                        tok: k,
+                        name: name.text.clone(),
+                        how: "for".to_string(),
+                    });
                 }
             }
         }
     }
+    out
 }
 
 // ---------------------------------------------------------------------------

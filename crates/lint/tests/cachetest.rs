@@ -1,0 +1,124 @@
+//! The per-file-hash analysis cache: warm runs must serve unchanged files
+//! from the cache with identical findings, edits must invalidate exactly
+//! the touched file, and a corrupt cache must degrade to a cold run, never
+//! to wrong results.
+
+use std::fs;
+use std::path::PathBuf;
+
+struct TempRoot(PathBuf);
+
+impl TempRoot {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "coachlm-lint-cachetest-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("crates/core/src")).expect("temp root creatable");
+        TempRoot(dir)
+    }
+
+    fn write(&self, rel: &str, src: &str) {
+        fs::write(self.0.join(rel), src).expect("temp file writable");
+    }
+}
+
+impl Drop for TempRoot {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+const DIRTY: &str =
+    "pub fn elapsed_tag() -> String {\n    format!(\"{:?}\", std::time::Instant::now())\n}\n";
+const CLEAN: &str = "pub fn double(x: u64) -> u64 {\n    x * 2\n}\n";
+
+#[test]
+fn warm_run_serves_cached_files_with_identical_findings() {
+    let root = TempRoot::new("warm");
+    root.write("crates/core/src/dirty.rs", DIRTY);
+    root.write("crates/core/src/lib.rs", CLEAN);
+    let cache = root.0.join("lint.cache");
+
+    let cold = coachlm_lint::run_lint_with(&root.0, Some(&cache));
+    assert_eq!((cold.cache_hits, cold.cache_misses), (0, 2));
+    assert_eq!(cold.findings.len(), 1, "{:?}", cold.findings);
+    assert_eq!(cold.findings[0].rule, "D1");
+    assert!(cache.is_file(), "cache written");
+
+    let warm = coachlm_lint::run_lint_with(&root.0, Some(&cache));
+    assert_eq!((warm.cache_hits, warm.cache_misses), (2, 0));
+    assert_eq!(warm.findings, cold.findings, "cache round-trips findings");
+    assert!(warm.io_errors.is_empty() && warm.parse_errors.is_empty());
+}
+
+#[test]
+fn edit_invalidates_only_the_touched_file() {
+    let root = TempRoot::new("edit");
+    root.write("crates/core/src/dirty.rs", DIRTY);
+    root.write("crates/core/src/lib.rs", CLEAN);
+    let cache = root.0.join("lint.cache");
+
+    let _cold = coachlm_lint::run_lint_with(&root.0, Some(&cache));
+    // Fixing the violation changes the file hash: one miss, one hit, and
+    // the stale finding must not be served from the cache.
+    root.write("crates/core/src/dirty.rs", CLEAN);
+    let run = coachlm_lint::run_lint_with(&root.0, Some(&cache));
+    assert_eq!((run.cache_hits, run.cache_misses), (1, 1));
+    assert!(run.findings.is_empty(), "{:?}", run.findings);
+}
+
+#[test]
+fn corrupt_cache_degrades_to_a_cold_run() {
+    let root = TempRoot::new("corrupt");
+    root.write("crates/core/src/dirty.rs", DIRTY);
+    let cache = root.0.join("lint.cache");
+
+    let _cold = coachlm_lint::run_lint_with(&root.0, Some(&cache));
+    fs::write(&cache, "not a cache file\nF garbage\n").expect("cache overwritable");
+    let run = coachlm_lint::run_lint_with(&root.0, Some(&cache));
+    assert_eq!((run.cache_hits, run.cache_misses), (0, 1));
+    assert_eq!(run.findings.len(), 1);
+    // ... and the rewritten cache is immediately warm again.
+    let warm = coachlm_lint::run_lint_with(&root.0, Some(&cache));
+    assert_eq!((warm.cache_hits, warm.cache_misses), (1, 0));
+}
+
+#[test]
+fn cached_warm_run_preserves_interprocedural_findings() {
+    // T1 depends on the workspace call graph, which is recomputed from
+    // cached summaries — a warm run must re-report the chain.
+    let root = TempRoot::new("taint");
+    root.write(
+        "crates/core/src/stage.rs",
+        "pub struct S;\nimpl Stage for S {\n    fn process(&self, item: &mut StageItem, _ctx: &mut StageCtx<'_>) -> StageOutcome {\n        StageOutcome::count(helper())\n    }\n}\n",
+    );
+    root.write(
+        "crates/core/src/helper.rs",
+        "pub fn helper() -> u64 {\n    let mut rng = thread_rng();\n    rng.next_u64()\n}\n",
+    );
+    let cache = root.0.join("lint.cache");
+
+    let cold = coachlm_lint::run_lint_with(&root.0, Some(&cache));
+    let warm = coachlm_lint::run_lint_with(&root.0, Some(&cache));
+    assert_eq!((warm.cache_hits, warm.cache_misses), (2, 0));
+    assert_eq!(warm.findings, cold.findings);
+    assert!(
+        warm.findings
+            .iter()
+            .any(|f| f.rule == "T1" && f.message.contains("[call chain: S::process -> helper]")),
+        "{:?}",
+        warm.findings
+    );
+}
+
+#[test]
+fn disabled_cache_never_touches_disk() {
+    let root = TempRoot::new("nocache");
+    root.write("crates/core/src/lib.rs", CLEAN);
+    let run = coachlm_lint::run_lint_with(&root.0, None);
+    assert_eq!((run.cache_hits, run.cache_misses), (0, 1));
+    assert!(!root.0.join("lint.cache").exists());
+    assert!(!root.0.join("target").exists());
+}

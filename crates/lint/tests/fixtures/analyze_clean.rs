@@ -1,0 +1,34 @@
+//! Negative fixture: a production stage with deterministic helpers and a
+//! fully covered fingerprint struct — the whole analyzer must stay quiet.
+use std::collections::BTreeMap;
+
+pub struct Normalize;
+
+impl Stage for Normalize {
+    fn process(&self, item: &mut StageItem, _ctx: &mut StageCtx<'_>) -> StageOutcome {
+        let n = count_words(&item.pair.instruction);
+        StageOutcome::count(rank(n))
+    }
+}
+
+fn count_words(text: &str) -> usize {
+    text.split_whitespace().count()
+}
+
+fn rank(n: usize) -> u64 {
+    let mut table: BTreeMap<usize, u64> = BTreeMap::new();
+    table.insert(n, 1);
+    table.values().sum()
+}
+
+pub struct Budget {
+    max_passes: u32,
+    base_wait_ns: u64,
+}
+
+impl Budget {
+    pub(crate) fn fingerprint_into(&self, h: &mut impl std::hash::Hasher) {
+        h.write_u32(self.max_passes);
+        h.write_u64(self.base_wait_ns);
+    }
+}

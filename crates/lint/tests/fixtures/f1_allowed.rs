@@ -1,0 +1,32 @@
+//! F1 fixture: a deliberately excluded field carries a justified allow on
+//! its declaration line; an enum struct-variant's bindings count as
+//! hashed when the match arm mentions them.
+pub struct ShardPolicy {
+    shard_count: usize,
+    // lint: allow(F1, reason = "worker count is a wall-clock knob; results are thread-count invariant by the executor contract")
+    workers: usize,
+}
+
+pub enum Arrival {
+    Batch,
+    Sustained { rate: f64, backlog: usize },
+}
+
+impl ShardPolicy {
+    pub(crate) fn fingerprint_into(&self, h: &mut impl std::hash::Hasher) {
+        h.write_u64(self.shard_count as u64);
+    }
+}
+
+impl Arrival {
+    pub(crate) fn fingerprint_into(&self, h: &mut impl std::hash::Hasher) {
+        match self {
+            Arrival::Batch => h.write_u8(0),
+            Arrival::Sustained { rate, backlog } => {
+                h.write_u8(1);
+                h.write_u64(rate.to_bits());
+                h.write_u64(*backlog as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! F1 fixture: a fingerprinted policy struct with a field that never
+//! reaches the hash — the journal-v2-budget-field failure mode.
+pub struct ShardPolicy {
+    shard_count: usize,
+    rehash_limit: usize,
+    burst_budget: u32,
+}
+
+impl ShardPolicy {
+    pub(crate) fn fingerprint_into(&self, h: &mut impl std::hash::Hasher) {
+        h.write_u64(self.shard_count as u64);
+        h.write_u64(self.rehash_limit as u64);
+    }
+}

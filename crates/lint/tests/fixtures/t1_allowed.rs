@@ -1,0 +1,21 @@
+//! T1 fixture: an allowed (order-insensitive) map iteration must not
+//! seed taint — the sink stays clean because the justification at the
+//! source covers both the local rule and the interprocedural view.
+use std::collections::HashMap;
+
+pub struct Tally;
+
+impl Stage for Tally {
+    fn process(&self, item: &mut StageItem, _ctx: &mut StageCtx<'_>) -> StageOutcome {
+        StageOutcome::count(total(&item.buckets))
+    }
+}
+
+fn total(buckets: &HashMap<String, u32>) -> u64 {
+    let mut sum = 0u64;
+    // lint: allow(D3, reason = "sum over values is commutative; visit order cannot change the result")
+    for (_, v) in buckets.iter() {
+        sum += u64::from(*v);
+    }
+    sum
+}

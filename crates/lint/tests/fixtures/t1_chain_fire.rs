@@ -1,0 +1,25 @@
+//! T1 fixture: a production `Stage::process` reaches a HashMap iteration
+//! three calls deep. The token rule (D3) flags the site; the taint
+//! analysis must additionally flag the sink with the full call chain.
+use std::collections::HashMap;
+
+pub struct Reorder;
+
+impl Stage for Reorder {
+    fn process(&self, item: &mut StageItem, _ctx: &mut StageCtx<'_>) -> StageOutcome {
+        let tags = collect_tags(item);
+        StageOutcome::done(tags)
+    }
+}
+
+fn collect_tags(item: &StageItem) -> Vec<String> {
+    bucket_names(&item.buckets)
+}
+
+fn bucket_names(buckets: &HashMap<String, u32>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, _) in buckets.iter() {
+        out.push(name.clone());
+    }
+    out
+}

@@ -1,0 +1,19 @@
+//! T1 fixture: the new source kinds — thread identity, pointer-to-int
+//! cast, atomic read-modify-write — reached from a digest computation.
+//! None of these overlap a token-level rule inside crates/runtime, so
+//! only T1 fires (classified as a runtime file: C1 does not apply).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn output_digest(items: &[u64]) -> u64 {
+    let salt = seed_salt(items);
+    items.len() as u64 ^ salt
+}
+
+fn seed_salt(items: &[u64]) -> u64 {
+    let _who = std::thread::current();
+    let addr = items.as_ptr() as usize;
+    let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+    (addr as u64).wrapping_add(n)
+}

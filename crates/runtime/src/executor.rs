@@ -36,13 +36,17 @@ pub enum Schedule {
 /// How a chain run is parallelised, seeded, and hardened.
 #[derive(Debug, Clone)]
 pub struct ExecutorConfig {
+    // lint: allow(F1, reason = "thread count changes wall-clock time only; a 16-thread journal must resume on a 1-thread host")
     threads: usize,
     seed: u64,
+    // lint: allow(F1, reason = "work distribution is result-invariant by the per-(stage, item) RNG contract; journals resume across schedules")
     schedule: Schedule,
     fault_plan: FaultPlan,
     retry: RetryPolicy,
     breaker: Option<BreakerPolicy>,
+    // lint: allow(F1, reason = "backpressure bound shifts timing, never outcomes; resuming under a different capacity is supported")
     queue_capacity: usize,
+    // lint: allow(F1, reason = "epoch length only batches journal flushes; replay is frame-exact regardless")
     epoch_len: usize,
     content_keyed: bool,
     revision_cache: Option<CachePolicy>,
@@ -192,6 +196,41 @@ impl ExecutorConfig {
     /// The configured revision-cache policy, if caching is enabled.
     pub fn revision_cache_policy(&self) -> Option<&CachePolicy> {
         self.revision_cache.as_ref()
+    }
+
+    /// Folds every outcome-bearing knob into the run fingerprint: seed,
+    /// retry policy, fault plan, breaker policy, content keying, and the
+    /// revision-cache policy. `threads`, `schedule`, `queue_capacity`,
+    /// and `epoch_len` are deliberately excluded (see the `allow(F1)`
+    /// justifications on the fields) — they shift wall-clock behaviour
+    /// only, and a journal written under one setting must resume under
+    /// another. The static fingerprint-coverage check (`F1`) verifies
+    /// this method against the field list.
+    pub(crate) fn fingerprint_into(&self, h: &mut impl std::hash::Hasher) {
+        h.write_u64(self.seed);
+        self.retry.fingerprint_into(h);
+        self.fault_plan.fingerprint_into(h);
+        match &self.breaker {
+            None => h.write_u8(0),
+            Some(policy) => {
+                h.write_u8(1);
+                policy.fingerprint_into(h);
+            }
+        }
+        // Content keying changes every RNG stream and fault roll, and the
+        // cache policy decides which items replay instead of execute —
+        // both are part of run outcomes. Hash the *effective* keying,
+        // matching what the executor actually keys on.
+        h.write_u8(u8::from(
+            self.content_keyed || self.revision_cache.is_some(),
+        ));
+        match &self.revision_cache {
+            None => h.write_u8(0),
+            Some(policy) => {
+                h.write_u8(1);
+                policy.fingerprint_into(h);
+            }
+        }
     }
 }
 
@@ -658,12 +697,13 @@ impl Executor {
         self.run_journaled(stages, pairs, journal)
     }
 
-    /// Hash of everything that determines run outcomes: seed, stage names
-    /// and deadlines, retry policy, fault plan, breaker policy, the feed
-    /// (arrival model), and the full input content. Thread count, queue
-    /// capacity, and schedule are deliberately excluded — they never
-    /// affect results, and a journal written by a 16-thread dynamic run
-    /// must resume on a 1-thread static one.
+    /// Hash of everything that determines run outcomes: the config's
+    /// outcome-bearing knobs (see [`ExecutorConfig::fingerprint_into`]),
+    /// stage names, deadlines, and iteration budgets, the feed (arrival
+    /// model), and the full input content. Thread count, queue capacity,
+    /// and schedule are deliberately excluded — they never affect
+    /// results, and a journal written by a 16-thread dynamic run must
+    /// resume on a 1-thread static one.
     fn fingerprint(
         &self,
         stages: &[Box<dyn Stage + '_>],
@@ -671,7 +711,7 @@ impl Executor {
         feed: &Feed,
     ) -> u64 {
         let mut h = FxHasher::default();
-        h.write_u64(self.config.seed);
+        self.config.fingerprint_into(&mut h);
         h.write_u64(stages.len() as u64);
         for stage in stages {
             h.write(stage.name().as_bytes());
@@ -687,27 +727,6 @@ impl Executor {
             // looping stage may take, which changes outcomes — a journal
             // written under one budget must not resume under another.
             h.write_u32(stage.iteration_budget().max(1));
-        }
-        self.config.retry.fingerprint_into(&mut h);
-        self.config.fault_plan.fingerprint_into(&mut h);
-        match &self.config.breaker {
-            None => h.write_u8(0),
-            Some(policy) => {
-                h.write_u8(1);
-                policy.fingerprint_into(&mut h);
-            }
-        }
-        // Content keying changes every RNG stream and fault roll, and the
-        // cache policy decides which items replay instead of execute —
-        // both are part of run outcomes, so a journal written under one
-        // setting must not resume under another.
-        h.write_u8(u8::from(self.config.is_content_keyed()));
-        match &self.config.revision_cache {
-            None => h.write_u8(0),
-            Some(policy) => {
-                h.write_u8(1);
-                policy.fingerprint_into(&mut h);
-            }
         }
         feed.fingerprint_into(&mut h);
         h.write_u64(pairs.len() as u64);

@@ -18,11 +18,15 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --offline --release --workspace
 
-# Static invariants: the determinism & panic-safety rule catalogue
-# (D1/D2/D3/P1/C1 — see DESIGN.md "Static invariants") over every workspace
-# source file. Nonzero exit on any unallowed violation gates the run; the
-# JSON report is the committed baseline artifact.
-echo "==> coachlm-lint (determinism & panic-safety pass)"
+# Static invariants: the token-level determinism & panic-safety catalogue
+# (D1/D2/D3/P1/C1) plus the interprocedural analyses — nondeterminism
+# taint reaching Stage::process/journal/digest sinks (T1) and fingerprint
+# field coverage (F1). See DESIGN.md "Static invariants" and "Analyzer".
+# Exit codes gate the run: 1 = findings, 3 = parse/IO errors (the tree
+# could not be fully analyzed — treated as failure, not as clean). Parsed
+# item trees are cached per content hash under target/coachlm-lint.cache,
+# so warm CI runs re-analyze only files that changed.
+echo "==> coachlm-lint (determinism, panic-safety & taint pass)"
 cargo run --offline -p coachlm-lint --release -- --format json --out results/lint.json
 
 echo "==> cargo test"
