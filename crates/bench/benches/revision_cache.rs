@@ -88,7 +88,9 @@ fn run_cell(config: &ExecutorConfig, pairs: Vec<InstructionPair>, shards: usize)
     let out = if shards <= 1 {
         Executor::new(config.clone()).run(&stages, pairs)
     } else {
-        run_sharded(config, &stages, StreamSource::batch(pairs), shards).output
+        run_sharded(config, &stages, StreamSource::batch(pairs), shards)
+            .expect("batch feed is always shardable")
+            .output
     };
     CellResult {
         out,

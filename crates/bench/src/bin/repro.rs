@@ -13,6 +13,10 @@ use coachlm_bench::world::{ExperimentWorld, Scale};
 use std::time::Instant;
 
 fn main() {
+    // The deploy experiment's shard-crash cell re-invokes this binary as
+    // supervised worker processes; in that mode worker_boot runs the
+    // shard and never returns.
+    coachlm_runtime::worker_boot(coachlm_core::pipeline::batch_job_factory);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut seed: u64 = 0xC0AC_2024;
@@ -89,5 +93,5 @@ fn usage() {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    std::process::exit(2);
+    std::process::exit(2); // lint: allow(C1, reason = "CLI usage error in the offline repro binary; no worker is alive to supervise")
 }

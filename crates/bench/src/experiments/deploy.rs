@@ -4,12 +4,17 @@ use super::Experiment;
 use crate::format::{f1, f2, pct, Table};
 use crate::world::ExperimentWorld;
 use coachlm_core::pipeline::{
-    compare_deployment, run_batch, run_batch_sharded, run_stream, PipelineReport,
+    compare_deployment, run_batch, run_batch_sharded, run_batch_supervised, run_stream,
+    trained_coach, BatchJobSpec, CoachTrainSpec, PipelineReport,
 };
 use coachlm_data::generator::{generate, zipfian_duplicates, GeneratorConfig, ZipfianConfig};
-use coachlm_runtime::{BreakerPolicy, CachePolicy, FaultPlan, Feed};
+use coachlm_data::pair::Dataset;
+use coachlm_runtime::{
+    BreakerPolicy, CachePolicy, ChaosPlan, ExecutorConfig, FaultPlan, Feed, KillMode,
+    SuperviseOptions, WorkerKill,
+};
 use serde_json::json;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Deployment experiment.
 pub struct Deploy;
@@ -44,6 +49,18 @@ const DEDUP_SKEW: f64 = 1.1;
 /// revision cache); content-hash routing keeps duplicate clusters on one
 /// replica, so per-shard caches keep their full hit rate.
 const DEDUP_SHARDS: usize = 8;
+
+/// The shard-crash cell (PR 10): worker shards for the supervised run —
+/// each a crash-contained child process of the repro binary.
+const CRASH_SHARDS: usize = 4;
+
+/// Item frames shard 0's worker emits before the chaos kill lands.
+const CRASH_KILL_AFTER_FRAMES: u64 = 3;
+
+/// Synthetic training pairs for the cell's self-contained coach. Worker
+/// processes re-derive the coach from the job spec on every attempt
+/// (including the post-crash restart), so training must stay cheap.
+const CRASH_TRAIN_PAIRS: u32 = 400;
 
 fn storm_breaker() -> BreakerPolicy {
     BreakerPolicy::new()
@@ -139,6 +156,62 @@ impl Experiment for Deploy {
         let dedup_speedup =
             dedup_base.sim_elapsed_secs / dedup.report.sim_elapsed_secs.max(f64::MIN_POSITIVE);
 
+        // The shard-crash cell (PR 10): the same service losing a worker
+        // replica mid-batch. Every shard runs in its own crash-contained
+        // child process; the chaos schedule aborts shard 0's worker a few
+        // frames in, and supervision restarts it from its journal. A crash
+        // costs wall time (respawn + replay), never output: the merged
+        // report must be identical to the in-process sharded run.
+        let crash_total = (world.scale.deploy_size() / 8).max(64);
+        let mut crash_raw = Dataset::new("production-crash-cell");
+        crash_raw.pairs = raw.pairs.iter().take(crash_total).cloned().collect();
+        let crash_spec = BatchJobSpec {
+            seed: world.seed ^ 0xC7A5,
+            threads: world.threads.min(4) as u32,
+            coach: Some(CoachTrainSpec {
+                seed: world.seed ^ 0xC0A,
+                pairs: CRASH_TRAIN_PAIRS,
+            }),
+        };
+        let crash_coach = trained_coach(world.seed ^ 0xC0A, CRASH_TRAIN_PAIRS);
+        let crash_config =
+            ExecutorConfig::new(crash_spec.seed).threads(crash_spec.threads as usize);
+        let t = Instant::now(); // lint: allow(D1, reason = "wall-clock restart-overhead banner only; parity is checked on the virtual-time report")
+        let crash_gold =
+            run_batch_sharded(Some(&crash_coach), &crash_raw, &crash_config, CRASH_SHARDS)
+                .expect("crash cell chain always includes the expert-annotate stage");
+        let crash_gold_wall = t.elapsed().as_secs_f64();
+        let crash_dir =
+            std::env::temp_dir().join(format!("coachlm-deploy-crash-{}", std::process::id()));
+        let crash_opts = SuperviseOptions {
+            chaos: ChaosPlan {
+                worker_kills: vec![WorkerKill {
+                    shard: 0,
+                    attempt: 0,
+                    after_frames: CRASH_KILL_AFTER_FRAMES,
+                    mode: KillMode::Boundary,
+                }],
+                parent_kills: Vec::new(),
+            },
+            ..SuperviseOptions::default()
+        };
+        let t = Instant::now(); // lint: allow(D1, reason = "wall-clock restart-overhead banner only; parity is checked on the virtual-time report")
+        let crash = run_batch_supervised(
+            &crash_spec,
+            &crash_raw,
+            CRASH_SHARDS,
+            &crash_dir,
+            &crash_opts,
+        )
+        .expect("crash cell chain always includes the expert-annotate stage");
+        let crash_wall = t.elapsed().as_secs_f64();
+        let _ = std::fs::remove_dir_all(&crash_dir);
+        let crash_restarts: u32 = crash.supervision.iter().map(|s| s.restarts).sum();
+        let crash_identical = crash.report.human_revised == crash_gold.report.human_revised
+            && crash.report.post_edited == crash_gold.report.post_edited
+            && crash.report.quarantined == crash_gold.report.quarantined
+            && crash.report.sim_elapsed_secs == crash_gold.report.sim_elapsed_secs;
+
         let mut table = Table::new([
             "Batch",
             "Human-revised",
@@ -161,6 +234,7 @@ impl Experiment for Deploy {
                 "CoachLM + duplicate traffic (cached+sharded)",
                 &dedup.report,
             ),
+            ("CoachLM + worker crash (supervised, subset)", &crash.report),
         ] {
             table.row([
                 label.to_string(),
@@ -198,7 +272,9 @@ impl Experiment for Deploy {
              storm cell: {:.0}% latency faults of {:?} vs a 5s revise budget; breaker transitions:\n{}\n\
              sustained cell: arrivals at {}/s vs {}/s drain, backlog cap {} -> {} pairs shed ({}), modeled makespan {}s\n\
              dedup cell: {} Zipf(s={}) duplicate pairs over {} contents; cache hit rate {} across {} shards -> \
-             modeled makespan {}s vs {}s uncached ({}x)\n{}",
+             modeled makespan {}s vs {}s uncached ({}x)\n\
+             crash cell: {} pairs over {} worker processes; shard 0 killed after {} frames -> {} restart(s), \
+             merged report identical to in-process: {}; wall {:.1}s vs {:.1}s in-process\n{}",
             self.title(),
             raw.len(),
             pct(cmp.efficiency_gain()),
@@ -225,6 +301,13 @@ impl Experiment for Deploy {
             f1(dedup.report.sim_elapsed_secs),
             f1(dedup_base.sim_elapsed_secs),
             f1(dedup_speedup),
+            crash_total,
+            CRASH_SHARDS,
+            CRASH_KILL_AFTER_FRAMES,
+            crash_restarts,
+            crash_identical,
+            crash_wall,
+            crash_gold_wall,
             table.render()
         );
         let json = json!({
@@ -259,6 +342,17 @@ impl Experiment for Deploy {
                        "sim_speedup": dedup_speedup,
                        "person_days": dedup.report.person_days,
                        "rate": dedup.report.pairs_per_person_day},
+            "supervised_crash": {"pairs": crash_total, "shards": CRASH_SHARDS,
+                       "kill": {"shard": 0, "attempt": 0, "after_frames": CRASH_KILL_AFTER_FRAMES,
+                                 "mode": "boundary"},
+                       "restarts": crash_restarts,
+                       "supervision": crash.supervision,
+                       "identical_to_in_process": crash_identical,
+                       "wall_secs": crash_wall,
+                       "in_process_wall_secs": crash_gold_wall,
+                       "train_pairs": CRASH_TRAIN_PAIRS,
+                       "person_days": crash.report.person_days,
+                       "rate": crash.report.pairs_per_person_day},
             "efficiency_gain": cmp.efficiency_gain(),
             "paper": {"gain_low": 0.15, "gain_high": 0.20, "samples_per_sec_a100": 1.19},
         });

@@ -10,16 +10,20 @@
 //! is a CPU figure, reported for shape not magnitude).
 
 use crate::baselines::CleanStage;
-use crate::coach::CoachLm;
+use crate::coach::{CoachConfig, CoachLm};
 use crate::infer::CoachReviseStage;
 use coachlm_data::category::TaskClass;
+use coachlm_data::generator::{generate, GeneratorConfig};
 use coachlm_data::pair::Dataset;
 use coachlm_expert::cost::{Throughputs, Workload};
+use coachlm_expert::filter::preliminary_filter;
 use coachlm_expert::pool::ExpertPool;
 use coachlm_expert::revision::ExpertReviser;
 use coachlm_runtime::{
-    shard, BreakerEvent, CacheStats, ChainOutput, Executor, ExecutorConfig, Feed, Journal,
-    JournalError, ShardStats, Stage, StageCtx, StageItem, StageOutcome, StageReport, StreamSource,
+    run_sharded_process, shard, BreakerEvent, CacheStats, ChainOutput, Executor, ExecutorConfig,
+    Feed, Journal, JournalError, ShardConfigError, ShardError, ShardStats, ShardSupervision, Stage,
+    StageCtx, StageItem, StageOutcome, StageReport, StreamSource, SuperviseError, SuperviseOptions,
+    SupervisedJob,
 };
 use serde::Serialize;
 use std::fmt;
@@ -33,6 +37,12 @@ pub enum PipelineError {
     /// A journaled batch could not use its crash journal (incompatible
     /// with this run, or journal IO failed).
     Journal(JournalError),
+    /// A sharded batch was rejected at config validation, or a shard's
+    /// crash journal failed.
+    Shard(ShardError),
+    /// A supervised multi-process batch failed at the supervisor level
+    /// (worker crashes are handled by restart/failover, not errors).
+    Supervise(SuperviseError),
 }
 
 impl fmt::Display for PipelineError {
@@ -42,6 +52,8 @@ impl fmt::Display for PipelineError {
                 write!(f, "pipeline chain produced no report for stage `{stage}`")
             }
             PipelineError::Journal(e) => write!(f, "pipeline crash journal: {e}"),
+            PipelineError::Shard(e) => write!(f, "sharded pipeline batch: {e}"),
+            PipelineError::Supervise(e) => write!(f, "supervised pipeline batch: {e}"),
         }
     }
 }
@@ -51,6 +63,24 @@ impl std::error::Error for PipelineError {}
 impl From<JournalError> for PipelineError {
     fn from(e: JournalError) -> Self {
         PipelineError::Journal(e)
+    }
+}
+
+impl From<ShardError> for PipelineError {
+    fn from(e: ShardError) -> Self {
+        PipelineError::Shard(e)
+    }
+}
+
+impl From<ShardConfigError> for PipelineError {
+    fn from(e: ShardConfigError) -> Self {
+        PipelineError::Shard(e.into())
+    }
+}
+
+impl From<SuperviseError> for PipelineError {
+    fn from(e: SuperviseError) -> Self {
+        PipelineError::Supervise(e)
     }
 }
 
@@ -374,6 +404,11 @@ pub struct ShardedPipelineReport {
     pub report: PipelineReport,
     /// Per-shard stats in shard order.
     pub shards: Vec<ShardStats>,
+    /// Per-shard supervision counters (restarts, failover, poison
+    /// bisection) — empty for in-process sharded runs, populated by
+    /// [`run_batch_supervised`].
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub supervision: Vec<ShardSupervision>,
 }
 
 /// Runs one batch like [`run_batch`], hash-partitioned across `shards`
@@ -398,11 +433,12 @@ pub fn run_batch_sharded(
         &stages,
         StreamSource::batch(raw.pairs.clone()),
         shards,
-    );
+    )?;
     let report = PipelineReport::from_chain(&out.output, raw, coach.is_some())?;
     Ok(ShardedPipelineReport {
         report,
         shards: out.shards,
+        supervision: Vec::new(),
     })
 }
 
@@ -431,6 +467,163 @@ pub fn run_batch_sharded_journaled(
     Ok(ShardedPipelineReport {
         report,
         shards: out.shards,
+        supervision: Vec::new(),
+    })
+}
+
+/// Chain name the supervised batch pipeline registers with the worker
+/// protocol's job factory (see [`run_batch_supervised`]).
+pub const BATCH_CHAIN: &str = "coachlm/batch-v1";
+
+/// How a supervised worker trains its own CoachLM. Worker processes start
+/// from nothing but the wire bytes, so the coach cannot be shipped — it is
+/// re-derived in each worker from this deterministic training recipe
+/// (synthetic corpus → preliminary filter → expert revision records →
+/// [`CoachLm::train`]), which yields the identical model on every side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoachTrainSpec {
+    /// Seed for the synthetic training corpus and the expert reviser.
+    pub seed: u64,
+    /// Synthetic training pairs to generate.
+    pub pairs: u32,
+}
+
+/// The self-contained parameter block for the [`BATCH_CHAIN`] supervised
+/// chain: everything a worker process needs to rebuild the exact executor
+/// config and stage chain the parent runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchJobSpec {
+    /// Executor seed (stage RNG and derived stage seeds).
+    pub seed: u64,
+    /// Executor worker threads inside each shard process.
+    pub threads: u32,
+    /// Train and run the CoachLM revise stage; `None` is the manual batch.
+    pub coach: Option<CoachTrainSpec>,
+}
+
+impl BatchJobSpec {
+    /// Serialises the spec into the opaque `params` bytes of the worker
+    /// protocol's JOB frame (fixed-width little-endian fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(25);
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&self.threads.to_le_bytes());
+        match self.coach {
+            None => {
+                out.push(0);
+                out.extend_from_slice(&0u64.to_le_bytes());
+                out.extend_from_slice(&0u32.to_le_bytes());
+            }
+            Some(c) => {
+                out.push(1);
+                out.extend_from_slice(&c.seed.to_le_bytes());
+                out.extend_from_slice(&c.pairs.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`BatchJobSpec::encode`]; `None` on malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Option<BatchJobSpec> {
+        if bytes.len() != 25 {
+            return None;
+        }
+        let seed = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        let threads = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+        let coach_seed = u64::from_le_bytes(bytes[13..21].try_into().ok()?);
+        let coach_pairs = u32::from_le_bytes(bytes[21..25].try_into().ok()?);
+        let coach = match bytes[12] {
+            0 if coach_seed == 0 && coach_pairs == 0 => None,
+            1 => Some(CoachTrainSpec {
+                seed: coach_seed,
+                pairs: coach_pairs,
+            }),
+            _ => return None,
+        };
+        Some(BatchJobSpec {
+            seed,
+            threads,
+            coach,
+        })
+    }
+}
+
+/// Trains a CoachLM from the deterministic synthetic recipe — the same
+/// corpus → filter → expert-revision → train path the test suite uses,
+/// parameterised so supervised workers can re-derive the parent's model.
+pub fn trained_coach(seed: u64, pairs: u32) -> CoachLm {
+    let (d, _) = generate(&GeneratorConfig::small(pairs as usize, seed));
+    let kept = preliminary_filter(&d, seed).kept;
+    let records = ExpertReviser::new(seed).revise_dataset(&ExpertPool::paper_pool(), &d, &kept);
+    CoachLm::train(CoachConfig::default(), &records)
+}
+
+/// The batch pipeline as a process-shippable supervised job: owns the
+/// (re-derived) coach so the borrowed stage chain has something to point
+/// at on the worker side.
+struct SupervisedBatchJob {
+    config: ExecutorConfig,
+    coach: Option<CoachLm>,
+}
+
+impl SupervisedJob for SupervisedBatchJob {
+    fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    fn stages<'a>(&'a self) -> Vec<Box<dyn Stage + 'a>> {
+        batch_stages(self.coach.as_ref(), &self.config)
+    }
+}
+
+/// The pipeline's [`coachlm_runtime::JobFactory`]: rebuilds the
+/// [`BATCH_CHAIN`] job from its wire params. Pass this to
+/// [`coachlm_runtime::worker_boot`] at the top of any binary that calls
+/// [`run_batch_supervised`].
+pub fn batch_job_factory(chain: &str, params: &[u8]) -> Option<Box<dyn SupervisedJob>> {
+    if chain != BATCH_CHAIN {
+        return None;
+    }
+    let spec = BatchJobSpec::decode(params)?;
+    Some(Box::new(SupervisedBatchJob {
+        config: ExecutorConfig::new(spec.seed).threads(spec.threads as usize),
+        coach: spec.coach.map(|c| trained_coach(c.seed, c.pairs)),
+    }))
+}
+
+/// Runs one batch like [`run_batch_sharded`], but with every shard in its
+/// own crash-contained **worker process**
+/// ([`coachlm_runtime::supervise::run_sharded_process`]): a shard that
+/// aborts, is OOM-killed, or corrupts its stream is restarted from its
+/// journal under `dir`, failed over, or poison-bisected — the merged
+/// report is digest-identical to [`run_batch_sharded_journaled`] with the
+/// same spec, and [`ShardedPipelineReport::supervision`] carries the
+/// restart/failover/poison counters.
+///
+/// The calling binary must invoke
+/// [`coachlm_runtime::worker_boot`]`(`[`batch_job_factory`]`)` first thing
+/// in `main`, so re-invocations of itself become workers.
+pub fn run_batch_supervised(
+    spec: &BatchJobSpec,
+    raw: &Dataset,
+    shards: usize,
+    dir: &std::path::Path,
+    opts: &SuperviseOptions,
+) -> Result<ShardedPipelineReport, PipelineError> {
+    let out = run_sharded_process(
+        batch_job_factory,
+        BATCH_CHAIN,
+        &spec.encode(),
+        StreamSource::batch(raw.pairs.clone()),
+        shards,
+        dir,
+        opts,
+    )?;
+    let report = PipelineReport::from_chain(&out.output, raw, spec.coach.is_some())?;
+    Ok(ShardedPipelineReport {
+        report,
+        shards: out.shards,
+        supervision: out.supervision,
     })
 }
 

@@ -31,7 +31,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "C1",
-        "no raw thread spawns, atomics, channels, or shard coordination primitives outside crates/runtime",
+        "no raw thread spawns, atomics, channels, shard coordination, or process control (Command/Child/exit/kill) outside crates/runtime",
     ),
     (
         "T1",
@@ -626,6 +626,56 @@ fn rule_c1(class: &FileClass, toks: &[Tok], in_test: &[bool], out: &mut Vec<Find
                      through the executor",
                     toks[i + 2].text
                 ),
+            ));
+        }
+        // Process control (PR 10): worker processes are spawned, fed,
+        // killed, and reaped only by the supervised driver in
+        // crates/runtime — ad-hoc process management elsewhere would
+        // bypass its crash-containment, restart, and journal-resume
+        // contract (and `exit`/`abort` would skip supervised teardown).
+        if t.text == "process"
+            && is_punct(toks, i + 1, "::")
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| matches!(n.text.as_str(), "Command" | "Child" | "exit" | "abort"))
+        {
+            out.push(finding(
+                "C1",
+                class,
+                t,
+                format!(
+                    "`process::{}` outside crates/runtime; process control must go \
+                     through the supervised driver",
+                    toks[i + 2].text
+                ),
+            ));
+        }
+        if t.text == "Command" && is_punct(toks, i + 1, "::") && is_ident(toks, i + 2, "new") {
+            out.push(finding(
+                "C1",
+                class,
+                t,
+                "`Command::new` spawns a process outside crates/runtime; worker processes \
+                 must go through the supervised driver"
+                    .to_string(),
+            ));
+        }
+    }
+    // Signal sending: `child.kill()` (or any `.kill()`) delivers a process
+    // signal — supervision owns the only kill switch, so chaos schedules
+    // and restarts stay deterministic and accounted.
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        if is_method_call(toks, i, "kill") {
+            out.push(finding(
+                "C1",
+                class,
+                &toks[i + 1],
+                "`.kill()` sends a process signal outside crates/runtime; worker kills \
+                 must go through the supervised driver"
+                    .to_string(),
             ));
         }
     }

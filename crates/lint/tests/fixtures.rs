@@ -160,10 +160,29 @@ fn c1_fires_on_shard_coordination_outside_runtime() {
 }
 
 #[test]
+fn c1_fires_on_process_control_outside_runtime() {
+    let f = lint_fixture("c1_process_fire.rs", PROD);
+    assert_eq!(
+        rule_lines(&f),
+        vec![
+            ("C1", 4),  // process::Command import
+            ("C1", 6),  // process::Child in the signature
+            ("C1", 8),  // Command::new
+            ("C1", 9),  // .kill()
+            ("C1", 11), // process::abort
+            ("C1", 13), // process::exit
+        ]
+    );
+}
+
+#[test]
 fn c1_exempt_inside_runtime_crate() {
     assert!(lint_fixture("c1_guard.rs", "crates/runtime/src/fixture.rs").is_empty());
     assert!(lint_fixture("c1_channel_fire.rs", "crates/runtime/src/fixture.rs").is_empty());
     assert!(lint_fixture("c1_shard_fire.rs", "crates/runtime/src/fixture.rs").is_empty());
+    assert!(lint_fixture("c1_process_fire.rs", "crates/runtime/src/fixture.rs").is_empty());
+    // Chaos harnesses under tests/ kill and abort on purpose.
+    assert!(lint_fixture("c1_process_fire.rs", "tests/fixture.rs").is_empty());
 }
 
 #[test]

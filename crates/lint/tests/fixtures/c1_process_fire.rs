@@ -1,0 +1,14 @@
+// C1 must fire on process control outside crates/runtime: worker
+// processes are spawned, fed, killed, and reaped only by the
+// supervised driver, so its crash-containment contract holds.
+use std::process::Command; // line 4: fires (process::Command)
+
+pub fn roll_your_own_worker(peer: &mut std::process::Child) {
+    // line 6 above: fires (process::Child)
+    let child = Command::new("sh").spawn(); // line 8: fires (Command::new)
+    peer.kill().ok(); // line 9: fires (.kill())
+    if child.is_err() {
+        std::process::abort(); // line 11: fires (process::abort)
+    }
+    std::process::exit(3); // line 13: fires (process::exit)
+}

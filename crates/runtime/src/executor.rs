@@ -683,6 +683,71 @@ impl Executor {
         Ok(out)
     }
 
+    /// Rebuilds a full [`ChainOutput`] purely from collected item traces,
+    /// executing nothing: every input index must carry either a committed
+    /// trace (replayed through the normal journal-replay machinery, digest
+    /// verified) or a supervisor-imposed failure in `imposed` (the item is
+    /// quarantined with that record and zero per-stage deltas — it never
+    /// committed any stage anywhere). By the crash-resume invariant, a
+    /// trace set covering the whole input reproduces the originating run's
+    /// digest exactly; the supervised multi-process driver
+    /// ([`crate::supervise`]) uses this to reconstruct each worker shard's
+    /// output on the parent side of the process boundary.
+    pub(crate) fn replay_collected(
+        &self,
+        stages: &[Box<dyn Stage + '_>],
+        pairs: Vec<InstructionPair>,
+        mut traces: std::collections::BTreeMap<u64, ItemTrace>,
+        imposed: &std::collections::BTreeMap<u64, crate::fault::FailureRecord>,
+    ) -> Result<ChainOutput, JournalError> {
+        let mut replayed = 0usize;
+        let mut slots = Vec::with_capacity(pairs.len());
+        for (i, pair) in pairs.into_iter().enumerate() {
+            match traces.remove(&(i as u64)) {
+                Some(trace) => {
+                    if trace.pair_id != pair.id {
+                        return Err(JournalError::Incompatible(format!(
+                            "item {i}: trace records pair id {}, input has {}",
+                            trace.pair_id, pair.id
+                        )));
+                    }
+                    let (item, stage_traces) = apply_trace(i, pair, trace)?;
+                    for e in &stage_traces {
+                        if (e.stage as usize) >= stages.len() {
+                            return Err(JournalError::Incompatible(format!(
+                                "item {i}: trace references stage {} but the chain has {}",
+                                e.stage,
+                                stages.len()
+                            )));
+                        }
+                    }
+                    replayed += 1;
+                    slots.push(Slot::replayed(item, stage_traces));
+                }
+                None => match imposed.get(&(i as u64)) {
+                    Some(failure) => {
+                        let mut item = StageItem::new(i, pair);
+                        item.retained = false;
+                        item.failure = Some(failure.clone());
+                        slots.push(Slot::replayed(item, Vec::new()));
+                    }
+                    None => {
+                        return Err(JournalError::Incompatible(format!(
+                            "item {i}: no trace collected and no imposed failure — \
+                             replay-only reconstruction cannot execute it"
+                        )));
+                    }
+                },
+            }
+        }
+        if let Some((&index, _)) = traces.iter().next() {
+            return Err(JournalError::Incompatible(format!(
+                "trace set records item {index}, beyond the input"
+            )));
+        }
+        Ok(self.stream_core(stages, Feed::Batch, slots, replayed, None))
+    }
+
     /// Resumes a run from a recovered journal: replays its committed
     /// records and executes only the remaining frontier. An alias for
     /// [`run_journaled`](Self::run_journaled) — the same call both starts
@@ -854,6 +919,37 @@ fn apply_trace(
         )));
     }
     Ok((item, trace.stages))
+}
+
+/// Re-keys a collected trace onto a new input index: verifies the trace
+/// against `pair` under the index it was recorded at, then recomputes the
+/// content digest (which covers the index) for `new_index`. The supervised
+/// driver's failover and bisection runs execute items at subset-local
+/// indices; their traces must be translated back to shard-local ones
+/// before [`Executor::replay_collected`] will accept them. Everything
+/// position-dependent about an item lives in its index alone — stage
+/// outcomes key on pair id and content — so the translation is exact.
+pub(crate) fn rekey_trace(
+    pair: InstructionPair,
+    trace: ItemTrace,
+    new_index: u64,
+) -> Result<ItemTrace, JournalError> {
+    if trace.pair_id != pair.id {
+        return Err(JournalError::Incompatible(format!(
+            "re-keyed trace records pair id {}, input has {}",
+            trace.pair_id, pair.id
+        )));
+    }
+    let old_index = trace.index as usize;
+    let shadow = trace.clone();
+    let (mut item, stages) = apply_trace(old_index, pair, shadow)?;
+    item.index = new_index as usize;
+    Ok(ItemTrace {
+        index: new_index,
+        digest: item_digest(&item),
+        stages,
+        ..trace
+    })
 }
 
 /// Mixes a stage's name and chain position into an RNG salt, so distinct

@@ -175,7 +175,6 @@ pub(crate) struct ItemTrace {
 /// format and guarantees; drive it through
 /// [`Executor::run_journaled`](crate::Executor::run_journaled) /
 /// [`Executor::resume_from`](crate::Executor::resume_from).
-#[derive(Debug)]
 pub struct Journal {
     file: File,
     path: PathBuf,
@@ -187,6 +186,27 @@ pub struct Journal {
     buf: Vec<u8>,
     buffered_records: usize,
     sync_every: usize,
+    /// Per-frame mirror: handed every appended frame's exact bytes before
+    /// batching. The supervised worker tees its journal onto the
+    /// supervisor pipe with this.
+    tee: Option<TeeSink>,
+}
+
+/// A per-frame mirror sink (see [`Journal::set_tee`]).
+pub(crate) type TeeSink = Box<dyn FnMut(&[u8]) + Send>;
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("header", &self.header)
+            .field("committed", &self.committed.len())
+            .field("len", &self.len)
+            .field("buffered_records", &self.buffered_records)
+            .field("sync_every", &self.sync_every)
+            .field("tee", &self.tee.is_some())
+            .finish()
+    }
 }
 
 impl Journal {
@@ -204,6 +224,7 @@ impl Journal {
             buf: Vec::new(),
             buffered_records: 0,
             sync_every: DEFAULT_SYNC_EVERY,
+            tee: None,
         })
     }
 
@@ -263,7 +284,17 @@ impl Journal {
             buf: Vec::new(),
             buffered_records: 0,
             sync_every: DEFAULT_SYNC_EVERY,
+            tee: None,
         })
+    }
+
+    /// Installs a per-frame tee: every subsequently appended frame's exact
+    /// bytes (length prefix, checksum, payload) are handed to `sink` as
+    /// one call, at append time — ahead of the fsync batching, so a
+    /// mirror sees frames the moment they are committed logically rather
+    /// than when they become durable.
+    pub(crate) fn set_tee(&mut self, sink: TeeSink) {
+        self.tee = Some(sink);
     }
 
     /// Overrides how many records are buffered between fsyncs (floored at
@@ -334,15 +365,26 @@ impl Journal {
         std::mem::take(&mut self.committed)
     }
 
+    /// The recovered traces, by item index, without consuming them — the
+    /// supervised worker backfills these onto its result pipe before the
+    /// resuming run takes them.
+    pub(crate) fn committed_traces(&self) -> &BTreeMap<u64, ItemTrace> {
+        &self.committed
+    }
+
     fn append_frame(&mut self, payload: Vec<u8>) -> Result<(), std::io::Error> {
         let mut h = FxHasher::default();
         h.write(&payload);
         let crc = h.finish();
         let start = self.len;
+        let buf_start = self.buf.len();
         self.buf
             .extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&crc.to_le_bytes());
         self.buf.extend_from_slice(&payload);
+        if let Some(tee) = self.tee.as_mut() {
+            tee(&self.buf[buf_start..]);
+        }
         self.len = start + FRAME_BYTES + payload.len() as u64;
         self.spans.push((start, self.len));
         self.buffered_records += 1;
@@ -350,6 +392,64 @@ impl Journal {
             self.sync()?;
         }
         Ok(())
+    }
+}
+
+/// Frames a payload in the journal's on-disk/on-wire format:
+/// `len:u32le crc:u64le payload`. The supervised worker protocol reuses
+/// this framing for its own control frames.
+pub(crate) fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut h = FxHasher::default();
+    h.write(payload);
+    let crc = h.finish();
+    let mut out = Vec::with_capacity(FRAME_BYTES as usize + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One step of incremental frame parsing over a growing byte stream —
+/// unlike [`next_frame`] (which treats anything short or corrupt as
+/// end-of-log), a pipe reader must distinguish "wait for more bytes" from
+/// "the sender is corrupt".
+pub(crate) enum FrameScan<'a> {
+    /// A complete, checksum-valid frame: its payload and end offset.
+    Frame { payload: &'a [u8], end: usize },
+    /// The bytes so far are a valid prefix of a frame; read more.
+    NeedMore,
+    /// The bytes can never become a valid frame (absurd length prefix or
+    /// checksum mismatch over a complete payload).
+    Corrupt,
+}
+
+/// Scans for the frame starting at `pos` in a stream still being read.
+pub(crate) fn scan_frame(data: &[u8], pos: usize) -> FrameScan<'_> {
+    let Some(frame) = data.get(pos..) else {
+        return FrameScan::NeedMore;
+    };
+    let Some(len_bytes) = frame.get(..4) else {
+        return FrameScan::NeedMore;
+    };
+    let len = u32::from_le_bytes(len_bytes.try_into().unwrap_or([0; 4]));
+    if len == 0 || len > MAX_RECORD_BYTES {
+        return FrameScan::Corrupt;
+    }
+    let Some(crc_bytes) = frame.get(4..12) else {
+        return FrameScan::NeedMore;
+    };
+    let crc = u64::from_le_bytes(crc_bytes.try_into().unwrap_or([0; 8]));
+    let Some(payload) = frame.get(12..12 + len as usize) else {
+        return FrameScan::NeedMore;
+    };
+    let mut h = FxHasher::default();
+    h.write(payload);
+    if h.finish() != crc {
+        return FrameScan::Corrupt;
+    }
+    FrameScan::Frame {
+        payload,
+        end: pos + 12 + len as usize,
     }
 }
 
@@ -380,7 +480,7 @@ fn decode_header(dec: &mut Dec<'_>) -> Option<HeaderRecord> {
     })
 }
 
-fn encode_item(enc: &mut Enc, t: &ItemTrace) {
+pub(crate) fn encode_item(enc: &mut Enc, t: &ItemTrace) {
     enc.u64(t.index);
     enc.u64(t.pair_id);
     enc.u8(t.disposition);
@@ -424,7 +524,7 @@ fn encode_item(enc: &mut Enc, t: &ItemTrace) {
     }
 }
 
-fn decode_item(dec: &mut Dec<'_>) -> Option<ItemTrace> {
+pub(crate) fn decode_item(dec: &mut Dec<'_>) -> Option<ItemTrace> {
     let index = dec.u64()?;
     let pair_id = dec.u64()?;
     let disposition = dec.u8()?;
@@ -501,33 +601,33 @@ fn decode_item(dec: &mut Dec<'_>) -> Option<ItemTrace> {
 }
 
 /// Little-endian record encoder.
-struct Enc {
+pub(crate) struct Enc {
     buf: Vec<u8>,
 }
 
 impl Enc {
-    fn new() -> Enc {
+    pub(crate) fn new() -> Enc {
         Enc { buf: Vec::new() }
     }
 
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
     }
 
-    fn opt_str(&mut self, s: Option<&str>) {
+    pub(crate) fn opt_str(&mut self, s: Option<&str>) {
         match s {
             None => self.u8(0),
             Some(s) => {
@@ -537,20 +637,25 @@ impl Enc {
         }
     }
 
-    fn into_payload(self) -> Vec<u8> {
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    pub(crate) fn into_payload(self) -> Vec<u8> {
         self.buf
     }
 }
 
 /// Little-endian record decoder; every getter returns `None` on underrun
 /// or malformed data, which the scanner treats as end-of-valid-log.
-struct Dec<'a> {
+pub(crate) struct Dec<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    fn new(data: &'a [u8]) -> Dec<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Dec<'a> {
         Dec { data, pos: 0 }
     }
 
@@ -560,11 +665,11 @@ impl<'a> Dec<'a> {
         Some(slice)
     }
 
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         self.take(1).map(|b| b[0])
     }
 
-    fn bool(&mut self) -> Option<bool> {
+    pub(crate) fn bool(&mut self) -> Option<bool> {
         match self.u8()? {
             0 => Some(false),
             1 => Some(true),
@@ -572,21 +677,21 @@ impl<'a> Dec<'a> {
         }
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         self.take(4)?.try_into().ok().map(u32::from_le_bytes)
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         self.take(8)?.try_into().ok().map(u64::from_le_bytes)
     }
 
-    fn str(&mut self) -> Option<String> {
+    pub(crate) fn str(&mut self) -> Option<String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).ok()
     }
 
-    fn opt_str(&mut self) -> Option<Option<String>> {
+    pub(crate) fn opt_str(&mut self) -> Option<Option<String>> {
         match self.u8()? {
             0 => Some(None),
             1 => Some(Some(self.str()?)),
@@ -597,7 +702,12 @@ impl<'a> Dec<'a> {
     /// `true` when the whole payload was consumed — trailing garbage in a
     /// checksummed record means a format mismatch, not a torn write, and
     /// is rejected all the same.
-    fn exhausted(&self) -> bool {
+    pub(crate) fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.u32()? as usize;
+        self.take(len).map(|b| b.to_vec())
+    }
+
+    pub(crate) fn exhausted(&self) -> bool {
         self.pos == self.data.len()
     }
 }
@@ -795,5 +905,50 @@ mod tests {
         assert!(std::fs::metadata(&path2).unwrap().len() > 0);
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&path2).ok();
+    }
+
+    /// The `sync_every` durability contract the supervised restart path
+    /// leans on: a kill at *any* append point loses at most `sync_every`
+    /// committed-but-unsynced item records from the durable prefix (they
+    /// are re-executed on resume, never lost), and the recovered log
+    /// extends cleanly to the full record count.
+    #[test]
+    fn sync_every_bounds_unsynced_tail_loss() {
+        let total = 20u64;
+        for k in [1usize, 3, 8] {
+            let path = temp_path(&format!("tail-bound-{k}"));
+            let snap = temp_path(&format!("tail-bound-snap-{k}"));
+            let mut j = Journal::create(&path).unwrap().sync_every(k);
+            j.write_header(header()).unwrap();
+            for i in 0..total {
+                j.append(&trace(i)).unwrap();
+                // A kill right now leaves exactly the bytes currently on
+                // disk; snapshot them and measure the durable prefix.
+                std::fs::copy(&path, &snap).unwrap();
+                let recovered = Journal::open(&snap).unwrap();
+                let appended = i + 1;
+                let durable = recovered.committed() as u64;
+                assert!(durable <= appended, "k={k}: disk ran ahead at {i}");
+                assert!(
+                    appended - durable <= k as u64,
+                    "k={k}: kill after append {i} would lose {} > {k} records",
+                    appended - durable
+                );
+            }
+            drop(j);
+
+            // Resume from the last kill point: replay the durable prefix,
+            // re-append the lost tail, and the log converges to a clean
+            // full-length journal.
+            let mut resumed = Journal::open(&snap).unwrap();
+            for i in resumed.committed() as u64..total {
+                resumed.append(&trace(i)).unwrap();
+            }
+            resumed.sync().unwrap();
+            drop(resumed);
+            assert_eq!(Journal::open(&snap).unwrap().committed() as u64, total);
+            std::fs::remove_file(&path).ok();
+            std::fs::remove_file(&snap).ok();
+        }
     }
 }

@@ -110,6 +110,16 @@
 //!   cache via [`shard::run_sharded_journaled`]) and deterministically
 //!   merges their outputs, reports, and quarantines back into one
 //!   [`ChainOutput`]-shaped result, order-independently.
+//!
+//! ## Process isolation
+//!
+//! [`supervise::run_sharded_process`] (PR 10) runs the same hash-
+//! partitioned shards as crash-contained **worker processes**: each
+//! shard's work is shipped to a re-invocation of the current binary over
+//! checksummed pipes, supervised through deterministic restart (resuming
+//! from the worker's own journal), failover of exhausted shards, and
+//! poison-item bisection into [`Quarantine`]. Merged output is digest-
+//! identical to [`shard::run_sharded_journaled`] under any kill schedule.
 
 #![deny(unused_must_use)]
 #![warn(missing_docs)]
@@ -124,6 +134,7 @@ pub mod shard;
 pub mod simtime;
 mod stage;
 pub mod stream;
+pub mod supervise;
 
 pub use breaker::{BreakerEvent, BreakerPolicy, BreakerState};
 pub use cache::{CachePolicy, CacheStats};
@@ -133,6 +144,11 @@ pub use fault::{
 };
 pub use journal::{Journal, JournalError};
 pub use report::StageReport;
-pub use shard::{ShardStats, ShardedOutput};
+pub use shard::{ShardConfigError, ShardError, ShardStats, ShardedOutput};
 pub use stage::{Disposition, Stage, StageCtx, StageItem, StageOutcome};
 pub use stream::{Feed, StreamSource};
+pub use supervise::{
+    run_sharded_process, worker_boot, ChaosPlan, JobFactory, KillMode, ParentKill,
+    ShardSupervision, SuperviseError, SuperviseOptions, SupervisedJob, SupervisedOutput,
+    WorkerKill,
+};

@@ -52,10 +52,95 @@ use crate::fault::Quarantine;
 use crate::journal::{Journal, JournalError};
 use crate::report::StageReport;
 use crate::stage::{Stage, StageItem};
-use crate::stream::{admission_plan, merge_report, StreamSource};
+use crate::stream::{admission_plan, merge_report, Feed, StreamSource};
 use coachlm_data::InstructionPair;
+use std::fmt;
 use std::path::Path;
 use std::time::Duration;
+
+/// Typed rejection of an executor-config / feed composition that cannot
+/// be sharded, raised at validation time — before any shard spawns —
+/// instead of the historical mid-run assert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardConfigError {
+    /// The config sets a [`crate::BreakerPolicy`]: breaker epochs are
+    /// windows of *global* index order and do not partition — each shard
+    /// would evolve its own breaker over a subsequence and diverge from
+    /// the unsharded run.
+    Breaker,
+    /// The config sets a breaker *and* the source is [`Feed::Sustained`]:
+    /// doubly unshardable, since admission shedding rewrites the very
+    /// index sequence the breaker's epochs window over.
+    BreakerWithSustainedFeed,
+}
+
+impl fmt::Display for ShardConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardConfigError::Breaker => write!(
+                f,
+                "sharding cannot be combined with a circuit breaker: breaker epochs \
+                 are windows of global index order and do not partition"
+            ),
+            ShardConfigError::BreakerWithSustainedFeed => write!(
+                f,
+                "sharding cannot be combined with a circuit breaker under a sustained \
+                 feed: admission shedding rewrites the index sequence the breaker's \
+                 epochs window over"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardConfigError {}
+
+/// Why a journaled sharded run failed: the config/feed composition was
+/// rejected up front, or a shard's crash journal failed.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Rejected at validation time, before any shard ran.
+    Config(ShardConfigError),
+    /// A shard's journal could not be created, recovered, or resumed from.
+    Journal(JournalError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Config(e) => write!(f, "{e}"),
+            ShardError::Journal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<ShardConfigError> for ShardError {
+    fn from(e: ShardConfigError) -> Self {
+        ShardError::Config(e)
+    }
+}
+
+impl From<JournalError> for ShardError {
+    fn from(e: JournalError) -> Self {
+        ShardError::Journal(e)
+    }
+}
+
+/// Validates that `config` and `feed` compose with sharding, at
+/// config-validation time. Every sharded entry point — in-process and
+/// multi-process alike — calls this before partitioning; callers can call
+/// it themselves to fail fast when assembling a deployment.
+pub fn validate_sharding(config: &ExecutorConfig, feed: &Feed) -> Result<(), ShardConfigError> {
+    if config.breaker_policy().is_some() {
+        return Err(if matches!(feed, Feed::Sustained { .. }) {
+            ShardConfigError::BreakerWithSustainedFeed
+        } else {
+            ShardConfigError::Breaker
+        });
+    }
+    Ok(())
+}
 
 /// The shard an instruction pair is routed to: its content fingerprint
 /// modulo the shard count. Duplicate content always co-locates, so each
@@ -95,60 +180,80 @@ pub struct ShardedOutput {
     pub shards: Vec<ShardStats>,
 }
 
+impl std::fmt::Debug for ShardedOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedOutput")
+            .field("items", &self.output.items.len())
+            .field("digest", &self.output.digest())
+            .field("shards", &self.shards)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Runs `stages` over the source hash-partitioned across `shards`
 /// independent pipeline instances (one OS thread each, sharing the stage
 /// chain), and merges the results deterministically. See the module docs
 /// for the merge invariants.
 ///
-/// Panics if the config sets a [`crate::BreakerPolicy`] — breaker epochs
-/// are windows of global index order and cannot be partitioned.
+/// Rejects configs that set a [`crate::BreakerPolicy`] with a typed
+/// [`ShardConfigError`] at validation time (see [`validate_sharding`]) —
+/// breaker epochs are windows of global index order and cannot be
+/// partitioned.
 pub fn run_sharded(
     config: &ExecutorConfig,
     stages: &[Box<dyn Stage + '_>],
     source: StreamSource,
     shards: usize,
-) -> ShardedOutput {
-    run_sharded_inner(config, stages, source, shards, None)
-        .unwrap_or_else(|e| unreachable!("no journals, no journal errors: {e}"))
+) -> Result<ShardedOutput, ShardConfigError> {
+    match run_sharded_inner(config, stages, source, shards, None) {
+        Ok(out) => Ok(out),
+        Err(ShardError::Config(e)) => Err(e),
+        Err(ShardError::Journal(e)) => unreachable!("no journals, no journal errors: {e}"),
+    }
 }
 
 /// Journaled variant of [`run_sharded`]: each shard appends to (or
 /// resumes from) its own journal file `shard-<i>-of-<n>.wal` under
 /// `dir`, so a killed sharded run resumes at each shard's exact frontier
 /// and — warm caches included — converges to the uninterrupted digest.
-/// The first failing shard's error (lowest shard index) is returned.
+/// The first failing shard's journal error (lowest shard index) is
+/// returned; invalid config/feed compositions are rejected up front as
+/// [`ShardError::Config`].
 pub fn run_sharded_journaled(
     config: &ExecutorConfig,
     stages: &[Box<dyn Stage + '_>],
     source: StreamSource,
     shards: usize,
     dir: &Path,
-) -> Result<ShardedOutput, JournalError> {
+) -> Result<ShardedOutput, ShardError> {
     run_sharded_inner(config, stages, source, shards, Some(dir))
 }
 
-fn run_sharded_inner(
-    config: &ExecutorConfig,
-    stages: &[Box<dyn Stage + '_>],
-    source: StreamSource,
-    shards: usize,
-    journal_dir: Option<&Path>,
-) -> Result<ShardedOutput, JournalError> {
-    assert!(
-        config.breaker_policy().is_none(),
-        "sharding cannot be combined with a circuit breaker: breaker epochs are \
-         windows of global index order and do not partition"
-    );
-    let shards = shards.max(1);
+/// A hash-partitioned source: the shed items (already discarded), the
+/// per-shard input subsequences, and the global index of each shard's
+/// k-th item for the merge. Shared between the in-process driver here and
+/// the multi-process driver in [`crate::supervise`], so both partition
+/// identically by construction.
+pub(crate) struct Partitioned {
+    /// Total input length (shed included).
+    pub(crate) n: usize,
+    /// Items shed at global admission, already discarded.
+    pub(crate) shed_items: Vec<StageItem>,
+    /// Each shard's input subsequence, in global order.
+    pub(crate) partitions: Vec<Vec<InstructionPair>>,
+    /// Global index of each shard's k-th item.
+    pub(crate) global_idx: Vec<Vec<usize>>,
+}
+
+/// Partitions a source across `shards` by content hash, applying global
+/// admission first: shedding is a pure function of arrival order over the
+/// whole input (see module docs), so it must happen before partitioning.
+pub(crate) fn partition_source(source: StreamSource, shards: usize) -> Partitioned {
     let StreamSource { pairs, feed } = source;
     let n = pairs.len();
-
-    // Global admission first: shedding is a pure function of arrival
-    // order over the whole input (see module docs).
     let admission = admission_plan(&feed, n);
     let mut shed_items: Vec<StageItem> = Vec::new();
     let mut partitions: Vec<Vec<InstructionPair>> = vec![Vec::new(); shards];
-    // Global index of each shard's k-th item, for the merge.
     let mut global_idx: Vec<Vec<usize>> = vec![Vec::new(); shards];
     for (g, pair) in pairs.into_iter().enumerate() {
         if admission.as_ref().is_some_and(|plan| plan[g]) {
@@ -161,47 +266,25 @@ fn run_sharded_inner(
         partitions[s].push(pair);
         global_idx[s].push(g);
     }
-
-    // One OS thread per shard, each an independent Executor run over its
-    // subsequence. The stage chain is shared (`Stage: Sync`), exactly as
-    // the streaming core shares it across lanes.
-    let results: Vec<Result<ChainOutput, JournalError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = partitions
-            .into_iter()
-            .enumerate()
-            .map(|(s, part)| {
-                scope.spawn(move || -> Result<ChainOutput, JournalError> {
-                    let executor = Executor::new(config.clone());
-                    match journal_dir {
-                        None => Ok(executor.run(stages, part)),
-                        Some(dir) => {
-                            let path = dir.join(format!("shard-{s}-of-{shards}.wal"));
-                            let mut journal = if path.exists() {
-                                Journal::open(&path)?
-                            } else {
-                                Journal::create(&path)?
-                            };
-                            executor.run_journaled(stages, part, &mut journal)
-                        }
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-            })
-            .collect()
-    });
-    let mut outputs = Vec::with_capacity(shards);
-    for result in results {
-        outputs.push(result?);
+    Partitioned {
+        n,
+        shed_items,
+        partitions,
+        global_idx,
     }
+}
 
-    // Deterministic merge: place items by global index (restoring it on
-    // each), sum the tallies, fold the quarantines.
+/// The deterministic merge: places items by global index (restoring it on
+/// each), sums the per-stage tallies, and folds the quarantines. Takes
+/// one [`ChainOutput`] per shard, in shard order. Shared between the
+/// in-process and multi-process drivers.
+pub(crate) fn merge_outputs(
+    stages: &[Box<dyn Stage + '_>],
+    shed_items: Vec<StageItem>,
+    global_idx: &[Vec<usize>],
+    n: usize,
+    outputs: Vec<ChainOutput>,
+) -> ShardedOutput {
     let mut slots: Vec<Option<StageItem>> = (0..n).map(|_| None).collect();
     for item in shed_items {
         let g = item.index;
@@ -218,6 +301,7 @@ fn run_sharded_inner(
         name: "sharded".to_string(),
         items: Vec::new(),
     };
+    let shards = outputs.len();
     let mut stats = Vec::with_capacity(shards);
     let mut replayed = 0usize;
     let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
@@ -266,11 +350,67 @@ fn run_sharded_inner(
         sim_elapsed,
         revision_cache: revision,
     };
-    Ok(ShardedOutput {
+    ShardedOutput {
         output,
         quarantine,
         shards: stats,
-    })
+    }
+}
+
+fn run_sharded_inner(
+    config: &ExecutorConfig,
+    stages: &[Box<dyn Stage + '_>],
+    source: StreamSource,
+    shards: usize,
+    journal_dir: Option<&Path>,
+) -> Result<ShardedOutput, ShardError> {
+    validate_sharding(config, &source.feed)?;
+    let shards = shards.max(1);
+    let Partitioned {
+        n,
+        shed_items,
+        partitions,
+        global_idx,
+    } = partition_source(source, shards);
+
+    // One OS thread per shard, each an independent Executor run over its
+    // subsequence. The stage chain is shared (`Stage: Sync`), exactly as
+    // the streaming core shares it across lanes.
+    let results: Vec<Result<ChainOutput, JournalError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .into_iter()
+            .enumerate()
+            .map(|(s, part)| {
+                scope.spawn(move || -> Result<ChainOutput, JournalError> {
+                    let executor = Executor::new(config.clone());
+                    match journal_dir {
+                        None => Ok(executor.run(stages, part)),
+                        Some(dir) => {
+                            let path = dir.join(format!("shard-{s}-of-{shards}.wal"));
+                            let mut journal = if path.exists() {
+                                Journal::open(&path)?
+                            } else {
+                                Journal::create(&path)?
+                            };
+                            executor.run_journaled(stages, part, &mut journal)
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    let mut outputs = Vec::with_capacity(shards);
+    for result in results {
+        outputs.push(result?);
+    }
+    Ok(merge_outputs(stages, shed_items, &global_idx, n, outputs))
 }
 
 #[cfg(test)]
@@ -352,7 +492,8 @@ mod tests {
                 &stages(),
                 StreamSource::batch(mixed_pairs(120)),
                 shards,
-            );
+            )
+            .expect("breaker-free config shards");
             assert_eq!(sharded.output.digest(), base.digest(), "shards = {shards}");
             assert_eq!(sharded.output.items.len(), 120);
             // The merged quarantine is in `Quarantine::merge` canonical
@@ -398,7 +539,8 @@ mod tests {
     fn duplicates_co_locate_so_shard_caches_keep_their_hit_rate() {
         let config = ExecutorConfig::new(9).revision_cache(CachePolicy::exact());
         let unsharded = Executor::new(config.clone()).run(&stages(), dup_pairs(210));
-        let sharded = run_sharded(&config, &stages(), StreamSource::batch(dup_pairs(210)), 4);
+        let sharded = run_sharded(&config, &stages(), StreamSource::batch(dup_pairs(210)), 4)
+            .expect("breaker-free config shards");
         assert_eq!(sharded.output.digest(), unsharded.digest());
         // Routing by content fingerprint keeps every duplicate cluster on
         // one shard: the summed hit tallies equal the unsharded run's.
@@ -420,10 +562,66 @@ mod tests {
         let base = Executor::new(config.clone()).run_stream(&stages(), source());
         assert!(base.shed > 0, "overload must shed");
         for shards in [2, 5] {
-            let sharded = run_sharded(&config, &stages(), source(), shards);
+            let sharded = run_sharded(&config, &stages(), source(), shards)
+                .expect("breaker-free config shards");
             assert_eq!(sharded.output.shed, base.shed, "shards = {shards}");
             assert_eq!(sharded.output.digest(), base.digest(), "shards = {shards}");
         }
+    }
+
+    #[test]
+    fn breaker_configs_are_rejected_with_a_typed_error_not_an_assert() {
+        let breakered = ExecutorConfig::new(5).breaker(crate::BreakerPolicy::default());
+        // Validation alone, both feeds.
+        assert_eq!(
+            validate_sharding(&breakered, &Feed::Batch),
+            Err(ShardConfigError::Breaker)
+        );
+        let sustained = Feed::Sustained {
+            rate_per_sec: 100.0,
+            drain_per_sec: 40.0,
+            backlog_capacity: 10,
+        };
+        assert_eq!(
+            validate_sharding(&breakered, &sustained),
+            Err(ShardConfigError::BreakerWithSustainedFeed)
+        );
+        // The drivers surface the same typed error instead of asserting.
+        let err = run_sharded(
+            &breakered,
+            &stages(),
+            StreamSource::batch(mixed_pairs(8)),
+            2,
+        )
+        .expect_err("breaker must be rejected");
+        assert_eq!(err, ShardConfigError::Breaker);
+        let dir =
+            std::env::temp_dir().join(format!("coachlm-shard-validate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run_sharded_journaled(
+            &breakered,
+            &stages(),
+            StreamSource::sustained(mixed_pairs(8), 100.0, 40.0, 10),
+            2,
+            &dir,
+        )
+        .expect_err("breaker must be rejected before any journal is touched");
+        assert!(matches!(
+            err,
+            ShardError::Config(ShardConfigError::BreakerWithSustainedFeed)
+        ));
+        // Validation must not have created any shard journal.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+        // And the OK path still shards.
+        assert!(validate_sharding(&ExecutorConfig::new(5), &Feed::Batch).is_ok());
+        let ok = run_sharded(
+            &ExecutorConfig::new(5),
+            &stages(),
+            StreamSource::batch(mixed_pairs(8)),
+            2,
+        );
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -111,6 +111,23 @@ for seed in 11 53; do
     done
 done
 
+# Supervise matrix: one cell per (seed, shard count, kill point). Each
+# cell runs the chaos chain with every shard in its own worker process —
+# killing one worker early (clean frame boundary on the first frame),
+# late (torn mid-frame write near the end of its partition), or not at
+# all — and checks the merged digest against the in-process sharded
+# reference, with restart counters proving the kill actually landed.
+echo "==> supervise matrix (2 seeds x 2 shard counts x 3 kill points)"
+for seed in 11 53; do
+    for shards in 2 4; do
+        for kill in early late none; do
+            echo "   -> seed=$seed shards=$shards kill=$kill"
+            COACHLM_SUPERVISE_SEED=$seed COACHLM_SUPERVISE_SHARDS=$shards COACHLM_SUPERVISE_KILL=$kill \
+                cargo test --offline -q --test supervise_chaos
+        done
+    done
+done
+
 # Optional: regenerate BENCH_4.json from the Criterion suite. Off by
 # default because benches dominate CI wall-clock; enable with COACHLM_BENCH=1.
 if [ "${COACHLM_BENCH:-0}" = "1" ]; then

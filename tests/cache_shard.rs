@@ -168,7 +168,8 @@ proptest! {
             config = config.revision_cache(CachePolicy::exact());
         }
         let base = Executor::new(config.clone()).run(&stages(), pairs.clone());
-        let sharded = run_sharded(&config, &stages(), StreamSource::batch(pairs), shards);
+        let sharded = run_sharded(&config, &stages(), StreamSource::batch(pairs), shards)
+            .expect("batch feed is always shardable");
         assert_same(&base, &sharded.output, "sharded vs unsharded");
         let routed: usize = sharded.shards.iter().map(|s| s.items).sum();
         prop_assert_eq!(routed, total);
@@ -313,7 +314,8 @@ fn sharded_journaled_resume_matches_uninterrupted_run() {
         &stages(),
         StreamSource::batch(pairs.clone()),
         shards,
-    );
+    )
+    .expect("batch feed is always shardable");
 
     let dir = temp_path("sharded");
     std::fs::create_dir_all(&dir).expect("journal dir");
@@ -381,7 +383,8 @@ fn cache_matrix_cell() {
                 &stages(),
                 StreamSource::batch(pairs.clone()),
                 shards,
-            );
+            )
+            .expect("batch feed is always shardable");
             assert_same(
                 &reference,
                 &sharded.output,
